@@ -1,0 +1,75 @@
+// Ablation: Bayesian optimization on the full 44-dimensional space vs on
+// the RF-selected subspace (paper §3.1: BO's efficiency and accuracy are
+// limited to low-dimensional objectives, hence the parameter-selection
+// stage).
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+
+#include "bench/harness.h"
+#include "common/statistics.h"
+#include "core/bo_engine.h"
+#include "core/parameter_selection.h"
+
+using namespace robotune;
+
+int main() {
+  const int budget = bench::bench_budget();
+  const int reps = bench::env_int("ROBOTUNE_BENCH_ABL_REPS", 2);
+  std::printf("=== Ablation: BO over all 44 dims vs the selected subspace "
+              "(PR-D1, budget=%d, reps=%d) ===\n",
+              budget, reps);
+  const auto space = sparksim::spark24_config_space();
+
+  // Selected subspace from the standard pipeline.
+  auto sel_objective =
+      bench::make_objective(sparksim::WorkloadKind::kPageRank, 1, 51);
+  const auto report = core::select_parameters(
+      sel_objective, sparksim::spark24_joint_parameter_groups(), {});
+  std::printf("selected %zu of 44 parameters\n", report.selected.size());
+
+  std::vector<std::size_t> all_dims(space.size());
+  std::iota(all_dims.begin(), all_dims.end(), std::size_t{0});
+
+  struct Variant {
+    const char* label;
+    const std::vector<std::size_t>* dims;
+  };
+  const Variant variants[] = {{"selected subspace", &report.selected},
+                              {"all 44 dimensions", &all_dims}};
+
+  std::printf("%-20s %12s %12s %14s\n", "search space", "mean best(s)",
+              "mean cost(s)", "tuner wall(s)");
+  for (const auto& variant : variants) {
+    std::vector<double> bests, costs;
+    const auto wall_start = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+      auto objective = bench::make_objective(
+          sparksim::WorkloadKind::kPageRank, 1,
+          3000 + static_cast<std::uint64_t>(rep));
+      core::BoOptions options;
+      options.budget = budget;
+      options.seed = 60 + static_cast<std::uint64_t>(rep);
+      core::BoEngine engine(*variant.dims, space.default_unit(), options);
+      const auto result = engine.run(objective);
+      bests.push_back(result.tuning.best_value_s());
+      costs.push_back(result.tuning.search_cost_s);
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count() /
+        reps;
+    std::printf("%-20s %12.1f %12.0f %14.1f\n", variant.label,
+                stats::mean(bests), stats::mean(costs), wall);
+  }
+  std::printf(
+      "\nExpected: the subspace search matches or beats the full-space "
+      "search at a\nfraction of the cluster search cost AND of the "
+      "tuner-side compute: the GP fit\nand acquisition optimization scale "
+      "steeply with dimensionality (the paper's\nefficiency argument, "
+      "§3.1).  With an ARD kernel the full-space search remains\n"
+      "surprisingly competitive on final quality in this simulator; see "
+      "EXPERIMENTS.md.\n");
+  return 0;
+}

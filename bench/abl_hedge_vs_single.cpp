@@ -1,0 +1,65 @@
+// Ablation: the GP-Hedge portfolio vs each single acquisition function
+// (paper §3.4 adopts Hedge because "an adaptive portfolio of multiple
+// functions often performs substantially better than the best individual
+// function", citing Hoffman et al. 2011).
+#include <cstdio>
+#include <optional>
+
+#include "bench/harness.h"
+#include "common/statistics.h"
+#include "core/bo_engine.h"
+
+using namespace robotune;
+
+int main() {
+  const int budget = bench::bench_budget();
+  const int reps = bench::env_int("ROBOTUNE_BENCH_ABL_REPS", 3);
+  std::printf("=== Ablation: Hedge portfolio vs single acquisition "
+              "functions (PR-D1, budget=%d, reps=%d) ===\n",
+              budget, reps);
+
+  // Fix the selected subspace so every variant searches the same space.
+  const auto space = sparksim::spark24_config_space();
+  std::vector<std::size_t> selected;
+  for (const char* name :
+       {"spark.executor.cores", "spark.executor.memory.mb", "spark.cores.max",
+        "spark.default.parallelism", "spark.serializer",
+        "spark.kryoserializer.buffer.max.mb", "spark.kryo.referenceTracking"}) {
+    selected.push_back(*space.index_of(name));
+  }
+
+  struct Variant {
+    const char* label;
+    std::optional<gp::AcquisitionKind> force;
+  };
+  const Variant variants[] = {
+      {"Hedge (PI+EI+LCB)", std::nullopt},
+      {"PI only", gp::AcquisitionKind::kPI},
+      {"EI only", gp::AcquisitionKind::kEI},
+      {"LCB only", gp::AcquisitionKind::kLCB},
+  };
+
+  std::printf("%-20s %12s %12s\n", "strategy", "mean best(s)", "mean cost(s)");
+  for (const auto& variant : variants) {
+    std::vector<double> bests, costs;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto objective = bench::make_objective(
+          sparksim::WorkloadKind::kPageRank, 1,
+          1234 + static_cast<std::uint64_t>(rep));
+      core::BoOptions options;
+      options.budget = budget;
+      options.seed = 10 + static_cast<std::uint64_t>(rep);
+      options.force_acquisition = variant.force;
+      core::BoEngine engine(selected, space.default_unit(), options);
+      const auto result = engine.run(objective);
+      bests.push_back(result.tuning.best_value_s());
+      costs.push_back(result.tuning.search_cost_s);
+    }
+    std::printf("%-20s %12.1f %12.0f\n", variant.label, stats::mean(bests),
+                stats::mean(costs));
+  }
+  std::printf("\nExpected: the portfolio is at least competitive with the "
+              "best single function\nand avoids the worst one's failure "
+              "mode (PI over-exploits, LCB can over-explore).\n");
+  return 0;
+}

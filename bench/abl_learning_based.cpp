@@ -1,0 +1,58 @@
+// Ablation: a learning-based tuner (RFHOC-style) under the same small
+// budget as the search-based tuners.
+//
+// The paper excludes learning-based approaches from its comparison
+// because they "require at least 2,000 executions of each workload to
+// train models and are infeasible in most real-life scenarios" (§5.1).
+// This bench quantifies that argument: with ~70 training runs the RF
+// surrogate misguides the model-side GA, and the tuner lands near Random
+// Search while ROBOTune's on-line BO uses the same information far more
+// efficiently.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/statistics.h"
+#include "tuners/rfhoc.h"
+
+using namespace robotune;
+
+int main() {
+  const int budget = bench::bench_budget();
+  const int reps = bench::env_int("ROBOTUNE_BENCH_ABL_REPS", 3);
+  std::printf("=== Ablation: learning-based tuning (RFHOC-style) at a "
+              "search-tuner budget (PR-D1, budget=%d, reps=%d) ===\n",
+              budget, reps);
+
+  std::printf("%-10s %12s %12s\n", "tuner", "mean best(s)", "mean cost(s)");
+  for (const char* which : {"RFHOC", "ROBOTune", "RS"}) {
+    std::vector<double> bests, costs;
+    core::RoboTune robotune;
+    tuners::Rfhoc rfhoc;
+    tuners::RandomSearch rs;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto objective = bench::make_objective(
+          sparksim::WorkloadKind::kPageRank, 1,
+          8800 + static_cast<std::uint64_t>(rep));
+      tuners::Tuner* tuner = nullptr;
+      if (std::string(which) == "RFHOC") {
+        tuner = &rfhoc;
+      } else if (std::string(which) == "ROBOTune") {
+        tuner = &robotune;
+      } else {
+        tuner = &rs;
+      }
+      const auto result =
+          tuner->tune(objective, budget, 90 + static_cast<std::uint64_t>(rep));
+      bests.push_back(result.best_value_s());
+      costs.push_back(result.search_cost_s);
+    }
+    std::printf("%-10s %12.1f %12.0f\n", which, stats::mean(bests),
+                stats::mean(costs));
+  }
+  std::printf("\nExpected: RFHOC at this budget is no better than RS "
+              "(too few samples for the\nmodel), while ROBOTune converts "
+              "the same budget into a better configuration at\nlower cost "
+              "— the paper's §1/§5.1 rationale for excluding "
+              "learning-based tuners.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 3 reproduction: execution time of the best configuration each
+// tuner finds within the 100-evaluation budget, scaled to Random Search.
+// Five workloads x three datasets.
+//
+// Paper's claims: ROBOTune beats BestConfig by 1.14x avg (up to 1.3x) and
+// Gunther by 1.15x avg (up to 1.28x); wins concentrate on PR/CC/LR, KM is
+// near parity (<10%), TS mediocre (~1.1x).
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace robotune;
+
+int main() {
+  const int budget = bench::bench_budget();
+  const int reps = bench::bench_reps();
+  std::printf(
+      "=== Figure 3: best-found execution time scaled to RS "
+      "(budget=%d, reps=%d) ===\n",
+      budget, reps);
+  const auto grid = bench::run_comparison(budget, reps, 3000);
+  bench::print_scaled_grid(grid, /*use_cost=*/false, "best execution time");
+
+  // Also print the absolute best times for EXPERIMENTS.md.
+  std::printf("\nAbsolute best execution times (s):\n");
+  std::printf("%-8s", "dataset");
+  for (const auto& name : bench::tuner_names()) {
+    std::printf("%12s", name.c_str());
+  }
+  std::printf("\n");
+  for (const auto& [key, cells] : grid) {
+    std::printf("%-8s", key.c_str());
+    for (const auto& name : bench::tuner_names()) {
+      std::printf("%12.1f", bench::mean_of(cells.at(name).best));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

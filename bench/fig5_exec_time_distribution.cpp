@@ -1,0 +1,67 @@
+// Figure 5 reproduction: distribution of the execution times of the
+// configurations each tuner samples during a session, for PR and KM.
+//
+// Paper's claims: ROBOTune's distribution centers on a low median (the
+// other tuners run many poor configurations); for PR the baselines'
+// medians are ~1.5x ROBOTune's; KM shows a long tail where the baseline
+// p90 is 3.4-4.2x ROBOTune's (cache-evicting configurations that BO
+// learns to avoid).
+#include <cstdio>
+#include <memory>
+
+#include "bench/harness.h"
+#include "common/statistics.h"
+
+using namespace robotune;
+
+int main() {
+  const int budget = bench::bench_budget();
+  std::printf(
+      "=== Figure 5: distribution of sampled execution times (budget=%d) "
+      "===\n",
+      budget);
+  for (auto kind :
+       {sparksim::WorkloadKind::kPageRank, sparksim::WorkloadKind::kKMeans}) {
+    std::printf("\n-- %s-D1 --\n", sparksim::short_name(kind).c_str());
+    std::printf("%-12s %8s %8s %8s %8s %8s\n", "tuner", "p25", "median",
+                "p75", "p90", "max");
+    std::map<std::string, stats::Summary> summaries;
+    core::RoboTune robotune;
+    tuners::BestConfig bestconfig;
+    tuners::Gunther gunther;
+    tuners::RandomSearch rs;
+    std::vector<std::pair<std::string, tuners::Tuner*>> tuners_list = {
+        {"ROBOTune", &robotune},
+        {"BestConfig", &bestconfig},
+        {"Gunther", &gunther},
+        {"RS", &rs}};
+    for (auto& [name, tuner] : tuners_list) {
+      std::vector<double> times;
+      for (int rep = 0; rep < bench::bench_reps(); ++rep) {
+        auto objective = bench::make_objective(
+            kind, 1, 9000 + static_cast<std::uint64_t>(rep));
+        const auto result =
+            tuner->tune(objective, budget,
+                        77 + static_cast<std::uint64_t>(rep));
+        const auto sampled = result.sampled_times();
+        times.insert(times.end(), sampled.begin(), sampled.end());
+      }
+      const auto s = stats::summarize(times);
+      summaries[name] = s;
+      std::printf("%-12s %8.1f %8.1f %8.1f %8.1f %8.1f\n", name.c_str(),
+                  s.p25, s.median, s.p75, s.p90, s.max);
+    }
+    const auto& rt = summaries["ROBOTune"];
+    std::printf("median ratio vs ROBOTune:  BestConfig %.2fx  Gunther %.2fx"
+                "  RS %.2fx\n",
+                summaries["BestConfig"].median / rt.median,
+                summaries["Gunther"].median / rt.median,
+                summaries["RS"].median / rt.median);
+    std::printf("p90 ratio vs ROBOTune:     BestConfig %.2fx  Gunther %.2fx"
+                "  RS %.2fx\n",
+                summaries["BestConfig"].p90 / rt.p90,
+                summaries["Gunther"].p90 / rt.p90,
+                summaries["RS"].p90 / rt.p90);
+  }
+  return 0;
+}

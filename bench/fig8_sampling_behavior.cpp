@@ -1,0 +1,79 @@
+// Figure 8 reproduction: where each tuner samples in the executor
+// cores-vs-memory configuration plane during one PR-D3 session.
+//
+// Paper's claim: ROBOTune concentrates samples in a promising region while
+// still probing other areas (exploitation + exploration); the baselines
+// scatter without a discernible pattern.  We print the sampled (cores,
+// memory) pairs and a concentration statistic: the fraction of samples
+// inside the quartile-sized box around each tuner's own best point.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace robotune;
+
+int main() {
+  const int budget = bench::bench_budget();
+  std::printf("=== Figure 8: sampling behavior in the cores-vs-memory "
+              "plane (PR-D3) ===\n");
+  const auto space = sparksim::spark24_config_space();
+  const auto cores_idx = *space.index_of("spark.executor.cores");
+  const auto memory_idx = *space.index_of("spark.executor.memory.mb");
+
+  core::RoboTune robotune;
+  // Warm the caches first so the plotted session exploits memoization, as
+  // in the paper's PR-D3 narrative.
+  auto warm = bench::make_objective(sparksim::WorkloadKind::kPageRank, 1, 41);
+  robotune.tune_report(warm, budget, 11);
+
+  tuners::BestConfig bestconfig;
+  tuners::Gunther gunther;
+  tuners::RandomSearch rs;
+  std::vector<std::pair<std::string, tuners::Tuner*>> tuners_list = {
+      {"ROBOTune", &robotune},
+      {"BestConfig", &bestconfig},
+      {"Gunther", &gunther},
+      {"RS", &rs}};
+
+  for (auto& [name, tuner] : tuners_list) {
+    auto objective =
+        bench::make_objective(sparksim::WorkloadKind::kPageRank, 3, 42);
+    const auto result = tuner->tune(objective, budget, 12);
+    // Samples in unit coordinates of the plane.
+    std::vector<std::pair<double, double>> points;
+    for (const auto& e : result.history) {
+      points.emplace_back(e.unit[cores_idx], e.unit[memory_idx]);
+    }
+    const auto& best = result.best_unit();
+    const double bx = best[cores_idx];
+    const double by = best[memory_idx];
+    int close = 0;
+    for (const auto& [x, y] : points) {
+      if (std::abs(x - bx) < 0.125 && std::abs(y - by) < 0.125) ++close;
+    }
+    std::printf("\n-- %s: best at cores=%.0f, memory=%.1f GB; "
+                "%d/%zu samples inside the +-0.125 unit box around it --\n",
+                name.c_str(), space.spec(cores_idx).decode(bx),
+                space.spec(memory_idx).decode(by) / 1024.0, close,
+                points.size());
+    // 10x10 occupancy grid of the plane (counts per cell).
+    int gridc[10][10] = {};
+    for (const auto& [x, y] : points) {
+      gridc[std::min(9, static_cast<int>(y * 10))]
+           [std::min(9, static_cast<int>(x * 10))]++;
+    }
+    std::printf("memory^ / cores->\n");
+    for (int r = 9; r >= 0; --r) {
+      std::printf("  ");
+      for (int c = 0; c < 10; ++c) {
+        std::printf("%2d ", gridc[r][c]);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nExpected shape (paper Fig. 8): ROBOTune's grid shows a "
+              "dense cluster plus scattered probes; baselines scatter "
+              "uniformly.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Shared helpers for the reproduction benches: environment-variable knobs,
+// tuning-session drivers, and table formatting.
+//
+// Every bench prints the rows/series of one of the paper's tables or
+// figures.  Absolute numbers come from the simulator, so the *shape*
+// (who wins, by roughly what factor) is what should be compared against
+// the paper; EXPERIMENTS.md records both sides.
+//
+// Environment knobs (all benches):
+//   ROBOTUNE_BENCH_REPS    repetitions per (workload, dataset)   [default 2]
+//   ROBOTUNE_BENCH_BUDGET  evaluation budget per tuning session  [default 100]
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/robotune.h"
+#include "sparksim/objective.h"
+#include "tuners/bestconfig.h"
+#include "tuners/gunther.h"
+#include "tuners/random_search.h"
+#include "tuners/tuner.h"
+
+namespace robotune::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+inline int bench_reps() { return env_int("ROBOTUNE_BENCH_REPS", 2); }
+inline int bench_budget() { return env_int("ROBOTUNE_BENCH_BUDGET", 100); }
+
+inline sparksim::SparkObjective make_objective(sparksim::WorkloadKind kind,
+                                               int dataset,
+                                               std::uint64_t seed) {
+  return sparksim::SparkObjective(sparksim::ClusterSpec::paper_testbed(),
+                                  sparksim::make_workload(kind, dataset),
+                                  sparksim::spark24_config_space(), seed);
+}
+
+/// One tuning session outcome.
+struct SessionResult {
+  double best_s = 0.0;
+  double search_cost_s = 0.0;
+  tuners::TuningResult full;
+};
+
+/// All four tuners in the paper's order.  ROBOTune instances are stateful
+/// (selection cache + memo buffer), so the caller owns one per experiment.
+inline std::vector<std::string> tuner_names() {
+  return {"ROBOTune", "BestConfig", "Gunther", "RS"};
+}
+
+struct ComparisonCell {
+  std::vector<double> best;  ///< per repetition
+  std::vector<double> cost;
+};
+
+/// Per (workload, dataset) -> per tuner results of the Fig. 3/4 grid.
+using ComparisonGrid =
+    std::map<std::string, std::map<std::string, ComparisonCell>>;
+
+/// Runs the full §5.2/§5.3 comparison: every workload and dataset, each
+/// tuner, `reps` repetitions.  ROBOTune keeps one framework instance per
+/// workload so its caches amortize across datasets, mirroring the paper's
+/// 15-runs-per-workload protocol (datasets are tuned in order D1, D2, D3).
+inline ComparisonGrid run_comparison(int budget, int reps,
+                                     std::uint64_t base_seed = 1000) {
+  ComparisonGrid grid;
+  for (auto kind : sparksim::all_workloads()) {
+    core::RoboTune robotune;  // caches shared across this workload's runs
+    for (int dataset = 1; dataset <= 3; ++dataset) {
+      const std::string key =
+          sparksim::short_name(kind) + "-D" + std::to_string(dataset);
+      for (int rep = 0; rep < reps; ++rep) {
+        const std::uint64_t seed =
+            base_seed + static_cast<std::uint64_t>(dataset * 101 + rep);
+        // Fresh baselines every session (they are stateless).
+        tuners::BestConfig bestconfig;
+        tuners::Gunther gunther;
+        tuners::RandomSearch rs;
+        std::vector<std::pair<std::string, tuners::Tuner*>> tuners_list = {
+            {"ROBOTune", &robotune},
+            {"BestConfig", &bestconfig},
+            {"Gunther", &gunther},
+            {"RS", &rs}};
+        for (auto& [name, tuner] : tuners_list) {
+          auto objective = make_objective(kind, dataset, seed * 7919);
+          const auto result = tuner->tune(objective, budget, seed);
+          auto& cell = grid[key][name];
+          cell.best.push_back(result.found_any() ? result.best_value_s()
+                                                 : 480.0);
+          cell.cost.push_back(result.search_cost_s);
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+inline double mean_of(const std::vector<double>& xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return xs.empty() ? 0.0 : s / static_cast<double>(xs.size());
+}
+
+/// Prints a grid of per-tuner values scaled to RS (the Fig. 3/4 format).
+inline void print_scaled_grid(const ComparisonGrid& grid, bool use_cost,
+                              const char* metric) {
+  std::printf("%-8s", "dataset");
+  for (const auto& name : tuner_names()) std::printf("%12s", name.c_str());
+  std::printf("\n");
+  std::map<std::string, std::vector<double>> scaled_by_tuner;
+  for (const auto& [key, cells] : grid) {
+    const auto rs_it = cells.find("RS");
+    const double rs_val = mean_of(use_cost ? rs_it->second.cost
+                                           : rs_it->second.best);
+    std::printf("%-8s", key.c_str());
+    for (const auto& name : tuner_names()) {
+      const auto& cell = cells.at(name);
+      const double val = mean_of(use_cost ? cell.cost : cell.best);
+      const double scaled = val / rs_val;
+      scaled_by_tuner[name].push_back(scaled);
+      std::printf("%12.3f", scaled);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-8s", "geomean");
+  for (const auto& name : tuner_names()) {
+    double logsum = 0.0;
+    for (double v : scaled_by_tuner[name]) logsum += std::log(v);
+    std::printf("%12.3f",
+                std::exp(logsum / static_cast<double>(
+                                      scaled_by_tuner[name].size())));
+  }
+  std::printf("\n(%s scaled to RS; < 1.0 means better than Random Search)\n",
+              metric);
+}
+
+}  // namespace robotune::bench

@@ -1,0 +1,146 @@
+// google-benchmark microbenchmarks of the core components: simulator
+// evaluation throughput, LHS generation, RF training, GP fit/predict
+// scaling, acquisition optimization, and L-BFGS-B.
+#include <benchmark/benchmark.h>
+
+#include "core/parameter_selection.h"
+#include "gp/acquisition.h"
+#include "gp/gaussian_process.h"
+#include "ml/random_forest.h"
+#include "opt/lbfgsb.h"
+#include "sampling/latin_hypercube.h"
+#include "sparksim/objective.h"
+
+using namespace robotune;
+
+namespace {
+
+const sparksim::ConfigSpace& space() {
+  static const auto s = sparksim::spark24_config_space();
+  return s;
+}
+
+void BM_SimulatorEvaluate(benchmark::State& state) {
+  sparksim::SparkObjective objective(
+      sparksim::ClusterSpec{},
+      sparksim::make_workload(sparksim::WorkloadKind::kPageRank, 1), space(),
+      42);
+  Rng rng(1);
+  std::vector<double> unit(space().size());
+  for (auto _ : state) {
+    for (auto& u : unit) u = rng.uniform();
+    benchmark::DoNotOptimize(objective.evaluate(unit, 480.0).value_s);
+  }
+}
+BENCHMARK(BM_SimulatorEvaluate);
+
+void BM_LatinHypercube(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampling::latin_hypercube(n, 44, rng));
+  }
+}
+BENCHMARK(BM_LatinHypercube)->Arg(20)->Arg(100)->Arg(200);
+
+void BM_RandomForestFit(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  ml::Dataset data(44);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<double> x(44);
+    for (auto& v : x) v = rng.uniform();
+    data.add_row(x, 10 * x[0] + 5 * x[1] * x[2] + rng.normal(0, 0.5));
+  }
+  for (auto _ : state) {
+    ml::ForestOptions fo;
+    fo.num_trees = 100;
+    fo.parallel = false;
+    ml::RandomForest rf(fo, 7);
+    rf.fit(data);
+    benchmark::DoNotOptimize(rf.num_trees());
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Arg(100)->Arg(200);
+
+void BM_GpFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> p(8);
+    for (auto& v : p) v = rng.uniform();
+    x.push_back(p);
+    y.push_back(p[0] * p[1] + std::sin(5 * p[2]));
+  }
+  for (auto _ : state) {
+    gp::GaussianProcess model(gp::ard_kernel(8), gp::GpOptions{false}, 1);
+    model.fit(x, y);
+    benchmark::DoNotOptimize(model.log_marginal_likelihood());
+  }
+}
+BENCHMARK(BM_GpFit)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_GpPredict(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> p(8);
+    for (auto& v : p) v = rng.uniform();
+    x.push_back(p);
+    y.push_back(p[0]);
+  }
+  gp::GaussianProcess model(gp::ard_kernel(8), gp::GpOptions{false}, 1);
+  model.fit(x, y);
+  std::vector<double> q(8, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(q).mean);
+  }
+}
+BENCHMARK(BM_GpPredict);
+
+void BM_AcquisitionOptimize(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<double> p(6);
+    for (auto& v : p) v = rng.uniform();
+    x.push_back(p);
+    y.push_back(p[0] + p[1] * p[2]);
+  }
+  gp::GaussianProcess model(gp::ard_kernel(6), gp::GpOptions{false}, 1);
+  model.fit(x, y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp::optimize_acquisition(
+        model, gp::AcquisitionKind::kEI, 6, rng));
+  }
+}
+BENCHMARK(BM_AcquisitionOptimize);
+
+void BM_LbfgsbRosenbrock(benchmark::State& state) {
+  const opt::Objective rosen = [](std::span<const double> x,
+                                  std::span<double> grad) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    if (!grad.empty()) {
+      grad[0] = -2.0 * a - 400.0 * x[0] * b;
+      grad[1] = 200.0 * b;
+    }
+    return a * a + 100.0 * b * b;
+  };
+  opt::Bounds bounds;
+  bounds.lower = {-2, -2};
+  bounds.upper = {2, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        opt::minimize(rosen, std::vector<double>{-1.2, 1.0}, bounds));
+  }
+}
+BENCHMARK(BM_LbfgsbRosenbrock);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Table 2 reproduction: average number of evaluations ROBOTune needs to
+// reach within 1% / 5% / 10% of the best execution time it achieves.
+//
+// Paper's Table 2 (avg iterations): PR 83/33/26, KM 57/17/12, CC 70/32/21,
+// LR 42/20/20, TS 86/37/19.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/statistics.h"
+
+using namespace robotune;
+
+namespace {
+
+int iterations_to_within(const std::vector<double>& traj, double fraction) {
+  const double target = traj.back() * (1.0 + fraction);
+  for (std::size_t i = 0; i < traj.size(); ++i) {
+    if (traj[i] <= target) return static_cast<int>(i + 1);
+  }
+  return static_cast<int>(traj.size());
+}
+
+}  // namespace
+
+int main() {
+  const int budget = bench::bench_budget();
+  const int reps = bench::bench_reps();
+  std::printf("=== Table 2: avg evaluations to reach within x%% of the "
+              "best achieved time (budget=%d) ===\n",
+              budget);
+  std::printf("%-22s %10s %10s %11s\n", "Workload", "Within 1%", "Within 5%",
+              "Within 10%");
+  for (auto kind : sparksim::all_workloads()) {
+    std::vector<double> to1, to5, to10;
+    core::RoboTune robotune;  // caches shared across the workload's runs
+    for (int dataset = 1; dataset <= 3; ++dataset) {
+      for (int rep = 0; rep < reps; ++rep) {
+        auto objective = bench::make_objective(
+            kind, dataset,
+            11000 + static_cast<std::uint64_t>(dataset * 10 + rep));
+        const auto result = robotune.tune(
+            objective, budget, 500 + static_cast<std::uint64_t>(rep));
+        const auto traj = result.best_trajectory();
+        to1.push_back(iterations_to_within(traj, 0.01));
+        to5.push_back(iterations_to_within(traj, 0.05));
+        to10.push_back(iterations_to_within(traj, 0.10));
+      }
+    }
+    std::printf("%-22s %10.0f %10.0f %11.0f\n",
+                sparksim::to_string(kind).c_str(), stats::mean(to1),
+                stats::mean(to5), stats::mean(to10));
+  }
+  std::printf("\nPaper's Table 2: PR 83/33/26, KM 57/17/12, CC 70/32/21, "
+              "LR 42/20/20, TS 86/37/19.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Inspect ROBOTune's dimension-reduction stage on its own: collect 100
+// generic LHS samples, train the Random Forest, and print the ranked
+// joint-parameter importances with the 0.05 selection threshold.
+//
+//   $ ./build/examples/parameter_selection [workload]
+//     workload: PR | KM | CC | LR | TS (default PR)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/parameter_selection.h"
+#include "sparksim/objective.h"
+
+using namespace robotune;
+
+int main(int argc, char** argv) {
+  sparksim::WorkloadKind kind = sparksim::WorkloadKind::kPageRank;
+  if (argc > 1) {
+    bool found = false;
+    for (auto k : sparksim::all_workloads()) {
+      if (sparksim::short_name(k) == argv[1]) {
+        kind = k;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown workload '%s'\n", argv[1]);
+      return 1;
+    }
+  }
+
+  sparksim::SparkObjective objective(
+      sparksim::ClusterSpec::paper_testbed(),
+      sparksim::make_workload(kind, 1), sparksim::spark24_config_space(),
+      1234);
+
+  core::SelectionOptions options;  // paper defaults: 100 samples, 0.05
+  const auto report = core::select_parameters(
+      objective, sparksim::spark24_joint_parameter_groups(), options);
+
+  std::printf("parameter selection for %s (100 generic LHS samples)\n",
+              sparksim::to_string(kind).c_str());
+  std::printf("forest OOB R^2: %.3f   sampling cost: %.0f s (one-time)\n\n",
+              report.oob_r2, report.sampling_cost_s);
+  std::printf("%-70s %10s %9s\n", "joint parameter (group)", "R^2 drop",
+              "selected");
+  for (const auto& imp : report.importances) {
+    // A group counts as selected when its features made the final set
+    // (threshold, robustness floor, or domain-knowledge pin).
+    bool selected = true;
+    for (std::size_t f : imp.group.features) {
+      selected = selected && std::find(report.selected.begin(),
+                                       report.selected.end(),
+                                       f) != report.selected.end();
+    }
+    if (imp.mean_drop < 0.005 && !selected) continue;  // trim the tail
+    std::printf("%-70s %10.3f %9s\n", imp.group.name.c_str(), imp.mean_drop,
+                selected ? "yes" : "");
+  }
+  std::printf("\n(plus the pinned domain-knowledge group: "
+              "spark.executor.cores+spark.executor.memory.mb)\n");
+  std::printf("selected %zu of %zu parameters for the BO stage\n",
+              report.selected.size(), objective.space().size());
+  return 0;
+}

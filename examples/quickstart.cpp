@@ -1,0 +1,67 @@
+// Quickstart: tune one Spark workload with ROBOTune in ~20 lines.
+//
+//   $ ./build/examples/quickstart
+//
+// The objective is the bundled cluster simulator standing in for a real
+// 5-worker Spark 2.4 cluster; swap in your own SparkObjective-like adapter
+// to tune a real deployment (see README "Adapting to a real cluster").
+#include <cstdio>
+
+#include "core/robotune.h"
+#include "sparksim/objective.h"
+
+using namespace robotune;
+
+int main() {
+  // 1. Describe the system under tuning: the 44-parameter Spark 2.4
+  //    space, the paper's 6-node testbed, and a PageRank workload on the
+  //    5-million-page dataset (Table 1, D1).
+  sparksim::SparkObjective objective(
+      sparksim::ClusterSpec::paper_testbed(),
+      sparksim::make_workload(sparksim::WorkloadKind::kPageRank, 1),
+      sparksim::spark24_config_space(),
+      /*seed=*/42);
+
+  // 2. Run ROBOTune with the paper's budget of 100 evaluations.
+  core::RoboTune tuner;
+  const auto report = tuner.tune_report(objective, /*budget=*/100,
+                                        /*seed=*/7);
+
+  // 3. Inspect the result.
+  std::printf("tuned %s in %zu evaluations\n",
+              objective.workload().full_name().c_str(),
+              report.tuning.history.size());
+  std::printf("  parameter selection: %zu of 44 parameters kept "
+              "(one-time cost %.0f s)\n",
+              report.selected.size(), report.selection_cost_s);
+  std::printf("  best execution time: %.1f s (search cost %.0f s)\n",
+              report.tuning.best_value_s(), report.tuning.search_cost_s);
+
+  const auto& space = objective.space();
+  const auto best = space.decode(report.tuning.best_unit());
+  std::printf("  best configuration (selected parameters):\n");
+  for (std::size_t idx : report.selected) {
+    const auto& spec = space.spec(idx);
+    if (spec.kind == sparksim::ParamKind::kCategorical) {
+      std::printf("    %-44s %s\n", spec.name.c_str(),
+                  spec.categories[static_cast<std::size_t>(best[idx])]
+                      .c_str());
+    } else {
+      std::printf("    %-44s %g\n", spec.name.c_str(), best[idx]);
+    }
+  }
+
+  // 4. Re-tuning the same workload on a bigger dataset reuses the
+  //    parameter-selection cache and the memoized configurations.
+  sparksim::SparkObjective bigger(
+      sparksim::ClusterSpec::paper_testbed(),
+      sparksim::make_workload(sparksim::WorkloadKind::kPageRank, 3),
+      sparksim::spark24_config_space(), 43);
+  const auto repeat = tuner.tune_report(bigger, 100, 8);
+  std::printf("\nre-tuned on PR-D3: cache hit=%s, memoized configs=%s, "
+              "best %.1f s\n",
+              repeat.selection_cache_hit ? "yes" : "no",
+              repeat.used_memoized_configs ? "yes" : "no",
+              repeat.tuning.best_value_s());
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Command-line front end: run any of the four tuners on any workload and
+// optionally persist ROBOTune's memoized state across invocations.
+//
+//   $ ./build/examples/robotune_cli --workload PR --dataset 2 \
+//         --tuner robotune --budget 100 --seed 7 --state /tmp/rt.state
+//
+// Running the same command twice demonstrates cross-process memoization:
+// the second run hits the selection cache and seeds BO with the first
+// run's best configurations.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/persistence.h"
+#include "core/robotune.h"
+#include "sparksim/objective.h"
+#include "tuners/bestconfig.h"
+#include "tuners/gunther.h"
+#include "tuners/random_search.h"
+
+using namespace robotune;
+
+namespace {
+
+struct CliOptions {
+  std::string workload = "PR";
+  int dataset = 1;
+  std::string tuner = "robotune";
+  int budget = 100;
+  std::uint64_t seed = 7;
+  std::string state_path;
+  std::string metric = "time";
+  bool quiet = false;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --workload PR|KM|CC|LR|TS   workload to tune        (default PR)\n"
+      "  --dataset 1|2|3             Table-1 dataset          (default 1)\n"
+      "  --tuner robotune|bestconfig|gunther|rs               (default robotune)\n"
+      "  --budget N                  evaluation budget        (default 100)\n"
+      "  --seed N                    RNG seed                 (default 7)\n"
+      "  --metric time|coreseconds   objective metric         (default time)\n"
+      "  --state PATH                load/save memoized state (robotune only)\n"
+      "  --quiet                     only print the summary line\n",
+      argv0);
+}
+
+bool parse(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--workload") {
+      const char* v = next();
+      if (!v) return false;
+      options.workload = v;
+    } else if (arg == "--dataset") {
+      const char* v = next();
+      if (!v) return false;
+      options.dataset = std::atoi(v);
+    } else if (arg == "--tuner") {
+      const char* v = next();
+      if (!v) return false;
+      options.tuner = v;
+    } else if (arg == "--budget") {
+      const char* v = next();
+      if (!v) return false;
+      options.budget = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      options.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--state") {
+      const char* v = next();
+      if (!v) return false;
+      options.state_path = v;
+    } else if (arg == "--metric") {
+      const char* v = next();
+      if (!v) return false;
+      options.metric = v;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else {
+      return false;
+    }
+  }
+  return options.dataset >= 1 && options.dataset <= 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse(argc, argv, options)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  sparksim::WorkloadKind kind = sparksim::WorkloadKind::kPageRank;
+  bool found = false;
+  for (auto k : sparksim::all_workloads()) {
+    if (sparksim::short_name(k) == options.workload) {
+      kind = k;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown workload '%s'\n",
+                 options.workload.c_str());
+    return 2;
+  }
+  const auto metric = options.metric == "coreseconds"
+                          ? sparksim::ObjectiveMetric::kCoreSeconds
+                          : sparksim::ObjectiveMetric::kExecutionTime;
+
+  sparksim::SparkObjective objective(
+      sparksim::ClusterSpec::paper_testbed(),
+      sparksim::make_workload(kind, options.dataset),
+      sparksim::spark24_config_space(), options.seed * 7919, 480.0, 0.04,
+      metric);
+
+  tuners::TuningResult result;
+  if (options.tuner == "robotune") {
+    core::RoboTune tuner;
+    if (!options.state_path.empty() &&
+        core::load_state_file(options.state_path, tuner.selection_cache(),
+                              tuner.memo_buffer())) {
+      if (!options.quiet) {
+        std::printf("loaded memoized state from %s\n",
+                    options.state_path.c_str());
+      }
+    }
+    const auto report =
+        tuner.tune_report(objective, options.budget, options.seed);
+    result = report.tuning;
+    if (!options.quiet) {
+      std::printf("selection: %zu parameters (%s), one-time cost %.0f s\n",
+                  report.selected.size(),
+                  report.selection_cache_hit ? "cache hit" : "fresh",
+                  report.selection_cost_s);
+      std::printf("memoized configs used: %s\n",
+                  report.used_memoized_configs ? "yes" : "no");
+    }
+    if (!options.state_path.empty()) {
+      core::save_state_file(tuner.selection_cache(), tuner.memo_buffer(),
+                            options.state_path);
+    }
+  } else {
+    std::unique_ptr<tuners::Tuner> tuner;
+    if (options.tuner == "bestconfig") {
+      tuner = std::make_unique<tuners::BestConfig>();
+    } else if (options.tuner == "gunther") {
+      tuner = std::make_unique<tuners::Gunther>();
+    } else if (options.tuner == "rs") {
+      tuner = std::make_unique<tuners::RandomSearch>();
+    } else {
+      std::fprintf(stderr, "unknown tuner '%s'\n", options.tuner.c_str());
+      return 2;
+    }
+    result = tuner->tune(objective, options.budget, options.seed);
+  }
+
+  std::printf("%s %s-D%d budget=%d best=%.2f cost=%.0f evals=%zu\n",
+              options.tuner.c_str(), options.workload.c_str(),
+              options.dataset, options.budget, result.best_value_s(),
+              result.search_cost_s, result.history.size());
+  if (!options.quiet) {
+    const auto& space = objective.space();
+    const auto best = space.decode(result.best_unit());
+    std::printf("best configuration:\n");
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      const auto& spec = space.spec(i);
+      if (best[i] == space.defaults()[i]) continue;  // only show changes
+      if (spec.kind == sparksim::ParamKind::kCategorical) {
+        std::printf("  %-46s %s\n", spec.name.c_str(),
+                    spec.categories[static_cast<std::size_t>(best[i])]
+                        .c_str());
+      } else {
+        std::printf("  %-46s %g\n", spec.name.c_str(), best[i]);
+      }
+    }
+  }
+  return 0;
+}

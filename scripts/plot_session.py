@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Plot a tuning-session CSV trace exported by tuners::write_csv.
+
+Usage:
+    examples/robotune_cli --workload PR --budget 100 ... (then export a
+    trace with write_csv_file from your own driver), or adapt any bench
+    to dump traces; then:
+
+    python3 scripts/plot_session.py trace1.csv [trace2.csv ...] -o out.png
+
+Produces the paper's Figure-6-style best-so-far curves, one line per
+trace.  Requires matplotlib; degrades to an ASCII plot without it.
+"""
+import argparse
+import csv
+import sys
+
+
+def load(path):
+    rows = []
+    with open(path) as fh:
+        for row in csv.DictReader(fh):
+            best = row.get("best_so_far", "")
+            rows.append(float(best) if best else None)
+    label = path.rsplit("/", 1)[-1].removesuffix(".csv")
+    return label, rows
+
+
+def ascii_plot(traces, width=72, height=18):
+    finite = [v for _, t in traces for v in t if v is not None]
+    lo, hi = min(finite), max(finite)
+    span = (hi - lo) or 1.0
+    n = max(len(t) for _, t in traces)
+    grid = [[" "] * width for _ in range(height)]
+    marks = "ox+*#"
+    for k, (_, trace) in enumerate(traces):
+        for i, v in enumerate(trace):
+            if v is None:
+                continue
+            x = int(i / max(1, n - 1) * (width - 1))
+            y = int((v - lo) / span * (height - 1))
+            grid[height - 1 - y][x] = marks[k % len(marks)]
+    print(f"best-so-far (s): {lo:.0f} .. {hi:.0f}")
+    for line in grid:
+        print("".join(line))
+    for k, (label, _) in enumerate(traces):
+        print(f"  {marks[k % len(marks)]} = {label}")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("traces", nargs="+")
+    parser.add_argument("-o", "--output", default=None)
+    args = parser.parse_args()
+    traces = [load(p) for p in args.traces]
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        ascii_plot(traces)
+        return 0
+
+    fig, ax = plt.subplots(figsize=(7, 4))
+    for label, trace in traces:
+        xs = [i + 1 for i, v in enumerate(trace) if v is not None]
+        ys = [v for v in trace if v is not None]
+        ax.plot(xs, ys, label=label, linewidth=1.6)
+    ax.set_xlabel("iteration")
+    ax.set_ylabel("minimum execution time (s)")
+    ax.legend()
+    ax.grid(alpha=0.3)
+    out = args.output or "session.png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=140)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+// Error handling helpers.  The library throws exceptions for programmer
+// errors (violated preconditions) and uses status-bearing return types for
+// expected runtime outcomes (e.g. a simulated configuration failing with
+// OOM is data, not an exception).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace robotune {
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal numerical routine cannot proceed (e.g. a
+/// Cholesky factorization of a non-PD matrix after jitter escalation).
+class NumericalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Precondition check used at public API boundaries.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidArgument(message);
+}
+
+}  // namespace robotune

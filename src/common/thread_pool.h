@@ -1,0 +1,80 @@
+// Minimal task-based thread pool (Core Guidelines CP.4: think in terms of
+// tasks, not threads).  Used to parallelize embarrassingly parallel loops:
+// random-forest tree training, multi-start acquisition optimization, and
+// repeated tuner runs inside the benchmark harnesses.
+//
+// Tasks must not share writable state; each parallel_for body receives the
+// index and should only write to its own slot of a pre-sized output.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace robotune {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the returned future yields its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::scoped_lock lock(mutex_);
+      jobs_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run body(i) for i in [0, n), blocking until all complete.  Falls back
+  /// to a plain loop when the pool has a single worker (avoids queueing
+  /// overhead on 1-core machines).  Exceptions from bodies propagate.
+  template <typename Body>
+  void parallel_for(std::size_t n, Body&& body) {
+    if (n == 0) return;
+    if (size() <= 1 || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      futures.push_back(submit([i, &body]() { body(i); }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+  /// Process-wide shared pool, created on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace robotune

@@ -1,0 +1,170 @@
+#include "core/bo_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "sampling/latin_hypercube.h"
+
+namespace robotune::core {
+
+BoEngine::BoEngine(std::vector<std::size_t> selected,
+                   std::vector<double> base_unit, BoOptions options)
+    : selected_(std::move(selected)),
+      base_unit_(std::move(base_unit)),
+      options_(options) {
+  require(!selected_.empty(), "BoEngine: no selected parameters");
+  require(!base_unit_.empty(), "BoEngine: empty base configuration");
+  for (std::size_t idx : selected_) {
+    require(idx < base_unit_.size(), "BoEngine: selected index out of range");
+  }
+  require(options_.initial_samples >= 2, "BoEngine: need >= 2 initial samples");
+  require(options_.budget >= options_.initial_samples,
+          "BoEngine: budget smaller than initial sample count");
+}
+
+std::vector<double> BoEngine::project(const std::vector<double>& full) const {
+  std::vector<double> sub(selected_.size());
+  for (std::size_t i = 0; i < selected_.size(); ++i) {
+    sub[i] = full[selected_[i]];
+  }
+  return sub;
+}
+
+std::vector<double> BoEngine::expand(const std::vector<double>& sub) const {
+  std::vector<double> full = base_unit_;
+  for (std::size_t i = 0; i < selected_.size(); ++i) {
+    full[selected_[i]] = std::clamp(sub[i], 0.0, 1.0 - 1e-12);
+  }
+  return full;
+}
+
+BoResult BoEngine::run(sparksim::SparkObjective& objective,
+                       const std::vector<MemoizedConfig>& memoized,
+                       const BoObserver& observer) {
+  BoResult result;
+  result.tuning.tuner = "ROBOTune";
+  Rng rng(options_.seed);
+  const std::size_t dims = selected_.size();
+
+  tuners::GuardPolicy guard(options_.static_threshold_s,
+                            options_.median_multiple);
+
+  // ---- Initial training set (§3.2): memoized best configs + LHS --------
+  std::vector<std::vector<double>> init_subs;
+  const int memo_count = std::min<int>(
+      {options_.memoized_in_initial, static_cast<int>(memoized.size()),
+       options_.initial_samples});
+  for (int i = 0; i < memo_count; ++i) {
+    init_subs.push_back(project(memoized[static_cast<std::size_t>(i)].unit));
+  }
+  const auto lhs_count =
+      static_cast<std::size_t>(options_.initial_samples - memo_count);
+  if (lhs_count > 0) {
+    const auto design =
+        options_.lhs_initialization
+            ? sampling::latin_hypercube(lhs_count, dims, rng)
+            : sampling::uniform_random(lhs_count, dims, rng);
+    init_subs.insert(init_subs.end(), design.begin(), design.end());
+  }
+
+  std::vector<std::vector<double>> xs;  // subspace points
+  std::vector<double> ys;
+  xs.reserve(static_cast<std::size_t>(options_.budget));
+  ys.reserve(static_cast<std::size_t>(options_.budget));
+
+  const auto observe = [this](double seconds) {
+    return options_.log_observations ? std::log(std::max(1e-6, seconds))
+                                     : seconds;
+  };
+  for (const auto& sub : init_subs) {
+    const auto e =
+        tuners::evaluate_into(objective, expand(sub), guard, result.tuning);
+    xs.push_back(sub);
+    ys.push_back(observe(e.value_s));
+  }
+
+  // ---- BO loop (Algorithm 1, lines 8-14) --------------------------------
+  gp::GaussianProcess model(gp::ard_kernel(dims), gp::GpOptions{}, rng());
+  gp::GpHedge hedge(dims, rng(), options_.hedge);
+
+  const int search_budget = options_.budget - options_.initial_samples;
+  double best_seen = result.tuning.found_any()
+                         ? result.tuning.best_value_s()
+                         : std::numeric_limits<double>::infinity();
+  int since_improvement = 0;
+  bool model_fitted = false;
+
+  for (int iter = 0; iter < search_budget; ++iter) {
+    result.iterations_run = iter + 1;
+
+    // (1) Train the GP on all priors.  Kernel hyperparameters are refit
+    // by marginal likelihood every `hyperfit_every` iterations (a full
+    // O(n^3) factorization); in between, new observations were already
+    // folded in incrementally in O(n^2) via add_point below.
+    const bool refit =
+        options_.hyperfit_every > 0 && (iter % options_.hyperfit_every) == 0;
+    if (refit || !model_fitted) {
+      gp::GpOptions gp_options;
+      gp_options.optimize_hyperparameters = refit;
+      model = gp::GaussianProcess(model.kernel().clone(), gp_options,
+                                  options_.seed ^
+                                      static_cast<std::uint64_t>(iter));
+      model.fit(xs, ys);
+      model_fitted = true;
+    }
+
+    // (2) Hedge proposes the next configuration (or, in the single-
+    // acquisition ablation, the forced function does).
+    gp::GpHedge::Choice choice;
+    if (options_.force_acquisition) {
+      Rng acq_rng(options_.seed ^ (0x9e37ULL + static_cast<std::uint64_t>(iter)));
+      choice.chosen = *options_.force_acquisition;
+      choice.point = gp::optimize_acquisition(model, choice.chosen, dims,
+                                              acq_rng, options_.hedge.params,
+                                              options_.hedge.optimizer);
+      choice.nominees = {choice.point, choice.point, choice.point};
+    } else {
+      choice = hedge.propose(model);
+    }
+    result.chosen_acquisitions.push_back(choice.chosen);
+
+    // (3) Evaluate it.
+    const auto e = tuners::evaluate_into(objective, expand(choice.point),
+                                         guard, result.tuning);
+    xs.push_back(choice.point);
+    ys.push_back(observe(e.value_s));
+
+    // (4) Fold the observation into the model incrementally and update
+    // Hedge's cumulative gains under the refreshed posterior.
+    model.add_point(choice.point, ys.back());
+    hedge.update_gains(model, choice);
+
+    if (observer) {
+      BoObserverInfo info;
+      info.iteration = iter;
+      info.gp = &model;
+      info.choice = &choice;
+      observer(info);
+    }
+
+    // Automated early stopping (§4), optional.
+    if (e.ok() && e.value_s < best_seen * (1.0 - options_.early_stop_epsilon)) {
+      best_seen = e.value_s;
+      since_improvement = 0;
+    } else {
+      ++since_improvement;
+      if (options_.early_stop_patience > 0 &&
+          since_improvement >= options_.early_stop_patience) {
+        result.early_stopped = true;
+        break;
+      }
+    }
+  }
+
+  const auto gains = hedge.gains();
+  result.hedge_gains.assign(gains.begin(), gains.end());
+  return result;
+}
+
+}  // namespace robotune::core

@@ -1,0 +1,106 @@
+// Bayesian Optimization Engine (paper §3.4, Algorithm 1).
+//
+// The engine searches the *selected* low-dimensional subspace: unselected
+// parameters stay at a base configuration (the framework defaults).  Each
+// iteration fits a Gaussian process (Matérn 5/2 + white noise) on all
+// prior observations, asks the GP-Hedge portfolio (PI/EI/LCB) for the
+// next configuration, evaluates it under the guard thresholds, and
+// updates the portfolio's gains.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/memoization.h"
+#include "gp/acquisition.h"
+#include "gp/gaussian_process.h"
+#include "sparksim/objective.h"
+#include "tuners/tuner.h"
+
+namespace robotune::core {
+
+struct BoOptions {
+  /// Total evaluation budget, initial samples included (paper: 100).
+  int budget = 100;
+  /// Initial training set size (paper: 20).
+  int initial_samples = 20;
+  /// How many memoized configurations to blend into the initial set
+  /// (paper: 4 best recent + 16 LHS).
+  int memoized_in_initial = 4;
+  /// Guard thresholds (§4): static for initial samples, a multiple of the
+  /// running median during the search.
+  double static_threshold_s = 480.0;
+  double median_multiple = 2.5;
+  /// Kernel hyperparameters are refit by marginal likelihood every this
+  /// many iterations (1 = every iteration).
+  int hyperfit_every = 5;
+  /// Optional automated early stopping (§4): stop when the best value has
+  /// not improved by `early_stop_epsilon` (relative) for
+  /// `early_stop_patience` iterations.  0 disables.
+  int early_stop_patience = 0;
+  double early_stop_epsilon = 0.01;
+  /// Model log(time) in the GP: execution times are positive with a
+  /// heavy right tail (guard-killed and failed configurations), which a
+  /// stationary Matérn kernel fits poorly in linear space.
+  bool log_observations = true;
+  /// Ablation knob: bypass the Hedge portfolio and always use one
+  /// acquisition function (paper §3.4 argues the portfolio beats any
+  /// single function; bench/abl_hedge_vs_single measures it).
+  std::optional<gp::AcquisitionKind> force_acquisition;
+  /// Ablation knob: draw the initial samples uniformly at random instead
+  /// of via LHS (bench/abl_lhs_vs_random).
+  bool lhs_initialization = true;
+  /// GP-Hedge portfolio configuration.
+  gp::GpHedge::Options hedge;
+  std::uint64_t seed = 2024;
+};
+
+struct BoObserverInfo {
+  int iteration = 0;  ///< 0-based index of the BO iteration (post-init)
+  const gp::GaussianProcess* gp = nullptr;
+  const gp::GpHedge::Choice* choice = nullptr;
+};
+
+/// Called after every BO iteration; used by the Fig. 9 response-surface
+/// bench to snapshot the posterior.
+using BoObserver = std::function<void(const BoObserverInfo&)>;
+
+struct BoResult {
+  tuners::TuningResult tuning;       ///< all evaluations (init + search)
+  std::vector<gp::AcquisitionKind> chosen_acquisitions;
+  std::vector<double> hedge_gains;   ///< final gains (PI, EI, LCB)
+  bool early_stopped = false;
+  int iterations_run = 0;
+};
+
+class BoEngine {
+ public:
+  /// `selected` lists the subspace parameter indices; `base_unit` supplies
+  /// the coordinates of all non-selected parameters.
+  BoEngine(std::vector<std::size_t> selected, std::vector<double> base_unit,
+           BoOptions options = {});
+
+  /// Runs Algorithm 1.  `memoized` seeds the initial set (pass {} for an
+  /// unseen workload).
+  BoResult run(sparksim::SparkObjective& objective,
+               const std::vector<MemoizedConfig>& memoized = {},
+               const BoObserver& observer = nullptr);
+
+  /// Projects a full-space unit vector onto the selected subspace.
+  std::vector<double> project(const std::vector<double>& full) const;
+  /// Expands a subspace point to a full-space unit vector over the base.
+  std::vector<double> expand(const std::vector<double>& sub) const;
+
+  const std::vector<std::size_t>& selected() const noexcept {
+    return selected_;
+  }
+
+ private:
+  std::vector<std::size_t> selected_;
+  std::vector<double> base_unit_;
+  BoOptions options_;
+};
+
+}  // namespace robotune::core

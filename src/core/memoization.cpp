@@ -1,0 +1,28 @@
+#include "core/memoization.h"
+
+#include <algorithm>
+
+namespace robotune::core {
+
+void ConfigMemoizationBuffer::store(const std::string& workload,
+                                    MemoizedConfig config) {
+  auto& list = entries_[workload];
+  list.push_back(std::move(config));
+  std::sort(list.begin(), list.end(),
+            [](const MemoizedConfig& a, const MemoizedConfig& b) {
+              return a.value_s < b.value_s;
+            });
+  if (list.size() > capacity_) list.resize(capacity_);
+}
+
+std::vector<MemoizedConfig> ConfigMemoizationBuffer::best(
+    const std::string& workload, std::size_t k) const {
+  const auto it = entries_.find(workload);
+  if (it == entries_.end()) return {};
+  const auto& list = it->second;
+  std::vector<MemoizedConfig> out(
+      list.begin(), list.begin() + std::min(k, list.size()));
+  return out;
+}
+
+}  // namespace robotune::core

@@ -1,0 +1,91 @@
+// Memoized Sampling state (paper §3.2): the parameter-selection cache and
+// the configuration memoization buffer.
+//
+// Both are keyed by the *workload* (not the dataset): the paper observes
+// that high-impact parameters are stable across dataset sizes of the same
+// workload, and that good configurations for one dataset seed the search
+// for another.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace robotune::core {
+
+/// Workload → indices of the selected high-impact parameters.
+class ParameterSelectionCache {
+ public:
+  bool contains(const std::string& workload) const {
+    return entries_.count(workload) != 0;
+  }
+
+  std::optional<std::vector<std::size_t>> lookup(
+      const std::string& workload) const {
+    const auto it = entries_.find(workload);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void store(const std::string& workload,
+             std::vector<std::size_t> selected) {
+    entries_[workload] = std::move(selected);
+  }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// Read-only view of all entries (persistence, diagnostics).
+  const std::map<std::string, std::vector<std::size_t>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::vector<std::size_t>> entries_;
+};
+
+/// A remembered configuration and the execution time it achieved.
+struct MemoizedConfig {
+  std::vector<double> unit;  ///< full-space unit vector
+  double value_s = 0.0;
+};
+
+/// Workload → the best few configurations from prior tuning sessions.
+/// `best(workload, k)` returns up to k configurations ordered best-first
+/// (the paper pulls 4).
+class ConfigMemoizationBuffer {
+ public:
+  explicit ConfigMemoizationBuffer(std::size_t capacity_per_workload = 8)
+      : capacity_(capacity_per_workload) {}
+
+  bool contains(const std::string& workload) const {
+    const auto it = entries_.find(workload);
+    return it != entries_.end() && !it->second.empty();
+  }
+
+  /// Records a configuration; keeps only the `capacity` best per workload.
+  void store(const std::string& workload, MemoizedConfig config);
+
+  /// Up to `k` best remembered configurations, best first.
+  std::vector<MemoizedConfig> best(const std::string& workload,
+                                   std::size_t k) const;
+
+  std::size_t size(const std::string& workload) const {
+    const auto it = entries_.find(workload);
+    return it == entries_.end() ? 0 : it->second.size();
+  }
+  void clear() { entries_.clear(); }
+
+  /// Read-only view of all entries (persistence, diagnostics).
+  const std::map<std::string, std::vector<MemoizedConfig>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::map<std::string, std::vector<MemoizedConfig>> entries_;
+};
+
+}  // namespace robotune::core

@@ -1,0 +1,92 @@
+#include "core/persistence.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace robotune::core {
+
+namespace {
+constexpr const char* kHeader = "robotune-state v1";
+}
+
+std::size_t save_state(const ParameterSelectionCache& selection,
+                       const ConfigMemoizationBuffer& memo,
+                       std::ostream& out) {
+  out << kHeader << "\n";
+  std::size_t records = 0;
+  for (const auto& [workload, indices] : selection.entries()) {
+    out << "selection " << workload << " " << indices.size();
+    for (std::size_t idx : indices) out << " " << idx;
+    out << "\n";
+    ++records;
+  }
+  out.precision(17);
+  for (const auto& [workload, configs] : memo.entries()) {
+    for (const auto& config : configs) {
+      out << "memo " << workload << " " << config.value_s << " "
+          << config.unit.size();
+      for (double u : config.unit) out << " " << u;
+      out << "\n";
+      ++records;
+    }
+  }
+  return records;
+}
+
+std::size_t load_state(std::istream& in, ParameterSelectionCache& selection,
+                       ConfigMemoizationBuffer& memo) {
+  std::string line;
+  require(static_cast<bool>(std::getline(in, line)),
+          "load_state: empty stream");
+  require(line == kHeader, "load_state: unrecognized header: " + line);
+  std::size_t records = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::string kind, workload;
+    row >> kind >> workload;
+    if (kind == "selection") {
+      std::size_t count = 0;
+      row >> count;
+      std::vector<std::size_t> indices(count);
+      for (auto& idx : indices) row >> idx;
+      require(!row.fail(), "load_state: malformed selection row");
+      selection.store(workload, std::move(indices));
+      ++records;
+    } else if (kind == "memo") {
+      MemoizedConfig config;
+      std::size_t dims = 0;
+      row >> config.value_s >> dims;
+      config.unit.resize(dims);
+      for (auto& u : config.unit) row >> u;
+      require(!row.fail(), "load_state: malformed memo row");
+      memo.store(workload, std::move(config));
+      ++records;
+    } else {
+      throw InvalidArgument("load_state: unknown record kind: " + kind);
+    }
+  }
+  return records;
+}
+
+bool save_state_file(const ParameterSelectionCache& selection,
+                     const ConfigMemoizationBuffer& memo,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  save_state(selection, memo, out);
+  return static_cast<bool>(out);
+}
+
+bool load_state_file(const std::string& path,
+                     ParameterSelectionCache& selection,
+                     ConfigMemoizationBuffer& memo) {
+  std::ifstream in(path);
+  if (!in) return false;
+  load_state(in, selection, memo);
+  return true;
+}
+
+}  // namespace robotune::core

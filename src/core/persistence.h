@@ -1,0 +1,41 @@
+// Disk persistence for ROBOTune's memoized state.
+//
+// The paper's memoized sampling (§3.2) reuses knowledge "from prior
+// sessions"; for a deployed tuner those sessions span process lifetimes,
+// so the parameter-selection cache and the configuration memoization
+// buffer can be saved to and restored from a plain-text file.
+//
+// Format (line oriented, whitespace separated, '#' comments):
+//   robotune-state v1
+//   selection <workload> <n> <idx...>
+//   memo <workload> <value_s> <dim> <unit...>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/memoization.h"
+
+namespace robotune::core {
+
+/// Serializes both caches to a stream.  Returns the number of records.
+std::size_t save_state(const ParameterSelectionCache& selection,
+                       const ConfigMemoizationBuffer& memo,
+                       std::ostream& out);
+
+/// Restores both caches from a stream previously written by save_state.
+/// Existing entries are kept; loaded entries overwrite/merge per workload.
+/// Throws InvalidArgument on malformed input.  Returns records loaded.
+std::size_t load_state(std::istream& in, ParameterSelectionCache& selection,
+                       ConfigMemoizationBuffer& memo);
+
+/// Convenience file wrappers.  Return false when the file cannot be
+/// opened (a missing state file is not an error for a fresh install).
+bool save_state_file(const ParameterSelectionCache& selection,
+                     const ConfigMemoizationBuffer& memo,
+                     const std::string& path);
+bool load_state_file(const std::string& path,
+                     ParameterSelectionCache& selection,
+                     ConfigMemoizationBuffer& memo);
+
+}  // namespace robotune::core

@@ -1,0 +1,84 @@
+#include "core/robotune.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace robotune::core {
+
+RoboTune::RoboTune(RoboTuneOptions options) : options_(std::move(options)) {
+  if (options_.joint_groups.empty()) {
+    options_.joint_groups = sparksim::spark24_joint_parameter_groups();
+  }
+}
+
+tuners::TuningResult RoboTune::tune(sparksim::SparkObjective& objective,
+                                    int budget, std::uint64_t seed) {
+  return tune_report(objective, budget, seed).tuning;
+}
+
+RoboTuneReport RoboTune::tune_report(sparksim::SparkObjective& objective,
+                                     int budget, std::uint64_t seed,
+                                     const BoObserver& observer) {
+  RoboTuneReport report;
+  const std::string workload_key =
+      sparksim::to_string(objective.workload().kind);
+
+  // ---- Parameter selection (cache hit or RF pipeline) ------------------
+  if (auto cached = selection_cache_.lookup(workload_key)) {
+    report.selected = *cached;
+    report.selection_cache_hit = true;
+  } else {
+    SelectionOptions sel = options_.selection;
+    sel.seed ^= seed;
+    report.selection_report =
+        select_parameters(objective, options_.joint_groups, sel);
+    report.selected = report.selection_report.selected;
+    report.selection_cost_s = report.selection_report.sampling_cost_s;
+    // Defensive fallback: if noise buried every parameter below the
+    // threshold, tune the top-5 ranked groups instead of nothing.
+    if (report.selected.empty()) {
+      for (std::size_t gi = 0;
+           gi < std::min<std::size_t>(5, report.selection_report.importances.size());
+           ++gi) {
+        for (std::size_t f :
+             report.selection_report.importances[gi].group.features) {
+          report.selected.push_back(f);
+        }
+      }
+      std::sort(report.selected.begin(), report.selected.end());
+    }
+    selection_cache_.store(workload_key, report.selected);
+  }
+
+  // ---- Memoized configurations ------------------------------------------
+  const auto memoized =
+      memo_buffer_.best(workload_key, options_.memoize_top_k);
+  report.used_memoized_configs = !memoized.empty();
+
+  // ---- BO search -----------------------------------------------------------
+  BoOptions bo = options_.bo;
+  bo.budget = budget;
+  bo.seed = seed;
+  BoEngine engine(report.selected, objective.space().default_unit(), bo);
+  report.bo = engine.run(objective, memoized, observer);
+  report.tuning = report.bo.tuning;
+  report.tuning.tuner = name();
+
+  // ---- Store the best configurations back into the buffer -----------------
+  std::vector<const tuners::Evaluation*> ok_evals;
+  for (const auto& e : report.tuning.history) {
+    if (e.ok()) ok_evals.push_back(&e);
+  }
+  std::sort(ok_evals.begin(), ok_evals.end(),
+            [](const tuners::Evaluation* a, const tuners::Evaluation* b) {
+              return a->value_s < b->value_s;
+            });
+  const std::size_t keep = std::min(options_.memoize_top_k, ok_evals.size());
+  for (std::size_t i = 0; i < keep; ++i) {
+    memo_buffer_.store(workload_key, {ok_evals[i]->unit, ok_evals[i]->value_s});
+  }
+  return report;
+}
+
+}  // namespace robotune::core

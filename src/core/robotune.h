@@ -1,0 +1,77 @@
+// ROBOTune: the top-level tuning framework (paper Figure 1).
+//
+// On a tuning request for (workload, dataset):
+//  * the parameter-selection cache is consulted; a miss triggers the
+//    Random-Forests selection pipeline on 100 generic LHS samples and the
+//    result is cached for the workload;
+//  * the configuration memoization buffer supplies up to 4 best recent
+//    configurations when the workload was tuned before (on any dataset);
+//  * the BO engine searches the selected subspace under the remaining
+//    budget and the best configurations found are stored back into the
+//    memoization buffer.
+//
+// ROBOTune implements the common Tuner interface so the benchmark
+// harnesses can drive it side by side with BestConfig, Gunther and RS.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bo_engine.h"
+#include "core/memoization.h"
+#include "core/parameter_selection.h"
+#include "tuners/tuner.h"
+
+namespace robotune::core {
+
+struct RoboTuneOptions {
+  BoOptions bo;
+  SelectionOptions selection;
+  /// Joint-parameter definitions used during selection; defaults to the
+  /// Spark 2.4 groups when empty.
+  std::vector<std::vector<std::string>> joint_groups;
+  /// Number of best configs pushed into the memoization buffer after a
+  /// session.
+  std::size_t memoize_top_k = 4;
+};
+
+struct RoboTuneReport {
+  tuners::TuningResult tuning;          ///< the BO session (init + search)
+  std::vector<std::size_t> selected;    ///< tuned parameter indices
+  bool selection_cache_hit = false;
+  bool used_memoized_configs = false;
+  /// One-time parameter-selection cost (excluded from search cost, §5.3).
+  double selection_cost_s = 0.0;
+  SelectionReport selection_report;     ///< empty on a cache hit
+  BoResult bo;
+};
+
+class RoboTune : public tuners::Tuner {
+ public:
+  explicit RoboTune(RoboTuneOptions options = {});
+
+  std::string name() const override { return "ROBOTune"; }
+
+  /// Tuner-interface entry point: keys the caches by the objective's
+  /// workload name (dataset-independent, per §3.2).
+  tuners::TuningResult tune(sparksim::SparkObjective& objective, int budget,
+                            std::uint64_t seed) override;
+
+  /// Full-featured entry point returning selection + memoization details.
+  RoboTuneReport tune_report(sparksim::SparkObjective& objective, int budget,
+                             std::uint64_t seed,
+                             const BoObserver& observer = nullptr);
+
+  ParameterSelectionCache& selection_cache() { return selection_cache_; }
+  ConfigMemoizationBuffer& memo_buffer() { return memo_buffer_; }
+  const RoboTuneOptions& options() const { return options_; }
+
+ private:
+  RoboTuneOptions options_;
+  ParameterSelectionCache selection_cache_;
+  ConfigMemoizationBuffer memo_buffer_;
+};
+
+}  // namespace robotune::core

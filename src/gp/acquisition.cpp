@@ -1,0 +1,123 @@
+#include "gp/acquisition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/statistics.h"
+
+namespace robotune::gp {
+
+std::string to_string(AcquisitionKind kind) {
+  switch (kind) {
+    case AcquisitionKind::kPI:
+      return "PI";
+    case AcquisitionKind::kEI:
+      return "EI";
+    case AcquisitionKind::kLCB:
+      return "LCB";
+  }
+  return "?";
+}
+
+double acquisition_value(AcquisitionKind kind, double mu, double sigma,
+                         double best_observed,
+                         const AcquisitionParams& params) {
+  switch (kind) {
+    case AcquisitionKind::kPI: {
+      if (sigma <= 0.0) return 0.0;
+      const double d = best_observed - mu - params.xi;
+      return stats::normal_cdf(d / sigma);
+    }
+    case AcquisitionKind::kEI: {
+      if (sigma <= 0.0) return 0.0;
+      const double d = best_observed - mu - params.xi;
+      const double z = d / sigma;
+      return d * stats::normal_cdf(z) + sigma * stats::normal_pdf(z);
+    }
+    case AcquisitionKind::kLCB:
+      // Maximizing −(μ − κσ) selects the point with the best (lowest)
+      // confidence bound.
+      return -(mu - params.kappa * sigma);
+  }
+  return 0.0;
+}
+
+std::vector<double> optimize_acquisition(
+    const GaussianProcess& gp, AcquisitionKind kind, std::size_t dims,
+    Rng& rng, const AcquisitionParams& params,
+    const AcquisitionOptimizerOptions& options) {
+  const double best = gp.best_observed();
+  auto value_only = [&gp, kind, best, &params](std::span<const double> x) {
+    const Prediction p = gp.predict(x);
+    return -acquisition_value(kind, p.mean, p.stddev(), best, params);
+  };
+  const auto objective = opt::numeric_gradient(value_only, 1e-6);
+  opt::MultiStartOptions ms;
+  ms.starts = options.starts;
+  ms.probe_candidates = options.probe_candidates;
+  ms.lbfgsb = options.lbfgsb;
+  const auto result = opt::multistart_minimize(
+      objective, opt::Bounds::unit_cube(dims), rng, ms);
+  return result.x;
+}
+
+GpHedge::GpHedge(std::size_t dims, std::uint64_t seed)
+    : GpHedge(dims, seed, Options{}) {}
+
+GpHedge::GpHedge(std::size_t dims, std::uint64_t seed, Options options)
+    : dims_(dims), options_(options), rng_(seed), gains_(3, 0.0) {}
+
+std::vector<double> GpHedge::probabilities() const {
+  const double eta = options_.eta;
+  const double max_gain = *std::max_element(gains_.begin(), gains_.end());
+  std::vector<double> p(gains_.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < gains_.size(); ++i) {
+    p[i] = std::exp(eta * (gains_[i] - max_gain));
+    sum += p[i];
+  }
+  for (double& v : p) v /= sum;
+  return p;
+}
+
+GpHedge::Choice GpHedge::propose(const GaussianProcess& gp) {
+  static constexpr AcquisitionKind kKinds[] = {
+      AcquisitionKind::kPI, AcquisitionKind::kEI, AcquisitionKind::kLCB};
+  Choice choice;
+  choice.nominees.reserve(3);
+  for (AcquisitionKind kind : kKinds) {
+    choice.nominees.push_back(optimize_acquisition(
+        gp, kind, dims_, rng_, options_.params, options_.optimizer));
+  }
+  const std::vector<double> p = probabilities();
+  const double u = rng_.uniform();
+  std::size_t pick = p.size() - 1;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    cumulative += p[i];
+    if (u < cumulative) {
+      pick = i;
+      break;
+    }
+  }
+  choice.chosen = kKinds[pick];
+  choice.point = choice.nominees[pick];
+  return choice;
+}
+
+void GpHedge::update_gains(const GaussianProcess& gp, const Choice& choice) {
+  require(choice.nominees.size() == gains_.size(),
+          "GpHedge::update_gains: nominee count mismatch");
+  // Hoffman et al.: reward each function with the posterior mean of its
+  // nominee under the refit model.  We minimize, so the reward is −μ.
+  // Means are standardized by the GP's own y-scale implicitly; to keep the
+  // gains well-scaled across problems we normalize by the incumbent best.
+  const double best = gp.best_observed();
+  const double scale = std::max(1e-9, std::abs(best));
+  for (std::size_t i = 0; i < gains_.size(); ++i) {
+    const Prediction p = gp.predict(choice.nominees[i]);
+    gains_[i] += -p.mean / scale;
+  }
+}
+
+}  // namespace robotune::gp

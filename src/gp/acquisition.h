@@ -1,0 +1,98 @@
+// Acquisition functions for minimization (paper §3.4, Eqs. 2-4) and the
+// GP-Hedge adaptive portfolio (Hoffman, Brochu & de Freitas 2011).
+//
+// All three functions are expressed as *utilities to maximize*; the
+// optimizer minimizes their negation over the unit cube.
+//   PI(x)  = Φ(d/σ)                        d = f(x⁺) − μ(x) − ξ
+//   EI(x)  = dΦ(d/σ) + σφ(d/σ)             (0 when σ = 0)
+//   LCB(x): select argmin μ(x) − κσ(x), i.e. maximize −(μ − κσ)
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gp/gaussian_process.h"
+#include "opt/lbfgsb.h"
+
+namespace robotune::gp {
+
+enum class AcquisitionKind { kPI, kEI, kLCB };
+
+std::string to_string(AcquisitionKind kind);
+
+struct AcquisitionParams {
+  double xi = 0.01;     ///< exploration knob for PI/EI (paper §4)
+  double kappa = 1.96;  ///< exploration knob for LCB (paper §4)
+};
+
+/// Utility value of `kind` at a point with posterior (mu, sigma), given the
+/// incumbent best (lowest) observation.  Higher is better.
+double acquisition_value(AcquisitionKind kind, double mu, double sigma,
+                         double best_observed,
+                         const AcquisitionParams& params = {});
+
+struct AcquisitionOptimizerOptions {
+  AcquisitionOptimizerOptions() {
+    lbfgsb.max_iterations = 60;
+    lbfgsb.gradient_tolerance = 1e-7;
+    lbfgsb.value_tolerance = 1e-12;
+  }
+  int starts = 8;
+  int probe_candidates = 256;
+  opt::LbfgsbOptions lbfgsb;
+};
+
+/// Maximizes the acquisition utility of `kind` over the unit cube via
+/// multi-start L-BFGS-B with numeric gradients (paper §4 uses L-BFGS-B).
+std::vector<double> optimize_acquisition(
+    const GaussianProcess& gp, AcquisitionKind kind, std::size_t dims,
+    Rng& rng, const AcquisitionParams& params = {},
+    const AcquisitionOptimizerOptions& options = {});
+
+/// GP-Hedge portfolio over {PI, EI, LCB}.  Each round every function
+/// nominates a candidate; one nominee is chosen with probability
+/// p_j ∝ exp(η g_j); after the GP is refit the gains are updated with the
+/// (negated, since we minimize) posterior mean at each nominee:
+/// g_j ← g_j − μ(x_j).
+class GpHedge {
+ public:
+  struct Options {
+    double eta = 1.0;  ///< Hedge learning rate
+    AcquisitionParams params;
+    AcquisitionOptimizerOptions optimizer;
+  };
+
+  GpHedge(std::size_t dims, std::uint64_t seed);
+  GpHedge(std::size_t dims, std::uint64_t seed, Options options);
+
+  struct Choice {
+    std::vector<double> point;                   ///< chosen candidate
+    AcquisitionKind chosen;                      ///< which function proposed it
+    std::vector<std::vector<double>> nominees;   ///< all three candidates
+  };
+
+  /// Nominates candidates from each acquisition and picks one by the
+  /// current Hedge distribution.
+  Choice propose(const GaussianProcess& gp);
+
+  /// Updates cumulative gains using the refit GP's posterior mean at the
+  /// nominees from the last propose() call.
+  void update_gains(const GaussianProcess& gp, const Choice& choice);
+
+  std::span<const double> gains() const noexcept { return gains_; }
+
+  /// Current selection probabilities (softmax of η·gains, numerically
+  /// stabilized).
+  std::vector<double> probabilities() const;
+
+ private:
+  std::size_t dims_;
+  Options options_;
+  Rng rng_;
+  std::vector<double> gains_;  // PI, EI, LCB
+};
+
+}  // namespace robotune::gp

@@ -1,0 +1,204 @@
+#include "gp/gaussian_process.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/statistics.h"
+#include "opt/lbfgsb.h"
+
+namespace robotune::gp {
+
+double Prediction::stddev() const { return std::sqrt(std::max(0.0, variance)); }
+
+GaussianProcess::GaussianProcess(std::unique_ptr<Kernel> kernel,
+                                 GpOptions options, std::uint64_t seed)
+    : kernel_(std::move(kernel)), options_(options), seed_(seed) {
+  require(kernel_ != nullptr, "GaussianProcess: null kernel");
+}
+
+GaussianProcess::GaussianProcess(const GaussianProcess& other)
+    : kernel_(other.kernel_->clone()),
+      options_(other.options_),
+      seed_(other.seed_),
+      train_x_(other.train_x_),
+      train_y_raw_(other.train_y_raw_),
+      train_y_(other.train_y_),
+      y_mean_(other.y_mean_),
+      y_scale_(other.y_scale_),
+      chol_(other.chol_),
+      alpha_(other.alpha_),
+      log_marginal_(other.log_marginal_) {}
+
+GaussianProcess& GaussianProcess::operator=(const GaussianProcess& other) {
+  if (this == &other) return *this;
+  GaussianProcess copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+void GaussianProcess::fit(const std::vector<std::vector<double>>& x,
+                          std::span<const double> y) {
+  require(!x.empty(), "GaussianProcess::fit: no training points");
+  require(x.size() == y.size(), "GaussianProcess::fit: X/y size mismatch");
+  train_x_ = x;
+  train_y_raw_.assign(y.begin(), y.end());
+
+  y_mean_ = stats::mean(train_y_raw_);
+  y_scale_ = stats::stddev(train_y_raw_);
+  if (!(y_scale_ > 1e-12)) y_scale_ = 1.0;
+  train_y_.resize(train_y_raw_.size());
+  for (std::size_t i = 0; i < train_y_.size(); ++i) {
+    train_y_[i] = (train_y_raw_[i] - y_mean_) / y_scale_;
+  }
+
+  if (options_.optimize_hyperparameters && train_x_.size() >= 4) {
+    // Maximize the log marginal likelihood over log-hyperparameters by
+    // minimizing its negation with multi-start L-BFGS (numeric gradient).
+    const std::vector<double> start = kernel_->log_params();
+    opt::Bounds bounds;
+    bounds.lower.resize(start.size());
+    bounds.upper.resize(start.size());
+    for (std::size_t i = 0; i < start.size(); ++i) {
+      bounds.lower[i] = start[i] - options_.log_search_radius;
+      bounds.upper[i] = start[i] + options_.log_search_radius;
+    }
+    auto objective = opt::numeric_gradient(
+        [this](std::span<const double> log_params) -> double {
+          kernel_->set_log_params(log_params);
+          try {
+            factorize();
+          } catch (const NumericalError&) {
+            return 1e12;
+          }
+          return -log_marginal_;
+        },
+        1e-5);
+    Rng rng(seed_);
+    opt::MultiStartOptions ms;
+    ms.starts = options_.hyperparameter_restarts;
+    ms.probe_candidates = 16;
+    ms.lbfgsb.max_iterations = 50;
+    const auto result =
+        opt::multistart_minimize(objective, bounds, rng, ms, {start});
+    kernel_->set_log_params(result.x);
+  }
+  factorize();
+}
+
+void GaussianProcess::add_point(const std::vector<double>& x, double y) {
+  require(trained(), "GaussianProcess::add_point: fit() first");
+  require(x.size() == train_x_.front().size(),
+          "GaussianProcess::add_point: dimension mismatch");
+  const std::size_t n = train_x_.size();
+
+  // Cross-covariances against the existing points (raw kernel scale).
+  std::vector<double> k_star(n);
+  for (std::size_t i = 0; i < n; ++i) k_star[i] = (*kernel_)(train_x_[i], x);
+  const double k_self =
+      (*kernel_)(x, x) + kernel_->diagonal_noise() + 1e-10;
+
+  // Extend L: new row l = L^{-1} k*, new diagonal sqrt(k** - l.l).
+  const std::vector<double> l = linalg::solve_lower(chol_, k_star);
+  const double d2 = k_self - linalg::dot(l, l);
+
+  train_x_.push_back(x);
+  train_y_raw_.push_back(y);
+
+  if (!(d2 > 1e-12)) {
+    // Numerically degenerate (e.g. duplicate point): fall back to a full
+    // refactorization with jitter escalation.
+    y_mean_ = stats::mean(train_y_raw_);
+    y_scale_ = stats::stddev(train_y_raw_);
+    if (!(y_scale_ > 1e-12)) y_scale_ = 1.0;
+    train_y_.resize(train_y_raw_.size());
+    for (std::size_t i = 0; i < train_y_.size(); ++i) {
+      train_y_[i] = (train_y_raw_[i] - y_mean_) / y_scale_;
+    }
+    factorize();
+    return;
+  }
+
+  linalg::Matrix grown(n + 1, n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) grown(i, j) = chol_(i, j);
+  }
+  for (std::size_t j = 0; j < n; ++j) grown(n, j) = l[j];
+  grown(n, n) = std::sqrt(d2);
+  chol_ = std::move(grown);
+
+  // Re-standardize targets (O(n)) and re-solve for alpha (O(n²)).
+  y_mean_ = stats::mean(train_y_raw_);
+  y_scale_ = stats::stddev(train_y_raw_);
+  if (!(y_scale_ > 1e-12)) y_scale_ = 1.0;
+  train_y_.resize(train_y_raw_.size());
+  for (std::size_t i = 0; i < train_y_.size(); ++i) {
+    train_y_[i] = (train_y_raw_[i] - y_mean_) / y_scale_;
+  }
+  alpha_ = linalg::cholesky_solve(chol_, train_y_);
+
+  const double n_d = static_cast<double>(train_x_.size());
+  log_marginal_ = -0.5 * linalg::dot(train_y_, alpha_) -
+                  0.5 * linalg::log_det_from_cholesky(chol_) -
+                  0.5 * n_d * std::log(2.0 * std::numbers::pi);
+}
+
+void GaussianProcess::factorize() {
+  const std::size_t n = train_x_.size();
+  linalg::Matrix k(n, n);
+  const double noise = kernel_->diagonal_noise();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = (*kernel_)(train_x_[i], train_x_[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+    k(i, i) += noise + 1e-10;  // numeric jitter
+  }
+  chol_ = linalg::cholesky(k);
+  alpha_ = linalg::cholesky_solve(chol_, train_y_);
+
+  const double n_d = static_cast<double>(n);
+  log_marginal_ = -0.5 * linalg::dot(train_y_, alpha_) -
+                  0.5 * linalg::log_det_from_cholesky(chol_) -
+                  0.5 * n_d * std::log(2.0 * std::numbers::pi);
+}
+
+Prediction GaussianProcess::predict(std::span<const double> x) const {
+  require(trained(), "GaussianProcess::predict: not fitted");
+  const std::size_t n = train_x_.size();
+  std::vector<double> k_star(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k_star[i] = (*kernel_)(train_x_[i], x);
+  }
+  const double mean_std = linalg::dot(k_star, alpha_);
+  const std::vector<double> v = linalg::solve_lower(chol_, k_star);
+  const double k_xx = (*kernel_)(x, x);
+  const double var_std = std::max(0.0, k_xx - linalg::dot(v, v));
+
+  Prediction p;
+  p.mean = mean_std * y_scale_ + y_mean_;
+  p.variance = var_std * y_scale_ * y_scale_;
+  return p;
+}
+
+std::vector<double> GaussianProcess::predict_mean(
+    const std::vector<std::vector<double>>& points) const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(predict(p).mean);
+  return out;
+}
+
+double GaussianProcess::log_marginal_likelihood() const {
+  require(trained(), "GaussianProcess::log_marginal_likelihood: not fitted");
+  return log_marginal_;
+}
+
+double GaussianProcess::best_observed() const {
+  require(trained(), "GaussianProcess::best_observed: not fitted");
+  return *std::min_element(train_y_raw_.begin(), train_y_raw_.end());
+}
+
+}  // namespace robotune::gp

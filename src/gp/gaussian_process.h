@@ -1,0 +1,92 @@
+// Gaussian-process regression surrogate (Rasmussen & Williams 2005, Alg 2.1).
+//
+// Targets are standardized internally (zero mean, unit variance) so the
+// kernel's default hyperparameters are sensible for execution times of any
+// magnitude.  Hyperparameters can be refit by maximizing the log marginal
+// likelihood with multi-start L-BFGS over log-parameters.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "gp/kernel.h"
+#include "linalg/matrix.h"
+
+namespace robotune::gp {
+
+struct Prediction {
+  double mean = 0.0;
+  double variance = 0.0;
+  double stddev() const;
+};
+
+struct GpOptions {
+  /// Refit kernel hyperparameters by LML maximization on every fit().
+  bool optimize_hyperparameters = true;
+  /// L-BFGS restarts for the LML optimization.
+  int hyperparameter_restarts = 3;
+  /// Box half-width (in log space, around the current values) searched
+  /// during hyperparameter optimization.
+  double log_search_radius = 4.0;
+};
+
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(std::unique_ptr<Kernel> kernel = default_kernel(),
+                           GpOptions options = {}, std::uint64_t seed = 11);
+
+  GaussianProcess(const GaussianProcess& other);
+  GaussianProcess& operator=(const GaussianProcess& other);
+  GaussianProcess(GaussianProcess&&) noexcept = default;
+  GaussianProcess& operator=(GaussianProcess&&) noexcept = default;
+
+  /// Fits the posterior on (X, y).  X rows are points in the (typically
+  /// unit-cube) search space.
+  void fit(const std::vector<std::vector<double>>& x,
+           std::span<const double> y);
+
+  /// Incrementally adds one observation without refitting kernel
+  /// hyperparameters: the Cholesky factor is extended by one row in
+  /// O(n²) instead of refactorized in O(n³).  Target standardization is
+  /// recomputed, so predictions are identical (to rounding) to a batch
+  /// fit with the same kernel.  Requires a prior fit().
+  void add_point(const std::vector<double>& x, double y);
+
+  Prediction predict(std::span<const double> x) const;
+
+  /// Posterior means over a list of points (used for response surfaces).
+  std::vector<double> predict_mean(
+      const std::vector<std::vector<double>>& points) const;
+
+  /// Log marginal likelihood of the current fit (standardized targets).
+  double log_marginal_likelihood() const;
+
+  bool trained() const noexcept { return !train_x_.empty(); }
+  std::size_t num_points() const noexcept { return train_x_.size(); }
+  const Kernel& kernel() const { return *kernel_; }
+
+  /// Best (lowest, in original units) observed target so far.
+  double best_observed() const;
+
+ private:
+  void factorize();
+
+  std::unique_ptr<Kernel> kernel_;
+  GpOptions options_;
+  std::uint64_t seed_;
+
+  std::vector<std::vector<double>> train_x_;
+  std::vector<double> train_y_raw_;
+  std::vector<double> train_y_;  // standardized
+  double y_mean_ = 0.0;
+  double y_scale_ = 1.0;
+
+  linalg::Matrix chol_;          // L with K = L L^T
+  std::vector<double> alpha_;    // K^{-1} y (standardized)
+  double log_marginal_ = 0.0;
+};
+
+}  // namespace robotune::gp

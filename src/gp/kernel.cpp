@@ -1,0 +1,192 @@
+#include "gp/kernel.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace robotune::gp {
+
+namespace {
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double ss = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    ss += d * d;
+  }
+  return ss;
+}
+
+}  // namespace
+
+Matern52::Matern52(double length_scale, double signal_variance)
+    : length_scale_(length_scale), signal_variance_(signal_variance) {
+  require(length_scale > 0.0, "Matern52: length scale must be positive");
+  require(signal_variance > 0.0, "Matern52: signal variance must be positive");
+}
+
+double Matern52::operator()(std::span<const double> a,
+                            std::span<const double> b) const {
+  static constexpr double kSqrt5 = 2.2360679774997896964091737;
+  const double r = std::sqrt(squared_distance(a, b));
+  const double z = kSqrt5 * r / length_scale_;
+  return signal_variance_ * (1.0 + z + z * z / 3.0) * std::exp(-z);
+}
+
+std::vector<double> Matern52::log_params() const {
+  return {std::log(length_scale_), std::log(signal_variance_)};
+}
+
+void Matern52::set_log_params(std::span<const double> values) {
+  require(values.size() == 2, "Matern52: expected 2 parameters");
+  length_scale_ = std::exp(values[0]);
+  signal_variance_ = std::exp(values[1]);
+}
+
+std::string Matern52::describe() const {
+  return "Matern52(l=" + std::to_string(length_scale_) +
+         ", s2=" + std::to_string(signal_variance_) + ")";
+}
+
+std::unique_ptr<Kernel> Matern52::clone() const {
+  return std::make_unique<Matern52>(*this);
+}
+
+Matern52Ard::Matern52Ard(std::size_t dims, double length_scale,
+                         double signal_variance)
+    : scales_(dims, length_scale), signal_variance_(signal_variance) {
+  require(dims > 0, "Matern52Ard: need at least one dimension");
+  require(length_scale > 0.0, "Matern52Ard: length scale must be positive");
+  require(signal_variance > 0.0,
+          "Matern52Ard: signal variance must be positive");
+}
+
+double Matern52Ard::operator()(std::span<const double> a,
+                               std::span<const double> b) const {
+  static constexpr double kSqrt5 = 2.2360679774997896964091737;
+  double ss = 0.0;
+  for (std::size_t i = 0; i < scales_.size(); ++i) {
+    const double d = (a[i] - b[i]) / scales_[i];
+    ss += d * d;
+  }
+  const double z = kSqrt5 * std::sqrt(ss);
+  return signal_variance_ * (1.0 + z + z * z / 3.0) * std::exp(-z);
+}
+
+std::vector<double> Matern52Ard::log_params() const {
+  std::vector<double> out;
+  out.reserve(scales_.size() + 1);
+  for (double s : scales_) out.push_back(std::log(s));
+  out.push_back(std::log(signal_variance_));
+  return out;
+}
+
+void Matern52Ard::set_log_params(std::span<const double> values) {
+  require(values.size() == scales_.size() + 1,
+          "Matern52Ard: parameter count mismatch");
+  for (std::size_t i = 0; i < scales_.size(); ++i) {
+    scales_[i] = std::exp(values[i]);
+  }
+  signal_variance_ = std::exp(values.back());
+}
+
+std::string Matern52Ard::describe() const {
+  std::string out = "Matern52Ard(l=[";
+  for (std::size_t i = 0; i < scales_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(scales_[i]);
+  }
+  out += "], s2=" + std::to_string(signal_variance_) + ")";
+  return out;
+}
+
+std::unique_ptr<Kernel> Matern52Ard::clone() const {
+  return std::make_unique<Matern52Ard>(*this);
+}
+
+WhiteNoise::WhiteNoise(double noise_variance)
+    : noise_variance_(noise_variance) {
+  require(noise_variance >= 0.0, "WhiteNoise: variance must be non-negative");
+}
+
+double WhiteNoise::operator()(std::span<const double>,
+                              std::span<const double>) const {
+  // Off-diagonal / cross covariances are zero; the diagonal contribution is
+  // routed through diagonal_noise() so that prediction at a training input
+  // does not inherit the observation noise.
+  return 0.0;
+}
+
+std::vector<double> WhiteNoise::log_params() const {
+  return {std::log(std::max(noise_variance_, 1e-300))};
+}
+
+void WhiteNoise::set_log_params(std::span<const double> values) {
+  require(values.size() == 1, "WhiteNoise: expected 1 parameter");
+  noise_variance_ = std::exp(values[0]);
+}
+
+std::string WhiteNoise::describe() const {
+  return "WhiteNoise(s2=" + std::to_string(noise_variance_) + ")";
+}
+
+std::unique_ptr<Kernel> WhiteNoise::clone() const {
+  return std::make_unique<WhiteNoise>(*this);
+}
+
+SumKernel::SumKernel(std::unique_ptr<Kernel> a, std::unique_ptr<Kernel> b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  require(a_ != nullptr && b_ != nullptr, "SumKernel: null component");
+}
+
+double SumKernel::operator()(std::span<const double> x,
+                             std::span<const double> y) const {
+  return (*a_)(x, y) + (*b_)(x, y);
+}
+
+double SumKernel::diagonal_noise() const {
+  return a_->diagonal_noise() + b_->diagonal_noise();
+}
+
+std::size_t SumKernel::num_params() const {
+  return a_->num_params() + b_->num_params();
+}
+
+std::vector<double> SumKernel::log_params() const {
+  std::vector<double> out = a_->log_params();
+  const std::vector<double> tail = b_->log_params();
+  out.insert(out.end(), tail.begin(), tail.end());
+  return out;
+}
+
+void SumKernel::set_log_params(std::span<const double> values) {
+  require(values.size() == num_params(), "SumKernel: parameter count");
+  a_->set_log_params(values.subspan(0, a_->num_params()));
+  b_->set_log_params(values.subspan(a_->num_params()));
+}
+
+std::string SumKernel::describe() const {
+  return a_->describe() + " + " + b_->describe();
+}
+
+std::unique_ptr<Kernel> SumKernel::clone() const {
+  return std::make_unique<SumKernel>(a_->clone(), b_->clone());
+}
+
+std::unique_ptr<Kernel> default_kernel(double length_scale,
+                                       double signal_variance,
+                                       double noise_variance) {
+  return std::make_unique<SumKernel>(
+      std::make_unique<Matern52>(length_scale, signal_variance),
+      std::make_unique<WhiteNoise>(noise_variance));
+}
+
+std::unique_ptr<Kernel> ard_kernel(std::size_t dims, double length_scale,
+                                   double signal_variance,
+                                   double noise_variance) {
+  return std::make_unique<SumKernel>(
+      std::make_unique<Matern52Ard>(dims, length_scale, signal_variance),
+      std::make_unique<WhiteNoise>(noise_variance));
+}
+
+}  // namespace robotune::gp

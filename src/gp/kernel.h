@@ -1,0 +1,136 @@
+// Covariance kernels for the Gaussian-process surrogate.
+//
+// The paper uses the sum of a Matérn 5/2 kernel and a white-noise kernel
+// (§4, following CherryPick and Snoek et al.).  Hyperparameters are held
+// in log space so the marginal-likelihood optimization is unconstrained
+// and scale-free.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace robotune::gp {
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// Covariance of two (same-length) points.
+  virtual double operator()(std::span<const double> a,
+                            std::span<const double> b) const = 0;
+
+  /// Extra variance added on the diagonal for *observed* points only
+  /// (white noise contributes here, not in cross-covariances with test
+  /// points).
+  virtual double diagonal_noise() const { return 0.0; }
+
+  virtual std::size_t num_params() const = 0;
+  virtual std::vector<double> log_params() const = 0;
+  virtual void set_log_params(std::span<const double> values) = 0;
+  virtual std::string describe() const = 0;
+  virtual std::unique_ptr<Kernel> clone() const = 0;
+};
+
+/// Matérn 5/2 with signal variance s² and isotropic length-scale l:
+///   k(r) = s² (1 + √5 r/l + 5r²/(3l²)) exp(−√5 r/l)
+class Matern52 : public Kernel {
+ public:
+  explicit Matern52(double length_scale = 1.0, double signal_variance = 1.0);
+
+  double operator()(std::span<const double> a,
+                    std::span<const double> b) const override;
+  std::size_t num_params() const override { return 2; }
+  std::vector<double> log_params() const override;
+  void set_log_params(std::span<const double> values) override;
+  std::string describe() const override;
+  std::unique_ptr<Kernel> clone() const override;
+
+  double length_scale() const noexcept { return length_scale_; }
+  double signal_variance() const noexcept { return signal_variance_; }
+
+ private:
+  double length_scale_;
+  double signal_variance_;
+};
+
+/// Matérn 5/2 with per-dimension (ARD) length scales — the form
+/// scikit-optimize uses by default.  Irrelevant dimensions learn long
+/// scales and drop out of the distance, which is essential for BO over a
+/// mixed-importance configuration subspace.
+class Matern52Ard : public Kernel {
+ public:
+  explicit Matern52Ard(std::size_t dims, double length_scale = 0.5,
+                       double signal_variance = 1.0);
+
+  double operator()(std::span<const double> a,
+                    std::span<const double> b) const override;
+  std::size_t num_params() const override { return scales_.size() + 1; }
+  std::vector<double> log_params() const override;
+  void set_log_params(std::span<const double> values) override;
+  std::string describe() const override;
+  std::unique_ptr<Kernel> clone() const override;
+
+  std::span<const double> length_scales() const noexcept { return scales_; }
+  double signal_variance() const noexcept { return signal_variance_; }
+
+ private:
+  std::vector<double> scales_;
+  double signal_variance_;
+};
+
+/// White noise: k(x,x') = σ²·δ(x,x'), contributing only to observed
+/// diagonals.  Models the i.i.d. Gaussian execution-time noise.
+class WhiteNoise : public Kernel {
+ public:
+  explicit WhiteNoise(double noise_variance = 1e-4);
+
+  double operator()(std::span<const double> a,
+                    std::span<const double> b) const override;
+  double diagonal_noise() const override { return noise_variance_; }
+  std::size_t num_params() const override { return 1; }
+  std::vector<double> log_params() const override;
+  void set_log_params(std::span<const double> values) override;
+  std::string describe() const override;
+  std::unique_ptr<Kernel> clone() const override;
+
+  double noise_variance() const noexcept { return noise_variance_; }
+
+ private:
+  double noise_variance_;
+};
+
+/// Sum of two kernels; parameters are the concatenation of both.
+class SumKernel : public Kernel {
+ public:
+  SumKernel(std::unique_ptr<Kernel> a, std::unique_ptr<Kernel> b);
+
+  double operator()(std::span<const double> a,
+                    std::span<const double> b) const override;
+  double diagonal_noise() const override;
+  std::size_t num_params() const override;
+  std::vector<double> log_params() const override;
+  void set_log_params(std::span<const double> values) override;
+  std::string describe() const override;
+  std::unique_ptr<Kernel> clone() const override;
+
+ private:
+  std::unique_ptr<Kernel> a_;
+  std::unique_ptr<Kernel> b_;
+};
+
+/// The paper's default: Matérn 5/2 + white noise.
+std::unique_ptr<Kernel> default_kernel(double length_scale = 0.3,
+                                       double signal_variance = 1.0,
+                                       double noise_variance = 1e-3);
+
+/// ARD variant used by the BO engine: Matérn 5/2 with per-dimension
+/// length scales + white noise.
+std::unique_ptr<Kernel> ard_kernel(std::size_t dims,
+                                   double length_scale = 0.5,
+                                   double signal_variance = 1.0,
+                                   double noise_variance = 1e-3);
+
+}  // namespace robotune::gp

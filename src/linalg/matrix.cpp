@@ -1,0 +1,146 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+namespace robotune::linalg {
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+std::vector<double> Matrix::matvec(std::span<const double> x) const {
+  require(x.size() == cols_, "matvec: dimension mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row_ptr = data_.data() + r * cols_;
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += row_ptr[c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+std::vector<double> Matrix::matvec_transposed(std::span<const double> x) const {
+  require(x.size() == rows_, "matvec_transposed: dimension mismatch");
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row_ptr = data_.data() + r * cols_;
+    const double xr = x[r];
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row_ptr[c] * xr;
+  }
+  return y;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  require(cols_ == rhs.rows_, "matmul: dimension mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* rhs_row = rhs.data_.data() + k * rhs.cols_;
+      double* out_row = out.data_.data() + i * out.cols_;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out_row[j] += aik * rhs_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+void Matrix::add_diagonal(double value) {
+  const std::size_t n = std::min(rows_, cols_);
+  for (std::size_t i = 0; i < n; ++i) (*this)(i, i) += value;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "dot: dimension mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, std::span<const double> b, std::span<double> a) {
+  require(a.size() == b.size(), "axpy: dimension mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += alpha * b[i];
+}
+
+namespace {
+
+// In-place attempt; returns false if a non-positive pivot is hit.
+bool try_cholesky(const Matrix& a, double jitter, Matrix& l) {
+  const std::size_t n = a.rows();
+  l = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j) + jitter;
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / ljj;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Matrix cholesky(const Matrix& a, double jitter, int max_attempts) {
+  require(a.rows() == a.cols(), "cholesky: matrix must be square");
+  Matrix l;
+  if (try_cholesky(a, 0.0, l)) return l;
+  double j = jitter;
+  for (int attempt = 0; attempt < max_attempts; ++attempt, j *= 10.0) {
+    if (try_cholesky(a, j, l)) return l;
+  }
+  throw NumericalError("cholesky: matrix not positive definite after jitter");
+}
+
+std::vector<double> solve_lower(const Matrix& l, std::span<const double> b) {
+  const std::size_t n = l.rows();
+  require(b.size() == n, "solve_lower: dimension mismatch");
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  return y;
+}
+
+std::vector<double> solve_lower_transposed(const Matrix& l,
+                                           std::span<const double> y) {
+  const std::size_t n = l.rows();
+  require(y.size() == n, "solve_lower_transposed: dimension mismatch");
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x[k];
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l,
+                                   std::span<const double> b) {
+  return solve_lower_transposed(l, solve_lower(l, b));
+}
+
+double log_det_from_cholesky(const Matrix& l) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) sum += std::log(l(i, i));
+  return 2.0 * sum;
+}
+
+}  // namespace robotune::linalg

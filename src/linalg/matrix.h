@@ -1,0 +1,94 @@
+// Dense row-major matrix and the handful of BLAS-like operations the
+// Gaussian-process and optimizer code need.  Deliberately small: this is
+// not a general linear-algebra library, it is the exact substrate required
+// by src/gp and src/opt.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace robotune::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<double> data() noexcept { return data_; }
+  std::span<const double> data() const noexcept { return data_; }
+
+  Matrix transposed() const;
+
+  /// this * x  (rows() == result size, cols() == x size).
+  std::vector<double> matvec(std::span<const double> x) const;
+
+  /// this^T * x.
+  std::vector<double> matvec_transposed(std::span<const double> x) const;
+
+  Matrix operator*(const Matrix& rhs) const;
+
+  void add_diagonal(double value);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+double dot(std::span<const double> a, std::span<const double> b);
+double norm2(std::span<const double> a);
+
+/// a += alpha * b
+void axpy(double alpha, std::span<const double> b, std::span<double> a);
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite
+/// matrix.  If factorization fails, retries with exponentially growing
+/// diagonal jitter (starting at `jitter`) up to `max_attempts`; throws
+/// NumericalError if all attempts fail.  Returns the factor L with
+/// A + jitter*I = L L^T.
+Matrix cholesky(const Matrix& a, double jitter = 1e-10,
+                int max_attempts = 8);
+
+/// Solve L y = b for lower-triangular L.
+std::vector<double> solve_lower(const Matrix& l, std::span<const double> b);
+
+/// Solve L^T x = y for lower-triangular L.
+std::vector<double> solve_lower_transposed(const Matrix& l,
+                                           std::span<const double> y);
+
+/// Solve (L L^T) x = b given the Cholesky factor L.
+std::vector<double> cholesky_solve(const Matrix& l, std::span<const double> b);
+
+/// log(det(A)) = 2 * sum(log(diag(L))) given the Cholesky factor L.
+double log_det_from_cholesky(const Matrix& l);
+
+}  // namespace robotune::linalg

@@ -1,0 +1,55 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/statistics.h"
+
+namespace robotune::ml {
+
+std::vector<std::vector<std::size_t>> kfold_split(std::size_t num_rows,
+                                                  std::size_t k, Rng& rng) {
+  require(k >= 2, "kfold_split: k must be at least 2");
+  require(num_rows >= k, "kfold_split: fewer rows than folds");
+  std::vector<std::size_t> order(num_rows);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (std::size_t i = num_rows; i-- > 1;) {
+    const std::size_t j = rng.uniform_index(i + 1);
+    std::swap(order[i], order[j]);
+  }
+  std::vector<std::vector<std::size_t>> folds(k);
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    folds[i % k].push_back(order[i]);
+  }
+  return folds;
+}
+
+CvResult cross_validate(const Dataset& data, const ModelFactory& factory,
+                        std::size_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto folds = kfold_split(data.num_rows(), k, rng);
+  CvResult result;
+  for (std::size_t f = 0; f < k; ++f) {
+    std::vector<std::size_t> train_rows;
+    for (std::size_t g = 0; g < k; ++g) {
+      if (g == f) continue;
+      train_rows.insert(train_rows.end(), folds[g].begin(), folds[g].end());
+    }
+    const Dataset train = data.subset(train_rows);
+    auto model = factory();
+    model->fit(train);
+    std::vector<double> y_true, y_pred;
+    y_true.reserve(folds[f].size());
+    y_pred.reserve(folds[f].size());
+    for (std::size_t r : folds[f]) {
+      y_true.push_back(data.target(r));
+      y_pred.push_back(model->predict(data.row(r)));
+    }
+    result.fold_scores.push_back(stats::r2_score(y_true, y_pred));
+  }
+  result.mean_score = stats::mean(result.fold_scores);
+  result.stddev_score = stats::stddev(result.fold_scores);
+  return result;
+}
+
+}  // namespace robotune::ml

@@ -1,0 +1,33 @@
+// K-fold cross-validation, used by the Figure-2 model comparison
+// (five-fold CV R² of Lasso / ElasticNet / RF / ET).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace robotune::ml {
+
+struct CvResult {
+  std::vector<double> fold_scores;  ///< R² per fold
+  double mean_score = 0.0;
+  double stddev_score = 0.0;
+};
+
+/// Factory so each fold gets a fresh, untrained model.
+using ModelFactory = std::function<std::unique_ptr<Regressor>()>;
+
+/// K-fold split: shuffles row indices, returns `k` disjoint folds whose
+/// union is all rows.  Fold sizes differ by at most one.
+std::vector<std::vector<std::size_t>> kfold_split(std::size_t num_rows,
+                                                  std::size_t k, Rng& rng);
+
+/// Runs k-fold CV, returning the per-fold and aggregate R² scores.
+CvResult cross_validate(const Dataset& data, const ModelFactory& factory,
+                        std::size_t k = 5, std::uint64_t seed = 13);
+
+}  // namespace robotune::ml

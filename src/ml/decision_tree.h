@@ -1,0 +1,77 @@
+// CART regression tree with variance-reduction splits.
+//
+// Two split modes are supported:
+//  * kBestSplit — classic CART: for each candidate feature, scan all split
+//    positions and take the one minimizing weighted child variance (used by
+//    Random Forests).
+//  * kRandomThreshold — Extra-Trees style: draw one uniform threshold per
+//    candidate feature and keep the best among those (Geurts et al. 2006).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace robotune::ml {
+
+enum class SplitMode { kBestSplit, kRandomThreshold };
+
+struct TreeOptions {
+  /// Number of features examined per split; 0 = max(1, n_features / 3),
+  /// the standard default for regression forests.
+  std::size_t max_features = 0;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  std::size_t max_depth = 0;  ///< 0 = unlimited
+  SplitMode split_mode = SplitMode::kBestSplit;
+};
+
+class DecisionTree {
+ public:
+  explicit DecisionTree(TreeOptions options = {}) : options_(options) {}
+
+  /// Fits on the rows of `data` listed in `rows` (with repetition for
+  /// bootstrap samples).  `rng` drives feature subsampling / thresholds.
+  void fit(const Dataset& data, std::span<const std::size_t> rows, Rng& rng);
+
+  /// Convenience: fit on all rows.
+  void fit(const Dataset& data, Rng& rng);
+
+  double predict(std::span<const double> x) const;
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t depth() const noexcept { return depth_; }
+  bool trained() const noexcept { return !nodes_.empty(); }
+
+  /// Mean-decrease-in-impurity importance accumulated during training
+  /// (un-normalized).  Exposed for the MDI-vs-MDA ablation; the paper's
+  /// pipeline uses permutation importance instead (§3.3).
+  std::span<const double> mdi_importance() const noexcept {
+    return mdi_importance_;
+  }
+
+ private:
+  struct Node {
+    // Leaf iff feature == kLeaf.
+    static constexpr std::size_t kLeaf = static_cast<std::size_t>(-1);
+    std::size_t feature = kLeaf;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double value = 0.0;  // mean target for leaves
+  };
+
+  std::int32_t build(const Dataset& data, std::vector<std::size_t>& rows,
+                     std::size_t begin, std::size_t end, std::size_t depth,
+                     Rng& rng);
+
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+  std::vector<double> mdi_importance_;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace robotune::ml

@@ -1,0 +1,102 @@
+#include "ml/linear_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/statistics.h"
+
+namespace robotune::ml {
+
+namespace {
+
+double soft_threshold(double x, double lambda) {
+  if (x > lambda) return x - lambda;
+  if (x < -lambda) return x + lambda;
+  return 0.0;
+}
+
+}  // namespace
+
+void ElasticNet::fit(const Dataset& data) {
+  require(data.num_rows() >= 2, "ElasticNet::fit: need at least 2 rows");
+  const std::size_t n = data.num_rows();
+  const std::size_t p = data.num_features();
+
+  // Standardize columns (zero mean, unit variance); constant columns get
+  // zero weight and are skipped during descent.
+  std::vector<double> mean(p, 0.0), scale(p, 1.0);
+  for (std::size_t j = 0; j < p; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += data.feature(i, j);
+    mean[j] = s / static_cast<double>(n);
+    double ss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = data.feature(i, j) - mean[j];
+      ss += d * d;
+    }
+    scale[j] = std::sqrt(ss / static_cast<double>(n));
+  }
+  const double y_mean = stats::mean(data.targets());
+
+  // Column-major standardized design for cache-friendly coordinate sweeps.
+  std::vector<std::vector<double>> col(p, std::vector<double>(n, 0.0));
+  for (std::size_t j = 0; j < p; ++j) {
+    if (scale[j] <= 0.0) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      col[j][i] = (data.feature(i, j) - mean[j]) / scale[j];
+    }
+  }
+
+  std::vector<double> beta(p, 0.0);
+  std::vector<double> residual(n);
+  for (std::size_t i = 0; i < n; ++i) residual[i] = data.target(i) - y_mean;
+
+  const double nf = static_cast<double>(n);
+  const double l1 = options_.alpha * options_.l1_ratio;
+  const double l2 = options_.alpha * (1.0 - options_.l1_ratio);
+
+  iterations_used_ = options_.max_iterations;
+  for (int it = 0; it < options_.max_iterations; ++it) {
+    double max_delta = 0.0;
+    for (std::size_t j = 0; j < p; ++j) {
+      if (scale[j] <= 0.0) continue;
+      const auto& xj = col[j];
+      // rho = (1/n) x_j . (residual + x_j beta_j); with standardized x_j,
+      // (1/n) x_j.x_j == 1.
+      double rho = 0.0;
+      for (std::size_t i = 0; i < n; ++i) rho += xj[i] * residual[i];
+      rho = rho / nf + beta[j];
+      const double new_beta = soft_threshold(rho, l1) / (1.0 + l2);
+      const double delta = new_beta - beta[j];
+      if (delta != 0.0) {
+        for (std::size_t i = 0; i < n; ++i) residual[i] -= delta * xj[i];
+        beta[j] = new_beta;
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+    }
+    if (max_delta < options_.tolerance) {
+      iterations_used_ = it + 1;
+      break;
+    }
+  }
+
+  // Un-standardize: y = y_mean + sum_j beta_j * (x_j - mean_j) / scale_j.
+  coef_.assign(p, 0.0);
+  intercept_ = y_mean;
+  for (std::size_t j = 0; j < p; ++j) {
+    if (scale[j] <= 0.0) continue;
+    coef_[j] = beta[j] / scale[j];
+    intercept_ -= coef_[j] * mean[j];
+  }
+  trained_ = true;
+}
+
+double ElasticNet::predict(std::span<const double> x) const {
+  require(trained_, "ElasticNet::predict: not trained");
+  require(x.size() == coef_.size(), "ElasticNet::predict: width mismatch");
+  double y = intercept_;
+  for (std::size_t j = 0; j < coef_.size(); ++j) y += coef_[j] * x[j];
+  return y;
+}
+
+}  // namespace robotune::ml

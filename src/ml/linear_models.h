@@ -1,0 +1,57 @@
+// L1/L2-regularized linear regression fit by cyclic coordinate descent.
+//
+// Lasso and ElasticNet are the linear baselines the paper compares against
+// tree models in Figure 2 before choosing Random Forests for parameter
+// selection.  The implementation standardizes features internally, runs
+// coordinate descent with soft-thresholding, and un-standardizes the
+// coefficients for prediction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace robotune::ml {
+
+struct LinearModelOptions {
+  /// Overall regularization strength (scikit-learn's `alpha`).
+  double alpha = 1.0;
+  /// Mix between L1 (1.0 → Lasso) and L2 (0.0 → Ridge).
+  double l1_ratio = 1.0;
+  int max_iterations = 1000;
+  double tolerance = 1e-6;
+};
+
+class ElasticNet : public Regressor {
+ public:
+  explicit ElasticNet(LinearModelOptions options = {}) : options_(options) {}
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> x) const override;
+
+  bool trained() const noexcept { return trained_; }
+  std::span<const double> coefficients() const noexcept { return coef_; }
+  double intercept() const noexcept { return intercept_; }
+  int iterations_used() const noexcept { return iterations_used_; }
+
+ private:
+  LinearModelOptions options_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+  int iterations_used_ = 0;
+  bool trained_ = false;
+};
+
+/// Lasso = ElasticNet with l1_ratio = 1.
+class Lasso : public ElasticNet {
+ public:
+  explicit Lasso(double alpha = 1.0, int max_iterations = 1000)
+      : ElasticNet({.alpha = alpha,
+                    .l1_ratio = 1.0,
+                    .max_iterations = max_iterations,
+                    .tolerance = 1e-6}) {}
+};
+
+}  // namespace robotune::ml

@@ -1,0 +1,57 @@
+#include "ml/permutation_importance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/statistics.h"
+
+namespace robotune::ml {
+
+std::vector<ImportanceResult> permutation_importance(
+    const RandomForest& forest, const std::vector<FeatureGroup>& groups,
+    const ImportanceOptions& options) {
+  require(forest.trained(), "permutation_importance: forest not trained");
+  require(options.repeats > 0, "permutation_importance: repeats must be > 0");
+  const double baseline = forest.oob_r2();
+  const std::size_t n = forest.training_data().num_rows();
+
+  Rng rng(options.seed);
+  std::vector<ImportanceResult> results;
+  results.reserve(groups.size());
+  std::vector<std::size_t> perm(n);
+  for (const auto& group : groups) {
+    std::vector<double> drops;
+    drops.reserve(static_cast<std::size_t>(options.repeats));
+    for (int rep = 0; rep < options.repeats; ++rep) {
+      std::iota(perm.begin(), perm.end(), std::size_t{0});
+      for (std::size_t i = n; i-- > 1;) {
+        const std::size_t j = rng.uniform_index(i + 1);
+        std::swap(perm[i], perm[j]);
+      }
+      const double permuted = forest.oob_r2_permuted(group.features, perm);
+      drops.push_back(baseline - permuted);
+    }
+    ImportanceResult r;
+    r.group = group;
+    r.mean_drop = stats::mean(drops);
+    r.stddev_drop = stats::stddev(drops);
+    results.push_back(std::move(r));
+  }
+  std::stable_sort(results.begin(), results.end(),
+                   [](const ImportanceResult& a, const ImportanceResult& b) {
+                     return a.mean_drop > b.mean_drop;
+                   });
+  return results;
+}
+
+std::vector<std::size_t> select_important(
+    const std::vector<ImportanceResult>& results, double threshold) {
+  std::vector<std::size_t> selected;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].mean_drop >= threshold) selected.push_back(i);
+  }
+  return selected;
+}
+
+}  // namespace robotune::ml

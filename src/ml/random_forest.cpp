@@ -1,0 +1,139 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/statistics.h"
+
+namespace robotune::ml {
+
+RandomForest RandomForest::extra_trees(std::size_t num_trees,
+                                       std::uint64_t seed) {
+  ForestOptions options;
+  options.num_trees = num_trees;
+  options.bootstrap = false;
+  options.tree.split_mode = SplitMode::kRandomThreshold;
+  return RandomForest(options, seed);
+}
+
+void RandomForest::fit(const Dataset& data) {
+  require(data.num_rows() >= 2, "RandomForest::fit: need at least 2 rows");
+  const std::size_t n = data.num_rows();
+  const std::size_t t = options_.num_trees;
+  training_data_ = std::make_shared<Dataset>(data);
+  trees_.assign(t, DecisionTree(options_.tree));
+  in_bag_.assign(t, std::vector<char>(n, 0));
+
+  // Pre-derive one RNG per tree so training is deterministic regardless of
+  // thread scheduling (each task owns its generator; no shared state).
+  Rng master(seed_);
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(t);
+  for (std::size_t i = 0; i < t; ++i) tree_rngs.push_back(master.split());
+
+  auto train_one = [&](std::size_t ti) {
+    Rng& rng = tree_rngs[ti];
+    std::vector<std::size_t> rows;
+    rows.reserve(n);
+    if (options_.bootstrap) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t r = rng.uniform_index(n);
+        rows.push_back(r);
+        in_bag_[ti][r] = 1;
+      }
+    } else {
+      rows.resize(n);
+      std::iota(rows.begin(), rows.end(), std::size_t{0});
+      std::fill(in_bag_[ti].begin(), in_bag_[ti].end(), 1);
+    }
+    trees_[ti].fit(*training_data_, rows, rng);
+  };
+
+  if (options_.parallel && ThreadPool::global().size() > 1) {
+    ThreadPool::global().parallel_for(t, train_one);
+  } else {
+    for (std::size_t ti = 0; ti < t; ++ti) train_one(ti);
+  }
+}
+
+double RandomForest::predict(std::span<const double> x) const {
+  require(trained(), "RandomForest::predict: not trained");
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.predict(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::optional<double> RandomForest::oob_prediction(std::size_t i) const {
+  require(trained(), "RandomForest::oob_prediction: not trained");
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    if (!in_bag_[t][i]) {
+      sum += trees_[t].predict(training_data_->row(i));
+      ++count;
+    }
+  }
+  if (count == 0) return std::nullopt;
+  return sum / static_cast<double>(count);
+}
+
+double RandomForest::oob_r2() const {
+  require(trained(), "RandomForest::oob_r2: not trained");
+  std::vector<double> y_true, y_pred;
+  for (std::size_t i = 0; i < training_data_->num_rows(); ++i) {
+    if (auto p = oob_prediction(i)) {
+      y_true.push_back(training_data_->target(i));
+      y_pred.push_back(*p);
+    }
+  }
+  return stats::r2_score(y_true, y_pred);
+}
+
+double RandomForest::oob_r2_permuted(
+    std::span<const std::size_t> features,
+    std::span<const std::size_t> perm) const {
+  require(trained(), "RandomForest::oob_r2_permuted: not trained");
+  const std::size_t n = training_data_->num_rows();
+  require(perm.size() == n, "oob_r2_permuted: permutation size mismatch");
+  std::vector<double> x(training_data_->num_features());
+  std::vector<double> y_true, y_pred;
+  y_true.reserve(n);
+  y_pred.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = training_data_->row(i);
+    std::copy(row.begin(), row.end(), x.begin());
+    for (std::size_t f : features) {
+      x[f] = training_data_->feature(perm[i], f);
+    }
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t t = 0; t < trees_.size(); ++t) {
+      if (!in_bag_[t][i]) {
+        sum += trees_[t].predict(x);
+        ++count;
+      }
+    }
+    if (count > 0) {
+      y_true.push_back(training_data_->target(i));
+      y_pred.push_back(sum / static_cast<double>(count));
+    }
+  }
+  return stats::r2_score(y_true, y_pred);
+}
+
+std::vector<double> RandomForest::mdi_importance() const {
+  require(trained(), "RandomForest::mdi_importance: not trained");
+  std::vector<double> total(training_data_->num_features(), 0.0);
+  for (const auto& tree : trees_) {
+    const auto imp = tree.mdi_importance();
+    for (std::size_t f = 0; f < total.size(); ++f) total[f] += imp[f];
+  }
+  double sum = 0.0;
+  for (double v : total) sum += v;
+  if (sum > 0.0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+}  // namespace robotune::ml

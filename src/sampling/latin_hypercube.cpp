@@ -1,0 +1,99 @@
+#include "sampling/latin_hypercube.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace robotune::sampling {
+
+namespace {
+
+Design one_lhs(std::size_t count, std::size_t dims, Rng& rng,
+               bool jitter) {
+  Design design(count, std::vector<double>(dims));
+  std::vector<std::size_t> perm(count);
+  for (std::size_t d = 0; d < dims; ++d) {
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    // Fisher-Yates shuffle driven by our deterministic RNG.
+    for (std::size_t i = count; i-- > 1;) {
+      const std::size_t j = rng.uniform_index(i + 1);
+      std::swap(perm[i], perm[j]);
+    }
+    const double inv = 1.0 / static_cast<double>(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double offset = jitter ? rng.uniform() : 0.5;
+      design[i][d] = (static_cast<double>(perm[i]) + offset) * inv;
+    }
+  }
+  return design;
+}
+
+}  // namespace
+
+Design latin_hypercube(std::size_t count, std::size_t dims, Rng& rng,
+                       const LhsOptions& options) {
+  require(count > 0, "latin_hypercube: count must be positive");
+  require(dims > 0, "latin_hypercube: dims must be positive");
+  const int candidates = std::max(1, options.maximin_candidates);
+  Design best;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (int c = 0; c < candidates; ++c) {
+    Design d = one_lhs(count, dims, rng, options.jitter_within_stratum);
+    const double score =
+        candidates == 1 ? 0.0 : min_pairwise_distance(d);
+    if (score > best_score || best.empty()) {
+      best_score = score;
+      best = std::move(d);
+    }
+  }
+  return best;
+}
+
+Design uniform_random(std::size_t count, std::size_t dims, Rng& rng) {
+  require(dims > 0, "uniform_random: dims must be positive");
+  Design design(count, std::vector<double>(dims));
+  for (auto& row : design) {
+    for (auto& x : row) x = rng.uniform();
+  }
+  return design;
+}
+
+double min_pairwise_distance(const Design& design) {
+  if (design.size() < 2) return std::numeric_limits<double>::infinity();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < design.size(); ++i) {
+    for (std::size_t j = i + 1; j < design.size(); ++j) {
+      double ss = 0.0;
+      for (std::size_t d = 0; d < design[i].size(); ++d) {
+        const double diff = design[i][d] - design[j][d];
+        ss += diff * diff;
+      }
+      best = std::min(best, std::sqrt(ss));
+    }
+  }
+  return best;
+}
+
+bool is_latin(const Design& design) {
+  if (design.empty()) return true;
+  const std::size_t count = design.size();
+  const std::size_t dims = design.front().size();
+  std::vector<char> seen(count);
+  for (std::size_t d = 0; d < dims; ++d) {
+    std::fill(seen.begin(), seen.end(), 0);
+    for (const auto& row : design) {
+      if (row.size() != dims) return false;
+      if (row[d] < 0.0 || row[d] >= 1.0) return false;
+      const auto stratum = static_cast<std::size_t>(
+          row[d] * static_cast<double>(count));
+      if (stratum >= count || seen[stratum]) return false;
+      seen[stratum] = 1;
+    }
+  }
+  return true;
+}
+
+}  // namespace robotune::sampling

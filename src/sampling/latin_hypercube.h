@@ -1,0 +1,50 @@
+// Latin Hypercube Sampling (LHS) in the unit hypercube [0,1]^d.
+//
+// LHS is the sample generator ROBOTune uses both for the 100 "generic"
+// samples feeding parameter selection and the 20 "tuning" samples that
+// initialize the Gaussian-process model (paper §3.2).  For M samples, each
+// dimension's range is split into M equally probable strata and exactly one
+// point is drawn per stratum; the strata are randomly permuted per
+// dimension so the projection onto every axis is uniform.
+//
+// The paper uses DOEPY's *space-filling* LHS, so we additionally offer a
+// maximin variant: several candidate designs are drawn and the one with
+// the largest minimal pairwise distance is kept (a standard, cheap
+// approximation of maximin-LHS).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace robotune::sampling {
+
+struct LhsOptions {
+  /// Candidate designs drawn for the maximin criterion; 1 = plain LHS.
+  int maximin_candidates = 10;
+  /// If true, points are jittered uniformly within their stratum;
+  /// otherwise they sit at stratum centers.
+  bool jitter_within_stratum = true;
+};
+
+/// One sample = one row (vector of `dims` coordinates in [0,1)).
+using Design = std::vector<std::vector<double>>;
+
+/// Generate `count` LHS samples in [0,1)^dims.
+Design latin_hypercube(std::size_t count, std::size_t dims, Rng& rng,
+                       const LhsOptions& options = {});
+
+/// Plain uniform random sampling in [0,1)^dims (the RS baseline and the
+/// LHS-vs-random ablation both use it).
+Design uniform_random(std::size_t count, std::size_t dims, Rng& rng);
+
+/// Minimal pairwise Euclidean distance of a design (quality metric used by
+/// the maximin selection and by tests).
+double min_pairwise_distance(const Design& design);
+
+/// True iff the design satisfies the Latin property: per dimension, exactly
+/// one point falls into each of the `count` equal strata.
+bool is_latin(const Design& design);
+
+}  // namespace robotune::sampling

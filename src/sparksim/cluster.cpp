@@ -1,0 +1,61 @@
+#include "sparksim/cluster.h"
+
+#include <algorithm>
+
+namespace robotune::sparksim {
+
+ExecutorPlacement place_executors(const ClusterSpec& cluster,
+                                  const SparkConfig& config) {
+  // Spark-standalone semantics: a worker grants an executor only when it
+  // has both the cores and the memory for it, so a node hosts
+  // min(cores/executor.cores, memory/executor_footprint) executors.
+  // Requesting more memory per executor therefore trades away executor
+  // count — the cores-vs-memory balance of the paper's Figure 8.
+  ExecutorPlacement p;
+  const int mem_per_executor_mb = config.executor_memory_mb +
+                                  config.executor_memory_overhead_mb +
+                                  (config.offheap_enabled
+                                       ? config.offheap_size_mb
+                                       : 0);
+  const int by_cores =
+      config.executor_cores > 0
+          ? cluster.cores_per_node / config.executor_cores
+          : 0;
+  const int by_memory =
+      mem_per_executor_mb > 0
+          ? cluster.usable_memory_per_node_mb() / mem_per_executor_mb
+          : 0;
+  p.executors_per_node = std::min(by_cores, by_memory);
+  if (p.executors_per_node <= 0) {
+    p.infeasible = true;  // a single executor exceeds a node
+    return p;
+  }
+  int total = p.executors_per_node * cluster.worker_nodes;
+  // spark.cores.max caps the application's aggregate core grant.
+  const int by_cores_max =
+      std::max(1, config.cores_max / std::max(1, config.executor_cores));
+  total = std::min(total, by_cores_max);
+  p.total_executors = total;
+  // Executors spread round-robin across workers.
+  p.executors_per_node =
+      std::min(p.executors_per_node,
+               (total + cluster.worker_nodes - 1) / cluster.worker_nodes);
+
+  p.slots_per_executor =
+      std::max(1, config.executor_cores / std::max(1, config.task_cpus));
+  p.total_slots = p.total_executors * p.slots_per_executor;
+
+  const double used_cores =
+      static_cast<double>(p.executors_per_node * config.executor_cores);
+  p.wasted_core_fraction =
+      1.0 - used_cores / static_cast<double>(cluster.cores_per_node);
+  const double used_mem =
+      static_cast<double>(p.executors_per_node) * mem_per_executor_mb;
+  p.wasted_memory_fraction =
+      1.0 - used_mem / static_cast<double>(cluster.usable_memory_per_node_mb());
+  p.wasted_core_fraction = std::clamp(p.wasted_core_fraction, 0.0, 1.0);
+  p.wasted_memory_fraction = std::clamp(p.wasted_memory_fraction, 0.0, 1.0);
+  return p;
+}
+
+}  // namespace robotune::sparksim

@@ -1,0 +1,59 @@
+// Cluster hardware model and executor placement.
+//
+// Mirrors the paper's testbed (§5.1): five worker nodes, each with two
+// 16-core 2.1 GHz Xeons (32 cores), 192 GB RAM, one 7200-RPM disk, and
+// 10 GbE between nodes.
+#pragma once
+
+#include <cstddef>
+
+#include "sparksim/spark_config.h"
+
+namespace robotune::sparksim {
+
+struct ClusterSpec {
+  int worker_nodes = 5;
+  int cores_per_node = 32;
+  int memory_per_node_mb = 192 * 1024;
+  /// Memory reserved for OS + HDFS datanode per worker.
+  int reserved_memory_mb = 8 * 1024;
+  /// Sequential bandwidth of the single 7200-RPM disk.
+  double disk_bandwidth_mb_s = 140.0;
+  /// Random/seek-bound effective bandwidth (many small files).
+  double disk_seek_penalty_ms = 8.0;
+  /// 10 GbE, realistic goodput.
+  double network_bandwidth_mb_s = 1100.0;
+  /// Relative CPU speed factor (1.0 = the paper's 2.1 GHz Xeon Gold 6130).
+  double cpu_speed = 1.0;
+
+  int total_cores() const noexcept { return worker_nodes * cores_per_node; }
+  int usable_memory_per_node_mb() const noexcept {
+    return memory_per_node_mb - reserved_memory_mb;
+  }
+
+  /// The paper's six-node (1 master + 5 workers) NoleLand-style testbed.
+  static ClusterSpec paper_testbed() { return ClusterSpec{}; }
+};
+
+/// Result of packing executors onto the cluster under a configuration.
+struct ExecutorPlacement {
+  int executors_per_node = 0;
+  int total_executors = 0;
+  int slots_per_executor = 0;  ///< concurrent tasks per executor
+  int total_slots = 0;
+  /// Fraction of node CPU left idle by the packing (0 = perfectly packed).
+  double wasted_core_fraction = 0.0;
+  /// Fraction of node memory unused.
+  double wasted_memory_fraction = 0.0;
+  /// True when the configuration cannot place even a single executor
+  /// (request exceeds node capacity).
+  bool infeasible = false;
+};
+
+/// Packs executors greedily: per node,
+///   min(cores/executor_cores, usable_mem/(heap + overhead + offheap))
+/// executors, globally capped by spark.cores.max.
+ExecutorPlacement place_executors(const ClusterSpec& cluster,
+                                  const SparkConfig& config);
+
+}  // namespace robotune::sparksim

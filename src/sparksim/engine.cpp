@@ -1,0 +1,507 @@
+#include "sparksim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace robotune::sparksim {
+
+std::string to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kOom:
+      return "oom";
+    case RunStatus::kInfeasible:
+      return "infeasible";
+    case RunStatus::kTimeLimit:
+      return "time-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+// (compression ratio, compress s/GB, decompress s/GB) per codec.
+struct CodecProfile {
+  double ratio;
+  double comp_s_per_gb;
+  double decomp_s_per_gb;
+};
+
+CodecProfile codec_profile(Codec codec, int block_size_kb) {
+  CodecProfile p{};
+  switch (codec) {
+    case Codec::kLz4:
+      p = {0.52, 1.6, 0.7};
+      break;
+    case Codec::kLzf:
+      p = {0.60, 2.2, 1.0};
+      break;
+    case Codec::kSnappy:
+      p = {0.58, 1.3, 0.6};
+      break;
+    case Codec::kZstd:
+      p = {0.45, 7.5, 2.0};
+      break;
+  }
+  // Small blocks hurt the ratio slightly and add per-block overhead.
+  const double block_penalty =
+      0.04 * std::max(0.0, 32.0 / std::max(8, block_size_kb) - 1.0);
+  p.ratio = std::min(0.95, p.ratio + block_penalty);
+  return p;
+}
+
+// Serialization throughput (s/GB) and in-memory expansion of serialized
+// forms; Kryo is both faster and denser than Java serialization.
+struct SerializerProfile {
+  double ser_s_per_gb;
+  double deser_s_per_gb;
+  double cache_expansion;  // multiplier on deserialized cache footprint
+  double gc_churn;         // allocation churn multiplier for GC
+};
+
+SerializerProfile serializer_profile(const SparkConfig& c) {
+  // Java serialization streams ~70-100 MB/s per core; Kryo is 3-4x faster
+  // and produces denser output.
+  if (c.serializer == Serializer::kKryo) {
+    SerializerProfile p{4.5, 3.5, 0.65, 1.0};
+    if (c.kryo_reference_tracking) {
+      p.ser_s_per_gb *= 1.18;
+      p.deser_s_per_gb *= 1.18;
+    }
+    // A cramped Kryo buffer forces copies on large records.
+    if (c.kryo_buffer_max_mb < 16) {
+      p.ser_s_per_gb *= 1.12;
+    }
+    return p;
+  }
+  return SerializerProfile{22.0, 16.0, 1.0, 1.3};
+}
+
+// Base pause-time factor per collector, scaled by heap size: stop-the-world
+// ParallelGC pauses grow with the heap, G1's region-based collection stays
+// nearly flat, CMS sits in between.
+double gc_base_factor(GcAlgo algo, double heap_gb) {
+  switch (algo) {
+    case GcAlgo::kParallel:
+      return 0.30 * (1.0 + heap_gb / 60.0);
+    case GcAlgo::kG1:
+      return 0.17 * (1.0 + heap_gb / 400.0);
+    case GcAlgo::kCms:
+      return 0.23 * (1.0 + heap_gb / 120.0);
+  }
+  return 0.30;
+}
+
+// Inverse CDF of the standard normal (Acklam's rational approximation,
+// ~1e-9 absolute error) — used for quantiles of the lognormal task-time
+// distribution.
+double normal_quantile(double p) {
+  p = std::clamp(p, 1e-12, 1.0 - 1e-12);
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+// Expected max of k i.i.d. lognormal(−σ²/2, σ) task-time factors, via the
+// standard extreme-value approximation E[max] ≈ F⁻¹((k − 0.375)/(k + 0.25)).
+// Speculation re-launches tasks slower than multiplier × quantile(q), so the
+// wave finishes at that cap instead of the raw maximum.  A small sampled
+// perturbation keeps run-to-run straggler variance without making the
+// factor unlearnable for surrogate models.
+double wave_straggler_factor(std::size_t k, double sigma,
+                             const SparkConfig& config, Rng& rng) {
+  if (k <= 1) return 1.0;
+  const double kd = static_cast<double>(k);
+  const double z_max = normal_quantile((kd - 0.375) / (kd + 0.25));
+  double factor = std::exp(-0.5 * sigma * sigma + sigma * z_max);
+  if (config.speculation) {
+    const double zq = normal_quantile(config.speculation_quantile);
+    const double cap = std::exp(-0.5 * sigma * sigma + sigma * zq) *
+                       config.speculation_multiplier;
+    factor = std::min(factor, std::max(1.0, cap));
+  }
+  // Residual randomness of the realized maximum.
+  factor *= rng.lognormal(0.0, 0.03);
+  return std::max(1.0, factor);
+}
+
+struct MemoryModel {
+  double unified_mb = 0.0;        // on-heap unified region per executor
+  double offheap_mb = 0.0;        // additional off-heap unified memory
+  double storage_target_mb = 0.0; // eviction-protected storage region
+  double heap_mb = 0.0;
+};
+
+MemoryModel memory_model(const SparkConfig& c) {
+  MemoryModel m;
+  m.heap_mb = static_cast<double>(c.executor_memory_mb);
+  const double usable = std::max(0.0, m.heap_mb - 300.0);
+  m.unified_mb = usable * c.memory_fraction;
+  m.offheap_mb = c.offheap_enabled ? static_cast<double>(c.offheap_size_mb)
+                                   : 0.0;
+  m.storage_target_mb =
+      (m.unified_mb + m.offheap_mb) * c.memory_storage_fraction;
+  return m;
+}
+
+}  // namespace
+
+SimResult simulate(const ClusterSpec& cluster, const WorkloadSpec& workload,
+                   const SparkConfig& config, std::uint64_t seed,
+                   const EngineOptions& options) {
+  SimResult result;
+  Rng rng(seed);
+
+  const ExecutorPlacement place = place_executors(cluster, config);
+  if (place.infeasible) {
+    // The resource manager never grants the request; the submission times
+    // out quickly at the scheduler.
+    result.status = RunStatus::kInfeasible;
+    result.seconds = 30.0;
+    return result;
+  }
+
+  const MemoryModel mem = memory_model(config);
+  const SerializerProfile ser = serializer_profile(config);
+  const CodecProfile codec =
+      codec_profile(config.compression_codec, config.compression_block_size_kb);
+  const double cpu_speed = cluster.cpu_speed;
+
+  // ---- Cache residency ---------------------------------------------------
+  // Deserialized cache footprint, shrunk by Kryo and/or RDD compression.
+  double cache_need_gb = workload.cached_gb * ser.cache_expansion;
+  if (config.rdd_compress) cache_need_gb *= codec.ratio * 1.15;
+  // Unified model: storage may borrow idle execution memory but is only
+  // protected up to storage_target.  Steady-state capacity: the protected
+  // region plus whatever execution leaves free.  Execution demand is
+  // estimated from the widest iteration stage below; for capacity we use
+  // the protected region plus half of the remainder (borrowed space is
+  // evicted whenever execution spikes).
+  const double pool_mb = mem.unified_mb + mem.offheap_mb;
+  const double borrowable_mb =
+      0.5 * std::max(0.0, pool_mb - mem.storage_target_mb);
+  const double cache_capacity_gb = (mem.storage_target_mb + borrowable_mb) *
+                                   static_cast<double>(place.total_executors) /
+                                   1024.0;
+  double evicted_fraction = 0.0;
+  if (cache_need_gb > 1e-9) {
+    evicted_fraction =
+        std::clamp(1.0 - cache_capacity_gb / cache_need_gb, 0.0, 1.0);
+  }
+  result.metrics.cache_evicted_fraction = evicted_fraction;
+
+  // Storage memory actually occupied per executor (MB).
+  const double storage_used_mb =
+      std::min(cache_need_gb * 1024.0 /
+                   std::max(1, place.total_executors),
+               mem.storage_target_mb + borrowable_mb);
+  // Execution memory available per task slot.
+  const double exec_pool_mb =
+      std::max(16.0, pool_mb - storage_used_mb);
+  const double exec_per_slot_mb =
+      exec_pool_mb / std::max(1, place.slots_per_executor);
+
+  // ---- GC model -----------------------------------------------------------
+  // On-heap occupancy drives pause time superlinearly; off-heap memory and
+  // compact serialization relieve it.  Storage and execution usage split
+  // between heap and off-heap proportionally to the pool composition, so
+  // only the on-heap share pressures the collector.
+  const double onheap_share =
+      pool_mb > 0.0 ? mem.unified_mb / pool_mb : 1.0;
+  const double onheap_used_mb =
+      300.0 + std::min(storage_used_mb * onheap_share, mem.unified_mb) +
+      std::min(exec_pool_mb * onheap_share, mem.unified_mb) * 0.6;
+  const double occupancy = std::clamp(onheap_used_mb / mem.heap_mb, 0.0, 1.0);
+  double gc_frac = gc_base_factor(config.gc_algo, mem.heap_mb / 1024.0) *
+                   std::pow(occupancy, 3.0) /
+                   std::max(0.30, 1.0 - 0.6 * occupancy);
+  gc_frac *= ser.gc_churn;
+  if (config.rdd_compress) gc_frac *= 0.85;
+  gc_frac = std::min(gc_frac, 1.8);
+  result.metrics.gc_fraction = gc_frac;
+
+  // ---- Per-stage execution -------------------------------------------------
+  const int nodes = std::max(1, cluster.worker_nodes);
+  const double slots_per_node =
+      static_cast<double>(place.total_slots) / nodes;
+
+  double total_s = 0.0;
+  double straggler_accum = 0.0;
+  int straggler_waves = 0;
+
+  auto run_stage = [&](const StageModel& stage, bool cache_resident) -> bool {
+    // Partition count: input stages follow the HDFS split size; shuffle
+    // stages follow spark.default.parallelism.
+    int partitions;
+    if (stage.shuffle_read_gb > 1e-9) {
+      partitions = config.default_parallelism;
+    } else {
+      partitions = std::max(
+          1, static_cast<int>(std::ceil(stage.input_gb * 1024.0 /
+                                        config.max_partition_bytes_mb)));
+      partitions = std::max(partitions, 1);
+    }
+    const double stage_gb =
+        std::max({stage.input_gb, stage.shuffle_read_gb, 0.001});
+    const double part_gb = stage_gb / partitions;
+    const double part_mb = part_gb * 1024.0;
+
+    // Working set & OOM / spill checks.  Kryo's compact binary forms shrink
+    // shuffle/sort buffers somewhat; deserialized user objects dominate the
+    // rest, so the relief is mild.
+    const double ws_serializer_relief =
+        config.serializer == Serializer::kKryo ? 0.85 : 1.0;
+    const double ws_mb =
+        part_mb * stage.working_set_expansion * ws_serializer_relief;
+    // Spill absorbs moderate overflow; the JVM only dies when a task's
+    // working set far exceeds its execution share.
+    const double headroom = 2.2;
+    if (ws_mb > exec_per_slot_mb * headroom) {
+      // Tasks die with OOM; Spark retries task_max_failures times before
+      // failing the job.
+      const double failure_time =
+          10.0 + 4.0 * std::min(config.task_max_failures, 6);
+      total_s += failure_time;
+      result.failure_stage = stage.name;
+      result.status = RunStatus::kOom;
+      return false;
+    }
+    double spill_gb_task = 0.0;
+    if (ws_mb > exec_per_slot_mb) {
+      // External sort/aggregation: every pass over data that does not fit
+      // writes and re-reads it; the pass count grows with the overflow
+      // ratio (multi-pass merge).
+      const double overflow = ws_mb / std::max(1.0, exec_per_slot_mb);
+      const double passes = std::ceil(std::log2(std::max(1.01, overflow)));
+      spill_gb_task = part_gb * 2.0 * passes;
+    }
+
+    // ---- Per-task time components --------------------------------------
+    double cpu_s = part_gb * stage.cpu_s_per_gb / cpu_speed;
+    double disk_s = 0.0;
+    double net_s = 0.0;
+
+    const double io_concurrency = std::max(
+        1.0, std::min<double>(slots_per_node,
+                              static_cast<double>(partitions) / nodes));
+    const double disk_bw_task =
+        cluster.disk_bandwidth_mb_s / io_concurrency;
+    double net_bw_task = cluster.network_bandwidth_mb_s / io_concurrency;
+    net_bw_task *=
+        std::min(1.20, 1.0 + 0.04 * (config.shuffle_connections_per_peer - 1));
+
+    // Input read: cache hit (memory-speed) / miss (disk + reparse) / HDFS.
+    if (stage.input_gb > 1e-9) {
+      if (stage.reads_cached) {
+        const double hit = cache_resident ? (1.0 - evicted_fraction) : 0.0;
+        const double miss = 1.0 - hit;
+        // Hits: memory scan (decompress if the cache is compressed).
+        cpu_s += part_gb * hit * 0.05;
+        if (config.rdd_compress) {
+          cpu_s += part_gb * hit * codec.decomp_s_per_gb / cpu_speed;
+        }
+        // Misses: recompute from source — disk read plus re-parse CPU.
+        disk_s += part_mb * miss / disk_bw_task;
+        cpu_s += part_gb * miss * (1.5 + ser.deser_s_per_gb) / cpu_speed;
+      } else {
+        disk_s += part_mb / disk_bw_task;
+        cpu_s += part_gb * 0.3 / cpu_speed;  // input decode
+      }
+    }
+
+    // Shuffle write (map side): serialize, compress, write.
+    if (stage.shuffle_write_gb > 1e-9) {
+      const double sw_gb = stage.shuffle_write_gb / partitions;
+      double bytes_gb = sw_gb;
+      cpu_s += sw_gb * ser.ser_s_per_gb * stage.serialization_intensity /
+               cpu_speed;
+      if (config.shuffle_compress) {
+        cpu_s += sw_gb * codec.comp_s_per_gb / cpu_speed;
+        bytes_gb *= codec.ratio;
+      }
+      disk_s += bytes_gb * 1024.0 / disk_bw_task;
+      // Buffer flush overhead: each flush of the shuffle file buffer costs
+      // a small, fixed amount of kernel/IO time.
+      const double flushes =
+          bytes_gb * 1024.0 * 1024.0 / std::max(8, config.shuffle_file_buffer_kb);
+      disk_s += flushes * 6e-5;
+    }
+
+    // Shuffle read (reduce side): fetch over network, decompress,
+    // deserialize.
+    if (stage.shuffle_read_gb > 1e-9) {
+      double bytes_gb = part_gb;
+      if (config.shuffle_compress) bytes_gb *= codec.ratio;
+      double fetch_s = bytes_gb * 1024.0 / net_bw_task;
+      // Too little in-flight data stalls the fetch pipeline.
+      const double inflight_stall =
+          1.0 + 0.25 * std::max(0.0, 24.0 / std::max(
+                                          4, config.reducer_max_size_in_flight_mb) -
+                                          1.0);
+      fetch_s *= inflight_stall;
+      net_s += fetch_s;
+      if (config.shuffle_compress) {
+        cpu_s += part_gb * codec.decomp_s_per_gb / cpu_speed;
+      }
+      cpu_s += part_gb * ser.deser_s_per_gb * stage.serialization_intensity /
+               cpu_speed;
+    }
+
+    // Spill IO (optionally compressed).
+    if (spill_gb_task > 0.0) {
+      double bytes_gb = spill_gb_task;
+      if (config.shuffle_spill_compress) {
+        cpu_s += spill_gb_task *
+                 (codec.comp_s_per_gb + codec.decomp_s_per_gb) * 0.5 /
+                 cpu_speed;
+        bytes_gb *= codec.ratio;
+      }
+      disk_s += bytes_gb * 1024.0 / disk_bw_task;
+      result.metrics.spill_gb +=
+          spill_gb_task * partitions;
+    }
+
+    // HDFS output.
+    if (stage.output_gb > 1e-9) {
+      disk_s += (stage.output_gb / partitions) * 1024.0 / disk_bw_task;
+    }
+
+    // Locality: eager scheduling (tiny wait) loses locality on cached /
+    // HDFS-local reads; excessive wait idles slots.
+    if (config.locality_wait_s < 0.5 && stage.input_gb > 1e-9) {
+      disk_s *= 1.10;
+      net_s += part_mb * 0.15 / net_bw_task;
+    }
+
+    // GC inflates the CPU component.
+    cpu_s *= 1.0 + gc_frac;
+
+    const double task_s = cpu_s + disk_s + net_s;
+
+    // ---- Greedy task scheduling -----------------------------------------
+    // Spark assigns the next pending task to any freed slot, so the stage
+    // makespan follows the list-scheduling bound: total work spread over
+    // the slots, plus the straggling tail of the last running tasks.
+    const int slots = std::max(1, place.total_slots);
+    const int waves = (partitions + slots - 1) / slots;  // reporting only
+    const int concurrent = std::min(partitions, slots);
+    const double f = wave_straggler_factor(
+        static_cast<std::size_t>(concurrent), stage.task_skew, config, rng);
+    straggler_accum += f;
+    ++straggler_waves;
+    const double work_s =
+        task_s * static_cast<double>(partitions) / slots;
+    const double tail_s = task_s * (f - 1.0);
+    double stage_s = std::max(task_s, work_s) + tail_s;
+    if (config.speculation) stage_s *= 1.03;  // relaunch overhead
+    // Idle time waiting for locality when tasks become schedulable.
+    stage_s += waves * 0.02 * std::min(config.locality_wait_s, 4.0);
+
+    // Broadcast variables ship to every executor at stage start.
+    if (stage.broadcast_gb > 1e-9) {
+      double bcast_gb = stage.broadcast_gb;
+      if (config.broadcast_compress) bcast_gb *= codec.ratio;
+      const double blocks = std::max(
+          1.0, stage.broadcast_gb * 1024.0 / config.broadcast_block_size_mb);
+      stage_s += bcast_gb * 1024.0 * place.total_executors /
+                     (cluster.network_bandwidth_mb_s * nodes) +
+                 blocks * 0.002;
+    }
+
+    // Driver / scheduler overhead: task launch bookkeeping is serial-ish,
+    // and every live executor adds heartbeat/registration work per stage.
+    const double driver_speed = std::min(2, config.driver_cores) == 2 ? 1.3 : 1.0;
+    double sched_s = 0.35 + partitions * 0.0035 / driver_speed +
+                     place.total_executors * 0.02;
+    if (config.fair_scheduler) sched_s *= 1.05;
+    stage_s += sched_s;
+
+    result.metrics.cpu_seconds += cpu_s * partitions;
+    result.metrics.disk_seconds += disk_s * partitions;
+    result.metrics.network_seconds += net_s * partitions;
+    result.metrics.scheduler_seconds += sched_s;
+    result.metrics.total_tasks += partitions;
+    result.metrics.total_waves += waves;
+
+    total_s += stage_s;
+    result.stage_seconds.push_back(stage_s);
+    return true;
+  };
+
+  bool alive = true;
+  for (const auto& stage : workload.setup_stages) {
+    if (!(alive = run_stage(stage, /*cache_resident=*/false))) break;
+    if (options.time_cap_s > 0.0 && total_s > options.time_cap_s) {
+      result.status = RunStatus::kTimeLimit;
+      alive = false;
+      break;
+    }
+  }
+  if (alive) {
+    for (int it = 0; it < workload.iterations && alive; ++it) {
+      for (const auto& stage : workload.iteration_stages) {
+        if (!(alive = run_stage(stage, /*cache_resident=*/true))) break;
+        if (options.time_cap_s > 0.0 && total_s > options.time_cap_s) {
+          result.status = RunStatus::kTimeLimit;
+          alive = false;
+          break;
+        }
+      }
+    }
+  }
+
+  if (straggler_waves > 0) {
+    result.metrics.straggler_factor =
+        straggler_accum / straggler_waves;
+  }
+
+  // Shared-cluster run-to-run noise.
+  if (options.run_noise_sigma > 0.0) {
+    total_s *= rng.lognormal(-0.5 * options.run_noise_sigma *
+                                 options.run_noise_sigma,
+                             options.run_noise_sigma);
+  }
+
+  // The kill threshold applies to observed wall-clock time, noise included.
+  if (options.time_cap_s > 0.0 && result.status == RunStatus::kOk &&
+      total_s > options.time_cap_s) {
+    result.status = RunStatus::kTimeLimit;
+  }
+  if (result.status == RunStatus::kTimeLimit && options.time_cap_s > 0.0) {
+    total_s = options.time_cap_s;
+  }
+  result.seconds = total_s;
+  return result;
+}
+
+}  // namespace robotune::sparksim

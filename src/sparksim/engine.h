@@ -1,0 +1,76 @@
+// Task-level Spark execution engine.
+//
+// Given a cluster, a workload stage DAG and a full Spark configuration,
+// the engine simulates the run: executors are packed onto nodes, each
+// stage's partitions are scheduled onto task slots in waves, and per-task
+// time is assembled from CPU (user code, serialization, compression, GC),
+// disk (input, shuffle write, spill, output) and network (shuffle fetch)
+// components.  Pathological configurations fail the same way they do on a
+// real cluster: tasks whose working set exceeds available execution
+// memory throw OOM, and executor requests larger than a node are never
+// scheduled.
+//
+// Every documented effect is traceable to a Spark mechanism; see
+// DESIGN.md §8 for the inventory and EXPERIMENTS.md for the calibration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sparksim/cluster.h"
+#include "sparksim/spark_config.h"
+#include "sparksim/workload.h"
+
+namespace robotune::sparksim {
+
+enum class RunStatus {
+  kOk,
+  kOom,         ///< a task exceeded execution memory; the job died
+  kInfeasible,  ///< executors could not be placed at all
+  kTimeLimit    ///< exceeded the caller-provided cap
+};
+
+std::string to_string(RunStatus status);
+
+/// Diagnostics accumulated over a run (used heavily by tests).
+struct SimMetrics {
+  double gc_fraction = 0.0;        ///< CPU-time multiplier due to GC − 1
+  double spill_gb = 0.0;           ///< total bytes spilled to disk
+  double cache_evicted_fraction = 0.0;
+  double straggler_factor = 0.0;   ///< mean wave max / mean task time
+  double cpu_seconds = 0.0;        ///< aggregate task CPU component
+  double disk_seconds = 0.0;       ///< aggregate task disk component
+  double network_seconds = 0.0;    ///< aggregate task network component
+  double scheduler_seconds = 0.0;  ///< driver/stage overheads
+  int total_tasks = 0;
+  int total_waves = 0;
+};
+
+struct SimResult {
+  RunStatus status = RunStatus::kOk;
+  /// Wall-clock seconds of the run.  For kOom/kInfeasible this is the
+  /// time until the failure surfaced; for kTimeLimit it equals the cap.
+  double seconds = 0.0;
+  SimMetrics metrics;
+  std::vector<double> stage_seconds;  ///< per executed stage
+  std::string failure_stage;          ///< stage that OOMed, if any
+
+  bool ok() const noexcept { return status == RunStatus::kOk; }
+};
+
+struct EngineOptions {
+  /// Wall-clock cap; the run is cut off (status kTimeLimit) beyond it.
+  /// <= 0 disables the cap.
+  double time_cap_s = 0.0;
+  /// Multiplicative lognormal noise sigma applied to the whole run
+  /// (shared-cluster variance).  0 disables noise.
+  double run_noise_sigma = 0.04;
+};
+
+/// Simulates one execution.  Deterministic for a fixed seed.
+SimResult simulate(const ClusterSpec& cluster, const WorkloadSpec& workload,
+                   const SparkConfig& config, std::uint64_t seed,
+                   const EngineOptions& options = {});
+
+}  // namespace robotune::sparksim

@@ -1,0 +1,86 @@
+#include "sparksim/objective.h"
+
+#include <algorithm>
+
+namespace robotune::sparksim {
+
+SparkObjective::SparkObjective(ClusterSpec cluster, WorkloadSpec workload,
+                               ConfigSpace space, std::uint64_t seed,
+                               double time_cap_s, double run_noise_sigma,
+                               ObjectiveMetric metric)
+    : cluster_(cluster),
+      workload_(std::move(workload)),
+      space_(std::move(space)),
+      seed_stream_(seed),
+      time_cap_s_(time_cap_s),
+      run_noise_sigma_(run_noise_sigma),
+      metric_(metric) {}
+
+EvalOutcome SparkObjective::evaluate(std::span<const double> unit,
+                                     double stop_threshold_s) {
+  return evaluate_decoded(space_.decode(unit), stop_threshold_s,
+                          /*apply_cap=*/true);
+}
+
+EvalOutcome SparkObjective::evaluate_decoded(const DecodedConfig& values,
+                                             double stop_threshold_s,
+                                             bool apply_cap) {
+  const SparkConfig config = SparkConfig::from_decoded(space_, values);
+
+  // Effective kill threshold: the tighter of the global cap and the
+  // caller's guard.
+  double kill_s = 0.0;
+  if (apply_cap && time_cap_s_ > 0.0) kill_s = time_cap_s_;
+  if (stop_threshold_s > 0.0) {
+    kill_s = kill_s > 0.0 ? std::min(kill_s, stop_threshold_s)
+                          : stop_threshold_s;
+  }
+
+  EngineOptions engine_options;
+  engine_options.time_cap_s = kill_s;
+  engine_options.run_noise_sigma = run_noise_sigma_;
+
+  const std::uint64_t run_seed = seed_stream_();
+  EvalOutcome out;
+  out.raw = simulate(cluster_, workload_, config, run_seed, engine_options);
+  out.status = out.raw.status;
+
+  // Failed runs are observed as "as bad as a killed run, plus a margin":
+  // bad enough for surrogates to avoid the region without swamping the
+  // response variance the parameter-selection forest has to explain.
+  const double penalty = (kill_s > 0.0 ? kill_s : 600.0) * 1.05;
+  // Metric transform for successful runs: kExecutionTime is the raw wall
+  // clock; kCoreSeconds weights it by the cluster share the configuration
+  // occupies.  The session still pays wall-clock time (cost_s).
+  const double metric_scale = [&] {
+    if (metric_ == ObjectiveMetric::kExecutionTime) return 1.0;
+    const auto placement = place_executors(cluster_, config);
+    const double granted =
+        placement.infeasible
+            ? 1.0
+            : static_cast<double>(placement.total_executors *
+                                  config.executor_cores);
+    return granted / static_cast<double>(cluster_.total_cores());
+  }();
+  switch (out.raw.status) {
+    case RunStatus::kOk:
+      out.value_s = out.raw.seconds * metric_scale;
+      out.cost_s = out.raw.seconds;
+      break;
+    case RunStatus::kTimeLimit:
+      out.value_s = kill_s > 0.0 ? kill_s : out.raw.seconds;
+      out.cost_s = out.value_s;
+      out.stopped_early = true;
+      break;
+    case RunStatus::kOom:
+    case RunStatus::kInfeasible:
+      out.value_s = penalty;
+      out.cost_s = out.raw.seconds;  // failures die quickly
+      break;
+  }
+  ++evaluations_;
+  total_cost_s_ += out.cost_s;
+  return out;
+}
+
+}  // namespace robotune::sparksim

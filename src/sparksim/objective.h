@@ -1,0 +1,89 @@
+// The black-box objective f(configuration) -> execution time that every
+// tuner optimizes (paper Eq. 1), backed by the cluster simulator.
+//
+// Evaluation semantics follow §4/§5.1:
+//  * every evaluation is capped at `time_cap_s` (the paper uses 480 s);
+//  * the caller may pass an additional stop threshold (the guard against
+//    bad configurations) — a run crossing it is killed and charged the
+//    threshold, and its observed value is the threshold;
+//  * failed configurations (OOM / unplaceable) are charged the short time
+//    it took them to die and observed as a distinctly bad penalty value so
+//    that surrogate models learn to avoid the region.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sparksim/cluster.h"
+#include "sparksim/engine.h"
+#include "sparksim/param_space.h"
+#include "sparksim/spark_config.h"
+#include "sparksim/workload.h"
+
+namespace robotune::sparksim {
+
+/// What the tuner minimizes (paper §5.1 "Objective": execution time; the
+/// conclusion notes other metrics drop in by replacing the objective).
+enum class ObjectiveMetric {
+  kExecutionTime,  ///< wall-clock seconds of the run (paper default)
+  /// Cluster-share-weighted time: seconds x (granted cores / cluster
+  /// cores).  Approximates the job's core-hours bill; favors small-
+  /// footprint configurations in multi-tenant clusters.
+  kCoreSeconds
+};
+
+struct EvalOutcome {
+  RunStatus status = RunStatus::kOk;
+  /// Observed objective value in seconds (capped / penalized as above).
+  double value_s = 0.0;
+  /// Wall-clock seconds the evaluation cost the tuning session.
+  double cost_s = 0.0;
+  /// True when the guard threshold killed the run.
+  bool stopped_early = false;
+  SimResult raw;
+};
+
+class SparkObjective {
+ public:
+  SparkObjective(ClusterSpec cluster, WorkloadSpec workload,
+                 ConfigSpace space, std::uint64_t seed,
+                 double time_cap_s = 480.0, double run_noise_sigma = 0.04,
+                 ObjectiveMetric metric = ObjectiveMetric::kExecutionTime);
+
+  /// Evaluates a configuration given as a unit-cube vector over the full
+  /// space.  `stop_threshold_s` <= 0 disables the per-evaluation guard.
+  EvalOutcome evaluate(std::span<const double> unit,
+                       double stop_threshold_s = 0.0);
+
+  /// Evaluates a decoded configuration directly (used for the default-
+  /// config comparison, §5.2, where no cap applies).
+  EvalOutcome evaluate_decoded(const DecodedConfig& values,
+                               double stop_threshold_s = 0.0,
+                               bool apply_cap = true);
+
+  const ConfigSpace& space() const noexcept { return space_; }
+  const WorkloadSpec& workload() const noexcept { return workload_; }
+  const ClusterSpec& cluster() const noexcept { return cluster_; }
+  double time_cap_s() const noexcept { return time_cap_s_; }
+  ObjectiveMetric metric() const noexcept { return metric_; }
+
+  std::size_t evaluations() const noexcept { return evaluations_; }
+  double total_cost_s() const noexcept { return total_cost_s_; }
+  void reset_counters() {
+    evaluations_ = 0;
+    total_cost_s_ = 0.0;
+  }
+
+ private:
+  ClusterSpec cluster_;
+  WorkloadSpec workload_;
+  ConfigSpace space_;
+  Rng seed_stream_;
+  double time_cap_s_;
+  double run_noise_sigma_;
+  ObjectiveMetric metric_;
+  std::size_t evaluations_ = 0;
+  double total_cost_s_ = 0.0;
+};
+
+}  // namespace robotune::sparksim

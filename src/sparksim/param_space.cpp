@@ -1,0 +1,271 @@
+#include "sparksim/param_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace robotune::sparksim {
+
+double ParamSpec::decode(double unit) const {
+  unit = std::clamp(unit, 0.0, 1.0 - 1e-12);
+  switch (kind) {
+    case ParamKind::kDouble: {
+      if (log_scale) {
+        const double ll = std::log(lo);
+        return std::exp(ll + unit * (std::log(hi) - ll));
+      }
+      return lo + unit * (hi - lo);
+    }
+    case ParamKind::kInt: {
+      if (log_scale) {
+        const double ll = std::log(std::max(lo, 1.0));
+        const double v = std::exp(ll + unit * (std::log(hi) - ll));
+        return std::clamp(std::round(v), lo, hi);
+      }
+      const double span = hi - lo + 1.0;
+      return std::clamp(lo + std::floor(unit * span), lo, hi);
+    }
+    case ParamKind::kBool:
+      return unit < 0.5 ? 0.0 : 1.0;
+    case ParamKind::kCategorical: {
+      const auto k = static_cast<double>(categories.size());
+      return std::clamp(std::floor(unit * k), 0.0, k - 1.0);
+    }
+  }
+  return 0.0;
+}
+
+double ParamSpec::encode(double value) const {
+  switch (kind) {
+    case ParamKind::kDouble: {
+      if (log_scale) {
+        const double ll = std::log(lo);
+        return std::clamp((std::log(value) - ll) / (std::log(hi) - ll), 0.0,
+                          1.0 - 1e-12);
+      }
+      return std::clamp((value - lo) / (hi - lo), 0.0, 1.0 - 1e-12);
+    }
+    case ParamKind::kInt: {
+      if (log_scale) {
+        const double ll = std::log(std::max(lo, 1.0));
+        return std::clamp((std::log(std::max(value, 1.0)) - ll) /
+                              (std::log(hi) - ll),
+                          0.0, 1.0 - 1e-12);
+      }
+      const double span = hi - lo + 1.0;
+      return std::clamp((value - lo + 0.5) / span, 0.0, 1.0 - 1e-12);
+    }
+    case ParamKind::kBool:
+      return value >= 0.5 ? 0.75 : 0.25;
+    case ParamKind::kCategorical: {
+      const auto k = static_cast<double>(categories.size());
+      return std::clamp((value + 0.5) / k, 0.0, 1.0 - 1e-12);
+    }
+  }
+  return 0.0;
+}
+
+std::size_t ParamSpec::cardinality() const {
+  switch (kind) {
+    case ParamKind::kDouble:
+      return 0;
+    case ParamKind::kInt:
+      return log_scale ? 0 : static_cast<std::size_t>(hi - lo + 1.0);
+    case ParamKind::kBool:
+      return 2;
+    case ParamKind::kCategorical:
+      return categories.size();
+  }
+  return 0;
+}
+
+ConfigSpace::ConfigSpace(std::vector<ParamSpec> specs)
+    : specs_(std::move(specs)) {
+  require(!specs_.empty(), "ConfigSpace: no parameters");
+  for (const auto& s : specs_) {
+    if (s.kind == ParamKind::kCategorical) {
+      require(!s.categories.empty(), "ConfigSpace: empty category list");
+    } else if (s.kind != ParamKind::kBool) {
+      require(s.lo <= s.hi, "ConfigSpace: inverted range for " + s.name);
+      if (s.log_scale) {
+        require(s.lo > 0.0 || s.kind == ParamKind::kInt,
+                "ConfigSpace: log scale needs positive lower bound");
+      }
+    }
+  }
+}
+
+std::optional<std::size_t> ConfigSpace::index_of(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+DecodedConfig ConfigSpace::decode(std::span<const double> unit) const {
+  require(unit.size() == specs_.size(), "ConfigSpace::decode: size mismatch");
+  DecodedConfig out(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    out[i] = specs_[i].decode(unit[i]);
+  }
+  return out;
+}
+
+std::vector<double> ConfigSpace::encode(const DecodedConfig& values) const {
+  require(values.size() == specs_.size(),
+          "ConfigSpace::encode: size mismatch");
+  std::vector<double> out(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    out[i] = specs_[i].encode(values[i]);
+  }
+  return out;
+}
+
+DecodedConfig ConfigSpace::defaults() const {
+  DecodedConfig out(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    out[i] = specs_[i].default_value;
+  }
+  return out;
+}
+
+std::vector<double> ConfigSpace::default_unit() const {
+  return encode(defaults());
+}
+
+ConfigSpace spark24_config_space() {
+  using K = ParamKind;
+  std::vector<ParamSpec> p;
+  p.reserve(44);
+  auto add = [&p](ParamSpec spec) { p.push_back(std::move(spec)); };
+
+  // --- Executor / driver resources ------------------------------------
+  add({.name = "spark.executor.cores", .kind = K::kInt, .lo = 1, .hi = 32,
+       .default_value = 1});
+  // Tuned range is 8-180 GB (§5.1); the 1 GB framework default sits below
+  // it, which is exactly why the default OOMs resource-hungry workloads.
+  add({.name = "spark.executor.memory.mb", .kind = K::kInt, .lo = 8192,
+       .hi = 184320, .log_scale = true, .default_value = 1024});
+  // Standalone deployments cap an application's total cores with
+  // spark.cores.max (the cluster grants executors until the cap or the
+  // cluster is exhausted); the default grants everything.
+  add({.name = "spark.cores.max", .kind = K::kInt, .lo = 16, .hi = 160,
+       .default_value = 160});
+  add({.name = "spark.executor.memoryOverhead.mb", .kind = K::kInt, .lo = 384,
+       .hi = 8192, .log_scale = true, .default_value = 384});
+  add({.name = "spark.driver.memory.mb", .kind = K::kInt, .lo = 1024,
+       .hi = 32768, .log_scale = true, .default_value = 1024});
+  add({.name = "spark.driver.cores", .kind = K::kInt, .lo = 1, .hi = 8,
+       .default_value = 1});
+  add({.name = "spark.task.cpus", .kind = K::kInt, .lo = 1, .hi = 4,
+       .default_value = 1});
+
+  // --- Memory management ----------------------------------------------
+  add({.name = "spark.memory.fraction", .kind = K::kDouble, .lo = 0.3,
+       .hi = 0.9, .default_value = 0.6});
+  add({.name = "spark.memory.storageFraction", .kind = K::kDouble, .lo = 0.1,
+       .hi = 0.9, .default_value = 0.5});
+  add({.name = "spark.memory.offHeap.enabled", .kind = K::kBool,
+       .default_value = 0});
+  add({.name = "spark.memory.offHeap.size.mb", .kind = K::kInt, .lo = 0,
+       .hi = 32768, .default_value = 0});
+  add({.name = "spark.storage.memoryMapThreshold.mb", .kind = K::kInt,
+       .lo = 1, .hi = 16, .default_value = 2});
+
+  // --- Shuffle ----------------------------------------------------------
+  add({.name = "spark.shuffle.compress", .kind = K::kBool,
+       .default_value = 1});
+  add({.name = "spark.shuffle.spill.compress", .kind = K::kBool,
+       .default_value = 1});
+  add({.name = "spark.shuffle.file.buffer.kb", .kind = K::kInt, .lo = 16,
+       .hi = 256, .log_scale = true, .default_value = 32});
+  add({.name = "spark.reducer.maxSizeInFlight.mb", .kind = K::kInt, .lo = 16,
+       .hi = 256, .log_scale = true, .default_value = 48});
+  add({.name = "spark.shuffle.sort.bypassMergeThreshold", .kind = K::kInt,
+       .lo = 100, .hi = 1000, .default_value = 200});
+  add({.name = "spark.shuffle.io.numConnectionsPerPeer", .kind = K::kInt,
+       .lo = 1, .hi = 8, .default_value = 1});
+  add({.name = "spark.shuffle.io.maxRetries", .kind = K::kInt, .lo = 1,
+       .hi = 10, .default_value = 3});
+  add({.name = "spark.shuffle.io.retryWait.s", .kind = K::kInt, .lo = 1,
+       .hi = 30, .default_value = 5});
+  add({.name = "spark.shuffle.service.enabled", .kind = K::kBool,
+       .default_value = 0});
+
+  // --- Serialization / compression --------------------------------------
+  add({.name = "spark.serializer",
+       .kind = K::kCategorical,
+       .categories = {"JavaSerializer", "KryoSerializer"},
+       .default_value = 0});
+  add({.name = "spark.kryoserializer.buffer.max.mb", .kind = K::kInt, .lo = 8,
+       .hi = 128, .log_scale = true, .default_value = 64});
+  add({.name = "spark.kryo.referenceTracking", .kind = K::kBool,
+       .default_value = 1});
+  add({.name = "spark.rdd.compress", .kind = K::kBool, .default_value = 0});
+  add({.name = "spark.io.compression.codec",
+       .kind = K::kCategorical,
+       .categories = {"lz4", "lzf", "snappy", "zstd"},
+       .default_value = 0});
+  add({.name = "spark.io.compression.blockSize.kb", .kind = K::kInt, .lo = 16,
+       .hi = 128, .log_scale = true, .default_value = 32});
+  add({.name = "spark.broadcast.compress", .kind = K::kBool,
+       .default_value = 1});
+  add({.name = "spark.broadcast.blockSize.mb", .kind = K::kInt, .lo = 1,
+       .hi = 16, .default_value = 4});
+
+  // --- Parallelism / scheduling ------------------------------------------
+  add({.name = "spark.default.parallelism", .kind = K::kInt, .lo = 8,
+       .hi = 1000, .log_scale = true, .default_value = 128});
+  add({.name = "spark.locality.wait.s", .kind = K::kDouble, .lo = 0.0,
+       .hi = 10.0, .default_value = 3.0});
+  add({.name = "spark.scheduler.reviveInterval.s", .kind = K::kInt, .lo = 1,
+       .hi = 5, .default_value = 1});
+  add({.name = "spark.speculation", .kind = K::kBool, .default_value = 0});
+  add({.name = "spark.speculation.multiplier", .kind = K::kDouble, .lo = 1.1,
+       .hi = 3.0, .default_value = 1.5});
+  add({.name = "spark.speculation.quantile", .kind = K::kDouble, .lo = 0.5,
+       .hi = 0.95, .default_value = 0.75});
+  add({.name = "spark.task.maxFailures", .kind = K::kInt, .lo = 1, .hi = 8,
+       .default_value = 4});
+
+  // --- Network / misc -----------------------------------------------------
+  add({.name = "spark.network.timeout.s", .kind = K::kInt, .lo = 60, .hi = 600,
+       .default_value = 120});
+  add({.name = "spark.shuffle.io.preferDirectBufs", .kind = K::kBool,
+       .default_value = 1});
+  add({.name = "spark.executor.heartbeatInterval.s", .kind = K::kInt, .lo = 5,
+       .hi = 60, .default_value = 10});
+  add({.name = "spark.broadcast.checksum", .kind = K::kBool,
+       .default_value = 1});
+  add({.name = "spark.cleaner.periodicGC.interval.min", .kind = K::kInt,
+       .lo = 10, .hi = 60, .default_value = 30});
+  add({.name = "spark.files.maxPartitionBytes.mb", .kind = K::kInt, .lo = 32,
+       .hi = 512, .log_scale = true, .default_value = 128});
+  add({.name = "spark.executor.gc",
+       .kind = K::kCategorical,
+       .categories = {"ParallelGC", "G1GC", "ConcMarkSweepGC"},
+       .default_value = 0});
+  add({.name = "spark.scheduler.mode",
+       .kind = K::kCategorical,
+       .categories = {"FIFO", "FAIR"},
+       .default_value = 0});
+
+  return ConfigSpace(std::move(p));
+}
+
+std::vector<std::vector<std::string>> spark24_joint_parameter_groups() {
+  return {
+      // Domain knowledge: executor *size* is one knob (paper §4).
+      {"spark.executor.cores", "spark.executor.memory.mb"},
+      // Dependent parameters: only meaningful when the leader is active.
+      {"spark.memory.offHeap.enabled", "spark.memory.offHeap.size.mb"},
+      {"spark.speculation", "spark.speculation.multiplier",
+       "spark.speculation.quantile"},
+      {"spark.serializer", "spark.kryoserializer.buffer.max.mb",
+       "spark.kryo.referenceTracking"},
+      {"spark.io.compression.codec", "spark.io.compression.blockSize.kb"},
+      {"spark.shuffle.io.maxRetries", "spark.shuffle.io.retryWait.s"},
+  };
+}
+
+}  // namespace robotune::sparksim

@@ -1,0 +1,80 @@
+// The Spark 2.4 configuration space tuned in the paper: 44 performance-
+// related parameters (§5.1), each with a type, range and default value.
+//
+// Tuners work in the unit hypercube [0,1)^n; ConfigSpace decodes a unit
+// vector into concrete parameter values (the paper's "Configuration
+// Encoder", §4) and encodes concrete values back for caching/memoization.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace robotune::sparksim {
+
+enum class ParamKind {
+  kInt,         ///< integer in [lo, hi]
+  kDouble,      ///< real in [lo, hi]
+  kBool,        ///< {false, true}
+  kCategorical  ///< one of `categories`
+};
+
+struct ParamSpec {
+  std::string name;
+  ParamKind kind = ParamKind::kDouble;
+  double lo = 0.0;                       ///< numeric kinds
+  double hi = 1.0;
+  bool log_scale = false;                ///< decode on a log grid
+  std::vector<std::string> categories;   ///< kCategorical only
+  double default_value = 0.0;            ///< in decoded units (category idx)
+
+  /// Decodes a unit-interval coordinate to this parameter's value.
+  double decode(double unit) const;
+  /// Inverse of decode (clamped); categorical/bool map to bucket centers.
+  double encode(double value) const;
+  /// Number of distinct values (0 = continuous).
+  std::size_t cardinality() const;
+};
+
+/// A fully decoded configuration: one double per parameter (ints are
+/// integral-valued doubles, bools 0/1, categoricals the category index).
+using DecodedConfig = std::vector<double>;
+
+class ConfigSpace {
+ public:
+  explicit ConfigSpace(std::vector<ParamSpec> specs);
+
+  std::size_t size() const noexcept { return specs_.size(); }
+  const ParamSpec& spec(std::size_t i) const { return specs_[i]; }
+  std::span<const ParamSpec> specs() const noexcept { return specs_; }
+
+  std::optional<std::size_t> index_of(const std::string& name) const;
+
+  DecodedConfig decode(std::span<const double> unit) const;
+  std::vector<double> encode(const DecodedConfig& values) const;
+
+  /// The framework default configuration, decoded (what an untuned user
+  /// runs with; §5.2 compares against it).
+  DecodedConfig defaults() const;
+  /// Same, as a unit vector.
+  std::vector<double> default_unit() const;
+
+ private:
+  std::vector<ParamSpec> specs_;
+};
+
+/// Builds the 44-parameter Spark 2.4 space used throughout the evaluation.
+ConfigSpace spark24_config_space();
+
+/// Collinear / dependent parameter groups permuted jointly during MDA
+/// importance (paper §3.3 "Handling Collinearity", §4 "joint parameter").
+/// Each group lists parameter names; parameters not mentioned form their
+/// own singleton group.  Includes the domain-knowledge "executor size"
+/// group {spark.executor.cores, spark.executor.memory}.
+std::vector<std::vector<std::string>> spark24_joint_parameter_groups();
+
+}  // namespace robotune::sparksim

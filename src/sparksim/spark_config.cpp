@@ -1,0 +1,104 @@
+#include "sparksim/spark_config.h"
+
+#include <cmath>
+
+namespace robotune::sparksim {
+
+namespace {
+
+double get(const ConfigSpace& space, const DecodedConfig& values,
+           const char* name) {
+  const auto idx = space.index_of(name);
+  require(idx.has_value(), std::string("SparkConfig: missing parameter ") +
+                               name);
+  return values[*idx];
+}
+
+int geti(const ConfigSpace& space, const DecodedConfig& values,
+         const char* name) {
+  return static_cast<int>(std::llround(get(space, values, name)));
+}
+
+bool getb(const ConfigSpace& space, const DecodedConfig& values,
+          const char* name) {
+  return get(space, values, name) >= 0.5;
+}
+
+}  // namespace
+
+SparkConfig SparkConfig::from_decoded(const ConfigSpace& space,
+                                      const DecodedConfig& values) {
+  require(values.size() == space.size(),
+          "SparkConfig::from_decoded: size mismatch");
+  SparkConfig c;
+  c.executor_cores = geti(space, values, "spark.executor.cores");
+  c.executor_memory_mb = geti(space, values, "spark.executor.memory.mb");
+  c.cores_max = geti(space, values, "spark.cores.max");
+  c.executor_memory_overhead_mb =
+      geti(space, values, "spark.executor.memoryOverhead.mb");
+  c.driver_memory_mb = geti(space, values, "spark.driver.memory.mb");
+  c.driver_cores = geti(space, values, "spark.driver.cores");
+  c.task_cpus = geti(space, values, "spark.task.cpus");
+  c.memory_fraction = get(space, values, "spark.memory.fraction");
+  c.memory_storage_fraction =
+      get(space, values, "spark.memory.storageFraction");
+  c.offheap_enabled = getb(space, values, "spark.memory.offHeap.enabled");
+  c.offheap_size_mb = geti(space, values, "spark.memory.offHeap.size.mb");
+  c.memory_map_threshold_mb =
+      geti(space, values, "spark.storage.memoryMapThreshold.mb");
+  c.shuffle_compress = getb(space, values, "spark.shuffle.compress");
+  c.shuffle_spill_compress =
+      getb(space, values, "spark.shuffle.spill.compress");
+  c.shuffle_file_buffer_kb =
+      geti(space, values, "spark.shuffle.file.buffer.kb");
+  c.reducer_max_size_in_flight_mb =
+      geti(space, values, "spark.reducer.maxSizeInFlight.mb");
+  c.sort_bypass_merge_threshold =
+      geti(space, values, "spark.shuffle.sort.bypassMergeThreshold");
+  c.shuffle_connections_per_peer =
+      geti(space, values, "spark.shuffle.io.numConnectionsPerPeer");
+  c.shuffle_io_max_retries =
+      geti(space, values, "spark.shuffle.io.maxRetries");
+  c.shuffle_io_retry_wait_s =
+      geti(space, values, "spark.shuffle.io.retryWait.s");
+  c.shuffle_service_enabled =
+      getb(space, values, "spark.shuffle.service.enabled");
+  c.serializer =
+      static_cast<Serializer>(geti(space, values, "spark.serializer"));
+  c.kryo_buffer_max_mb =
+      geti(space, values, "spark.kryoserializer.buffer.max.mb");
+  c.kryo_reference_tracking =
+      getb(space, values, "spark.kryo.referenceTracking");
+  c.rdd_compress = getb(space, values, "spark.rdd.compress");
+  c.compression_codec =
+      static_cast<Codec>(geti(space, values, "spark.io.compression.codec"));
+  c.compression_block_size_kb =
+      geti(space, values, "spark.io.compression.blockSize.kb");
+  c.broadcast_compress = getb(space, values, "spark.broadcast.compress");
+  c.broadcast_block_size_mb =
+      geti(space, values, "spark.broadcast.blockSize.mb");
+  c.default_parallelism = geti(space, values, "spark.default.parallelism");
+  c.locality_wait_s = get(space, values, "spark.locality.wait.s");
+  c.scheduler_revive_interval_s =
+      geti(space, values, "spark.scheduler.reviveInterval.s");
+  c.speculation = getb(space, values, "spark.speculation");
+  c.speculation_multiplier =
+      get(space, values, "spark.speculation.multiplier");
+  c.speculation_quantile = get(space, values, "spark.speculation.quantile");
+  c.task_max_failures = geti(space, values, "spark.task.maxFailures");
+  c.network_timeout_s = geti(space, values, "spark.network.timeout.s");
+  c.shuffle_prefer_direct_bufs =
+      getb(space, values, "spark.shuffle.io.preferDirectBufs");
+  c.executor_heartbeat_interval_s =
+      geti(space, values, "spark.executor.heartbeatInterval.s");
+  c.broadcast_checksum = getb(space, values, "spark.broadcast.checksum");
+  c.periodic_gc_interval_min =
+      geti(space, values, "spark.cleaner.periodicGC.interval.min");
+  c.max_partition_bytes_mb =
+      geti(space, values, "spark.files.maxPartitionBytes.mb");
+  c.gc_algo = static_cast<GcAlgo>(geti(space, values, "spark.executor.gc"));
+  c.fair_scheduler = geti(space, values, "spark.scheduler.mode") == 1;
+  return c;
+}
+
+}  // namespace robotune::sparksim

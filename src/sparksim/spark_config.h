@@ -1,0 +1,74 @@
+// Typed view of a decoded Spark configuration: named fields for every
+// parameter the execution model consumes, extracted once from the flat
+// DecodedConfig vector.
+#pragma once
+
+#include <cstddef>
+
+#include "sparksim/param_space.h"
+
+namespace robotune::sparksim {
+
+enum class Serializer { kJava = 0, kKryo = 1 };
+enum class Codec { kLz4 = 0, kLzf = 1, kSnappy = 2, kZstd = 3 };
+enum class GcAlgo { kParallel = 0, kG1 = 1, kCms = 2 };
+
+struct SparkConfig {
+  // Resources
+  int executor_cores = 1;
+  int executor_memory_mb = 1024;
+  int cores_max = 160;
+  int executor_memory_overhead_mb = 384;
+  int driver_memory_mb = 1024;
+  int driver_cores = 1;
+  int task_cpus = 1;
+  // Memory
+  double memory_fraction = 0.6;
+  double memory_storage_fraction = 0.5;
+  bool offheap_enabled = false;
+  int offheap_size_mb = 0;
+  int memory_map_threshold_mb = 2;
+  // Shuffle
+  bool shuffle_compress = true;
+  bool shuffle_spill_compress = true;
+  int shuffle_file_buffer_kb = 32;
+  int reducer_max_size_in_flight_mb = 48;
+  int sort_bypass_merge_threshold = 200;
+  int shuffle_connections_per_peer = 1;
+  int shuffle_io_max_retries = 3;
+  int shuffle_io_retry_wait_s = 5;
+  bool shuffle_service_enabled = false;
+  // Serialization / compression
+  Serializer serializer = Serializer::kJava;
+  int kryo_buffer_max_mb = 64;
+  bool kryo_reference_tracking = true;
+  bool rdd_compress = false;
+  Codec compression_codec = Codec::kLz4;
+  int compression_block_size_kb = 32;
+  bool broadcast_compress = true;
+  int broadcast_block_size_mb = 4;
+  // Parallelism / scheduling
+  int default_parallelism = 128;
+  double locality_wait_s = 3.0;
+  int scheduler_revive_interval_s = 1;
+  bool speculation = false;
+  double speculation_multiplier = 1.5;
+  double speculation_quantile = 0.75;
+  int task_max_failures = 4;
+  // Network / misc
+  int network_timeout_s = 120;
+  bool shuffle_prefer_direct_bufs = true;
+  int executor_heartbeat_interval_s = 10;
+  bool broadcast_checksum = true;
+  int periodic_gc_interval_min = 30;
+  int max_partition_bytes_mb = 128;
+  GcAlgo gc_algo = GcAlgo::kParallel;
+  bool fair_scheduler = false;
+
+  /// Extracts the typed view from a decoded configuration of `space`.
+  /// The space must be (or be layout-compatible with) spark24_config_space().
+  static SparkConfig from_decoded(const ConfigSpace& space,
+                                  const DecodedConfig& values);
+};
+
+}  // namespace robotune::sparksim

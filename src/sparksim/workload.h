@@ -1,0 +1,88 @@
+// Stage-DAG models of the five SparkBench workloads evaluated in the
+// paper (Table 1): PageRank, KMeans, ConnectedComponents,
+// LogisticRegression, TeraSort, each with three dataset sizes D1-D3.
+//
+// A workload is a list of setup stages (run once: load + cache the input)
+// followed by a list of iteration stages repeated `iterations` times.
+// The per-stage constants (CPU seconds per GB on one reference core,
+// working-set expansion of a task's partition in JVM memory, shuffle
+// volumes, partition skew) encode the qualitative behaviours the paper
+// reports:
+//  * PR/CC: shuffle-heavy iterative graph workloads with skewed
+//    partitions and large JVM expansion of adjacency structures — they
+//    OOM under the 1 GB default executors (§5.2) and have narrow
+//    high-performing regions (§5.2, §5.6).
+//  * KM/LR: ML workloads that cache their full training set; KMeans
+//    suffers a long execution-time tail whenever the cache does not fit
+//    and points are re-read every iteration (§5.3).
+//  * TS: a single sort with one wide shuffle, IO-bound, broad optimum;
+//    the default configuration only survives the smallest dataset (§5.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace robotune::sparksim {
+
+enum class WorkloadKind {
+  kPageRank,
+  kKMeans,
+  kConnectedComponents,
+  kLogisticRegression,
+  kTeraSort
+};
+
+std::string to_string(WorkloadKind kind);
+/// Short labels used in the paper's figures: PR, KM, CC, LR, TS.
+std::string short_name(WorkloadKind kind);
+
+struct StageModel {
+  std::string name;
+  /// GB read as stage input: from HDFS for non-cached stages, from the
+  /// cached RDD (if resident) otherwise.
+  double input_gb = 0.0;
+  /// GB written to shuffle files (map side of the next exchange).
+  double shuffle_write_gb = 0.0;
+  /// GB fetched from the previous stage's shuffle output.
+  double shuffle_read_gb = 0.0;
+  /// CPU cost of the stage's user code, seconds per GB per reference core.
+  double cpu_s_per_gb = 1.0;
+  /// Fraction of the stage's bytes that pass through the serializer
+  /// (shuffle + cache writes are serialization-heavy; scans are not).
+  double serialization_intensity = 0.5;
+  bool reads_cached = false;  ///< input comes from the cached RDD
+  bool writes_cache = false;  ///< output is cached (populates the cache)
+  double output_gb = 0.0;     ///< GB written to HDFS at the end
+  /// GB broadcast to every executor at stage start (centroids, model
+  /// weights, hash-join sides).  Cost scales with the executor count.
+  double broadcast_gb = 0.0;
+  /// Multiplier mapping a task's on-disk partition bytes to its JVM
+  /// working set (hash tables, object headers, boxing).
+  double working_set_expansion = 2.0;
+  /// Lognormal sigma of per-task time spread; graph stages are skewed.
+  double task_skew = 0.12;
+};
+
+struct WorkloadSpec {
+  WorkloadKind kind = WorkloadKind::kPageRank;
+  std::string dataset_label;  ///< "D1" | "D2" | "D3"
+  double input_gb = 0.0;
+  /// Deserialized (Java-object) size of all RDDs the workload caches.
+  double cached_gb = 0.0;
+  int iterations = 1;
+  std::vector<StageModel> setup_stages;
+  std::vector<StageModel> iteration_stages;
+
+  std::string full_name() const {
+    return short_name(kind) + "-" + dataset_label;
+  }
+};
+
+/// Builds the workload spec for one of the paper's (workload, dataset)
+/// combinations.  `dataset` is 1, 2, or 3 per Table 1.
+WorkloadSpec make_workload(WorkloadKind kind, int dataset);
+
+/// All five workloads in the paper's order.
+std::vector<WorkloadKind> all_workloads();
+
+}  // namespace robotune::sparksim

@@ -1,0 +1,93 @@
+#include "tuners/bestconfig.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sampling/latin_hypercube.h"
+
+namespace robotune::tuners {
+
+namespace {
+
+// DDS within a box: a Latin hypercube design scaled into [lo, hi] per dim.
+std::vector<std::vector<double>> dds(std::size_t count,
+                                     const std::vector<double>& lo,
+                                     const std::vector<double>& hi,
+                                     Rng& rng) {
+  sampling::LhsOptions options;
+  options.maximin_candidates = 1;  // BestConfig uses plain interval DDS
+  auto design =
+      sampling::latin_hypercube(count, lo.size(), rng, options);
+  for (auto& row : design) {
+    for (std::size_t d = 0; d < row.size(); ++d) {
+      row[d] = lo[d] + row[d] * (hi[d] - lo[d]);
+    }
+  }
+  return design;
+}
+
+}  // namespace
+
+TuningResult BestConfig::tune(sparksim::SparkObjective& objective, int budget,
+                              std::uint64_t seed) {
+  TuningResult result;
+  result.tuner = name();
+  Rng rng(seed);
+  const std::size_t dims = objective.space().size();
+
+  // BestConfig's runtime threshold: static cap initially, then a multiple
+  // of the incumbent best once one exists.
+  double incumbent = std::numeric_limits<double>::infinity();
+  auto current_threshold = [&]() {
+    if (std::isfinite(incumbent)) {
+      return std::min(options_.static_threshold_s,
+                      incumbent * options_.best_multiple_threshold);
+    }
+    return options_.static_threshold_s;
+  };
+
+  std::vector<double> lo(dims, 0.0), hi(dims, 1.0);
+  bool bounded = false;  // current round restricted around the incumbent?
+
+  int remaining = budget;
+  while (remaining > 0) {
+    const int round = std::min(options_.sample_set_size, remaining);
+    const auto samples =
+        dds(static_cast<std::size_t>(round), lo, hi, rng);
+    const double round_start_best = incumbent;
+    for (const auto& unit : samples) {
+      if (remaining <= 0) break;
+      GuardPolicy guard(current_threshold(), 0.0);
+      const auto e = evaluate_into(objective, unit, guard, result);
+      if (e.ok()) incumbent = std::min(incumbent, e.value_s);
+      --remaining;
+    }
+    if (remaining <= 0) break;
+
+    const bool improved = incumbent < round_start_best;
+    if (!std::isfinite(incumbent) || (bounded && !improved)) {
+      // Diverge: back to the full space.
+      std::fill(lo.begin(), lo.end(), 0.0);
+      std::fill(hi.begin(), hi.end(), 1.0);
+      bounded = false;
+      continue;
+    }
+    // Bound: for each dimension, the gap between the nearest sampled
+    // coordinates below and above the incumbent best.
+    const auto& best = result.history[result.best_index].unit;
+    for (std::size_t d = 0; d < dims; ++d) {
+      double below = 0.0, above = 1.0;
+      for (const auto& e : result.history) {
+        const double v = e.unit[d];
+        if (v < best[d]) below = std::max(below, v);
+        if (v > best[d]) above = std::min(above, v);
+      }
+      lo[d] = below;
+      hi[d] = above;
+    }
+    bounded = true;
+  }
+  return result;
+}
+
+}  // namespace robotune::tuners

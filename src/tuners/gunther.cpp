@@ -1,0 +1,94 @@
+#include "tuners/gunther.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace robotune::tuners {
+
+namespace {
+
+struct Individual {
+  std::vector<double> genes;
+  double fitness = std::numeric_limits<double>::infinity();  // lower = better
+};
+
+}  // namespace
+
+TuningResult Gunther::tune(sparksim::SparkObjective& objective, int budget,
+                           std::uint64_t seed) {
+  TuningResult result;
+  result.tuner = name();
+  Rng rng(seed);
+  const std::size_t dims = objective.space().size();
+  GuardPolicy guard(options_.static_threshold_s, /*median_multiple=*/0.0);
+
+  auto evaluate = [&](Individual& ind) {
+    const auto e = evaluate_into(objective, ind.genes, guard, result);
+    // Failed configurations get the penalty value so selection avoids them.
+    ind.fitness = e.value_s;
+  };
+
+  // --- Initial population (random, sized by parameter count) -------------
+  int init_size = static_cast<int>(
+      std::lround(options_.initial_per_param * static_cast<double>(dims)));
+  init_size = std::min(
+      init_size,
+      static_cast<int>(budget * options_.max_initial_budget_fraction));
+  init_size = std::max(init_size, std::min(budget, 4));
+
+  std::vector<Individual> population;
+  population.reserve(static_cast<std::size_t>(init_size));
+  int remaining = budget;
+  for (int i = 0; i < init_size && remaining > 0; ++i, --remaining) {
+    Individual ind;
+    ind.genes.resize(dims);
+    for (auto& g : ind.genes) g = rng.uniform();
+    evaluate(ind);
+    population.push_back(std::move(ind));
+  }
+
+  // --- Generations: aggressive selection, crossover, mutation -------------
+  while (remaining > 0) {
+    std::sort(population.begin(), population.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.fitness < b.fitness;
+              });
+    const int elite = std::min<int>(options_.elite,
+                                    static_cast<int>(population.size()));
+    population.resize(static_cast<std::size_t>(std::max(elite, 2)));
+
+    std::vector<Individual> offspring;
+    const int gen = std::min(options_.generation_size, remaining);
+    offspring.reserve(static_cast<std::size_t>(gen));
+    for (int c = 0; c < gen; ++c) {
+      const auto& a =
+          population[rng.uniform_index(population.size())];
+      const auto& b =
+          population[rng.uniform_index(population.size())];
+      Individual child;
+      child.genes.resize(dims);
+      for (std::size_t d = 0; d < dims; ++d) {
+        child.genes[d] = rng.bernoulli(0.5) ? a.genes[d] : b.genes[d];
+        if (rng.bernoulli(options_.mutation_rate)) {
+          if (rng.bernoulli(options_.reset_probability)) {
+            child.genes[d] = rng.uniform();  // aggressive reset
+          } else {
+            child.genes[d] = std::clamp(
+                child.genes[d] + rng.normal(0.0, options_.gaussian_sigma),
+                0.0, 1.0 - 1e-12);
+          }
+        }
+      }
+      evaluate(child);
+      --remaining;
+      offspring.push_back(std::move(child));
+      if (remaining <= 0) break;
+    }
+    population.insert(population.end(),
+                      std::make_move_iterator(offspring.begin()),
+                      std::make_move_iterator(offspring.end()));
+  }
+  return result;
+}
+
+}  // namespace robotune::tuners

@@ -1,0 +1,20 @@
+#include "tuners/random_search.h"
+
+namespace robotune::tuners {
+
+TuningResult RandomSearch::tune(sparksim::SparkObjective& objective,
+                                int budget, std::uint64_t seed) {
+  TuningResult result;
+  result.tuner = name();
+  Rng rng(seed);
+  const std::size_t dims = objective.space().size();
+  GuardPolicy guard(static_threshold_s_, /*median_multiple=*/0.0);
+  std::vector<double> unit(dims);
+  for (int i = 0; i < budget; ++i) {
+    for (auto& u : unit) u = rng.uniform();
+    evaluate_into(objective, unit, guard, result);
+  }
+  return result;
+}
+
+}  // namespace robotune::tuners

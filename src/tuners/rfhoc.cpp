@@ -1,0 +1,114 @@
+#include "tuners/rfhoc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/random_forest.h"
+#include "sampling/latin_hypercube.h"
+
+namespace robotune::tuners {
+
+namespace {
+
+struct ModelIndividual {
+  std::vector<double> genes;
+  double predicted = 0.0;
+};
+
+}  // namespace
+
+TuningResult Rfhoc::tune(sparksim::SparkObjective& objective, int budget,
+                         std::uint64_t seed) {
+  TuningResult result;
+  result.tuner = name();
+  Rng rng(seed);
+  const std::size_t dims = objective.space().size();
+  GuardPolicy guard(options_.static_threshold_s, /*median_multiple=*/0.0);
+
+  // ---- Phase 1: collect training executions ------------------------------
+  int train_count = static_cast<int>(
+      std::lround(budget * std::clamp(options_.train_fraction, 0.1, 0.95)));
+  train_count = std::clamp(train_count, std::min(budget, 10), budget);
+  const auto design = sampling::latin_hypercube(
+      static_cast<std::size_t>(train_count), dims, rng);
+  ml::Dataset data(dims);
+  for (const auto& unit : design) {
+    const auto e = evaluate_into(objective, unit, guard, result);
+    // Model log(time): same rationale as the BO engine.
+    data.add_row(unit, std::log(std::max(1e-6, e.value_s)));
+  }
+  if (train_count >= budget) return result;
+
+  ml::ForestOptions forest_options;
+  forest_options.num_trees = options_.forest_trees;
+  forest_options.tree.max_features = dims;
+  ml::RandomForest model(forest_options, seed ^ 0xabcdULL);
+  model.fit(data);
+
+  // ---- Phase 2: GA over the surrogate -------------------------------------
+  std::vector<ModelIndividual> population(
+      static_cast<std::size_t>(options_.ga_population));
+  for (auto& ind : population) {
+    ind.genes.resize(dims);
+    for (auto& g : ind.genes) g = rng.uniform();
+    ind.predicted = model.predict(ind.genes);
+  }
+  for (int gen = 0; gen < options_.ga_generations; ++gen) {
+    std::sort(population.begin(), population.end(),
+              [](const ModelIndividual& a, const ModelIndividual& b) {
+                return a.predicted < b.predicted;
+              });
+    const auto elite = static_cast<std::size_t>(
+        std::max(2, options_.ga_elite));
+    for (std::size_t i = elite; i < population.size(); ++i) {
+      const auto& a = population[rng.uniform_index(elite)];
+      const auto& b = population[rng.uniform_index(elite)];
+      auto& child = population[i];
+      for (std::size_t d = 0; d < dims; ++d) {
+        child.genes[d] = rng.bernoulli(0.5) ? a.genes[d] : b.genes[d];
+        if (rng.bernoulli(options_.mutation_rate)) {
+          child.genes[d] = rng.uniform();
+        }
+      }
+      child.predicted = model.predict(child.genes);
+    }
+  }
+  std::sort(population.begin(), population.end(),
+            [](const ModelIndividual& a, const ModelIndividual& b) {
+              return a.predicted < b.predicted;
+            });
+
+  // ---- Phase 3: validate the model's favourites on the cluster -----------
+  const int validation_budget = budget - train_count;
+  int validated = 0;
+  for (const auto& ind : population) {
+    if (validated >= validation_budget) break;
+    // Skip near-duplicates of already-validated candidates.
+    bool duplicate = false;
+    for (int j = 0; j < validated; ++j) {
+      const auto& prev =
+          result.history[result.history.size() - 1 -
+                         static_cast<std::size_t>(j)];
+      double distance = 0.0;
+      for (std::size_t d = 0; d < dims; ++d) {
+        distance += std::abs(prev.unit[d] - ind.genes[d]);
+      }
+      if (distance < 0.05 * static_cast<double>(dims)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    evaluate_into(objective, ind.genes, guard, result);
+    ++validated;
+  }
+  // If dedup starved the validation phase, fill with fresh random probes.
+  while (static_cast<int>(result.history.size()) < budget) {
+    std::vector<double> unit(dims);
+    for (auto& u : unit) u = rng.uniform();
+    evaluate_into(objective, unit, guard, result);
+  }
+  return result;
+}
+
+}  // namespace robotune::tuners

@@ -1,0 +1,60 @@
+#include "tuners/session_trace.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <ostream>
+
+namespace robotune::tuners {
+
+std::size_t write_csv(const TuningResult& result, std::ostream& out,
+                      const TraceOptions& options) {
+  // Header.
+  out << "index,tuner,value_s,cost_s,status,stopped_early,best_so_far";
+  const std::size_t dims =
+      result.history.empty() ? 0 : result.history.front().unit.size();
+  if (options.include_parameters) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      if (options.space != nullptr) {
+        out << "," << options.space->spec(d).name;
+      } else {
+        out << ",u" << d;
+      }
+    }
+  }
+  out << "\n";
+
+  out.precision(10);
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t rows = 0;
+  for (std::size_t i = 0; i < result.history.size(); ++i) {
+    const auto& e = result.history[i];
+    if (e.ok()) best = std::min(best, e.value_s);
+    out << i << "," << result.tuner << "," << e.value_s << "," << e.cost_s
+        << "," << sparksim::to_string(e.status) << ","
+        << (e.stopped_early ? 1 : 0) << ",";
+    if (std::isfinite(best)) {
+      out << best;
+    }  // empty until the first success
+    if (options.include_parameters) {
+      const auto decoded =
+          options.space != nullptr
+              ? options.space->decode(e.unit)
+              : sparksim::DecodedConfig(e.unit.begin(), e.unit.end());
+      for (double v : decoded) out << "," << v;
+    }
+    out << "\n";
+    ++rows;
+  }
+  return rows;
+}
+
+bool write_csv_file(const TuningResult& result, const std::string& path,
+                    const TraceOptions& options) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(result, out, options);
+  return static_cast<bool>(out);
+}
+
+}  // namespace robotune::tuners

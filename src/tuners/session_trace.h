@@ -1,0 +1,35 @@
+// Session trace export: serialize a tuning session's evaluation history
+// to CSV for offline analysis/plotting (the figures in bench_results/ can
+// be re-plotted from these).
+//
+// Columns: index, tuner, value_s, cost_s, status, stopped_early,
+// best_so_far, then one column per configuration parameter (unit coords
+// by default, decoded values when a ConfigSpace is supplied).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "sparksim/param_space.h"
+#include "tuners/tuner.h"
+
+namespace robotune::tuners {
+
+struct TraceOptions {
+  /// Decode unit coordinates into parameter values using this space.
+  const sparksim::ConfigSpace* space = nullptr;
+  /// Include one column per parameter (otherwise only the summary
+  /// columns are written).
+  bool include_parameters = true;
+};
+
+/// Writes the session as CSV.  Returns the number of data rows.
+std::size_t write_csv(const TuningResult& result, std::ostream& out,
+                      const TraceOptions& options = {});
+
+/// Convenience file wrapper; returns false if the file cannot be opened.
+bool write_csv_file(const TuningResult& result, const std::string& path,
+                    const TraceOptions& options = {});
+
+}  // namespace robotune::tuners

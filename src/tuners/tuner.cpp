@@ -1,0 +1,73 @@
+#include "tuners/tuner.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace robotune::tuners {
+
+bool TuningResult::found_any() const noexcept {
+  for (const auto& e : history) {
+    if (e.ok()) return true;
+  }
+  return false;
+}
+
+double TuningResult::best_value_s() const {
+  require(!history.empty(), "TuningResult: empty history");
+  return history[best_index].value_s;
+}
+
+const std::vector<double>& TuningResult::best_unit() const {
+  require(!history.empty(), "TuningResult: empty history");
+  return history[best_index].unit;
+}
+
+std::vector<double> TuningResult::best_trajectory() const {
+  std::vector<double> out;
+  out.reserve(history.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& e : history) {
+    if (e.ok()) best = std::min(best, e.value_s);
+    out.push_back(best);
+  }
+  return out;
+}
+
+std::vector<double> TuningResult::sampled_times() const {
+  std::vector<double> out;
+  out.reserve(history.size());
+  for (const auto& e : history) {
+    if (e.status == sparksim::RunStatus::kOk ||
+        e.status == sparksim::RunStatus::kTimeLimit) {
+      out.push_back(e.value_s);
+    }
+  }
+  return out;
+}
+
+Evaluation evaluate_into(sparksim::SparkObjective& objective,
+                         const std::vector<double>& unit, GuardPolicy& guard,
+                         TuningResult& result) {
+  const auto outcome = objective.evaluate(unit, guard.current());
+  Evaluation e;
+  e.unit = unit;
+  e.value_s = outcome.value_s;
+  e.cost_s = outcome.cost_s;
+  e.status = outcome.status;
+  e.stopped_early = outcome.stopped_early;
+  guard.record(e);
+  result.search_cost_s += e.cost_s;
+  result.history.push_back(e);
+  // Track the incumbent: only successful runs can be "best".
+  const std::size_t idx = result.history.size() - 1;
+  if (e.ok()) {
+    if (!result.history[result.best_index].ok() ||
+        e.value_s < result.history[result.best_index].value_s) {
+      result.best_index = idx;
+    }
+  }
+  return e;
+}
+
+}  // namespace robotune::tuners

@@ -1,0 +1,90 @@
+// Common tuner interface and shared machinery: evaluation history,
+// tuning results, and the guard thresholds that stop pathologically bad
+// configurations (paper §4 "Guard against bad configurations" and §5.1,
+// where Gunther/RS are augmented with a static threshold for fairness).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/statistics.h"
+#include "sparksim/objective.h"
+
+namespace robotune::tuners {
+
+struct Evaluation {
+  std::vector<double> unit;  ///< full-space unit vector evaluated
+  double value_s = 0.0;      ///< observed objective (capped/penalized)
+  double cost_s = 0.0;       ///< wall-clock charge to the session
+  sparksim::RunStatus status = sparksim::RunStatus::kOk;
+  bool stopped_early = false;
+
+  bool ok() const noexcept { return status == sparksim::RunStatus::kOk; }
+};
+
+struct TuningResult {
+  std::string tuner;
+  std::vector<Evaluation> history;
+  std::size_t best_index = 0;
+  /// Total time spent generating + evaluating configurations (§5.3).
+  double search_cost_s = 0.0;
+
+  bool found_any() const noexcept;
+  double best_value_s() const;
+  const std::vector<double>& best_unit() const;
+  /// best-so-far value after each evaluation (the Fig. 6 curves).
+  std::vector<double> best_trajectory() const;
+  /// Execution times of all successfully evaluated configurations (the
+  /// Fig. 5 distributions; early-stopped runs contribute their threshold).
+  std::vector<double> sampled_times() const;
+};
+
+/// Tracks the guard threshold: the tighter of a static cap and a multiple
+/// of the running median of successful evaluations.
+class GuardPolicy {
+ public:
+  GuardPolicy(double static_threshold_s, double median_multiple)
+      : static_threshold_s_(static_threshold_s),
+        median_multiple_(median_multiple) {}
+
+  /// Threshold to kill a run at; 0 = no guard active yet.
+  double current() const {
+    double t = static_threshold_s_ > 0.0
+                   ? static_threshold_s_
+                   : 0.0;
+    if (median_multiple_ > 0.0 && observed_.size() >= 5) {
+      const double m =
+          stats::median(observed_) * median_multiple_;
+      t = t > 0.0 ? std::min(t, m) : m;
+    }
+    return t;
+  }
+
+  void record(const Evaluation& e) {
+    if (e.ok() && !e.stopped_early) observed_.push_back(e.value_s);
+  }
+
+ private:
+  double static_threshold_s_;
+  double median_multiple_;
+  std::vector<double> observed_;
+};
+
+class Tuner {
+ public:
+  virtual ~Tuner() = default;
+  virtual std::string name() const = 0;
+  /// Runs a tuning session with a budget of `budget` evaluations.
+  virtual TuningResult tune(sparksim::SparkObjective& objective, int budget,
+                            std::uint64_t seed) = 0;
+};
+
+/// Helper shared by tuner implementations: evaluate a unit vector under
+/// the guard, append to the result, update the guard.
+Evaluation evaluate_into(sparksim::SparkObjective& objective,
+                         const std::vector<double>& unit, GuardPolicy& guard,
+                         TuningResult& result);
+
+}  // namespace robotune::tuners

@@ -1,0 +1,305 @@
+// Unit tests for src/common: RNG, statistics, thread pool, error helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "common/thread_pool.h"
+
+namespace robotune {
+namespace {
+
+// ---------------------------------------------------------------- RNG ----
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng a(7);
+  const std::uint64_t first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(RngTest, UniformInHalfOpenUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 2.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 2.5);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(RngTest, UniformIndexCoversAllValues) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIndexZeroIsZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.uniform_index(0), 0u);
+  EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(19);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalScalesMeanAndStddev) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, LognormalIsPositive) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(37);
+  Rng b = a.split();
+  // Streams should differ from each other and from the parent's past.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+// ---------------------------------------------------------- statistics ----
+
+TEST(StatsTest, MeanAndVariance) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(stats::mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(stats::variance(xs), 2.5);
+  EXPECT_NEAR(stats::stddev(xs), std::sqrt(2.5), 1e-12);
+}
+
+TEST(StatsTest, EmptyInputsAreSafe) {
+  const std::vector<double> xs;
+  EXPECT_DOUBLE_EQ(stats::mean(xs), 0.0);
+  EXPECT_DOUBLE_EQ(stats::variance(xs), 0.0);
+  EXPECT_TRUE(std::isnan(stats::quantile(xs, 0.5)));
+}
+
+TEST(StatsTest, SingleValueVarianceZero) {
+  const std::vector<double> xs = {42.0};
+  EXPECT_DOUBLE_EQ(stats::variance(xs), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> xs = {4, 1, 3, 2};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(stats::median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(StatsTest, QuantileClampsOutOfRangeQ) {
+  const std::vector<double> xs = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 2.0), 3.0);
+}
+
+TEST(StatsTest, MinMax) {
+  const std::vector<double> xs = {3, -1, 7};
+  EXPECT_DOUBLE_EQ(stats::min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(stats::max(xs), 7.0);
+}
+
+TEST(StatsTest, R2PerfectPrediction) {
+  const std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(stats::r2_score(y, y), 1.0);
+}
+
+TEST(StatsTest, R2MeanPredictionIsZero) {
+  const std::vector<double> y = {1, 2, 3, 4};
+  const std::vector<double> pred(4, 2.5);
+  EXPECT_DOUBLE_EQ(stats::r2_score(y, pred), 0.0);
+}
+
+TEST(StatsTest, R2WorseThanMeanIsNegative) {
+  const std::vector<double> y = {1, 2, 3, 4};
+  const std::vector<double> pred = {4, 3, 2, 1};
+  EXPECT_LT(stats::r2_score(y, pred), 0.0);
+}
+
+TEST(StatsTest, R2MismatchedSizesIsNan) {
+  const std::vector<double> y = {1, 2};
+  const std::vector<double> pred = {1};
+  EXPECT_TRUE(std::isnan(stats::r2_score(y, pred)));
+}
+
+TEST(StatsTest, RecallCountsTruePositives) {
+  const std::vector<std::size_t> truth = {1, 2, 3, 4};
+  const std::vector<std::size_t> pred = {2, 4, 9};
+  EXPECT_DOUBLE_EQ(stats::recall(truth, pred), 0.5);
+}
+
+TEST(StatsTest, RecallEmptyTruthIsOne) {
+  const std::vector<std::size_t> truth;
+  const std::vector<std::size_t> pred = {1};
+  EXPECT_DOUBLE_EQ(stats::recall(truth, pred), 1.0);
+}
+
+TEST(StatsTest, PearsonPerfectPositiveAndNegative) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> up = {2, 4, 6, 8};
+  std::vector<double> down = {8, 6, 4, 2};
+  EXPECT_NEAR(stats::pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(stats::pearson(xs, down), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantSideIsZero) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> c = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(stats::pearson(xs, c), 0.0);
+}
+
+TEST(StatsTest, NormalPdfCdfKnownValues) {
+  EXPECT_NEAR(stats::normal_pdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(stats::normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(stats::normal_cdf(1.96), 0.9750021048517795, 1e-9);
+  EXPECT_NEAR(stats::normal_cdf(-1.96), 1.0 - 0.9750021048517795, 1e-9);
+}
+
+TEST(StatsTest, SummaryQuantilesOrdered) {
+  std::vector<double> xs;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform(0, 100));
+  const auto s = stats::summarize(xs);
+  EXPECT_EQ(s.count, 500u);
+  EXPECT_LE(s.min, s.p25);
+  EXPECT_LE(s.p25, s.median);
+  EXPECT_LE(s.median, s.p75);
+  EXPECT_LE(s.p75, s.p90);
+  EXPECT_LE(s.p90, s.max);
+}
+
+// ---------------------------------------------------------- thread pool ----
+
+TEST(ThreadPoolTest, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, SingleWorkerFallsBackToSerial) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for(8, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  // Serial fallback preserves order (no synchronization needed).
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateFromSubmit) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+// ----------------------------------------------------------------- error ----
+
+TEST(ErrorTest, RequireThrowsOnViolation) {
+  EXPECT_THROW(require(false, "nope"), InvalidArgument);
+  EXPECT_NO_THROW(require(true, "fine"));
+}
+
+}  // namespace
+}  // namespace robotune

@@ -1,0 +1,338 @@
+// Tests for src/gp: kernels, Gaussian-process regression, acquisition
+// functions, GP-Hedge portfolio.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "gp/acquisition.h"
+#include "gp/gaussian_process.h"
+#include "gp/kernel.h"
+
+namespace robotune::gp {
+namespace {
+
+// ------------------------------------------------------------- kernels ----
+
+TEST(Matern52Test, SelfCovarianceIsSignalVariance) {
+  Matern52 k(0.5, 2.0);
+  const std::vector<double> x = {0.1, 0.9};
+  EXPECT_NEAR(k(x, x), 2.0, 1e-12);
+}
+
+TEST(Matern52Test, DecaysWithDistanceAndIsSymmetric) {
+  Matern52 k(0.5, 1.0);
+  const std::vector<double> a = {0.0};
+  const std::vector<double> b = {0.3};
+  const std::vector<double> c = {0.9};
+  EXPECT_GT(k(a, b), k(a, c));
+  EXPECT_DOUBLE_EQ(k(a, b), k(b, a));
+  EXPECT_GT(k(a, c), 0.0);
+}
+
+TEST(Matern52Test, LongerLengthScaleDecaysSlower) {
+  Matern52 narrow(0.1, 1.0);
+  Matern52 wide(2.0, 1.0);
+  const std::vector<double> a = {0.0};
+  const std::vector<double> b = {0.5};
+  EXPECT_LT(narrow(a, b), wide(a, b));
+}
+
+TEST(Matern52Test, LogParamsRoundTrip) {
+  Matern52 k(0.7, 3.0);
+  const auto p = k.log_params();
+  Matern52 k2(1.0, 1.0);
+  k2.set_log_params(p);
+  EXPECT_NEAR(k2.length_scale(), 0.7, 1e-12);
+  EXPECT_NEAR(k2.signal_variance(), 3.0, 1e-12);
+}
+
+TEST(Matern52Test, InvalidParametersThrow) {
+  EXPECT_THROW(Matern52(-1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(Matern52(1.0, 0.0), InvalidArgument);
+}
+
+TEST(Matern52ArdTest, IrrelevantDimensionDropsOut) {
+  Matern52Ard k(2, 0.5, 1.0);
+  // Make dimension 1 irrelevant via a huge length scale.
+  k.set_log_params(std::vector<double>{std::log(0.5), std::log(1e6), 0.0});
+  const std::vector<double> a = {0.2, 0.1};
+  const std::vector<double> b = {0.2, 0.9};  // differs only in dim 1
+  EXPECT_NEAR(k(a, b), k(a, a), 1e-6);
+}
+
+TEST(Matern52ArdTest, MatchesIsotropicWhenScalesEqual) {
+  Matern52 iso(0.4, 1.5);
+  Matern52Ard ard(3, 0.4, 1.5);
+  const std::vector<double> a = {0.1, 0.2, 0.3};
+  const std::vector<double> b = {0.9, 0.5, 0.4};
+  EXPECT_NEAR(iso(a, b), ard(a, b), 1e-12);
+}
+
+TEST(Matern52ArdTest, ParamsRoundTrip) {
+  Matern52Ard k(2, 0.3, 2.0);
+  auto p = k.log_params();
+  ASSERT_EQ(p.size(), 3u);
+  p[0] = std::log(0.9);
+  k.set_log_params(p);
+  EXPECT_NEAR(k.length_scales()[0], 0.9, 1e-12);
+  EXPECT_NEAR(k.length_scales()[1], 0.3, 1e-12);
+}
+
+TEST(WhiteNoiseTest, OnlyContributesToObservedDiagonal) {
+  WhiteNoise k(0.25);
+  const std::vector<double> x = {0.5};
+  EXPECT_DOUBLE_EQ(k(x, x), 0.0);  // cross-covariances are zero
+  EXPECT_DOUBLE_EQ(k.diagonal_noise(), 0.25);
+}
+
+TEST(SumKernelTest, AddsComponentsAndConcatenatesParams) {
+  SumKernel k(std::make_unique<Matern52>(0.5, 1.0),
+              std::make_unique<WhiteNoise>(0.1));
+  const std::vector<double> a = {0.0};
+  const std::vector<double> b = {0.2};
+  Matern52 m(0.5, 1.0);
+  EXPECT_DOUBLE_EQ(k(a, b), m(a, b));
+  EXPECT_DOUBLE_EQ(k.diagonal_noise(), 0.1);
+  EXPECT_EQ(k.num_params(), 3u);
+  const auto clone = k.clone();
+  EXPECT_DOUBLE_EQ((*clone)(a, b), k(a, b));
+}
+
+// ------------------------------------------------------ Gaussian process ----
+
+TEST(GpTest, InterpolatesNoiselessTrainingData) {
+  std::vector<std::vector<double>> x = {{0.1}, {0.4}, {0.8}};
+  std::vector<double> y = {1.0, 3.0, -2.0};
+  GaussianProcess gp(default_kernel(0.3, 1.0, 1e-8), GpOptions{false});
+  gp.fit(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto p = gp.predict(x[i]);
+    EXPECT_NEAR(p.mean, y[i], 1e-3);
+    EXPECT_LT(p.stddev(), 0.1);
+  }
+}
+
+TEST(GpTest, UncertaintyGrowsAwayFromData) {
+  std::vector<std::vector<double>> x = {{0.2}, {0.3}};
+  std::vector<double> y = {1.0, 1.5};
+  GaussianProcess gp(default_kernel(0.1, 1.0, 1e-6), GpOptions{false});
+  gp.fit(x, y);
+  const auto near = gp.predict(std::vector<double>{0.25});
+  const auto far = gp.predict(std::vector<double>{0.95});
+  EXPECT_LT(near.variance, far.variance);
+}
+
+TEST(GpTest, PredictionRevertsToMeanFarAway) {
+  std::vector<std::vector<double>> x = {{0.5}};
+  std::vector<double> y = {10.0};
+  GaussianProcess gp(default_kernel(0.05, 1.0, 1e-6), GpOptions{false});
+  gp.fit(x, y);
+  // Standardization is degenerate with one point (scale=1), so the prior
+  // mean equals the observed value; with more points it is their mean.
+  std::vector<std::vector<double>> x2 = {{0.1}, {0.2}};
+  std::vector<double> y2 = {4.0, 8.0};
+  gp.fit(x2, y2);
+  const auto far = gp.predict(std::vector<double>{0.99});
+  EXPECT_NEAR(far.mean, 6.0, 0.5);
+}
+
+TEST(GpTest, HyperparameterFitImprovesMarginalLikelihood) {
+  Rng rng(3);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 30; ++i) {
+    const double xi = rng.uniform();
+    x.push_back({xi});
+    y.push_back(std::sin(7.0 * xi) + rng.normal(0, 0.05));
+  }
+  GaussianProcess fixed(default_kernel(1.5, 1.0, 1e-2), GpOptions{false});
+  fixed.fit(x, y);
+  GpOptions opt;
+  opt.optimize_hyperparameters = true;
+  GaussianProcess fitted(default_kernel(1.5, 1.0, 1e-2), opt);
+  fitted.fit(x, y);
+  EXPECT_GE(fitted.log_marginal_likelihood(),
+            fixed.log_marginal_likelihood() - 1e-6);
+}
+
+TEST(GpTest, ScaleInvariantThroughStandardization) {
+  std::vector<std::vector<double>> x = {{0.1}, {0.5}, {0.9}};
+  std::vector<double> y = {100.0, 300.0, 200.0};
+  std::vector<double> y_scaled = {1000.0, 3000.0, 2000.0};
+  GaussianProcess a(default_kernel(0.3, 1.0, 1e-6), GpOptions{false});
+  GaussianProcess b(default_kernel(0.3, 1.0, 1e-6), GpOptions{false});
+  a.fit(x, y);
+  b.fit(x, y_scaled);
+  const auto pa = a.predict(std::vector<double>{0.3});
+  const auto pb = b.predict(std::vector<double>{0.3});
+  EXPECT_NEAR(pb.mean, 10.0 * pa.mean, 1e-6);
+  EXPECT_NEAR(pb.stddev(), 10.0 * pa.stddev(), 1e-6);
+}
+
+TEST(GpTest, BestObservedIsMinimum) {
+  std::vector<std::vector<double>> x = {{0.1}, {0.5}, {0.9}};
+  std::vector<double> y = {5.0, 2.0, 7.0};
+  GaussianProcess gp(default_kernel(), GpOptions{false});
+  gp.fit(x, y);
+  EXPECT_DOUBLE_EQ(gp.best_observed(), 2.0);
+}
+
+TEST(GpTest, CopySemanticsPreserveFit) {
+  std::vector<std::vector<double>> x = {{0.2}, {0.7}};
+  std::vector<double> y = {1.0, -1.0};
+  GaussianProcess gp(default_kernel(0.3, 1.0, 1e-6), GpOptions{false});
+  gp.fit(x, y);
+  GaussianProcess copy(gp);
+  const auto p1 = gp.predict(std::vector<double>{0.4});
+  const auto p2 = copy.predict(std::vector<double>{0.4});
+  EXPECT_DOUBLE_EQ(p1.mean, p2.mean);
+  EXPECT_DOUBLE_EQ(p1.variance, p2.variance);
+}
+
+TEST(GpTest, PredictBeforeFitThrows) {
+  GaussianProcess gp;
+  EXPECT_THROW(gp.predict(std::vector<double>{0.5}), InvalidArgument);
+}
+
+TEST(GpTest, MismatchedXYThrows) {
+  GaussianProcess gp;
+  std::vector<std::vector<double>> x = {{0.1}};
+  std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW(gp.fit(x, y), InvalidArgument);
+}
+
+TEST(GpTest, PredictMeanMatchesPredict) {
+  std::vector<std::vector<double>> x = {{0.1}, {0.6}};
+  std::vector<double> y = {2.0, 4.0};
+  GaussianProcess gp(default_kernel(), GpOptions{false});
+  gp.fit(x, y);
+  const std::vector<std::vector<double>> grid = {{0.2}, {0.5}};
+  const auto means = gp.predict_mean(grid);
+  EXPECT_DOUBLE_EQ(means[0], gp.predict(grid[0]).mean);
+  EXPECT_DOUBLE_EQ(means[1], gp.predict(grid[1]).mean);
+}
+
+// -------------------------------------------------------- acquisitions ----
+
+TEST(AcquisitionTest, EiIsNonNegativeAndZeroAtZeroSigma) {
+  EXPECT_GE(acquisition_value(AcquisitionKind::kEI, 5.0, 1.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(acquisition_value(AcquisitionKind::kEI, 5.0, 0.0, 4.0),
+                   0.0);
+}
+
+TEST(AcquisitionTest, EiGrowsWithImprovementPotential) {
+  const double worse = acquisition_value(AcquisitionKind::kEI, 5.0, 1.0, 4.0);
+  const double better = acquisition_value(AcquisitionKind::kEI, 2.0, 1.0, 4.0);
+  EXPECT_GT(better, worse);
+}
+
+TEST(AcquisitionTest, PiIsAProbability) {
+  for (double mu : {1.0, 3.0, 6.0}) {
+    const double v = acquisition_value(AcquisitionKind::kPI, mu, 0.7, 4.0);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // Far below the incumbent: nearly certain improvement.
+  EXPECT_GT(acquisition_value(AcquisitionKind::kPI, 0.0, 0.5, 4.0), 0.99);
+}
+
+TEST(AcquisitionTest, LcbPrefersLowMeanAndHighSigma) {
+  const AcquisitionParams params;
+  const double base = acquisition_value(AcquisitionKind::kLCB, 3.0, 1.0, 0.0);
+  EXPECT_GT(acquisition_value(AcquisitionKind::kLCB, 2.0, 1.0, 0.0), base);
+  EXPECT_GT(acquisition_value(AcquisitionKind::kLCB, 3.0, 2.0, 0.0), base);
+  // Matches the formula −(μ − κσ).
+  EXPECT_NEAR(base, -(3.0 - params.kappa * 1.0), 1e-12);
+}
+
+TEST(AcquisitionTest, XiShiftsEiDown) {
+  AcquisitionParams eager;
+  eager.xi = 0.0;
+  AcquisitionParams cautious;
+  cautious.xi = 0.5;
+  EXPECT_GT(acquisition_value(AcquisitionKind::kEI, 3.5, 1.0, 4.0, eager),
+            acquisition_value(AcquisitionKind::kEI, 3.5, 1.0, 4.0, cautious));
+}
+
+TEST(OptimizeAcquisitionTest, FindsPromisingRegion) {
+  // Observations form a V shape with minimum near x=0.5; EI should propose
+  // a point near the bottom region rather than the edges.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (double xi : {0.0, 0.15, 0.35, 0.65, 0.85, 1.0 - 1e-9}) {
+    x.push_back({xi});
+    y.push_back(std::abs(xi - 0.5) * 10.0);
+  }
+  GaussianProcess gp(default_kernel(0.2, 1.0, 1e-4), GpOptions{false});
+  gp.fit(x, y);
+  Rng rng(4);
+  const auto best =
+      optimize_acquisition(gp, AcquisitionKind::kEI, 1, rng);
+  EXPECT_GT(best[0], 0.3);
+  EXPECT_LT(best[0], 0.7);
+}
+
+// ------------------------------------------------------------- GP-Hedge ----
+
+TEST(GpHedgeTest, InitialProbabilitiesUniform) {
+  GpHedge hedge(2, 1);
+  const auto p = hedge.probabilities();
+  ASSERT_EQ(p.size(), 3u);
+  for (double v : p) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+}
+
+TEST(GpHedgeTest, ProbabilitiesSumToOneAfterUpdates) {
+  GpHedge hedge(1, 2);
+  std::vector<std::vector<double>> x = {{0.2}, {0.8}};
+  std::vector<double> y = {1.0, 3.0};
+  GaussianProcess gp(default_kernel(0.3, 1.0, 1e-4), GpOptions{false});
+  gp.fit(x, y);
+  const auto choice = hedge.propose(gp);
+  hedge.update_gains(gp, choice);
+  const auto p = hedge.probabilities();
+  double sum = 0.0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(GpHedgeTest, ProposesThreeNominees) {
+  GpHedge hedge(2, 3);
+  std::vector<std::vector<double>> x = {{0.2, 0.2}, {0.8, 0.8}, {0.5, 0.1}};
+  std::vector<double> y = {1.0, 3.0, 2.0};
+  GaussianProcess gp(default_kernel(0.4, 1.0, 1e-4), GpOptions{false});
+  gp.fit(x, y);
+  const auto choice = hedge.propose(gp);
+  EXPECT_EQ(choice.nominees.size(), 3u);
+  EXPECT_EQ(choice.point.size(), 2u);
+  for (double v : choice.point) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(GpHedgeTest, GainsFavorFunctionsNominatingGoodPoints) {
+  // Give PI/EI/LCB gains manually through updates and check the softmax
+  // shifts: simulate by fitting a GP where the region one nominee sits in
+  // is clearly better.
+  GpHedge hedge(1, 7);
+  std::vector<std::vector<double>> x = {{0.1}, {0.5}, {0.9}};
+  std::vector<double> y = {5.0, 1.0, 5.0};
+  GaussianProcess gp(default_kernel(0.2, 1.0, 1e-4), GpOptions{false});
+  gp.fit(x, y);
+  for (int i = 0; i < 5; ++i) {
+    const auto choice = hedge.propose(gp);
+    hedge.update_gains(gp, choice);
+  }
+  // All gains move; none is NaN; probabilities remain a distribution.
+  for (double g : hedge.gains()) EXPECT_TRUE(std::isfinite(g));
+  const auto p = hedge.probabilities();
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace robotune::gp

@@ -1,0 +1,140 @@
+// Cross-module integration tests: the full tuning pipeline end to end,
+// mirroring (in miniature) the paper's evaluation setup.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/robotune.h"
+#include "gp/gaussian_process.h"
+#include "sparksim/objective.h"
+#include "tuners/bestconfig.h"
+#include "tuners/gunther.h"
+#include "tuners/random_search.h"
+
+namespace robotune {
+namespace {
+
+using core::RoboTune;
+using core::RoboTuneOptions;
+using sparksim::SparkObjective;
+using sparksim::WorkloadKind;
+
+SparkObjective make_objective(WorkloadKind kind, int dataset,
+                              std::uint64_t seed) {
+  return SparkObjective(sparksim::ClusterSpec{},
+                        sparksim::make_workload(kind, dataset),
+                        sparksim::spark24_config_space(), seed);
+}
+
+RoboTuneOptions fast_options() {
+  RoboTuneOptions options;
+  options.selection.generic_samples = 60;
+  options.selection.forest_trees = 80;
+  options.selection.permutation_repeats = 3;
+  options.bo.initial_samples = 12;
+  options.bo.hyperfit_every = 8;
+  return options;
+}
+
+TEST(IntegrationTest, MiniComparisonAllTunersComplete) {
+  const int budget = 40;
+  std::vector<std::unique_ptr<tuners::Tuner>> all;
+  all.push_back(std::make_unique<tuners::RandomSearch>());
+  all.push_back(std::make_unique<tuners::BestConfig>());
+  all.push_back(std::make_unique<tuners::Gunther>());
+  all.push_back(std::make_unique<RoboTune>(fast_options()));
+  for (auto& tuner : all) {
+    auto objective = make_objective(WorkloadKind::kPageRank, 1, 99);
+    const auto result = tuner->tune(objective, budget, 7);
+    EXPECT_EQ(result.history.size(), static_cast<std::size_t>(budget))
+        << tuner->name();
+    EXPECT_TRUE(result.found_any()) << tuner->name();
+    EXPECT_LT(result.best_value_s(), 480.0) << tuner->name();
+  }
+}
+
+TEST(IntegrationTest, RoboTuneSearchCostIsCompetitive) {
+  // The headline cost claim (§5.3): ROBOTune's guard + BO avoid expensive
+  // configurations.  At small budgets we only assert it is not worse than
+  // the most expensive baseline.
+  const int budget = 60;
+  auto rs_obj = make_objective(WorkloadKind::kPageRank, 1, 123);
+  tuners::RandomSearch rs;
+  const auto rs_result = rs.tune(rs_obj, budget, 11);
+
+  RoboTune robotune(fast_options());
+  auto rt_obj = make_objective(WorkloadKind::kPageRank, 1, 123);
+  const auto rt_result = robotune.tune(rt_obj, budget, 11);
+
+  EXPECT_LT(rt_result.search_cost_s, rs_result.search_cost_s * 1.1);
+}
+
+TEST(IntegrationTest, MemoizationAcceleratesRepeatTuning) {
+  // Fig. 6's mechanism: with memoized configs, the best-so-far curve must
+  // start from a good value immediately after initialization.
+  RoboTune tuner(fast_options());
+  auto d1 = make_objective(WorkloadKind::kTeraSort, 1, 5);
+  const auto first = tuner.tune_report(d1, 40, 3);
+
+  auto d3 = make_objective(WorkloadKind::kTeraSort, 3, 6);
+  const auto second = tuner.tune_report(d3, 40, 4);
+  ASSERT_TRUE(second.used_memoized_configs);
+
+  // After the 12 initial samples the repeat session is already within 25%
+  // of its final best (the memoized configs land in the right region).
+  const auto traj = second.tuning.best_trajectory();
+  const double after_init = traj[11];
+  const double final_best = traj.back();
+  EXPECT_LT(after_init, final_best * 1.25);
+}
+
+TEST(IntegrationTest, ResponseSurfaceSnapshotThroughObserver) {
+  // Fig. 9's machinery: the observer exposes a trained GP whose posterior
+  // can be evaluated on a grid of the executor cores-memory plane.
+  RoboTune tuner(fast_options());
+  auto objective = make_objective(WorkloadKind::kPageRank, 1, 31);
+  int snapshots = 0;
+  tuner.tune_report(objective, 20, 9, [&](const core::BoObserverInfo& info) {
+    if (info.iteration != 4) return;
+    // Evaluate the GP mean over a small grid in the subspace.
+    const std::size_t dims = info.choice->point.size();
+    std::vector<std::vector<double>> grid;
+    for (double a : {0.2, 0.5, 0.8}) {
+      std::vector<double> p(dims, 0.5);
+      p[0] = a;
+      grid.push_back(p);
+    }
+    const auto means = info.gp->predict_mean(grid);
+    EXPECT_EQ(means.size(), 3u);
+    for (double m : means) EXPECT_TRUE(std::isfinite(m));
+    ++snapshots;
+  });
+  EXPECT_EQ(snapshots, 1);
+}
+
+TEST(IntegrationTest, GuardReducesTailCost) {
+  // Evaluations killed by the median guard are charged the threshold, so
+  // no single ROBOTune evaluation after warm-up can cost more than the
+  // static cap.
+  RoboTune tuner(fast_options());
+  auto objective = make_objective(WorkloadKind::kKMeans, 1, 77);
+  const auto result = tuner.tune(objective, 40, 13);
+  for (const auto& e : result.history) {
+    EXPECT_LE(e.cost_s, 480.0 + 1e-9);
+  }
+}
+
+TEST(IntegrationTest, SearchCostAccountingConsistent) {
+  RoboTune tuner(fast_options());
+  auto objective = make_objective(WorkloadKind::kTeraSort, 1, 55);
+  const auto report = tuner.tune_report(objective, 30, 21);
+  double history_cost = 0.0;
+  for (const auto& e : report.tuning.history) history_cost += e.cost_s;
+  EXPECT_NEAR(report.tuning.search_cost_s, history_cost, 1e-9);
+  // Objective-side accounting covers selection + tuning.
+  EXPECT_NEAR(objective.total_cost_s(),
+              report.selection_cost_s + report.tuning.search_cost_s, 1e-6);
+}
+
+}  // namespace
+}  // namespace robotune

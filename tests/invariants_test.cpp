@@ -1,0 +1,202 @@
+// Cross-cutting property/invariant tests: relationships that must hold
+// for all inputs, swept over parameter grids.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+#include "core/bo_engine.h"
+#include "sparksim/cluster.h"
+#include "sparksim/objective.h"
+#include "tuners/random_search.h"
+
+namespace robotune {
+namespace {
+
+const sparksim::ConfigSpace& space() {
+  static const auto s = sparksim::spark24_config_space();
+  return s;
+}
+
+// ---- ParamSpec: decode is monotone in the unit coordinate ---------------
+
+class DecodeMonotoneTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DecodeMonotoneTest, NumericDecodeIsNonDecreasing) {
+  const auto& spec = space().spec(GetParam());
+  double prev = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i <= 100; ++i) {
+    const double u = i / 100.0;
+    const double v = spec.decode(u);
+    if (spec.kind == sparksim::ParamKind::kInt ||
+        spec.kind == sparksim::ParamKind::kDouble) {
+      EXPECT_GE(v, prev) << spec.name << " at u=" << u;
+    }
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All44, DecodeMonotoneTest,
+                         ::testing::Range<std::size_t>(0, 44));
+
+// ---- Placement: resource conservation ------------------------------------
+
+TEST(PlacementInvariantTest, NeverOversubscribesTheCluster) {
+  sparksim::ClusterSpec cluster;
+  Rng rng(3);
+  for (int rep = 0; rep < 500; ++rep) {
+    std::vector<double> unit(space().size());
+    for (auto& u : unit) u = rng.uniform();
+    const auto config =
+        sparksim::SparkConfig::from_decoded(space(), space().decode(unit));
+    const auto p = sparksim::place_executors(cluster, config);
+    if (p.infeasible) continue;
+    // Cores.
+    EXPECT_LE(p.executors_per_node * config.executor_cores,
+              cluster.cores_per_node);
+    // Memory footprint per node.
+    const int footprint = config.executor_memory_mb +
+                          config.executor_memory_overhead_mb +
+                          (config.offheap_enabled ? config.offheap_size_mb
+                                                  : 0);
+    EXPECT_LE(p.executors_per_node * footprint,
+              cluster.usable_memory_per_node_mb());
+    // Slots are consistent with the executor count.
+    EXPECT_EQ(p.total_slots, p.total_executors * p.slots_per_executor);
+    EXPECT_GE(p.total_executors, 1);
+  }
+}
+
+// ---- Objective: cost accounting invariants --------------------------------
+
+TEST(ObjectiveInvariantTest, CostNeverExceedsThresholdOrCap) {
+  auto objective = sparksim::SparkObjective(
+      sparksim::ClusterSpec{},
+      sparksim::make_workload(sparksim::WorkloadKind::kKMeans, 2), space(),
+      11);
+  Rng rng(5);
+  std::vector<double> unit(space().size());
+  for (int rep = 0; rep < 200; ++rep) {
+    for (auto& u : unit) u = rng.uniform();
+    const double threshold = rng.uniform(30.0, 600.0);
+    const auto out = objective.evaluate(unit, threshold);
+    const double kill = std::min(threshold, objective.time_cap_s());
+    EXPECT_LE(out.cost_s, kill + 1e-9);
+    if (out.status == sparksim::RunStatus::kOk) {
+      EXPECT_LE(out.value_s, kill + 1e-9);
+      EXPECT_DOUBLE_EQ(out.value_s, out.cost_s);
+    }
+  }
+}
+
+TEST(ObjectiveInvariantTest, TotalCostEqualsSumOfOutcomes) {
+  auto objective = sparksim::SparkObjective(
+      sparksim::ClusterSpec{},
+      sparksim::make_workload(sparksim::WorkloadKind::kTeraSort, 1), space(),
+      13);
+  Rng rng(7);
+  std::vector<double> unit(space().size());
+  double expected = 0.0;
+  for (int rep = 0; rep < 50; ++rep) {
+    for (auto& u : unit) u = rng.uniform();
+    expected += objective.evaluate(unit, 480.0).cost_s;
+  }
+  EXPECT_NEAR(objective.total_cost_s(), expected, 1e-9);
+  EXPECT_EQ(objective.evaluations(), 50u);
+}
+
+// ---- Tuning results --------------------------------------------------------
+
+TEST(ResultInvariantTest, TrajectoryEndEqualsBestValue) {
+  auto objective = sparksim::SparkObjective(
+      sparksim::ClusterSpec{},
+      sparksim::make_workload(sparksim::WorkloadKind::kTeraSort, 1), space(),
+      17);
+  tuners::RandomSearch rs;
+  const auto result = rs.tune(objective, 25, 3);
+  const auto traj = result.best_trajectory();
+  EXPECT_DOUBLE_EQ(traj.back(), result.best_value_s());
+}
+
+TEST(ResultInvariantTest, BestIndexPointsAtSuccessfulMinimum) {
+  auto objective = sparksim::SparkObjective(
+      sparksim::ClusterSpec{},
+      sparksim::make_workload(sparksim::WorkloadKind::kPageRank, 1), space(),
+      19);
+  tuners::RandomSearch rs;
+  const auto result = rs.tune(objective, 40, 5);
+  ASSERT_TRUE(result.found_any());
+  const auto& best = result.history[result.best_index];
+  EXPECT_TRUE(best.ok());
+  for (const auto& e : result.history) {
+    if (e.ok()) EXPECT_GE(e.value_s, best.value_s);
+  }
+}
+
+// ---- BO expand clipping -----------------------------------------------------
+
+TEST(BoInvariantTest, ExpandClipsOutOfRangeSubCoordinates) {
+  core::BoOptions options;
+  options.budget = 12;
+  options.initial_samples = 10;
+  core::BoEngine engine({0, 1}, space().default_unit(), options);
+  const auto full = engine.expand({-0.5, 1.5});
+  EXPECT_GE(full[0], 0.0);
+  EXPECT_LT(full[1], 1.0);
+}
+
+// ---- Simulator determinism across the whole grid ---------------------------
+
+class DeterminismTest
+    : public ::testing::TestWithParam<sparksim::WorkloadKind> {};
+
+TEST_P(DeterminismTest, IdenticalSeedsGiveIdenticalRuns) {
+  Rng rng(23);
+  std::vector<double> unit(space().size());
+  for (auto& u : unit) u = rng.uniform();
+  const auto config =
+      sparksim::SparkConfig::from_decoded(space(), space().decode(unit));
+  sparksim::EngineOptions options;
+  const auto a = sparksim::simulate(sparksim::ClusterSpec{},
+                                    sparksim::make_workload(GetParam(), 2),
+                                    config, 999, options);
+  const auto b = sparksim::simulate(sparksim::ClusterSpec{},
+                                    sparksim::make_workload(GetParam(), 2),
+                                    config, 999, options);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.stage_seconds, b.stage_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, DeterminismTest,
+    ::testing::Values(sparksim::WorkloadKind::kPageRank,
+                      sparksim::WorkloadKind::kKMeans,
+                      sparksim::WorkloadKind::kConnectedComponents,
+                      sparksim::WorkloadKind::kLogisticRegression,
+                      sparksim::WorkloadKind::kTeraSort));
+
+// ---- Noise scaling ----------------------------------------------------------
+
+TEST(NoiseInvariantTest, HigherSigmaSpreadsRepeatsMore) {
+  const auto config =
+      sparksim::SparkConfig::from_decoded(space(), space().defaults());
+  auto spread = [&](double sigma) {
+    sparksim::EngineOptions options;
+    options.run_noise_sigma = sigma;
+    std::vector<double> times;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+      times.push_back(sparksim::simulate(
+                          sparksim::ClusterSpec{},
+                          sparksim::make_workload(
+                              sparksim::WorkloadKind::kKMeans, 1),
+                          config, seed, options)
+                          .seconds);
+    }
+    return stats::stddev(times) / stats::mean(times);
+  };
+  EXPECT_LT(spread(0.01), spread(0.15));
+}
+
+}  // namespace
+}  // namespace robotune

@@ -1,0 +1,223 @@
+// Unit tests for src/linalg: dense matrix ops, Cholesky, triangular solves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace robotune::linalg {
+namespace {
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  // A = B B^T + n I is symmetric positive definite.
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.uniform(-1, 1);
+  }
+  Matrix a = b * b.transposed();
+  a.add_diagonal(static_cast<double>(n));
+  return a;
+}
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, IdentityHasUnitDiagonal) {
+  const Matrix id = Matrix::identity(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Rng rng(1);
+  Matrix m(3, 5);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) m(i, j) = rng.uniform();
+  }
+  const Matrix tt = m.transposed().transposed();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_DOUBLE_EQ(tt(i, j), m(i, j));
+  }
+}
+
+TEST(MatrixTest, MatvecKnownResult) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 1) = 5;
+  m(1, 2) = 6;
+  const std::vector<double> x = {1, 0, -1};
+  const auto y = m.matvec(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(MatrixTest, MatvecTransposedMatchesExplicitTranspose) {
+  Rng rng(2);
+  Matrix m(4, 3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) m(i, j) = rng.uniform(-1, 1);
+  }
+  std::vector<double> x = {0.5, -1.0, 2.0, 0.25};
+  const auto a = m.matvec_transposed(x);
+  const auto b = m.transposed().matvec(x);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-14);
+}
+
+TEST(MatrixTest, MatmulAgainstIdentity) {
+  Rng rng(3);
+  Matrix m(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) m(i, j) = rng.uniform();
+  }
+  const Matrix prod = m * Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(prod(i, j), m(i, j));
+  }
+}
+
+TEST(MatrixTest, MatmulDimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a * b, InvalidArgument);
+}
+
+TEST(MatrixTest, MatvecDimensionMismatchThrows) {
+  Matrix a(2, 3);
+  std::vector<double> x(2, 0.0);
+  EXPECT_THROW(a.matvec(x), InvalidArgument);
+}
+
+TEST(VectorOpsTest, DotAndNorm) {
+  const std::vector<double> a = {3, 4};
+  const std::vector<double> b = {1, 2};
+  EXPECT_DOUBLE_EQ(dot(a, b), 11.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+}
+
+TEST(VectorOpsTest, AxpyAccumulates) {
+  std::vector<double> a = {1, 1, 1};
+  const std::vector<double> b = {1, 2, 3};
+  axpy(2.0, b, a);
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+  EXPECT_DOUBLE_EQ(a[1], 5.0);
+  EXPECT_DOUBLE_EQ(a[2], 7.0);
+}
+
+TEST(CholeskyTest, FactorReproducesMatrix) {
+  Rng rng(5);
+  const Matrix a = random_spd(8, rng);
+  const Matrix l = cholesky(a);
+  const Matrix reconstructed = l * l.transposed();
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(reconstructed(i, j), a(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(CholeskyTest, FactorIsLowerTriangular) {
+  Rng rng(7);
+  const Matrix l = cholesky(random_spd(6, rng));
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i + 1; j < 6; ++j) EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+  }
+}
+
+TEST(CholeskyTest, SingularMatrixUsesJitter) {
+  // Rank-deficient PSD matrix: ones everywhere.
+  Matrix a(4, 4, 1.0);
+  const Matrix l = cholesky(a, 1e-8);
+  // Still produces a usable factor close to the original.
+  const Matrix r = l * l.transposed();
+  EXPECT_NEAR(r(0, 0), 1.0, 1e-3);
+}
+
+TEST(CholeskyTest, IndefiniteMatrixThrows) {
+  Matrix a = Matrix::identity(3);
+  a(1, 1) = -5.0;
+  EXPECT_THROW(cholesky(a, 1e-10, 2), NumericalError);
+}
+
+TEST(CholeskyTest, NonSquareThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(cholesky(a), InvalidArgument);
+}
+
+TEST(SolveTest, LowerTriangularSolve) {
+  Matrix l(2, 2);
+  l(0, 0) = 2.0;
+  l(1, 0) = 1.0;
+  l(1, 1) = 3.0;
+  const std::vector<double> b = {4.0, 11.0};
+  const auto y = solve_lower(l, b);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(SolveTest, CholeskySolveMatchesDirectResidual) {
+  Rng rng(11);
+  const Matrix a = random_spd(10, rng);
+  std::vector<double> b(10);
+  for (auto& v : b) v = rng.uniform(-2, 2);
+  const Matrix l = cholesky(a);
+  const auto x = cholesky_solve(l, b);
+  const auto ax = a.matvec(x);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+TEST(SolveTest, LowerTransposedSolveResidual) {
+  Rng rng(13);
+  const Matrix a = random_spd(6, rng);
+  const Matrix l = cholesky(a);
+  std::vector<double> y(6);
+  for (auto& v : y) v = rng.uniform(-1, 1);
+  const auto x = solve_lower_transposed(l, y);
+  const auto check = l.transposed().matvec(x);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(check[i], y[i], 1e-9);
+}
+
+TEST(SolveTest, LogDetMatchesDiagonalProduct) {
+  Rng rng(17);
+  const Matrix a = random_spd(5, rng);
+  const Matrix l = cholesky(a);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) expected += 2.0 * std::log(l(i, i));
+  EXPECT_NEAR(log_det_from_cholesky(l), expected, 1e-12);
+}
+
+// Property sweep: Cholesky solve residuals stay small across sizes.
+class CholeskySizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskySizeTest, SolveResidualSmall) {
+  const std::size_t n = GetParam();
+  Rng rng(100 + n);
+  const Matrix a = random_spd(n, rng);
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const auto x = cholesky_solve(cholesky(a), b);
+  const auto ax = a.matvec(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizeTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 20, 50, 100));
+
+}  // namespace
+}  // namespace robotune::linalg

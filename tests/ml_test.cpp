@@ -1,0 +1,420 @@
+// Tests for src/ml: CART trees, random forests, extra trees, permutation
+// importance, linear models, cross-validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "ml/cross_validation.h"
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/linear_models.h"
+#include "ml/permutation_importance.h"
+#include "ml/random_forest.h"
+
+namespace robotune::ml {
+namespace {
+
+// y = 10*x0 + noise-free step on x1; x2..x4 irrelevant.
+Dataset make_linear_dataset(std::size_t n, Rng& rng, double noise = 0.0) {
+  Dataset d(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x(5);
+    for (auto& v : x) v = rng.uniform();
+    const double y = 10.0 * x[0] + 5.0 * (x[1] > 0.5 ? 1.0 : 0.0) +
+                     (noise > 0 ? rng.normal(0, noise) : 0.0);
+    d.add_row(x, y);
+  }
+  return d;
+}
+
+Dataset make_friedman(std::size_t n, std::size_t p, Rng& rng) {
+  Dataset d(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x(p);
+    for (auto& v : x) v = rng.uniform();
+    const double y = 10 * std::sin(3.14159 * x[0] * x[1]) +
+                     20 * (x[2] - 0.5) * (x[2] - 0.5) + 10 * x[3] +
+                     5 * x[4] + rng.normal(0, 0.3);
+    d.add_row(x, y);
+  }
+  return d;
+}
+
+// ------------------------------------------------------------- Dataset ----
+
+TEST(DatasetTest, AddRowAndAccess) {
+  Dataset d(3);
+  d.add_row(std::vector<double>{1, 2, 3}, 9.0);
+  d.add_row(std::vector<double>{4, 5, 6}, -1.0);
+  EXPECT_EQ(d.num_rows(), 2u);
+  EXPECT_EQ(d.num_features(), 3u);
+  EXPECT_DOUBLE_EQ(d.feature(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(d.target(0), 9.0);
+}
+
+TEST(DatasetTest, WidthMismatchThrows) {
+  Dataset d(2);
+  EXPECT_THROW(d.add_row(std::vector<double>{1.0}, 0.0), InvalidArgument);
+}
+
+TEST(DatasetTest, SubsetAllowsRepeats) {
+  Dataset d(1);
+  d.add_row(std::vector<double>{1}, 10);
+  d.add_row(std::vector<double>{2}, 20);
+  const std::vector<std::size_t> rows = {1, 1, 0};
+  const Dataset s = d.subset(rows);
+  EXPECT_EQ(s.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(s.target(0), 20.0);
+  EXPECT_DOUBLE_EQ(s.target(2), 10.0);
+}
+
+// ------------------------------------------------------- DecisionTree ----
+
+TEST(DecisionTreeTest, FitsSimpleStepFunction) {
+  Dataset d(1);
+  for (int i = 0; i < 50; ++i) {
+    const double x = i / 50.0;
+    d.add_row(std::vector<double>{x}, x < 0.5 ? 1.0 : 2.0);
+  }
+  Rng rng(1);
+  DecisionTree tree({.max_features = 1, .min_samples_leaf = 1,
+                     .min_samples_split = 2});
+  tree.fit(d, rng);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.2}), 1.0, 1e-9);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.8}), 2.0, 1e-9);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  Rng rng(2);
+  Dataset d = make_friedman(200, 6, rng);
+  TreeOptions opt;
+  opt.max_depth = 2;
+  DecisionTree tree(opt);
+  tree.fit(d, rng);
+  EXPECT_LE(tree.depth(), 2u);
+}
+
+TEST(DecisionTreeTest, ConstantTargetsMakeSingleLeaf) {
+  Dataset d(2);
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    d.add_row(std::vector<double>{rng.uniform(), rng.uniform()}, 7.0);
+  }
+  DecisionTree tree;
+  tree.fit(d, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.5, 0.5}), 7.0);
+}
+
+TEST(DecisionTreeTest, MdiImportanceFavorsInformativeFeature) {
+  Rng rng(4);
+  Dataset d = make_linear_dataset(300, rng);
+  DecisionTree tree({.max_features = 5});
+  tree.fit(d, rng);
+  const auto imp = tree.mdi_importance();
+  EXPECT_GT(imp[0], imp[2]);
+  EXPECT_GT(imp[0], imp[3]);
+  EXPECT_GT(imp[1], imp[4]);
+}
+
+TEST(DecisionTreeTest, PredictBeforeFitThrows) {
+  DecisionTree tree;
+  EXPECT_THROW(tree.predict(std::vector<double>{0.1}), InvalidArgument);
+}
+
+TEST(DecisionTreeTest, RandomThresholdModeStillLearns) {
+  Rng rng(5);
+  Dataset d = make_linear_dataset(400, rng);
+  TreeOptions opt;
+  opt.split_mode = SplitMode::kRandomThreshold;
+  opt.max_features = 5;
+  DecisionTree tree(opt);
+  tree.fit(d, rng);
+  const double lo = tree.predict(std::vector<double>{0.05, 0.2, 0.5, 0.5, 0.5});
+  const double hi = tree.predict(std::vector<double>{0.95, 0.8, 0.5, 0.5, 0.5});
+  EXPECT_GT(hi, lo + 5.0);
+}
+
+// ------------------------------------------------------- RandomForest ----
+
+TEST(RandomForestTest, BeatsMeanPredictorOnFriedman) {
+  Rng rng(6);
+  Dataset train = make_friedman(300, 10, rng);
+  Dataset test = make_friedman(200, 10, rng);
+  RandomForest rf({.num_trees = 100}, 7);
+  rf.fit(train);
+  std::vector<double> y_true, y_pred;
+  for (std::size_t i = 0; i < test.num_rows(); ++i) {
+    y_true.push_back(test.target(i));
+    y_pred.push_back(rf.predict(test.row(i)));
+  }
+  EXPECT_GT(stats::r2_score(y_true, y_pred), 0.6);
+}
+
+TEST(RandomForestTest, OobR2IsReasonable) {
+  Rng rng(7);
+  Dataset d = make_friedman(400, 10, rng);
+  RandomForest rf({.num_trees = 150}, 7);
+  rf.fit(d);
+  EXPECT_GT(rf.oob_r2(), 0.5);
+  EXPECT_LE(rf.oob_r2(), 1.0);
+}
+
+TEST(RandomForestTest, DeterministicForSeed) {
+  Rng rng(8);
+  Dataset d = make_friedman(150, 6, rng);
+  RandomForest a({.num_trees = 30}, 99);
+  RandomForest b({.num_trees = 30}, 99);
+  a.fit(d);
+  b.fit(d);
+  std::vector<double> x = {0.2, 0.4, 0.6, 0.8, 0.1, 0.5};
+  EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+}
+
+TEST(RandomForestTest, SerialAndParallelTrainingAgree) {
+  Rng rng(9);
+  Dataset d = make_friedman(120, 6, rng);
+  ForestOptions serial;
+  serial.num_trees = 20;
+  serial.parallel = false;
+  ForestOptions parallel = serial;
+  parallel.parallel = true;
+  RandomForest a(serial, 5);
+  RandomForest b(parallel, 5);
+  a.fit(d);
+  b.fit(d);
+  std::vector<double> x = {0.3, 0.3, 0.3, 0.3, 0.3, 0.3};
+  EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+}
+
+TEST(RandomForestTest, OobPredictionMissingOnlyWhenAlwaysInBag) {
+  Rng rng(10);
+  Dataset d = make_friedman(60, 6, rng);
+  RandomForest rf({.num_trees = 200}, 3);
+  rf.fit(d);
+  // With 200 bootstraps the chance a row is in-bag for all trees is ~0.
+  int missing = 0;
+  for (std::size_t i = 0; i < d.num_rows(); ++i) {
+    if (!rf.oob_prediction(i)) ++missing;
+  }
+  EXPECT_EQ(missing, 0);
+}
+
+TEST(RandomForestTest, MdiImportanceSumsToOne) {
+  Rng rng(11);
+  Dataset d = make_friedman(200, 8, rng);
+  RandomForest rf({.num_trees = 50}, 3);
+  rf.fit(d);
+  const auto imp = rf.mdi_importance();
+  EXPECT_NEAR(std::accumulate(imp.begin(), imp.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(RandomForestTest, ExtraTreesLearnsToo) {
+  Rng rng(12);
+  Dataset train = make_friedman(300, 10, rng);
+  Dataset test = make_friedman(150, 10, rng);
+  RandomForest et = RandomForest::extra_trees(100, 7);
+  et.fit(train);
+  std::vector<double> y_true, y_pred;
+  for (std::size_t i = 0; i < test.num_rows(); ++i) {
+    y_true.push_back(test.target(i));
+    y_pred.push_back(et.predict(test.row(i)));
+  }
+  EXPECT_GT(stats::r2_score(y_true, y_pred), 0.5);
+}
+
+TEST(RandomForestTest, TooFewRowsThrows) {
+  Dataset d(2);
+  d.add_row(std::vector<double>{0, 0}, 0);
+  RandomForest rf;
+  EXPECT_THROW(rf.fit(d), InvalidArgument);
+}
+
+// --------------------------------------------- PermutationImportance ----
+
+TEST(PermutationImportanceTest, IdentifiesPlantedFeatures) {
+  Rng rng(13);
+  Dataset d = make_linear_dataset(300, rng, 0.2);
+  RandomForest rf({.num_trees = 100}, 3);
+  rf.fit(d);
+  std::vector<FeatureGroup> groups;
+  for (std::size_t f = 0; f < 5; ++f) {
+    groups.push_back({"f" + std::to_string(f), {f}});
+  }
+  const auto results = permutation_importance(rf, groups, {.repeats = 5});
+  // Results are sorted descending; the two informative features first.
+  EXPECT_TRUE(results[0].group.name == "f0" || results[0].group.name == "f1");
+  EXPECT_GT(results[0].mean_drop, 0.1);
+  // Irrelevant features have near-zero drops.
+  for (const auto& r : results) {
+    if (r.group.name != "f0" && r.group.name != "f1") {
+      EXPECT_LT(r.mean_drop, 0.05);
+    }
+  }
+}
+
+TEST(PermutationImportanceTest, GroupedFeaturesPermuteJointly) {
+  // y depends on x0 XOR-ishly with x1: individually weak, jointly strong.
+  Rng rng(14);
+  Dataset d(4);
+  for (int i = 0; i < 400; ++i) {
+    std::vector<double> x(4);
+    for (auto& v : x) v = rng.uniform();
+    const double y =
+        ((x[0] > 0.5) != (x[1] > 0.5)) ? 10.0 : 0.0;
+    d.add_row(x, y);
+  }
+  RandomForest rf({.num_trees = 100}, 3);
+  rf.fit(d);
+  const std::vector<FeatureGroup> joint = {{"x0+x1", {0, 1}},
+                                           {"x2", {2}},
+                                           {"x3", {3}}};
+  const auto results = permutation_importance(rf, joint, {.repeats = 5});
+  EXPECT_EQ(results[0].group.name, "x0+x1");
+  EXPECT_GT(results[0].mean_drop, 0.3);
+}
+
+TEST(PermutationImportanceTest, SelectImportantAppliesThreshold) {
+  std::vector<ImportanceResult> results(3);
+  results[0].mean_drop = 0.2;
+  results[1].mean_drop = 0.06;
+  results[2].mean_drop = 0.01;
+  const auto sel = select_important(results, 0.05);
+  ASSERT_EQ(sel.size(), 2u);
+  EXPECT_EQ(sel[0], 0u);
+  EXPECT_EQ(sel[1], 1u);
+}
+
+TEST(PermutationImportanceTest, UntrainedForestThrows) {
+  RandomForest rf;
+  EXPECT_THROW(permutation_importance(rf, {}), InvalidArgument);
+}
+
+// ------------------------------------------------------- Linear models ----
+
+TEST(LassoTest, RecoversSparseCoefficients) {
+  Rng rng(15);
+  Dataset d(6);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> x(6);
+    for (auto& v : x) v = rng.uniform(-1, 1);
+    const double y = 3.0 * x[0] - 2.0 * x[1] + rng.normal(0, 0.05);
+    d.add_row(x, y);
+  }
+  Lasso lasso(0.01);
+  lasso.fit(d);
+  const auto coef = lasso.coefficients();
+  EXPECT_NEAR(coef[0], 3.0, 0.2);
+  EXPECT_NEAR(coef[1], -2.0, 0.2);
+  for (std::size_t j = 2; j < 6; ++j) EXPECT_NEAR(coef[j], 0.0, 0.1);
+}
+
+TEST(LassoTest, StrongRegularizationZeroesEverything) {
+  Rng rng(16);
+  Dataset d = make_linear_dataset(100, rng);
+  Lasso lasso(1000.0);
+  lasso.fit(d);
+  for (double c : lasso.coefficients()) EXPECT_DOUBLE_EQ(c, 0.0);
+  // Prediction falls back to the target mean.
+  const double mean = stats::mean(d.targets());
+  EXPECT_NEAR(lasso.predict(d.row(0)), mean, 1e-9);
+}
+
+TEST(ElasticNetTest, HandlesConstantFeature) {
+  Rng rng(17);
+  Dataset d(3);
+  for (int i = 0; i < 100; ++i) {
+    const double x0 = rng.uniform();
+    d.add_row(std::vector<double>{x0, 1.0, rng.uniform()}, 2.0 * x0);
+  }
+  ElasticNet net({.alpha = 0.01, .l1_ratio = 0.5});
+  net.fit(d);
+  EXPECT_DOUBLE_EQ(net.coefficients()[1], 0.0);
+  EXPECT_NEAR(net.predict(std::vector<double>{0.5, 1.0, 0.5}), 1.0, 0.2);
+}
+
+TEST(ElasticNetTest, ConvergesBeforeMaxIterations) {
+  Rng rng(18);
+  Dataset d = make_linear_dataset(200, rng, 0.1);
+  ElasticNet net({.alpha = 0.05, .l1_ratio = 0.7, .max_iterations = 500});
+  net.fit(d);
+  EXPECT_LT(net.iterations_used(), 500);
+}
+
+TEST(ElasticNetTest, PredictBeforeFitThrows) {
+  ElasticNet net;
+  EXPECT_THROW(net.predict(std::vector<double>{1.0}), InvalidArgument);
+}
+
+TEST(LinearVsTreeTest, TreesBeatLassoOnNonlinearTarget) {
+  // The Figure-2 rationale: linear models fail on non-linear responses.
+  Rng rng(19);
+  Dataset d(4);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> x(4);
+    for (auto& v : x) v = rng.uniform();
+    const double y = 8.0 * std::sin(6.0 * x[0]) * (x[1] > 0.5 ? 1 : -1);
+    d.add_row(x, y);
+  }
+  const auto lasso_cv = cross_validate(
+      d, [] { return std::make_unique<Lasso>(0.01); }, 5, 1);
+  const auto rf_cv = cross_validate(
+      d,
+      [] {
+        return std::make_unique<RandomForest>(
+            ForestOptions{.num_trees = 80}, 3);
+      },
+      5, 1);
+  EXPECT_GT(rf_cv.mean_score, lasso_cv.mean_score + 0.3);
+}
+
+// --------------------------------------------------- Cross-validation ----
+
+TEST(KFoldTest, FoldsPartitionAllRows) {
+  Rng rng(20);
+  const auto folds = kfold_split(23, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<char> seen(23, 0);
+  for (const auto& fold : folds) {
+    for (std::size_t r : fold) {
+      EXPECT_LT(r, 23u);
+      EXPECT_FALSE(seen[r]);
+      seen[r] = 1;
+    }
+  }
+  for (char s : seen) EXPECT_TRUE(s);
+}
+
+TEST(KFoldTest, FoldSizesDifferByAtMostOne) {
+  Rng rng(21);
+  const auto folds = kfold_split(23, 5, rng);
+  std::size_t lo = 100, hi = 0;
+  for (const auto& f : folds) {
+    lo = std::min(lo, f.size());
+    hi = std::max(hi, f.size());
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(KFoldTest, InvalidArgumentsThrow) {
+  Rng rng(22);
+  EXPECT_THROW(kfold_split(10, 1, rng), InvalidArgument);
+  EXPECT_THROW(kfold_split(3, 5, rng), InvalidArgument);
+}
+
+TEST(CrossValidateTest, HighScoreOnLearnableData) {
+  Rng rng(23);
+  Dataset d = make_linear_dataset(250, rng, 0.1);
+  const auto cv = cross_validate(
+      d, [] { return std::make_unique<Lasso>(0.001); }, 5, 7);
+  EXPECT_EQ(cv.fold_scores.size(), 5u);
+  // The step term on x1 is not exactly linear, so a high-but-imperfect
+  // score is expected.
+  EXPECT_GT(cv.mean_score, 0.85);
+}
+
+}  // namespace
+}  // namespace robotune::ml

@@ -1,0 +1,147 @@
+// Tests for the memoized-state persistence layer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+#include "core/persistence.h"
+
+namespace robotune::core {
+namespace {
+
+TEST(PersistenceTest, RoundTripsBothCaches) {
+  ParameterSelectionCache selection;
+  selection.store("PageRank", {0, 1, 29});
+  selection.store("KMeans", {0, 1});
+  ConfigMemoizationBuffer memo;
+  memo.store("PageRank", {{0.25, 0.5, 0.75}, 123.5});
+  memo.store("PageRank", {{0.1, 0.2, 0.3}, 99.25});
+
+  std::stringstream stream;
+  const auto written = save_state(selection, memo, stream);
+  EXPECT_EQ(written, 4u);
+
+  ParameterSelectionCache selection2;
+  ConfigMemoizationBuffer memo2;
+  const auto read = load_state(stream, selection2, memo2);
+  EXPECT_EQ(read, 4u);
+  EXPECT_EQ(*selection2.lookup("PageRank"),
+            (std::vector<std::size_t>{0, 1, 29}));
+  EXPECT_EQ(*selection2.lookup("KMeans"), (std::vector<std::size_t>{0, 1}));
+  const auto best = memo2.best("PageRank", 2);
+  ASSERT_EQ(best.size(), 2u);
+  EXPECT_DOUBLE_EQ(best[0].value_s, 99.25);
+  EXPECT_EQ(best[0].unit, (std::vector<double>{0.1, 0.2, 0.3}));
+}
+
+TEST(PersistenceTest, ValuesSurviveWithFullPrecision) {
+  ConfigMemoizationBuffer memo;
+  ParameterSelectionCache selection;
+  memo.store("W", {{0.12345678901234567}, 3.141592653589793});
+  std::stringstream stream;
+  save_state(selection, memo, stream);
+  ConfigMemoizationBuffer memo2;
+  ParameterSelectionCache sel2;
+  load_state(stream, sel2, memo2);
+  const auto best = memo2.best("W", 1);
+  EXPECT_DOUBLE_EQ(best[0].value_s, 3.141592653589793);
+  EXPECT_DOUBLE_EQ(best[0].unit[0], 0.12345678901234567);
+}
+
+TEST(PersistenceTest, EmptyStateRoundTrips) {
+  ParameterSelectionCache selection;
+  ConfigMemoizationBuffer memo;
+  std::stringstream stream;
+  EXPECT_EQ(save_state(selection, memo, stream), 0u);
+  ParameterSelectionCache sel2;
+  ConfigMemoizationBuffer memo2;
+  EXPECT_EQ(load_state(stream, sel2, memo2), 0u);
+  EXPECT_EQ(sel2.size(), 0u);
+}
+
+TEST(PersistenceTest, LoadMergesIntoExistingState) {
+  ParameterSelectionCache selection;
+  selection.store("Old", {7});
+  ConfigMemoizationBuffer memo;
+  std::stringstream stream;
+  ParameterSelectionCache incoming;
+  incoming.store("New", {3});
+  ConfigMemoizationBuffer incoming_memo;
+  save_state(incoming, incoming_memo, stream);
+  load_state(stream, selection, memo);
+  EXPECT_TRUE(selection.contains("Old"));
+  EXPECT_TRUE(selection.contains("New"));
+}
+
+TEST(PersistenceTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream stream;
+  stream << "robotune-state v1\n\n# a comment\nselection W 1 5\n";
+  ParameterSelectionCache selection;
+  ConfigMemoizationBuffer memo;
+  EXPECT_EQ(load_state(stream, selection, memo), 1u);
+  EXPECT_TRUE(selection.contains("W"));
+}
+
+TEST(PersistenceTest, BadHeaderThrows) {
+  std::stringstream stream;
+  stream << "not-a-state-file\n";
+  ParameterSelectionCache selection;
+  ConfigMemoizationBuffer memo;
+  EXPECT_THROW(load_state(stream, selection, memo), InvalidArgument);
+}
+
+TEST(PersistenceTest, UnknownRecordThrows) {
+  std::stringstream stream;
+  stream << "robotune-state v1\nbogus W 1 2\n";
+  ParameterSelectionCache selection;
+  ConfigMemoizationBuffer memo;
+  EXPECT_THROW(load_state(stream, selection, memo), InvalidArgument);
+}
+
+TEST(PersistenceTest, MalformedRowThrows) {
+  std::stringstream stream;
+  stream << "robotune-state v1\nselection W 3 1\n";  // promises 3, gives 1
+  ParameterSelectionCache selection;
+  ConfigMemoizationBuffer memo;
+  EXPECT_THROW(load_state(stream, selection, memo), InvalidArgument);
+}
+
+TEST(PersistenceTest, FileHelpersRoundTrip) {
+  const std::string path = "/tmp/robotune_persistence_test.state";
+  ParameterSelectionCache selection;
+  selection.store("W", {1, 2});
+  ConfigMemoizationBuffer memo;
+  memo.store("W", {{0.5}, 10.0});
+  ASSERT_TRUE(save_state_file(selection, memo, path));
+  ParameterSelectionCache sel2;
+  ConfigMemoizationBuffer memo2;
+  ASSERT_TRUE(load_state_file(path, sel2, memo2));
+  EXPECT_TRUE(sel2.contains("W"));
+  EXPECT_EQ(memo2.size("W"), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, MissingFileReturnsFalse) {
+  ParameterSelectionCache selection;
+  ConfigMemoizationBuffer memo;
+  EXPECT_FALSE(load_state_file("/nonexistent/dir/state", selection, memo));
+}
+
+TEST(PersistenceTest, MemoCapacityStillEnforcedAfterLoad) {
+  ConfigMemoizationBuffer memo(2);
+  ParameterSelectionCache selection;
+  std::stringstream stream;
+  ConfigMemoizationBuffer source(8);
+  for (int i = 0; i < 5; ++i) {
+    source.store("W", {{0.1 * i}, 100.0 + i});
+  }
+  save_state(selection, source, stream);
+  ParameterSelectionCache sel2;
+  load_state(stream, sel2, memo);
+  EXPECT_EQ(memo.size("W"), 2u);  // capacity of the receiving buffer wins
+  EXPECT_DOUBLE_EQ(memo.best("W", 1)[0].value_s, 100.0);
+}
+
+}  // namespace
+}  // namespace robotune::core

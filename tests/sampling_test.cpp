@@ -1,0 +1,149 @@
+// Unit & property tests for Latin Hypercube Sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "sampling/latin_hypercube.h"
+
+namespace robotune::sampling {
+namespace {
+
+TEST(LhsTest, ShapeMatchesRequest) {
+  Rng rng(1);
+  const auto d = latin_hypercube(20, 5, rng);
+  ASSERT_EQ(d.size(), 20u);
+  for (const auto& row : d) EXPECT_EQ(row.size(), 5u);
+}
+
+TEST(LhsTest, SatisfiesLatinProperty) {
+  Rng rng(2);
+  const auto d = latin_hypercube(50, 7, rng);
+  EXPECT_TRUE(is_latin(d));
+}
+
+TEST(LhsTest, CenteredVariantSitsOnStratumCenters) {
+  Rng rng(3);
+  LhsOptions options;
+  options.jitter_within_stratum = false;
+  const auto d = latin_hypercube(10, 2, rng, options);
+  for (const auto& row : d) {
+    for (double x : row) {
+      const double scaled = x * 10.0;
+      EXPECT_NEAR(scaled - std::floor(scaled), 0.5, 1e-12);
+    }
+  }
+  EXPECT_TRUE(is_latin(d));
+}
+
+TEST(LhsTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  const auto d1 = latin_hypercube(15, 4, a);
+  const auto d2 = latin_hypercube(15, 4, b);
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(LhsTest, DifferentSeedsProduceDifferentDesigns) {
+  Rng a(1), b(2);
+  EXPECT_NE(latin_hypercube(15, 4, a), latin_hypercube(15, 4, b));
+}
+
+TEST(LhsTest, MaximinImprovesMinDistanceOverPlain) {
+  // Statistically: the best-of-10 design should have min pairwise distance
+  // at least as large as a single draw, on average.
+  double plain_sum = 0.0, maximin_sum = 0.0;
+  for (int rep = 0; rep < 10; ++rep) {
+    Rng rng(100 + rep);
+    LhsOptions plain;
+    plain.maximin_candidates = 1;
+    plain_sum += min_pairwise_distance(latin_hypercube(30, 6, rng, plain));
+    Rng rng2(100 + rep);
+    LhsOptions mm;
+    mm.maximin_candidates = 10;
+    maximin_sum += min_pairwise_distance(latin_hypercube(30, 6, rng2, mm));
+  }
+  EXPECT_GE(maximin_sum, plain_sum);
+}
+
+TEST(LhsTest, SingleSampleIsValid) {
+  Rng rng(5);
+  const auto d = latin_hypercube(1, 3, rng);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_TRUE(is_latin(d));
+}
+
+TEST(LhsTest, ZeroCountThrows) {
+  Rng rng(6);
+  EXPECT_THROW(latin_hypercube(0, 3, rng), InvalidArgument);
+  EXPECT_THROW(latin_hypercube(3, 0, rng), InvalidArgument);
+}
+
+TEST(UniformRandomTest, BoundsAndShape) {
+  Rng rng(7);
+  const auto d = uniform_random(100, 4, rng);
+  ASSERT_EQ(d.size(), 100u);
+  for (const auto& row : d) {
+    for (double x : row) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LT(x, 1.0);
+    }
+  }
+}
+
+TEST(UniformRandomTest, IsUsuallyNotLatin) {
+  // With 100 points the probability that pure random sampling satisfies
+  // the Latin property is essentially zero.
+  Rng rng(8);
+  const auto d = uniform_random(100, 3, rng);
+  EXPECT_FALSE(is_latin(d));
+}
+
+TEST(MinPairwiseDistanceTest, KnownConfiguration) {
+  Design d = {{0.0, 0.0}, {0.3, 0.4}, {1.0, 1.0}};
+  EXPECT_NEAR(min_pairwise_distance(d), 0.5, 1e-12);
+}
+
+TEST(MinPairwiseDistanceTest, FewerThanTwoIsInfinite) {
+  Design d = {{0.5}};
+  EXPECT_TRUE(std::isinf(min_pairwise_distance(d)));
+}
+
+TEST(IsLatinTest, DetectsDuplicateStratum) {
+  // Two points in the same stratum of dimension 0.
+  Design d = {{0.1, 0.1}, {0.15, 0.6}};
+  EXPECT_FALSE(is_latin(d));
+}
+
+TEST(IsLatinTest, DetectsOutOfRange) {
+  Design d = {{1.2, 0.5}, {0.1, 0.9}};
+  EXPECT_FALSE(is_latin(d));
+}
+
+// Property sweep over (count, dims): the Latin property and per-dimension
+// marginal uniformity hold for every configuration.
+class LhsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(LhsPropertyTest, LatinAndMarginallyUniform) {
+  const auto [count, dims] = GetParam();
+  Rng rng(count * 31 + dims);
+  const auto d = latin_hypercube(count, dims, rng);
+  EXPECT_TRUE(is_latin(d));
+  // Marginal mean of each dimension must be ~0.5 by the stratification.
+  for (std::size_t k = 0; k < dims; ++k) {
+    double sum = 0.0;
+    for (const auto& row : d) sum += row[k];
+    EXPECT_NEAR(sum / static_cast<double>(count), 0.5,
+                0.5 / static_cast<double>(count) + 0.08);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LhsPropertyTest,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 10, 20, 100),
+                       ::testing::Values<std::size_t>(1, 3, 9, 44)));
+
+}  // namespace
+}  // namespace robotune::sampling

@@ -1,0 +1,298 @@
+// Second simulator suite: directional/mechanism tests — every documented
+// configuration effect moves execution time the way the underlying Spark
+// mechanism says it should (DESIGN.md §8 inventory).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparksim/cluster.h"
+#include "sparksim/engine.h"
+#include "sparksim/objective.h"
+#include "sparksim/param_space.h"
+#include "sparksim/workload.h"
+
+namespace robotune::sparksim {
+namespace {
+
+const ConfigSpace& space() {
+  static const ConfigSpace s = spark24_config_space();
+  return s;
+}
+
+DecodedConfig base_config() {
+  auto v = space().defaults();
+  const auto set = [&](const char* n, double val) {
+    v[*space().index_of(n)] = val;
+  };
+  set("spark.executor.cores", 8);
+  set("spark.executor.memory.mb", 32768);
+  set("spark.memory.fraction", 0.6);
+  set("spark.default.parallelism", 320);
+  return v;
+}
+
+double run_s(const DecodedConfig& values, WorkloadKind kind = WorkloadKind::kPageRank,
+             int dataset = 1) {
+  const auto config = SparkConfig::from_decoded(space(), values);
+  EngineOptions options;
+  options.run_noise_sigma = 0.0;
+  const auto r = simulate(ClusterSpec{}, make_workload(kind, dataset),
+                          config, 1, options);
+  EXPECT_EQ(r.status, RunStatus::kOk);
+  return r.seconds;
+}
+
+SimMetrics run_metrics(const DecodedConfig& values,
+                       WorkloadKind kind = WorkloadKind::kPageRank) {
+  const auto config = SparkConfig::from_decoded(space(), values);
+  EngineOptions options;
+  options.run_noise_sigma = 0.0;
+  return simulate(ClusterSpec{}, make_workload(kind, 1), config, 1, options)
+      .metrics;
+}
+
+DecodedConfig with(const DecodedConfig& base, const char* name,
+                   double value) {
+  auto v = base;
+  v[*space().index_of(name)] = value;
+  return v;
+}
+
+// --------------------------------------------------- shuffle mechanisms ----
+
+TEST(EffectsTest, ShuffleCompressionSavesDiskTimeOnShuffleHeavyWork) {
+  const auto on = base_config();  // default compress=true
+  const auto off = with(base_config(), "spark.shuffle.compress", 0);
+  EXPECT_LT(run_s(on), run_s(off));
+  EXPECT_LT(run_metrics(on).disk_seconds, run_metrics(off).disk_seconds);
+}
+
+TEST(EffectsTest, LargerShuffleFileBufferReducesFlushOverhead) {
+  const auto small = with(base_config(), "spark.shuffle.file.buffer.kb", 16);
+  const auto big = with(base_config(), "spark.shuffle.file.buffer.kb", 256);
+  EXPECT_LT(run_s(big), run_s(small));
+}
+
+TEST(EffectsTest, TinyReducerInFlightStallsFetches) {
+  const auto small =
+      with(base_config(), "spark.reducer.maxSizeInFlight.mb", 16);
+  const auto normal =
+      with(base_config(), "spark.reducer.maxSizeInFlight.mb", 64);
+  EXPECT_LT(run_metrics(normal).network_seconds,
+            run_metrics(small).network_seconds);
+}
+
+TEST(EffectsTest, MoreConnectionsPerPeerHelpNetworkSlightly) {
+  const auto one =
+      with(base_config(), "spark.shuffle.io.numConnectionsPerPeer", 1);
+  const auto eight =
+      with(base_config(), "spark.shuffle.io.numConnectionsPerPeer", 8);
+  EXPECT_LE(run_metrics(eight).network_seconds,
+            run_metrics(one).network_seconds);
+}
+
+// ---------------------------------------------- serialization mechanisms ----
+
+TEST(EffectsTest, KryoReferenceTrackingAddsCpu) {
+  auto kryo = with(base_config(), "spark.serializer", 1);
+  const auto tracking = with(kryo, "spark.kryo.referenceTracking", 1);
+  const auto no_tracking = with(kryo, "spark.kryo.referenceTracking", 0);
+  EXPECT_LT(run_metrics(no_tracking).cpu_seconds,
+            run_metrics(tracking).cpu_seconds);
+}
+
+TEST(EffectsTest, ZstdTradesCpuForDiskBytes) {
+  const auto lz4 = with(base_config(), "spark.io.compression.codec", 0);
+  const auto zstd = with(base_config(), "spark.io.compression.codec", 3);
+  const auto m_lz4 = run_metrics(lz4);
+  const auto m_zstd = run_metrics(zstd);
+  EXPECT_LT(m_zstd.disk_seconds, m_lz4.disk_seconds);   // better ratio
+  EXPECT_GT(m_zstd.cpu_seconds, m_lz4.cpu_seconds);     // dearer codec
+}
+
+TEST(EffectsTest, RddCompressionShrinksCacheFootprint) {
+  // KMeans caches everything; compressing the cache cuts eviction on a
+  // memory-squeezed configuration.
+  auto squeezed = base_config();
+  squeezed[*space().index_of("spark.executor.memory.mb")] = 8192;
+  squeezed[*space().index_of("spark.memory.storageFraction")] = 0.3;
+  const auto plain = with(squeezed, "spark.rdd.compress", 0);
+  const auto compressed = with(squeezed, "spark.rdd.compress", 1);
+  EXPECT_LE(run_metrics(compressed, WorkloadKind::kKMeans)
+                .cache_evicted_fraction,
+            run_metrics(plain, WorkloadKind::kKMeans)
+                .cache_evicted_fraction);
+}
+
+// ------------------------------------------------------ memory / GC ----
+
+TEST(EffectsTest, G1BeatsParallelGcOnLargeHeaps) {
+  auto big_heap = with(base_config(), "spark.executor.memory.mb", 131072);
+  big_heap[*space().index_of("spark.executor.cores")] = 16;
+  const auto parallel = with(big_heap, "spark.executor.gc", 0);
+  const auto g1 = with(big_heap, "spark.executor.gc", 1);
+  EXPECT_LT(run_metrics(g1).gc_fraction, run_metrics(parallel).gc_fraction);
+}
+
+TEST(EffectsTest, OffheapMemoryRelievesGcPressure) {
+  auto tight = with(base_config(), "spark.executor.memory.mb", 12288);
+  const auto onheap = tight;
+  auto offheap = with(tight, "spark.memory.offHeap.enabled", 1);
+  offheap[*space().index_of("spark.memory.offHeap.size.mb")] = 8192;
+  EXPECT_LE(run_metrics(offheap, WorkloadKind::kKMeans).gc_fraction,
+            run_metrics(onheap, WorkloadKind::kKMeans).gc_fraction);
+}
+
+TEST(EffectsTest, HigherMemoryFractionCutsSpillUnderPressure) {
+  auto pressured = base_config();
+  pressured[*space().index_of("spark.executor.memory.mb")] = 8192;
+  pressured[*space().index_of("spark.executor.cores")] = 8;
+  pressured[*space().index_of("spark.default.parallelism")] = 200;
+  const auto low = with(pressured, "spark.memory.fraction", 0.3);
+  const auto high = with(pressured, "spark.memory.fraction", 0.9);
+  EXPECT_LE(run_metrics(high, WorkloadKind::kTeraSort).spill_gb,
+            run_metrics(low, WorkloadKind::kTeraSort).spill_gb);
+}
+
+TEST(EffectsTest, MemoryOverheadTradesAwayExecutors) {
+  auto dense = with(base_config(), "spark.executor.memory.mb", 40960);
+  const auto small =
+      SparkConfig::from_decoded(space(),
+                                with(dense, "spark.executor.memoryOverhead.mb",
+                                     384));
+  const auto large =
+      SparkConfig::from_decoded(space(),
+                                with(dense, "spark.executor.memoryOverhead.mb",
+                                     8192));
+  EXPECT_GE(place_executors(ClusterSpec{}, small).executors_per_node,
+            place_executors(ClusterSpec{}, large).executors_per_node);
+}
+
+// -------------------------------------------------------- scheduling ----
+
+TEST(EffectsTest, ZeroLocalityWaitLosesLocality) {
+  const auto eager = with(base_config(), "spark.locality.wait.s", 0.0);
+  const auto patient = with(base_config(), "spark.locality.wait.s", 2.0);
+  EXPECT_GT(run_metrics(eager).disk_seconds,
+            run_metrics(patient).disk_seconds);
+}
+
+TEST(EffectsTest, ExcessiveLocalityWaitIdlesSlots) {
+  const auto patient = with(base_config(), "spark.locality.wait.s", 2.0);
+  const auto stubborn = with(base_config(), "spark.locality.wait.s", 10.0);
+  EXPECT_LT(run_s(patient), run_s(stubborn));
+}
+
+TEST(EffectsTest, SpeculationHasCostWhenTasksAreUniform) {
+  // On a low-skew workload (KMeans) speculation's relaunch overhead is not
+  // recovered.
+  const auto off = base_config();
+  auto on = with(base_config(), "spark.speculation", 1);
+  EXPECT_LE(run_s(off, WorkloadKind::kKMeans),
+            run_s(on, WorkloadKind::kKMeans) * 1.001);
+}
+
+TEST(EffectsTest, SpeculationMultiplierControlsTheCut) {
+  auto on = with(base_config(), "spark.speculation", 1);
+  const auto eager = with(on, "spark.speculation.multiplier", 1.1);
+  const auto lax = with(on, "spark.speculation.multiplier", 3.0);
+  EXPECT_LE(run_metrics(eager).straggler_factor,
+            run_metrics(lax).straggler_factor);
+}
+
+TEST(EffectsTest, CoresMaxScalesCpuBoundWorkNearLinearly) {
+  const auto quarter = with(base_config(), "spark.cores.max", 40);
+  const auto full = with(base_config(), "spark.cores.max", 160);
+  const double t_quarter = run_s(quarter, WorkloadKind::kKMeans);
+  const double t_full = run_s(full, WorkloadKind::kKMeans);
+  // CPU-bound: 4x the cores should buy at least 2x the speed.
+  EXPECT_GT(t_quarter, 2.0 * t_full);
+}
+
+TEST(EffectsTest, MaxPartitionBytesControlsInputParallelism) {
+  // Larger splits -> fewer, bigger input tasks -> worse utilization on a
+  // wide cluster for the scan-bound stages.
+  const auto fine = with(base_config(), "spark.files.maxPartitionBytes.mb", 64);
+  const auto coarse =
+      with(base_config(), "spark.files.maxPartitionBytes.mb", 512);
+  const auto m_fine = run_metrics(fine);
+  const auto m_coarse = run_metrics(coarse);
+  EXPECT_GT(m_fine.total_tasks, m_coarse.total_tasks);
+}
+
+// ------------------------------------------------------ no-op parameters ----
+
+TEST(EffectsTest, DocumentedNoopsDoNotMoveTheClock) {
+  // Parameters the engine deliberately ignores (they exist so the
+  // high-dimensional space contains realistic dead weight, §2.2) must not
+  // change a noiseless run at all.
+  const double baseline = run_s(base_config());
+  for (const auto& [name, value] :
+       std::vector<std::pair<const char*, double>>{
+           {"spark.shuffle.io.maxRetries", 10},
+           {"spark.shuffle.io.retryWait.s", 30},
+           {"spark.network.timeout.s", 600},
+           {"spark.executor.heartbeatInterval.s", 60},
+           {"spark.broadcast.checksum", 0},
+           {"spark.storage.memoryMapThreshold.mb", 16},
+           {"spark.cleaner.periodicGC.interval.min", 10},
+           {"spark.task.maxFailures", 8},
+           {"spark.shuffle.service.enabled", 1},
+           {"spark.shuffle.io.preferDirectBufs", 0},
+       }) {
+    EXPECT_DOUBLE_EQ(run_s(with(base_config(), name, value)), baseline)
+        << name;
+  }
+}
+
+// ---------------------------------------------------- dataset scaling ----
+
+class DatasetScalingTest : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(DatasetScalingTest, LargerDatasetsTakeLonger) {
+  const auto kind = GetParam();
+  const double d1 = run_s(base_config(), kind, 1);
+  const double d2 = run_s(base_config(), kind, 2);
+  const double d3 = run_s(base_config(), kind, 3);
+  EXPECT_LT(d1, d2);
+  EXPECT_LT(d2, d3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, DatasetScalingTest,
+                         ::testing::Values(WorkloadKind::kPageRank,
+                                           WorkloadKind::kKMeans,
+                                           WorkloadKind::kConnectedComponents,
+                                           WorkloadKind::kLogisticRegression,
+                                           WorkloadKind::kTeraSort));
+
+// --------------------------------------------------------- objective metric ----
+
+TEST(MetricTest, CoreSecondsFavorsSmallFootprints) {
+  // A config using a quarter of the cluster scores better on core-seconds
+  // than on wall clock relative to a full-cluster config.
+  const auto full = base_config();
+  const auto quarter = with(base_config(), "spark.cores.max", 40);
+  auto make = [&](ObjectiveMetric metric) {
+    return SparkObjective(ClusterSpec{},
+                          make_workload(WorkloadKind::kKMeans, 1), space(),
+                          42, 0.0, 0.0, metric);
+  };
+  auto time_obj = make(ObjectiveMetric::kExecutionTime);
+  auto cost_obj = make(ObjectiveMetric::kCoreSeconds);
+  const double t_full = time_obj.evaluate_decoded(full).value_s;
+  const double t_quarter = time_obj.evaluate_decoded(quarter).value_s;
+  const double c_full = cost_obj.evaluate_decoded(full).value_s;
+  const double c_quarter = cost_obj.evaluate_decoded(quarter).value_s;
+  EXPECT_GT(t_quarter, t_full);            // slower in wall clock
+  EXPECT_LT(c_quarter / c_full, t_quarter / t_full);  // cheaper per core
+}
+
+TEST(MetricTest, ExecutionTimeMetricIsUnscaled) {
+  SparkObjective obj(ClusterSpec{}, make_workload(WorkloadKind::kTeraSort, 1),
+                     space(), 42, 0.0, 0.0, ObjectiveMetric::kExecutionTime);
+  const auto out = obj.evaluate_decoded(base_config());
+  EXPECT_DOUBLE_EQ(out.value_s, out.raw.seconds);
+}
+
+}  // namespace
+}  // namespace robotune::sparksim

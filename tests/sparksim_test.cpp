@@ -1,0 +1,558 @@
+// Tests for the Spark cluster simulator: configuration space, typed
+// config extraction, executor placement, workload models, execution
+// engine, and the tuning objective.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "sparksim/cluster.h"
+#include "sparksim/engine.h"
+#include "sparksim/objective.h"
+#include "sparksim/param_space.h"
+#include "sparksim/spark_config.h"
+#include "sparksim/workload.h"
+
+namespace robotune::sparksim {
+namespace {
+
+const ConfigSpace& space() {
+  static const ConfigSpace s = spark24_config_space();
+  return s;
+}
+
+// ------------------------------------------------------- ConfigSpace ----
+
+TEST(ConfigSpaceTest, HasExactly44Parameters) {
+  EXPECT_EQ(space().size(), 44u);
+}
+
+TEST(ConfigSpaceTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& spec : space().specs()) names.insert(spec.name);
+  EXPECT_EQ(names.size(), space().size());
+}
+
+TEST(ConfigSpaceTest, IndexOfFindsKnownParameters) {
+  EXPECT_TRUE(space().index_of("spark.executor.cores").has_value());
+  EXPECT_TRUE(space().index_of("spark.serializer").has_value());
+  EXPECT_FALSE(space().index_of("spark.nonexistent").has_value());
+}
+
+TEST(ConfigSpaceTest, DecodeRespectsRanges) {
+  Rng rng(1);
+  for (int rep = 0; rep < 200; ++rep) {
+    std::vector<double> unit(space().size());
+    for (auto& u : unit) u = rng.uniform();
+    const auto decoded = space().decode(unit);
+    for (std::size_t i = 0; i < space().size(); ++i) {
+      const auto& spec = space().spec(i);
+      switch (spec.kind) {
+        case ParamKind::kInt:
+        case ParamKind::kDouble:
+          EXPECT_GE(decoded[i], spec.lo) << spec.name;
+          EXPECT_LE(decoded[i], spec.hi) << spec.name;
+          break;
+        case ParamKind::kBool:
+          EXPECT_TRUE(decoded[i] == 0.0 || decoded[i] == 1.0) << spec.name;
+          break;
+        case ParamKind::kCategorical:
+          EXPECT_GE(decoded[i], 0.0);
+          EXPECT_LT(decoded[i], static_cast<double>(spec.categories.size()));
+          break;
+      }
+    }
+  }
+}
+
+TEST(ConfigSpaceTest, IntDecodeIsIntegral) {
+  Rng rng(2);
+  std::vector<double> unit(space().size());
+  for (auto& u : unit) u = rng.uniform();
+  const auto decoded = space().decode(unit);
+  for (std::size_t i = 0; i < space().size(); ++i) {
+    if (space().spec(i).kind == ParamKind::kInt) {
+      EXPECT_DOUBLE_EQ(decoded[i], std::round(decoded[i]))
+          << space().spec(i).name;
+    }
+  }
+}
+
+TEST(ConfigSpaceTest, EncodeDecodeRoundTripsDecodedValues) {
+  Rng rng(3);
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<double> unit(space().size());
+    for (auto& u : unit) u = rng.uniform();
+    const auto decoded = space().decode(unit);
+    const auto re_encoded = space().encode(decoded);
+    const auto re_decoded = space().decode(re_encoded);
+    for (std::size_t i = 0; i < space().size(); ++i) {
+      // Log-scaled integers may shift by rounding; everything else must
+      // reproduce exactly.
+      if (space().spec(i).log_scale) {
+        EXPECT_NEAR(re_decoded[i], decoded[i],
+                    std::max(1.0, 0.02 * std::abs(decoded[i])))
+            << space().spec(i).name;
+      } else {
+        EXPECT_DOUBLE_EQ(re_decoded[i], decoded[i]) << space().spec(i).name;
+      }
+    }
+  }
+}
+
+TEST(ConfigSpaceTest, DefaultsMatchSparkDocumentation) {
+  const auto d = space().defaults();
+  const auto idx = [&](const char* n) { return *space().index_of(n); };
+  EXPECT_DOUBLE_EQ(d[idx("spark.executor.memory.mb")], 1024.0);
+  EXPECT_DOUBLE_EQ(d[idx("spark.executor.cores")], 1.0);
+  EXPECT_DOUBLE_EQ(d[idx("spark.memory.fraction")], 0.6);
+  EXPECT_DOUBLE_EQ(d[idx("spark.serializer")], 0.0);  // JavaSerializer
+  EXPECT_DOUBLE_EQ(d[idx("spark.shuffle.compress")], 1.0);
+  EXPECT_DOUBLE_EQ(d[idx("spark.speculation")], 0.0);
+}
+
+TEST(ConfigSpaceTest, DefaultExecutorMemoryIsBelowTunedRange) {
+  // §5.1: tuned memory range starts at 8 GB while the framework default is
+  // 1 GB — the source of the default-config OOMs in §5.2.
+  const auto& spec =
+      space().spec(*space().index_of("spark.executor.memory.mb"));
+  EXPECT_LT(spec.default_value, spec.lo);
+}
+
+TEST(ConfigSpaceTest, JointGroupsReferenceRealParameters) {
+  for (const auto& group : spark24_joint_parameter_groups()) {
+    EXPECT_GE(group.size(), 2u);
+    for (const auto& name : group) {
+      EXPECT_TRUE(space().index_of(name).has_value()) << name;
+    }
+  }
+}
+
+TEST(ParamSpecTest, BoolEncodeDecode) {
+  ParamSpec spec;
+  spec.kind = ParamKind::kBool;
+  EXPECT_DOUBLE_EQ(spec.decode(0.49), 0.0);
+  EXPECT_DOUBLE_EQ(spec.decode(0.51), 1.0);
+  EXPECT_DOUBLE_EQ(spec.decode(spec.encode(1.0)), 1.0);
+  EXPECT_DOUBLE_EQ(spec.decode(spec.encode(0.0)), 0.0);
+  EXPECT_EQ(spec.cardinality(), 2u);
+}
+
+TEST(ParamSpecTest, CategoricalBucketsAreEven) {
+  ParamSpec spec;
+  spec.kind = ParamKind::kCategorical;
+  spec.categories = {"a", "b", "c", "d"};
+  EXPECT_DOUBLE_EQ(spec.decode(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(spec.decode(0.26), 1.0);
+  EXPECT_DOUBLE_EQ(spec.decode(0.99), 3.0);
+  EXPECT_EQ(spec.cardinality(), 4u);
+}
+
+TEST(ParamSpecTest, LogScaleCoversDecades) {
+  ParamSpec spec;
+  spec.kind = ParamKind::kInt;
+  spec.lo = 10;
+  spec.hi = 10000;
+  spec.log_scale = true;
+  EXPECT_DOUBLE_EQ(spec.decode(0.0), 10.0);
+  EXPECT_NEAR(spec.decode(0.5), 316.0, 2.0);  // geometric midpoint
+  EXPECT_NEAR(spec.decode(1.0 - 1e-12), 10000.0, 1.0);
+}
+
+// Parameterized round trip for every one of the 44 parameters.
+class ParamRoundTripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParamRoundTripTest, DecodeEncodeDecodeIsStable) {
+  const auto& spec = space().spec(GetParam());
+  for (double u : {0.0, 0.17, 0.33, 0.5, 0.77, 0.999}) {
+    const double v = spec.decode(u);
+    const double v2 = spec.decode(spec.encode(v));
+    if (spec.log_scale) {
+      EXPECT_NEAR(v2, v, std::max(1.0, 0.02 * std::abs(v))) << spec.name;
+    } else {
+      EXPECT_DOUBLE_EQ(v2, v) << spec.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All44, ParamRoundTripTest,
+                         ::testing::Range<std::size_t>(0, 44));
+
+// ------------------------------------------------------- SparkConfig ----
+
+TEST(SparkConfigTest, ExtractsTypedFieldsFromDefaults) {
+  const auto config = SparkConfig::from_decoded(space(), space().defaults());
+  EXPECT_EQ(config.executor_cores, 1);
+  EXPECT_EQ(config.executor_memory_mb, 1024);
+  EXPECT_EQ(config.serializer, Serializer::kJava);
+  EXPECT_EQ(config.compression_codec, Codec::kLz4);
+  EXPECT_TRUE(config.shuffle_compress);
+  EXPECT_FALSE(config.speculation);
+  EXPECT_EQ(config.gc_algo, GcAlgo::kParallel);
+}
+
+TEST(SparkConfigTest, ReflectsModifiedValues) {
+  auto values = space().defaults();
+  values[*space().index_of("spark.serializer")] = 1;
+  values[*space().index_of("spark.executor.cores")] = 8;
+  values[*space().index_of("spark.io.compression.codec")] = 3;
+  const auto config = SparkConfig::from_decoded(space(), values);
+  EXPECT_EQ(config.serializer, Serializer::kKryo);
+  EXPECT_EQ(config.executor_cores, 8);
+  EXPECT_EQ(config.compression_codec, Codec::kZstd);
+}
+
+TEST(SparkConfigTest, SizeMismatchThrows) {
+  DecodedConfig bad(3, 0.0);
+  EXPECT_THROW(SparkConfig::from_decoded(space(), bad), InvalidArgument);
+}
+
+// --------------------------------------------------------- placement ----
+
+TEST(PlacementTest, DefaultsFillClusterWithOneCoreExecutors) {
+  const auto config = SparkConfig::from_decoded(space(), space().defaults());
+  const auto p = place_executors(ClusterSpec{}, config);
+  EXPECT_FALSE(p.infeasible);
+  EXPECT_EQ(p.total_executors, 160);  // 32 per node x 5 nodes
+  EXPECT_EQ(p.slots_per_executor, 1);
+  EXPECT_EQ(p.total_slots, 160);
+}
+
+TEST(PlacementTest, MemoryBoundPackingLimitsExecutors) {
+  auto values = space().defaults();
+  values[*space().index_of("spark.executor.cores")] = 2;
+  values[*space().index_of("spark.executor.memory.mb")] = 90.0 * 1024;
+  const auto config = SparkConfig::from_decoded(space(), values);
+  const auto p = place_executors(ClusterSpec{}, config);
+  // 184 GB usable / ~90.4 GB per executor = 2 executors per node.
+  EXPECT_EQ(p.executors_per_node, 2);
+  EXPECT_EQ(p.total_executors, 10);
+  EXPECT_EQ(p.total_slots, 20);
+}
+
+TEST(PlacementTest, SingleExecutorLargerThanNodeIsInfeasible) {
+  auto values = space().defaults();
+  values[*space().index_of("spark.executor.memory.mb")] = 184320;
+  values[*space().index_of("spark.executor.memoryOverhead.mb")] = 8192;
+  const auto config = SparkConfig::from_decoded(space(), values);
+  const auto p = place_executors(ClusterSpec{}, config);
+  EXPECT_TRUE(p.infeasible);
+}
+
+TEST(PlacementTest, CoresMaxCapsTheGrant) {
+  auto values = space().defaults();
+  values[*space().index_of("spark.executor.cores")] = 4;
+  values[*space().index_of("spark.cores.max")] = 32;
+  const auto config = SparkConfig::from_decoded(space(), values);
+  const auto p = place_executors(ClusterSpec{}, config);
+  EXPECT_EQ(p.total_executors, 8);  // 32 cores / 4 per executor
+  EXPECT_EQ(p.total_slots, 32);
+}
+
+TEST(PlacementTest, TaskCpusDividesSlots) {
+  auto values = space().defaults();
+  values[*space().index_of("spark.executor.cores")] = 8;
+  values[*space().index_of("spark.task.cpus")] = 4;
+  const auto config = SparkConfig::from_decoded(space(), values);
+  const auto p = place_executors(ClusterSpec{}, config);
+  EXPECT_EQ(p.slots_per_executor, 2);
+}
+
+TEST(PlacementTest, OffheapCountsTowardFootprint) {
+  auto base = space().defaults();
+  base[*space().index_of("spark.executor.cores")] = 2;
+  base[*space().index_of("spark.executor.memory.mb")] = 60 * 1024;
+  auto with_offheap = base;
+  with_offheap[*space().index_of("spark.memory.offHeap.enabled")] = 1;
+  with_offheap[*space().index_of("spark.memory.offHeap.size.mb")] = 32 * 1024;
+  const auto p1 = place_executors(
+      ClusterSpec{}, SparkConfig::from_decoded(space(), base));
+  const auto p2 = place_executors(
+      ClusterSpec{}, SparkConfig::from_decoded(space(), with_offheap));
+  EXPECT_GT(p1.executors_per_node, p2.executors_per_node);
+}
+
+// ---------------------------------------------------------- workloads ----
+
+TEST(WorkloadTest, Table1DatasetSizesScale) {
+  for (auto kind : all_workloads()) {
+    const auto d1 = make_workload(kind, 1);
+    const auto d2 = make_workload(kind, 2);
+    const auto d3 = make_workload(kind, 3);
+    EXPECT_LT(d1.input_gb, d2.input_gb) << to_string(kind);
+    EXPECT_LT(d2.input_gb, d3.input_gb) << to_string(kind);
+    EXPECT_EQ(d1.dataset_label, "D1");
+    EXPECT_EQ(d3.dataset_label, "D3");
+  }
+}
+
+TEST(WorkloadTest, ShortNamesMatchPaper) {
+  EXPECT_EQ(short_name(WorkloadKind::kPageRank), "PR");
+  EXPECT_EQ(short_name(WorkloadKind::kKMeans), "KM");
+  EXPECT_EQ(short_name(WorkloadKind::kConnectedComponents), "CC");
+  EXPECT_EQ(short_name(WorkloadKind::kLogisticRegression), "LR");
+  EXPECT_EQ(short_name(WorkloadKind::kTeraSort), "TS");
+  EXPECT_EQ(make_workload(WorkloadKind::kPageRank, 2).full_name(), "PR-D2");
+}
+
+TEST(WorkloadTest, IterativeWorkloadsCacheAndIterate) {
+  for (auto kind : {WorkloadKind::kPageRank, WorkloadKind::kKMeans,
+                    WorkloadKind::kConnectedComponents,
+                    WorkloadKind::kLogisticRegression}) {
+    const auto w = make_workload(kind, 1);
+    EXPECT_GT(w.iterations, 1) << to_string(kind);
+    EXPECT_GT(w.cached_gb, 0.0) << to_string(kind);
+    EXPECT_FALSE(w.iteration_stages.empty());
+  }
+}
+
+TEST(WorkloadTest, TeraSortIsSinglePassNoCache) {
+  const auto ts = make_workload(WorkloadKind::kTeraSort, 1);
+  EXPECT_EQ(ts.iterations, 1);
+  EXPECT_DOUBLE_EQ(ts.cached_gb, 0.0);
+  EXPECT_TRUE(ts.setup_stages.empty());
+}
+
+TEST(WorkloadTest, InvalidDatasetThrows) {
+  EXPECT_THROW(make_workload(WorkloadKind::kPageRank, 0), InvalidArgument);
+  EXPECT_THROW(make_workload(WorkloadKind::kPageRank, 4), InvalidArgument);
+}
+
+// ------------------------------------------------------------- engine ----
+
+SimResult run_config(const DecodedConfig& values, WorkloadKind kind,
+                     int dataset, std::uint64_t seed = 1,
+                     double noise = 0.0) {
+  const auto config = SparkConfig::from_decoded(space(), values);
+  EngineOptions options;
+  options.run_noise_sigma = noise;
+  return simulate(ClusterSpec{}, make_workload(kind, dataset), config, seed,
+                  options);
+}
+
+DecodedConfig tuned_config() {
+  auto v = space().defaults();
+  const auto set = [&](const char* n, double val) {
+    v[*space().index_of(n)] = val;
+  };
+  set("spark.executor.cores", 8);
+  set("spark.executor.memory.mb", 32768);
+  set("spark.memory.fraction", 0.7);
+  set("spark.serializer", 1);
+  set("spark.default.parallelism", 400);
+  set("spark.executor.gc", 1);
+  return v;
+}
+
+TEST(EngineTest, DeterministicForSeed) {
+  const auto a = run_config(tuned_config(), WorkloadKind::kPageRank, 1, 7);
+  const auto b = run_config(tuned_config(), WorkloadKind::kPageRank, 1, 7);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+TEST(EngineTest, NoiseVariesAcrossSeedsButStaysSmall) {
+  const auto a =
+      run_config(tuned_config(), WorkloadKind::kPageRank, 1, 1, 0.04);
+  const auto b =
+      run_config(tuned_config(), WorkloadKind::kPageRank, 1, 2, 0.04);
+  EXPECT_NE(a.seconds, b.seconds);
+  EXPECT_NEAR(a.seconds / b.seconds, 1.0, 0.4);
+}
+
+TEST(EngineTest, DefaultConfigOomsGraphWorkloads) {
+  // §5.2: the 1 GB default executor memory kills PR and CC on all inputs.
+  for (auto kind :
+       {WorkloadKind::kPageRank, WorkloadKind::kConnectedComponents}) {
+    for (int dataset = 1; dataset <= 3; ++dataset) {
+      const auto r = run_config(space().defaults(), kind, dataset);
+      EXPECT_EQ(r.status, RunStatus::kOom)
+          << to_string(kind) << " D" << dataset;
+    }
+  }
+}
+
+TEST(EngineTest, DefaultConfigSurvivesKmAndLr) {
+  for (auto kind :
+       {WorkloadKind::kKMeans, WorkloadKind::kLogisticRegression}) {
+    for (int dataset = 1; dataset <= 3; ++dataset) {
+      const auto r = run_config(space().defaults(), kind, dataset);
+      EXPECT_EQ(r.status, RunStatus::kOk)
+          << to_string(kind) << " D" << dataset;
+    }
+  }
+}
+
+TEST(EngineTest, DefaultTeraSortOnlySurvivesSmallestInput) {
+  // §5.2: TS runs with the default config on 20 GB but hits runtime errors
+  // on the two larger datasets.
+  EXPECT_EQ(run_config(space().defaults(), WorkloadKind::kTeraSort, 1).status,
+            RunStatus::kOk);
+  EXPECT_EQ(run_config(space().defaults(), WorkloadKind::kTeraSort, 2).status,
+            RunStatus::kOom);
+  EXPECT_EQ(run_config(space().defaults(), WorkloadKind::kTeraSort, 3).status,
+            RunStatus::kOom);
+}
+
+TEST(EngineTest, TunedBeatsDefaultWhereDefaultSurvives) {
+  for (auto kind : {WorkloadKind::kKMeans, WorkloadKind::kLogisticRegression}) {
+    const auto def = run_config(space().defaults(), kind, 1);
+    const auto tuned = run_config(tuned_config(), kind, 1);
+    ASSERT_EQ(tuned.status, RunStatus::kOk);
+    EXPECT_LT(tuned.seconds, def.seconds) << to_string(kind);
+  }
+}
+
+TEST(EngineTest, KMeansDefaultEvictsCache) {
+  const auto def = run_config(space().defaults(), WorkloadKind::kKMeans, 3);
+  EXPECT_GT(def.metrics.cache_evicted_fraction, 0.3);
+  const auto tuned = run_config(tuned_config(), WorkloadKind::kKMeans, 1);
+  EXPECT_LT(tuned.metrics.cache_evicted_fraction, 0.05);
+}
+
+TEST(EngineTest, KryoFasterThanJavaOnShuffleHeavyWorkload) {
+  auto java = tuned_config();
+  java[*space().index_of("spark.serializer")] = 0;
+  const auto with_java = run_config(java, WorkloadKind::kPageRank, 1);
+  const auto with_kryo =
+      run_config(tuned_config(), WorkloadKind::kPageRank, 1);
+  EXPECT_LT(with_kryo.seconds, with_java.seconds);
+}
+
+TEST(EngineTest, MoreCoresHelpCpuBoundWorkload) {
+  auto few = tuned_config();
+  few[*space().index_of("spark.cores.max")] = 32;
+  auto many = tuned_config();
+  many[*space().index_of("spark.cores.max")] = 160;
+  const auto slow = run_config(few, WorkloadKind::kKMeans, 1);
+  const auto fast = run_config(many, WorkloadKind::kKMeans, 1);
+  EXPECT_LT(fast.seconds, slow.seconds * 0.7);
+}
+
+TEST(EngineTest, TinyParallelismUnderutilizesTheCluster) {
+  auto low = tuned_config();
+  low[*space().index_of("spark.default.parallelism")] = 8;
+  const auto slow = run_config(low, WorkloadKind::kPageRank, 1);
+  const auto fast = run_config(tuned_config(), WorkloadKind::kPageRank, 1);
+  if (slow.status == RunStatus::kOk) {
+    EXPECT_GT(slow.seconds, fast.seconds);
+  } else {
+    // Giant partitions can also OOM, which is equally "worse".
+    EXPECT_EQ(slow.status, RunStatus::kOom);
+  }
+}
+
+TEST(EngineTest, TimeCapCutsLongRuns) {
+  EngineOptions options;
+  options.time_cap_s = 10.0;
+  options.run_noise_sigma = 0.0;
+  const auto config = SparkConfig::from_decoded(space(), tuned_config());
+  const auto r = simulate(ClusterSpec{}, make_workload(WorkloadKind::kKMeans, 3),
+                          config, 1, options);
+  EXPECT_EQ(r.status, RunStatus::kTimeLimit);
+  EXPECT_DOUBLE_EQ(r.seconds, 10.0);
+}
+
+TEST(EngineTest, MetricsArePopulated) {
+  const auto r = run_config(tuned_config(), WorkloadKind::kTeraSort, 1);
+  EXPECT_GT(r.metrics.total_tasks, 0);
+  EXPECT_GT(r.metrics.total_waves, 0);
+  EXPECT_GT(r.metrics.cpu_seconds, 0.0);
+  EXPECT_GT(r.metrics.disk_seconds, 0.0);
+  EXPECT_GE(r.metrics.straggler_factor, 1.0);
+  EXPECT_EQ(r.stage_seconds.size(), 2u);  // map-sort + reduce-write
+}
+
+TEST(EngineTest, OomReportsFailureStage) {
+  const auto r = run_config(space().defaults(), WorkloadKind::kPageRank, 1);
+  ASSERT_EQ(r.status, RunStatus::kOom);
+  EXPECT_FALSE(r.failure_stage.empty());
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_LT(r.seconds, 120.0);  // failures surface quickly
+}
+
+TEST(EngineTest, SpeculationTrimsStragglerTail) {
+  auto spec_on = tuned_config();
+  spec_on[*space().index_of("spark.speculation")] = 1;
+  spec_on[*space().index_of("spark.speculation.multiplier")] = 1.1;
+  spec_on[*space().index_of("spark.speculation.quantile")] = 0.6;
+  const auto off = run_config(tuned_config(), WorkloadKind::kPageRank, 1);
+  const auto on = run_config(spec_on, WorkloadKind::kPageRank, 1);
+  EXPECT_LT(on.metrics.straggler_factor, off.metrics.straggler_factor);
+}
+
+// Parameterized sweep: every workload/dataset simulates to a finite,
+// positive, reasonable time under the tuned config.
+class EngineSweepTest
+    : public ::testing::TestWithParam<std::tuple<WorkloadKind, int>> {};
+
+TEST_P(EngineSweepTest, TunedConfigCompletesInSaneTime) {
+  const auto [kind, dataset] = GetParam();
+  const auto r = run_config(tuned_config(), kind, dataset);
+  ASSERT_EQ(r.status, RunStatus::kOk) << to_string(kind) << dataset;
+  EXPECT_GT(r.seconds, 5.0);
+  EXPECT_LT(r.seconds, 480.0);  // inside the paper's evaluation cap
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, EngineSweepTest,
+    ::testing::Combine(::testing::Values(WorkloadKind::kPageRank,
+                                         WorkloadKind::kKMeans,
+                                         WorkloadKind::kConnectedComponents,
+                                         WorkloadKind::kLogisticRegression,
+                                         WorkloadKind::kTeraSort),
+                       ::testing::Values(1, 2, 3)));
+
+// ---------------------------------------------------------- objective ----
+
+TEST(ObjectiveTest, CountsEvaluationsAndCost) {
+  SparkObjective obj(ClusterSpec{}, make_workload(WorkloadKind::kTeraSort, 1),
+                     space(), 42);
+  const auto unit = space().encode(tuned_config());
+  obj.evaluate(unit);
+  obj.evaluate(unit);
+  EXPECT_EQ(obj.evaluations(), 2u);
+  EXPECT_GT(obj.total_cost_s(), 0.0);
+  obj.reset_counters();
+  EXPECT_EQ(obj.evaluations(), 0u);
+}
+
+TEST(ObjectiveTest, GuardThresholdKillsSlowRuns) {
+  SparkObjective obj(ClusterSpec{}, make_workload(WorkloadKind::kKMeans, 3),
+                     space(), 42, 480.0, 0.0);
+  // Default config on KM-D3 takes far longer than 60 s.
+  const auto out = obj.evaluate_decoded(space().defaults(), 60.0);
+  EXPECT_TRUE(out.stopped_early);
+  EXPECT_DOUBLE_EQ(out.value_s, 60.0);
+  EXPECT_DOUBLE_EQ(out.cost_s, 60.0);
+}
+
+TEST(ObjectiveTest, FailedRunsAreCheapButPenalized) {
+  SparkObjective obj(ClusterSpec{}, make_workload(WorkloadKind::kPageRank, 1),
+                     space(), 42, 480.0, 0.0);
+  const auto out = obj.evaluate_decoded(space().defaults(), 0.0);
+  EXPECT_EQ(out.status, RunStatus::kOom);
+  EXPECT_GT(out.value_s, 480.0);   // penalty value above the cap
+  EXPECT_LT(out.cost_s, 120.0);    // but the session barely pays for it
+}
+
+TEST(ObjectiveTest, NoCapWhenDisabled) {
+  SparkObjective obj(ClusterSpec{}, make_workload(WorkloadKind::kKMeans, 3),
+                     space(), 42, 480.0, 0.0);
+  const auto out =
+      obj.evaluate_decoded(space().defaults(), 0.0, /*apply_cap=*/false);
+  EXPECT_EQ(out.status, RunStatus::kOk);
+  EXPECT_GT(out.value_s, 480.0);  // §5.2 default comparison runs uncapped
+}
+
+TEST(ObjectiveTest, NoiseMakesRepeatsDiffer) {
+  SparkObjective obj(ClusterSpec{}, make_workload(WorkloadKind::kTeraSort, 1),
+                     space(), 42, 480.0, 0.04);
+  const auto unit = space().encode(tuned_config());
+  const auto a = obj.evaluate(unit);
+  const auto b = obj.evaluate(unit);
+  EXPECT_NE(a.value_s, b.value_s);
+}
+
+}  // namespace
+}  // namespace robotune::sparksim

@@ -1,0 +1,169 @@
+// Tests for the session trace exporter and the RFHOC-style tuner.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparksim/objective.h"
+#include "tuners/random_search.h"
+#include "tuners/rfhoc.h"
+#include "tuners/session_trace.h"
+
+namespace robotune::tuners {
+namespace {
+
+sparksim::SparkObjective make_objective(std::uint64_t seed = 42) {
+  return sparksim::SparkObjective(
+      sparksim::ClusterSpec{},
+      sparksim::make_workload(sparksim::WorkloadKind::kTeraSort, 1),
+      sparksim::spark24_config_space(), seed);
+}
+
+// ------------------------------------------------------- session trace ----
+
+TEST(SessionTraceTest, CsvHasHeaderAndOneRowPerEvaluation) {
+  auto objective = make_objective(1);
+  RandomSearch rs;
+  const auto result = rs.tune(objective, 12, 3);
+  std::stringstream out;
+  TraceOptions options;
+  options.include_parameters = false;
+  const auto rows = write_csv(result, out, options);
+  EXPECT_EQ(rows, 12u);
+  std::string line;
+  std::getline(out, line);
+  EXPECT_EQ(line,
+            "index,tuner,value_s,cost_s,status,stopped_early,best_so_far");
+  int data_lines = 0;
+  while (std::getline(out, line)) ++data_lines;
+  EXPECT_EQ(data_lines, 12);
+}
+
+TEST(SessionTraceTest, ParameterColumnsUseSpaceNames) {
+  auto objective = make_objective(2);
+  RandomSearch rs;
+  const auto result = rs.tune(objective, 3, 5);
+  std::stringstream out;
+  TraceOptions options;
+  options.space = &objective.space();
+  write_csv(result, out, options);
+  std::string header;
+  std::getline(out, header);
+  EXPECT_NE(header.find("spark.executor.cores"), std::string::npos);
+  EXPECT_NE(header.find("spark.serializer"), std::string::npos);
+  // 7 summary columns + 44 parameters = 51 columns.
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','), 50);
+}
+
+TEST(SessionTraceTest, UnitColumnsWhenNoSpaceGiven) {
+  auto objective = make_objective(3);
+  RandomSearch rs;
+  const auto result = rs.tune(objective, 2, 5);
+  std::stringstream out;
+  write_csv(result, out);
+  std::string header;
+  std::getline(out, header);
+  EXPECT_NE(header.find(",u0"), std::string::npos);
+  EXPECT_NE(header.find(",u43"), std::string::npos);
+}
+
+TEST(SessionTraceTest, BestSoFarIsMonotoneInTheCsv) {
+  auto objective = make_objective(4);
+  RandomSearch rs;
+  const auto result = rs.tune(objective, 20, 7);
+  std::stringstream out;
+  TraceOptions options;
+  options.include_parameters = false;
+  write_csv(result, out, options);
+  std::string line;
+  std::getline(out, line);  // header
+  double prev = 1e18;
+  while (std::getline(out, line)) {
+    const auto pos = line.rfind(',');
+    if (pos == std::string::npos || pos + 1 >= line.size()) continue;
+    const double best = std::stod(line.substr(pos + 1));
+    EXPECT_LE(best, prev + 1e-9);
+    prev = best;
+  }
+}
+
+TEST(SessionTraceTest, FileWrapperWritesAndFails) {
+  auto objective = make_objective(5);
+  RandomSearch rs;
+  const auto result = rs.tune(objective, 2, 9);
+  EXPECT_TRUE(write_csv_file(result, "/tmp/robotune_trace_test.csv"));
+  EXPECT_FALSE(write_csv_file(result, "/nonexistent/dir/trace.csv"));
+  std::remove("/tmp/robotune_trace_test.csv");
+}
+
+// --------------------------------------------------------------- RFHOC ----
+
+TEST(RfhocTest, RespectsBudgetExactly) {
+  auto objective = make_objective(6);
+  Rfhoc rfhoc;
+  const auto result = rfhoc.tune(objective, 40, 11);
+  EXPECT_EQ(result.history.size(), 40u);
+  EXPECT_EQ(objective.evaluations(), 40u);
+  EXPECT_EQ(result.tuner, "RFHOC");
+  EXPECT_TRUE(result.found_any());
+}
+
+TEST(RfhocTest, TrainFractionSplitsTheBudget) {
+  auto objective = make_objective(7);
+  RfhocOptions options;
+  options.train_fraction = 0.5;
+  options.forest_trees = 50;
+  options.ga_generations = 5;
+  Rfhoc rfhoc(options);
+  const auto result = rfhoc.tune(objective, 30, 13);
+  EXPECT_EQ(result.history.size(), 30u);
+}
+
+TEST(RfhocTest, AllBudgetOnTrainingStillReturns) {
+  auto objective = make_objective(8);
+  RfhocOptions options;
+  options.train_fraction = 0.95;
+  options.forest_trees = 30;
+  Rfhoc rfhoc(options);
+  const auto result = rfhoc.tune(objective, 12, 15);
+  EXPECT_EQ(result.history.size(), 12u);
+}
+
+TEST(RfhocTest, ValidationPhaseEvaluatesModelFavourites) {
+  // The validated candidates (after the training prefix) should, on
+  // average, be no worse than the random training samples — the model
+  // extracts at least crude signal.
+  auto objective = make_objective(9);
+  RfhocOptions options;
+  options.train_fraction = 0.6;
+  options.forest_trees = 100;
+  Rfhoc rfhoc(options);
+  const auto result = rfhoc.tune(objective, 50, 17);
+  double train_sum = 0.0, validate_sum = 0.0;
+  int train_n = 0, validate_n = 0;
+  for (std::size_t i = 0; i < result.history.size(); ++i) {
+    const auto& e = result.history[i];
+    if (i < 30) {
+      train_sum += e.value_s;
+      ++train_n;
+    } else {
+      validate_sum += e.value_s;
+      ++validate_n;
+    }
+  }
+  EXPECT_LE(validate_sum / validate_n, train_sum / train_n * 1.05);
+}
+
+TEST(RfhocTest, DeterministicPerSeed) {
+  auto a = make_objective(10);
+  auto b = make_objective(10);
+  Rfhoc r1, r2;
+  const auto ra = r1.tune(a, 25, 21);
+  const auto rb = r2.tune(b, 25, 21);
+  ASSERT_EQ(ra.history.size(), rb.history.size());
+  for (std::size_t i = 0; i < ra.history.size(); ++i) {
+    EXPECT_EQ(ra.history[i].unit, rb.history[i].unit);
+  }
+}
+
+}  // namespace
+}  // namespace robotune::tuners
