@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dimreduction.dir/abl_dimreduction.cpp.o"
+  "CMakeFiles/abl_dimreduction.dir/abl_dimreduction.cpp.o.d"
+  "abl_dimreduction"
+  "abl_dimreduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dimreduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

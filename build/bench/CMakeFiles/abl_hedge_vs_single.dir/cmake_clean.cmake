@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hedge_vs_single.dir/abl_hedge_vs_single.cpp.o"
+  "CMakeFiles/abl_hedge_vs_single.dir/abl_hedge_vs_single.cpp.o.d"
+  "abl_hedge_vs_single"
+  "abl_hedge_vs_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hedge_vs_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

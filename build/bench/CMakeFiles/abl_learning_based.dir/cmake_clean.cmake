@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_learning_based.dir/abl_learning_based.cpp.o"
+  "CMakeFiles/abl_learning_based.dir/abl_learning_based.cpp.o.d"
+  "abl_learning_based"
+  "abl_learning_based.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_learning_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

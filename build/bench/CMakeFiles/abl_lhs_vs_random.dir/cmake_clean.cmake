@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lhs_vs_random.dir/abl_lhs_vs_random.cpp.o"
+  "CMakeFiles/abl_lhs_vs_random.dir/abl_lhs_vs_random.cpp.o.d"
+  "abl_lhs_vs_random"
+  "abl_lhs_vs_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lhs_vs_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mda_vs_mdi.dir/abl_mda_vs_mdi.cpp.o"
+  "CMakeFiles/abl_mda_vs_mdi.dir/abl_mda_vs_mdi.cpp.o.d"
+  "abl_mda_vs_mdi"
+  "abl_mda_vs_mdi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mda_vs_mdi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_mda_vs_mdi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_mda_vs_mdi.
+# This may be replaced when dependencies are built.

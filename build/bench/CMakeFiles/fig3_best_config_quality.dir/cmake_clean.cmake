@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_best_config_quality.dir/fig3_best_config_quality.cpp.o"
+  "CMakeFiles/fig3_best_config_quality.dir/fig3_best_config_quality.cpp.o.d"
+  "fig3_best_config_quality"
+  "fig3_best_config_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_best_config_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_selection_recall.dir/fig7_selection_recall.cpp.o"
+  "CMakeFiles/fig7_selection_recall.dir/fig7_selection_recall.cpp.o.d"
+  "fig7_selection_recall"
+  "fig7_selection_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_selection_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

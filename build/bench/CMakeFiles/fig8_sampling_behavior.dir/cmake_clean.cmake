@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_sampling_behavior.dir/fig8_sampling_behavior.cpp.o"
+  "CMakeFiles/fig8_sampling_behavior.dir/fig8_sampling_behavior.cpp.o.d"
+  "fig8_sampling_behavior"
+  "fig8_sampling_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sampling_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

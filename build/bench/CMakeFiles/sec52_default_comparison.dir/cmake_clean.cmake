@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_default_comparison.dir/sec52_default_comparison.cpp.o"
+  "CMakeFiles/sec52_default_comparison.dir/sec52_default_comparison.cpp.o.d"
+  "sec52_default_comparison"
+  "sec52_default_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_default_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_search_speed.dir/tab2_search_speed.cpp.o"
+  "CMakeFiles/tab2_search_speed.dir/tab2_search_speed.cpp.o.d"
+  "tab2_search_speed"
+  "tab2_search_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_search_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robotune_cli.dir/robotune_cli.cpp.o"
+  "CMakeFiles/robotune_cli.dir/robotune_cli.cpp.o.d"
+  "robotune_cli"
+  "robotune_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robotune_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robotune_common.dir/statistics.cpp.o"
+  "CMakeFiles/robotune_common.dir/statistics.cpp.o.d"
+  "CMakeFiles/robotune_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/robotune_common.dir/thread_pool.cpp.o.d"
+  "librobotune_common.a"
+  "librobotune_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robotune_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bo_engine.cpp" "src/core/CMakeFiles/robotune_core.dir/bo_engine.cpp.o" "gcc" "src/core/CMakeFiles/robotune_core.dir/bo_engine.cpp.o.d"
+  "/root/repo/src/core/memoization.cpp" "src/core/CMakeFiles/robotune_core.dir/memoization.cpp.o" "gcc" "src/core/CMakeFiles/robotune_core.dir/memoization.cpp.o.d"
+  "/root/repo/src/core/parameter_selection.cpp" "src/core/CMakeFiles/robotune_core.dir/parameter_selection.cpp.o" "gcc" "src/core/CMakeFiles/robotune_core.dir/parameter_selection.cpp.o.d"
+  "/root/repo/src/core/persistence.cpp" "src/core/CMakeFiles/robotune_core.dir/persistence.cpp.o" "gcc" "src/core/CMakeFiles/robotune_core.dir/persistence.cpp.o.d"
+  "/root/repo/src/core/robotune.cpp" "src/core/CMakeFiles/robotune_core.dir/robotune.cpp.o" "gcc" "src/core/CMakeFiles/robotune_core.dir/robotune.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/robotune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/robotune_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/robotune_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/robotune_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparksim/CMakeFiles/robotune_sparksim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuners/CMakeFiles/robotune_tuners.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/robotune_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/robotune_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

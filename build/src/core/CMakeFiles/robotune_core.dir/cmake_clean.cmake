@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robotune_core.dir/bo_engine.cpp.o"
+  "CMakeFiles/robotune_core.dir/bo_engine.cpp.o.d"
+  "CMakeFiles/robotune_core.dir/memoization.cpp.o"
+  "CMakeFiles/robotune_core.dir/memoization.cpp.o.d"
+  "CMakeFiles/robotune_core.dir/parameter_selection.cpp.o"
+  "CMakeFiles/robotune_core.dir/parameter_selection.cpp.o.d"
+  "CMakeFiles/robotune_core.dir/persistence.cpp.o"
+  "CMakeFiles/robotune_core.dir/persistence.cpp.o.d"
+  "CMakeFiles/robotune_core.dir/robotune.cpp.o"
+  "CMakeFiles/robotune_core.dir/robotune.cpp.o.d"
+  "librobotune_core.a"
+  "librobotune_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robotune_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

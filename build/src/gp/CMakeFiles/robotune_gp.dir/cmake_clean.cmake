@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robotune_gp.dir/acquisition.cpp.o"
+  "CMakeFiles/robotune_gp.dir/acquisition.cpp.o.d"
+  "CMakeFiles/robotune_gp.dir/gaussian_process.cpp.o"
+  "CMakeFiles/robotune_gp.dir/gaussian_process.cpp.o.d"
+  "CMakeFiles/robotune_gp.dir/kernel.cpp.o"
+  "CMakeFiles/robotune_gp.dir/kernel.cpp.o.d"
+  "librobotune_gp.a"
+  "librobotune_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robotune_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robotune_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/robotune_linalg.dir/matrix.cpp.o.d"
+  "librobotune_linalg.a"
+  "librobotune_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robotune_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

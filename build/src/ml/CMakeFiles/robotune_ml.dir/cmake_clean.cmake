@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robotune_ml.dir/cross_validation.cpp.o"
+  "CMakeFiles/robotune_ml.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/robotune_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/robotune_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/robotune_ml.dir/linear_models.cpp.o"
+  "CMakeFiles/robotune_ml.dir/linear_models.cpp.o.d"
+  "CMakeFiles/robotune_ml.dir/permutation_importance.cpp.o"
+  "CMakeFiles/robotune_ml.dir/permutation_importance.cpp.o.d"
+  "CMakeFiles/robotune_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/robotune_ml.dir/random_forest.cpp.o.d"
+  "librobotune_ml.a"
+  "librobotune_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robotune_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robotune_opt.dir/lbfgsb.cpp.o"
+  "CMakeFiles/robotune_opt.dir/lbfgsb.cpp.o.d"
+  "librobotune_opt.a"
+  "librobotune_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robotune_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librobotune_opt.a"
+)

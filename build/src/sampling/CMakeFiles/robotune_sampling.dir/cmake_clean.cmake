@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robotune_sampling.dir/latin_hypercube.cpp.o"
+  "CMakeFiles/robotune_sampling.dir/latin_hypercube.cpp.o.d"
+  "librobotune_sampling.a"
+  "librobotune_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robotune_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

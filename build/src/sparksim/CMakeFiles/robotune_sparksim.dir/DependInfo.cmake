@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparksim/cluster.cpp" "src/sparksim/CMakeFiles/robotune_sparksim.dir/cluster.cpp.o" "gcc" "src/sparksim/CMakeFiles/robotune_sparksim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sparksim/engine.cpp" "src/sparksim/CMakeFiles/robotune_sparksim.dir/engine.cpp.o" "gcc" "src/sparksim/CMakeFiles/robotune_sparksim.dir/engine.cpp.o.d"
+  "/root/repo/src/sparksim/objective.cpp" "src/sparksim/CMakeFiles/robotune_sparksim.dir/objective.cpp.o" "gcc" "src/sparksim/CMakeFiles/robotune_sparksim.dir/objective.cpp.o.d"
+  "/root/repo/src/sparksim/param_space.cpp" "src/sparksim/CMakeFiles/robotune_sparksim.dir/param_space.cpp.o" "gcc" "src/sparksim/CMakeFiles/robotune_sparksim.dir/param_space.cpp.o.d"
+  "/root/repo/src/sparksim/spark_config.cpp" "src/sparksim/CMakeFiles/robotune_sparksim.dir/spark_config.cpp.o" "gcc" "src/sparksim/CMakeFiles/robotune_sparksim.dir/spark_config.cpp.o.d"
+  "/root/repo/src/sparksim/workload.cpp" "src/sparksim/CMakeFiles/robotune_sparksim.dir/workload.cpp.o" "gcc" "src/sparksim/CMakeFiles/robotune_sparksim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/robotune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

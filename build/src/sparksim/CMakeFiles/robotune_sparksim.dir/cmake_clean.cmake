@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robotune_sparksim.dir/cluster.cpp.o"
+  "CMakeFiles/robotune_sparksim.dir/cluster.cpp.o.d"
+  "CMakeFiles/robotune_sparksim.dir/engine.cpp.o"
+  "CMakeFiles/robotune_sparksim.dir/engine.cpp.o.d"
+  "CMakeFiles/robotune_sparksim.dir/objective.cpp.o"
+  "CMakeFiles/robotune_sparksim.dir/objective.cpp.o.d"
+  "CMakeFiles/robotune_sparksim.dir/param_space.cpp.o"
+  "CMakeFiles/robotune_sparksim.dir/param_space.cpp.o.d"
+  "CMakeFiles/robotune_sparksim.dir/spark_config.cpp.o"
+  "CMakeFiles/robotune_sparksim.dir/spark_config.cpp.o.d"
+  "CMakeFiles/robotune_sparksim.dir/workload.cpp.o"
+  "CMakeFiles/robotune_sparksim.dir/workload.cpp.o.d"
+  "librobotune_sparksim.a"
+  "librobotune_sparksim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robotune_sparksim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuners/bestconfig.cpp" "src/tuners/CMakeFiles/robotune_tuners.dir/bestconfig.cpp.o" "gcc" "src/tuners/CMakeFiles/robotune_tuners.dir/bestconfig.cpp.o.d"
+  "/root/repo/src/tuners/gunther.cpp" "src/tuners/CMakeFiles/robotune_tuners.dir/gunther.cpp.o" "gcc" "src/tuners/CMakeFiles/robotune_tuners.dir/gunther.cpp.o.d"
+  "/root/repo/src/tuners/random_search.cpp" "src/tuners/CMakeFiles/robotune_tuners.dir/random_search.cpp.o" "gcc" "src/tuners/CMakeFiles/robotune_tuners.dir/random_search.cpp.o.d"
+  "/root/repo/src/tuners/rfhoc.cpp" "src/tuners/CMakeFiles/robotune_tuners.dir/rfhoc.cpp.o" "gcc" "src/tuners/CMakeFiles/robotune_tuners.dir/rfhoc.cpp.o.d"
+  "/root/repo/src/tuners/session_trace.cpp" "src/tuners/CMakeFiles/robotune_tuners.dir/session_trace.cpp.o" "gcc" "src/tuners/CMakeFiles/robotune_tuners.dir/session_trace.cpp.o.d"
+  "/root/repo/src/tuners/tuner.cpp" "src/tuners/CMakeFiles/robotune_tuners.dir/tuner.cpp.o" "gcc" "src/tuners/CMakeFiles/robotune_tuners.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/robotune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/robotune_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/robotune_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparksim/CMakeFiles/robotune_sparksim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

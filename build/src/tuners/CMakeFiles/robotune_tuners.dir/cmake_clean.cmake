@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robotune_tuners.dir/bestconfig.cpp.o"
+  "CMakeFiles/robotune_tuners.dir/bestconfig.cpp.o.d"
+  "CMakeFiles/robotune_tuners.dir/gunther.cpp.o"
+  "CMakeFiles/robotune_tuners.dir/gunther.cpp.o.d"
+  "CMakeFiles/robotune_tuners.dir/random_search.cpp.o"
+  "CMakeFiles/robotune_tuners.dir/random_search.cpp.o.d"
+  "CMakeFiles/robotune_tuners.dir/rfhoc.cpp.o"
+  "CMakeFiles/robotune_tuners.dir/rfhoc.cpp.o.d"
+  "CMakeFiles/robotune_tuners.dir/session_trace.cpp.o"
+  "CMakeFiles/robotune_tuners.dir/session_trace.cpp.o.d"
+  "CMakeFiles/robotune_tuners.dir/tuner.cpp.o"
+  "CMakeFiles/robotune_tuners.dir/tuner.cpp.o.d"
+  "librobotune_tuners.a"
+  "librobotune_tuners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robotune_tuners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bo_options_test.dir/bo_options_test.cpp.o"
+  "CMakeFiles/bo_options_test.dir/bo_options_test.cpp.o.d"
+  "bo_options_test"
+  "bo_options_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bo_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparksim_effects_test.dir/sparksim_effects_test.cpp.o"
+  "CMakeFiles/sparksim_effects_test.dir/sparksim_effects_test.cpp.o.d"
+  "sparksim_effects_test"
+  "sparksim_effects_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparksim_effects_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_rfhoc_test.dir/trace_rfhoc_test.cpp.o"
+  "CMakeFiles/trace_rfhoc_test.dir/trace_rfhoc_test.cpp.o.d"
+  "trace_rfhoc_test"
+  "trace_rfhoc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_rfhoc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

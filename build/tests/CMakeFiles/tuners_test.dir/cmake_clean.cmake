@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuners_test.dir/tuners_test.cpp.o"
+  "CMakeFiles/tuners_test.dir/tuners_test.cpp.o.d"
+  "tuners_test"
+  "tuners_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
