@@ -1,0 +1,124 @@
+// Fault-resilience comparison: ROBOTune vs. Random Search under
+// increasing transient-fault intensity (executor loss, shuffle-fetch
+// failure, stragglers — see sparksim/faults.h).
+//
+// For each fault rate the same per-stage probability drives all three
+// event classes (FaultProfile::uniform).  Both tuners get the same
+// bounded RetryPolicy, so the comparison isolates how well the *search*
+// copes with flaky observations: ROBOTune censors transient failures at
+// the guard threshold and withholds them from its surrogate, while RS
+// merely burns budget.
+//
+// Emits a table to stdout and machine-readable JSON to
+// bench_results/fault_resilience.json (relative to the working
+// directory; run from the repo root).
+//
+// Environment knobs: ROBOTUNE_BENCH_REPS, ROBOTUNE_BENCH_BUDGET (see
+// bench/harness.h).
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+using namespace robotune;
+
+namespace {
+
+struct Cell {
+  std::vector<double> best;
+  std::vector<double> cost;
+  std::vector<double> transient_failures;
+  std::vector<double> attempts;
+};
+
+}  // namespace
+
+int main() {
+  const int budget = bench::bench_budget();
+  const int reps = bench::bench_reps();
+  const std::vector<double> rates = {0.0, 0.02, 0.05, 0.10};
+  const auto kind = sparksim::WorkloadKind::kPageRank;
+  const int dataset = 1;
+
+  std::printf(
+      "=== Fault resilience: ROBOTune vs. RS on PR-D1 "
+      "(budget=%d, reps=%d) ===\n",
+      budget, reps);
+
+  sparksim::RetryPolicy retry;
+  retry.max_retries = 2;
+
+  // rate -> tuner -> cell
+  std::vector<std::pair<double, std::map<std::string, Cell>>> results;
+  for (double rate : rates) {
+    const auto profile = sparksim::FaultProfile::uniform(rate);
+    std::map<std::string, Cell> row;
+    for (int rep = 0; rep < reps; ++rep) {
+      const std::uint64_t seed = 3000 + static_cast<std::uint64_t>(rep);
+      core::RoboTune robotune;
+      tuners::RandomSearch rs;
+      std::vector<std::pair<std::string, tuners::Tuner*>> tuners_list = {
+          {"ROBOTune", &robotune}, {"RS", &rs}};
+      for (auto& [name, tuner] : tuners_list) {
+        auto objective = bench::make_objective(kind, dataset, seed * 7919);
+        objective.set_fault_profile(profile);
+        if (profile.active()) objective.set_retry_policy(retry);
+        const auto result = tuner->tune(objective, budget, seed);
+        auto& cell = row[name];
+        cell.best.push_back(result.found_any() ? result.best_value_s()
+                                               : 480.0);
+        cell.cost.push_back(result.search_cost_s);
+        cell.transient_failures.push_back(
+            static_cast<double>(result.transient_failure_count()));
+        cell.attempts.push_back(
+            static_cast<double>(result.total_attempts()));
+      }
+    }
+    results.emplace_back(rate, std::move(row));
+  }
+
+  std::printf("%-8s%12s%12s%14s%14s\n", "rate", "RT best", "RS best",
+              "RT flakes", "RS flakes");
+  for (const auto& [rate, row] : results) {
+    std::printf("%-8.2f%12.2f%12.2f%14.1f%14.1f\n", rate,
+                bench::mean_of(row.at("ROBOTune").best),
+                bench::mean_of(row.at("RS").best),
+                bench::mean_of(row.at("ROBOTune").transient_failures),
+                bench::mean_of(row.at("RS").transient_failures));
+  }
+
+  std::filesystem::create_directories("bench_results");
+  const char* path = "bench_results/fault_resilience.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"workload\": \"PR-D1\",\n  \"budget\": %d,\n"
+               "  \"reps\": %d,\n  \"max_retries\": %d,\n  \"rows\": [\n",
+               budget, reps, retry.max_retries);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& [rate, row] = results[i];
+    std::fprintf(f, "    {\"fault_rate\": %.3f", rate);
+    for (const char* name : {"ROBOTune", "RS"}) {
+      const auto& cell = row.at(name);
+      const std::string key = name == std::string("RS") ? "rs" : "robotune";
+      std::fprintf(
+          f,
+          ", \"%s_best_s\": %.3f, \"%s_cost_s\": %.1f"
+          ", \"%s_transient_failures\": %.2f, \"%s_attempts\": %.2f",
+          key.c_str(), bench::mean_of(cell.best), key.c_str(),
+          bench::mean_of(cell.cost), key.c_str(),
+          bench::mean_of(cell.transient_failures), key.c_str(),
+          bench::mean_of(cell.attempts));
+    }
+    std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+  return 0;
+}

@@ -1,18 +1,20 @@
 // Command-line front end: run any of the four tuners on any workload and
 // optionally persist ROBOTune's memoized state across invocations.
 //
-//   $ ./build/examples/robotune_cli --workload PR --dataset 2 \
+//   $ ./build/examples/robotune_cli --workload PR --dataset 2
 //         --tuner robotune --budget 100 --seed 7 --state /tmp/rt.state
 //
 // Running the same command twice demonstrates cross-process memoization:
 // the second run hits the selection cache and seeds BO with the first
 // run's best configurations.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 
+#include "common/error.h"
 #include "core/persistence.h"
 #include "core/robotune.h"
 #include "sparksim/objective.h"
@@ -32,6 +34,10 @@ struct CliOptions {
   std::uint64_t seed = 7;
   std::string state_path;
   std::string metric = "time";
+  std::string fault_profile = "none";
+  int retries = 2;
+  std::string checkpoint_path;
+  bool resume = false;
   bool quiet = false;
 };
 
@@ -45,8 +51,51 @@ void usage(const char* argv0) {
       "  --seed N                    RNG seed                 (default 7)\n"
       "  --metric time|coreseconds   objective metric         (default time)\n"
       "  --state PATH                load/save memoized state (robotune only)\n"
+      "  --fault-profile P           transient-fault injection (default none)\n"
+      "                              preset none|mild|moderate|severe, or\n"
+      "                              loss=F,fetch=F,straggler=F[,slowdown=F]\n"
+      "  --retries N                 retries per transient failure (default 2)\n"
+      "  --checkpoint PATH           journal the session after every\n"
+      "                              evaluation (robotune only)\n"
+      "  --resume                    resume from --checkpoint if it exists\n"
       "  --quiet                     only print the summary line\n",
       argv0);
+}
+
+/// Parses a preset name or a "loss=F,fetch=F,straggler=F[,slowdown=F]"
+/// list into a FaultProfile.
+bool parse_fault_profile(const std::string& text,
+                         sparksim::FaultProfile& out) {
+  if (sparksim::FaultProfile::from_preset(text, out)) return true;
+  out = sparksim::FaultProfile{};
+  std::size_t pos = 0;
+  bool any = false;
+  while (pos < text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string item =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = item.substr(0, eq);
+    char* end = nullptr;
+    const double value = std::strtod(item.c_str() + eq + 1, &end);
+    if (end == item.c_str() + eq + 1) return false;
+    if (key == "loss") {
+      out.executor_loss_per_stage = value;
+    } else if (key == "fetch") {
+      out.fetch_failure_per_stage = value;
+    } else if (key == "straggler") {
+      out.straggler_per_stage = value;
+    } else if (key == "slowdown") {
+      out.straggler_max_slowdown = value;
+    } else {
+      return false;
+    }
+    any = true;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return any;
 }
 
 bool parse(int argc, char** argv, CliOptions& options) {
@@ -83,6 +132,20 @@ bool parse(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (!v) return false;
       options.metric = v;
+    } else if (arg == "--fault-profile") {
+      const char* v = next();
+      if (!v) return false;
+      options.fault_profile = v;
+    } else if (arg == "--retries") {
+      const char* v = next();
+      if (!v) return false;
+      options.retries = std::atoi(v);
+    } else if (arg == "--checkpoint") {
+      const char* v = next();
+      if (!v) return false;
+      options.checkpoint_path = v;
+    } else if (arg == "--resume") {
+      options.resume = true;
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else {
@@ -118,11 +181,24 @@ int main(int argc, char** argv) {
                           ? sparksim::ObjectiveMetric::kCoreSeconds
                           : sparksim::ObjectiveMetric::kExecutionTime;
 
+  sparksim::FaultProfile faults;
+  if (!parse_fault_profile(options.fault_profile, faults)) {
+    std::fprintf(stderr, "bad --fault-profile '%s'\n",
+                 options.fault_profile.c_str());
+    return 2;
+  }
+
   sparksim::SparkObjective objective(
       sparksim::ClusterSpec::paper_testbed(),
       sparksim::make_workload(kind, options.dataset),
       sparksim::spark24_config_space(), options.seed * 7919, 480.0, 0.04,
       metric);
+  objective.set_fault_profile(faults);
+  if (faults.active()) {
+    sparksim::RetryPolicy retry;
+    retry.max_retries = std::max(0, options.retries);
+    objective.set_retry_policy(retry);
+  }
 
   tuners::TuningResult result;
   if (options.tuner == "robotune") {
@@ -135,8 +211,40 @@ int main(int argc, char** argv) {
                     options.state_path.c_str());
       }
     }
-    const auto report =
-        tuner.tune_report(objective, options.budget, options.seed);
+    // Checkpoint/resume: journal the session after every evaluation; on
+    // --resume, replay the journal for an identical continuation.
+    core::SessionLog session;
+    core::SessionLog* session_ptr = nullptr;
+    if (!options.checkpoint_path.empty()) {
+      try {
+        if (options.resume &&
+            core::load_session_file(options.checkpoint_path, session.state)) {
+          if (!options.quiet) {
+            std::printf("resuming from %s (%zu evaluations journaled)\n",
+                        options.checkpoint_path.c_str(),
+                        session.state.evaluations.size());
+          }
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "cannot resume from %s: %s\n",
+                     options.checkpoint_path.c_str(), e.what());
+        return 2;
+      }
+      const std::string path = options.checkpoint_path;
+      session.flush = [path](const core::SessionCheckpoint& state) {
+        core::save_session_file(state, path);
+      };
+      session_ptr = &session;
+    }
+    core::RoboTuneReport report;
+    try {
+      report = tuner.tune_report(objective, options.budget, options.seed,
+                                 nullptr, session_ptr);
+    } catch (const InvalidArgument& e) {
+      std::fprintf(stderr, "cannot resume from %s: %s\n",
+                   options.checkpoint_path.c_str(), e.what());
+      return 2;
+    }
     result = report.tuning;
     if (!options.quiet) {
       std::printf("selection: %zu parameters (%s), one-time cost %.0f s\n",
@@ -169,6 +277,13 @@ int main(int argc, char** argv) {
               options.tuner.c_str(), options.workload.c_str(),
               options.dataset, options.budget, result.best_value_s(),
               result.search_cost_s, result.history.size());
+  if (faults.active()) {
+    std::printf(
+        "faults: %zu simulator attempts for %zu evaluations, "
+        "%zu unrecovered transient failures\n",
+        result.total_attempts(), result.history.size(),
+        result.transient_failure_count());
+  }
   if (!options.quiet) {
     const auto& space = objective.space();
     const auto best = space.decode(result.best_unit());

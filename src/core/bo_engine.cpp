@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/error.h"
 #include "sampling/latin_hypercube.h"
@@ -41,7 +42,7 @@ std::vector<double> BoEngine::expand(const std::vector<double>& sub) const {
 
 BoResult BoEngine::run(sparksim::SparkObjective& objective,
                        const std::vector<MemoizedConfig>& memoized,
-                       const BoObserver& observer) {
+                       const BoObserver& observer, SessionLog* session) {
   BoResult result;
   result.tuning.tuner = "ROBOTune";
   Rng rng(options_.seed);
@@ -49,6 +50,50 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
 
   tuners::GuardPolicy guard(options_.static_threshold_s,
                             options_.median_multiple);
+
+  // Checkpoint/resume: journaled evaluations are replayed instead of
+  // re-run — same bookkeeping (guard, incumbent, cost) via
+  // append_evaluation, and the objective's seed stream is fast-forwarded
+  // by the attempts each record consumed, so the live continuation after
+  // the journal is bit-identical to an uninterrupted session.
+  std::size_t replay_pos = 0;
+  // Length of the journal as loaded; records appended below (live
+  // evaluations) are new work, never replay candidates.
+  const std::size_t journaled =
+      session != nullptr ? session->state.evaluations.size() : 0;
+  const auto evaluate_point =
+      [&](const std::vector<double>& full) -> tuners::Evaluation {
+    if (replay_pos < journaled) {
+      const auto& rec = session->state.evaluations[replay_pos++];
+      objective.skip_seed_draws(
+          static_cast<std::uint64_t>(std::max(1, rec.attempts)));
+      tuners::Evaluation e;
+      e.unit = rec.unit;
+      e.value_s = rec.value_s;
+      e.cost_s = rec.cost_s;
+      e.status = rec.status;
+      e.stopped_early = rec.stopped_early;
+      e.transient = rec.transient;
+      e.attempts = rec.attempts;
+      tuners::append_evaluation(e, guard, result.tuning);
+      return e;
+    }
+    const auto e =
+        tuners::evaluate_into(objective, full, guard, result.tuning);
+    if (session != nullptr) {
+      EvalRecord rec;
+      rec.unit = e.unit;
+      rec.value_s = e.value_s;
+      rec.cost_s = e.cost_s;
+      rec.status = e.status;
+      rec.stopped_early = e.stopped_early;
+      rec.transient = e.transient;
+      rec.attempts = e.attempts;
+      session->state.evaluations.push_back(std::move(rec));
+      if (session->flush) session->flush(session->state);
+    }
+    return e;
+  };
 
   // ---- Initial training set (§3.2): memoized best configs + LHS --------
   std::vector<std::vector<double>> init_subs;
@@ -77,11 +122,27 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
     return options_.log_observations ? std::log(std::max(1e-6, seconds))
                                      : seconds;
   };
+  // Transient failures never train the surrogate: their censored value
+  // reflects cluster flakiness, not the configuration, and would poison
+  // the GP's picture of the region.
+  std::vector<std::pair<std::vector<double>, double>> censored_init;
   for (const auto& sub : init_subs) {
-    const auto e =
-        tuners::evaluate_into(objective, expand(sub), guard, result.tuning);
+    const auto e = evaluate_point(expand(sub));
+    if (e.transient) {
+      censored_init.emplace_back(sub, observe(e.value_s));
+      continue;
+    }
     xs.push_back(sub);
     ys.push_back(observe(e.value_s));
+  }
+  // Safety valve: the GP needs observations to fit.  If flakes wiped out
+  // (nearly) the whole initial design, fall back to the censored values —
+  // a biased model beats no model.
+  if (xs.size() < 2) {
+    for (auto& [sub, y] : censored_init) {
+      xs.push_back(std::move(sub));
+      ys.push_back(y);
+    }
   }
 
   // ---- BO loop (Algorithm 1, lines 8-14) --------------------------------
@@ -129,15 +190,17 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
     }
     result.chosen_acquisitions.push_back(choice.chosen);
 
-    // (3) Evaluate it.
-    const auto e = tuners::evaluate_into(objective, expand(choice.point),
-                                         guard, result.tuning);
-    xs.push_back(choice.point);
-    ys.push_back(observe(e.value_s));
+    // (3) Evaluate it (or replay the journaled outcome on resume).
+    const auto e = evaluate_point(expand(choice.point));
 
     // (4) Fold the observation into the model incrementally and update
-    // Hedge's cumulative gains under the refreshed posterior.
-    model.add_point(choice.point, ys.back());
+    // Hedge's cumulative gains under the refreshed posterior.  Transient
+    // failures are withheld from the model (see the init phase).
+    if (!e.transient) {
+      xs.push_back(choice.point);
+      ys.push_back(observe(e.value_s));
+      model.add_point(choice.point, ys.back());
+    }
     hedge.update_gains(model, choice);
 
     if (observer) {

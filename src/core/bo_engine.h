@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/memoization.h"
+#include "core/persistence.h"
 #include "gp/acquisition.h"
 #include "gp/gaussian_process.h"
 #include "sparksim/objective.h"
@@ -67,6 +68,24 @@ struct BoObserverInfo {
 /// bench to snapshot the posterior.
 using BoObserver = std::function<void(const BoObserverInfo&)>;
 
+/// Checkpoint/resume journal for a BO session.
+///
+/// On a fresh session the engine appends one EvalRecord per completed
+/// evaluation to `state.evaluations` and calls `flush` after each — the
+/// flush typically rewrites the checkpoint file, so a kill -9 at any
+/// point loses at most the evaluation in flight.
+///
+/// On resume, pass the loaded checkpoint back in: the engine re-runs all
+/// of its (deterministic) modeling math but substitutes journaled
+/// outcomes for the first `state.evaluations.size()` cluster runs,
+/// fast-forwarding the objective's seed stream by each record's attempt
+/// count.  Once the journal is exhausted the session continues live,
+/// bit-identical to a never-interrupted run.
+struct SessionLog {
+  SessionCheckpoint state;
+  std::function<void(const SessionCheckpoint&)> flush;
+};
+
 struct BoResult {
   tuners::TuningResult tuning;       ///< all evaluations (init + search)
   std::vector<gp::AcquisitionKind> chosen_acquisitions;
@@ -83,10 +102,13 @@ class BoEngine {
            BoOptions options = {});
 
   /// Runs Algorithm 1.  `memoized` seeds the initial set (pass {} for an
-  /// unseen workload).
+  /// unseen workload).  `session`, when given, journals every completed
+  /// evaluation and replays a previously journaled prefix (see
+  /// SessionLog).
   BoResult run(sparksim::SparkObjective& objective,
                const std::vector<MemoizedConfig>& memoized = {},
-               const BoObserver& observer = nullptr);
+               const BoObserver& observer = nullptr,
+               SessionLog* session = nullptr);
 
   /// Projects a full-space unit vector onto the selected subspace.
   std::vector<double> project(const std::vector<double>& full) const;

@@ -1,5 +1,6 @@
 #include "core/persistence.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -9,6 +10,7 @@ namespace robotune::core {
 
 namespace {
 constexpr const char* kHeader = "robotune-state v1";
+constexpr const char* kSessionHeader = "robotune-session v1";
 }
 
 std::size_t save_state(const ParameterSelectionCache& selection,
@@ -86,6 +88,113 @@ bool load_state_file(const std::string& path,
   std::ifstream in(path);
   if (!in) return false;
   load_state(in, selection, memo);
+  return true;
+}
+
+std::size_t save_session(const SessionCheckpoint& session,
+                         std::ostream& out) {
+  out.precision(17);
+  out << kSessionHeader << "\n";
+  out << "meta " << session.seed << " " << session.budget << " "
+      << session.workload << "\n";
+  out << "selected " << session.selected.size();
+  for (std::size_t idx : session.selected) out << " " << idx;
+  out << "\n";
+  out << "selection-draws " << session.selection_seed_draws << "\n";
+  out << "selection-cost " << session.selection_cost_s << "\n";
+  for (const auto& config : session.memoized) {
+    out << "memo " << config.value_s << " " << config.unit.size();
+    for (double u : config.unit) out << " " << u;
+    out << "\n";
+  }
+  for (const auto& e : session.evaluations) {
+    out << "eval " << sparksim::to_string(e.status) << " " << e.value_s
+        << " " << e.cost_s << " " << (e.stopped_early ? 1 : 0) << " "
+        << (e.transient ? 1 : 0) << " " << e.attempts << " "
+        << e.unit.size();
+    for (double u : e.unit) out << " " << u;
+    out << "\n";
+  }
+  return session.evaluations.size();
+}
+
+std::size_t load_session(std::istream& in, SessionCheckpoint& session) {
+  std::string line;
+  require(static_cast<bool>(std::getline(in, line)),
+          "load_session: empty stream");
+  require(line == kSessionHeader,
+          "load_session: unrecognized header: " + line);
+  session = SessionCheckpoint{};
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::string kind;
+    row >> kind;
+    if (kind == "meta") {
+      row >> session.seed >> session.budget >> session.workload;
+      require(!row.fail(), "load_session: malformed meta row");
+    } else if (kind == "selected") {
+      std::size_t count = 0;
+      row >> count;
+      session.selected.resize(count);
+      for (auto& idx : session.selected) row >> idx;
+      require(!row.fail(), "load_session: malformed selected row");
+    } else if (kind == "selection-draws") {
+      row >> session.selection_seed_draws;
+      require(!row.fail(), "load_session: malformed selection-draws row");
+    } else if (kind == "selection-cost") {
+      row >> session.selection_cost_s;
+      require(!row.fail(), "load_session: malformed selection-cost row");
+    } else if (kind == "memo") {
+      MemoizedConfig config;
+      std::size_t dims = 0;
+      row >> config.value_s >> dims;
+      config.unit.resize(dims);
+      for (auto& u : config.unit) row >> u;
+      require(!row.fail(), "load_session: malformed memo row");
+      session.memoized.push_back(std::move(config));
+    } else if (kind == "eval") {
+      EvalRecord e;
+      std::string status_label;
+      int stopped = 0, transient = 0;
+      std::size_t dims = 0;
+      row >> status_label >> e.value_s >> e.cost_s >> stopped >> transient >>
+          e.attempts >> dims;
+      e.unit.resize(dims);
+      for (auto& u : e.unit) row >> u;
+      require(!row.fail(), "load_session: malformed eval row");
+      const auto status = sparksim::run_status_from_string(status_label);
+      require(status.has_value(),
+              "load_session: unknown run status: " + status_label);
+      e.status = *status;
+      e.stopped_early = stopped != 0;
+      e.transient = transient != 0;
+      session.evaluations.push_back(std::move(e));
+    } else {
+      throw InvalidArgument("load_session: unknown record kind: " + kind);
+    }
+  }
+  return session.evaluations.size();
+}
+
+bool save_session_file(const SessionCheckpoint& session,
+                       const std::string& path) {
+  // Write-then-rename so a crash mid-write never corrupts an existing
+  // checkpoint: resume either sees the old journal or the new one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return false;
+    save_session(session, out);
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool load_session_file(const std::string& path, SessionCheckpoint& session) {
+  std::ifstream in(path);
+  if (!in) return false;
+  load_session(in, session);
   return true;
 }
 

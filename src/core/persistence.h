@@ -1,4 +1,5 @@
-// Disk persistence for ROBOTune's memoized state.
+// Disk persistence for ROBOTune's memoized state and for in-flight
+// tuning-session checkpoints.
 //
 // The paper's memoized sampling (§3.2) reuses knowledge "from prior
 // sessions"; for a deployed tuner those sessions span process lifetimes,
@@ -9,14 +10,64 @@
 //   robotune-state v1
 //   selection <workload> <n> <idx...>
 //   memo <workload> <value_s> <dim> <unit...>
+//
+// Session checkpoints make the tuning loop itself restartable: the BO
+// engine journals every completed evaluation, and a session killed
+// mid-budget resumes from the journal with an identical continuation —
+// replayed evaluations rebuild the guard, surrogate, and RNG state
+// deterministically instead of re-running the cluster.
+//
+// Checkpoint format:
+//   robotune-session v1
+//   meta <seed> <budget> <workload>
+//   selected <n> <idx...>
+//   selection-draws <n>
+//   selection-cost <seconds>
+//   memo <value_s> <dim> <unit...>
+//   eval <status> <value_s> <cost_s> <stopped> <transient> <attempts>
+//        <dim> <unit...>
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/memoization.h"
+#include "sparksim/engine.h"
 
 namespace robotune::core {
+
+/// One journaled evaluation of a checkpointed session.
+struct EvalRecord {
+  std::vector<double> unit;  ///< full-space unit vector evaluated
+  double value_s = 0.0;
+  double cost_s = 0.0;
+  sparksim::RunStatus status = sparksim::RunStatus::kOk;
+  bool stopped_early = false;
+  bool transient = false;
+  /// Simulator attempts (= objective seed draws) the evaluation consumed;
+  /// resume fast-forwards the seed stream by this much per record.
+  int attempts = 1;
+};
+
+/// Everything needed to resume a killed tuning session with an identical
+/// continuation.  The journal grows by one record per completed
+/// evaluation; all other fields are fixed at session start.
+struct SessionCheckpoint {
+  std::uint64_t seed = 0;         ///< tuner seed of the session
+  int budget = 0;                 ///< total evaluation budget
+  std::string workload;           ///< cache key (workload kind)
+  std::vector<std::size_t> selected;  ///< tuned parameter indices
+  /// Objective seed draws consumed by parameter selection before the BO
+  /// session started (0 on a selection-cache hit).
+  std::uint64_t selection_seed_draws = 0;
+  double selection_cost_s = 0.0;
+  /// Memoized configurations blended into the initial design; recorded so
+  /// the resumed engine regenerates the same initial sample plan.
+  std::vector<MemoizedConfig> memoized;
+  std::vector<EvalRecord> evaluations;  ///< completed-evaluation journal
+};
 
 /// Serializes both caches to a stream.  Returns the number of records.
 std::size_t save_state(const ParameterSelectionCache& selection,
@@ -37,5 +88,19 @@ bool save_state_file(const ParameterSelectionCache& selection,
 bool load_state_file(const std::string& path,
                      ParameterSelectionCache& selection,
                      ConfigMemoizationBuffer& memo);
+
+/// Serializes a session checkpoint.  Returns the journal length.
+std::size_t save_session(const SessionCheckpoint& session, std::ostream& out);
+
+/// Restores a checkpoint written by save_session.  Throws InvalidArgument
+/// on malformed input.  Returns the journal length.
+std::size_t load_session(std::istream& in, SessionCheckpoint& session);
+
+/// File wrappers; save replaces the file atomically enough for a
+/// kill-anytime workflow (write then rename).  Load returns false when
+/// the file cannot be opened (no checkpoint yet).
+bool save_session_file(const SessionCheckpoint& session,
+                       const std::string& path);
+bool load_session_file(const std::string& path, SessionCheckpoint& session);
 
 }  // namespace robotune::core

@@ -19,16 +19,37 @@ tuners::TuningResult RoboTune::tune(sparksim::SparkObjective& objective,
 
 RoboTuneReport RoboTune::tune_report(sparksim::SparkObjective& objective,
                                      int budget, std::uint64_t seed,
-                                     const BoObserver& observer) {
+                                     const BoObserver& observer,
+                                     SessionLog* session) {
   RoboTuneReport report;
   const std::string workload_key =
       sparksim::to_string(objective.workload().kind);
 
-  // ---- Parameter selection (cache hit or RF pipeline) ------------------
-  if (auto cached = selection_cache_.lookup(workload_key)) {
+  // A loaded checkpoint (non-empty selection) resumes: selection and the
+  // memoized-config snapshot come from the checkpoint, and the objective's
+  // seed stream is fast-forwarded past what selection consumed originally.
+  const bool resuming = session != nullptr && !session->state.selected.empty();
+  if (resuming) {
+    require(session->state.seed == seed,
+            "tune_report: checkpoint seed does not match the session seed");
+    require(session->state.budget == budget,
+            "tune_report: checkpoint budget does not match");
+    require(session->state.workload == workload_key,
+            "tune_report: checkpoint was taken for workload " +
+                session->state.workload);
+  }
+
+  // ---- Parameter selection (checkpoint, cache hit, or RF pipeline) ------
+  if (resuming) {
+    report.selected = session->state.selected;
+    report.selection_cost_s = session->state.selection_cost_s;
+    objective.skip_seed_draws(session->state.selection_seed_draws);
+    selection_cache_.store(workload_key, report.selected);
+  } else if (auto cached = selection_cache_.lookup(workload_key)) {
     report.selected = *cached;
     report.selection_cache_hit = true;
   } else {
+    const std::uint64_t draws_before = objective.seed_draws();
     SelectionOptions sel = options_.selection;
     sel.seed ^= seed;
     report.selection_report =
@@ -49,19 +70,36 @@ RoboTuneReport RoboTune::tune_report(sparksim::SparkObjective& objective,
       std::sort(report.selected.begin(), report.selected.end());
     }
     selection_cache_.store(workload_key, report.selected);
+    if (session != nullptr) {
+      session->state.selection_seed_draws =
+          objective.seed_draws() - draws_before;
+    }
   }
 
   // ---- Memoized configurations ------------------------------------------
   const auto memoized =
-      memo_buffer_.best(workload_key, options_.memoize_top_k);
+      resuming ? session->state.memoized
+               : memo_buffer_.best(workload_key, options_.memoize_top_k);
   report.used_memoized_configs = !memoized.empty();
+
+  // Snapshot the fixed session metadata before the first evaluation, so
+  // even the earliest checkpoint can be resumed.
+  if (session != nullptr && !resuming) {
+    session->state.seed = seed;
+    session->state.budget = budget;
+    session->state.workload = workload_key;
+    session->state.selected = report.selected;
+    session->state.selection_cost_s = report.selection_cost_s;
+    session->state.memoized = memoized;
+    if (session->flush) session->flush(session->state);
+  }
 
   // ---- BO search -----------------------------------------------------------
   BoOptions bo = options_.bo;
   bo.budget = budget;
   bo.seed = seed;
   BoEngine engine(report.selected, objective.space().default_unit(), bo);
-  report.bo = engine.run(objective, memoized, observer);
+  report.bo = engine.run(objective, memoized, observer, session);
   report.tuning = report.bo.tuning;
   report.tuning.tuner = name();
 

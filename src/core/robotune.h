@@ -60,9 +60,17 @@ class RoboTune : public tuners::Tuner {
                             std::uint64_t seed) override;
 
   /// Full-featured entry point returning selection + memoization details.
+  ///
+  /// `session`, when given, makes the run restartable: a fresh session
+  /// records its selection result and journals every evaluation through
+  /// the log's flush hook; a session whose log already carries state (a
+  /// loaded checkpoint) skips parameter selection and replays the journal
+  /// so the continuation is identical to an uninterrupted run (the
+  /// checkpoint's seed/budget/workload must match).
   RoboTuneReport tune_report(sparksim::SparkObjective& objective, int budget,
                              std::uint64_t seed,
-                             const BoObserver& observer = nullptr);
+                             const BoObserver& observer = nullptr,
+                             SessionLog* session = nullptr);
 
   ParameterSelectionCache& selection_cache() { return selection_cache_; }
   ConfigMemoizationBuffer& memo_buffer() { return memo_buffer_; }

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/error.h"
 
 namespace robotune::sparksim {
 
 std::string to_string(RunStatus status) {
+  // Exhaustive over the enum: a new enumerator without a label is a
+  // -Wswitch warning, which the -Werror CI build turns into a failure
+  // (tests/faults_test.cpp round-trips every enumerator as well).
   switch (status) {
     case RunStatus::kOk:
       return "ok";
@@ -17,8 +21,32 @@ std::string to_string(RunStatus status) {
       return "infeasible";
     case RunStatus::kTimeLimit:
       return "time-limit";
+    case RunStatus::kExecutorLost:
+      return "executor-lost";
+    case RunStatus::kFetchFailure:
+      return "fetch-failure";
   }
-  return "?";
+  return "unknown";
+}
+
+std::optional<RunStatus> run_status_from_string(const std::string& label) {
+  for (RunStatus s : all_run_statuses()) {
+    if (to_string(s) == label) return s;
+  }
+  return std::nullopt;
+}
+
+const std::vector<RunStatus>& all_run_statuses() {
+  static const std::vector<RunStatus> statuses = {
+      RunStatus::kOk,           RunStatus::kOom,
+      RunStatus::kInfeasible,   RunStatus::kTimeLimit,
+      RunStatus::kExecutorLost, RunStatus::kFetchFailure};
+  return statuses;
+}
+
+bool is_transient(RunStatus status) {
+  return status == RunStatus::kExecutorLost ||
+         status == RunStatus::kFetchFailure;
 }
 
 namespace {
@@ -181,6 +209,11 @@ SimResult simulate(const ClusterSpec& cluster, const WorkloadSpec& workload,
                    const EngineOptions& options) {
   SimResult result;
   Rng rng(seed);
+  // The injector owns a separate RNG stream derived from the same seed, so
+  // an inactive profile leaves the main noise stream — and therefore every
+  // sampled value of the run — untouched.
+  std::optional<FaultInjector> injector;
+  if (options.faults.active()) injector.emplace(options.faults, seed);
 
   const ExecutorPlacement place = place_executors(cluster, config);
   if (place.infeasible) {
@@ -445,6 +478,55 @@ SimResult simulate(const ClusterSpec& cluster, const WorkloadSpec& workload,
                      place.total_executors * 0.02;
     if (config.fair_scheduler) sched_s *= 1.05;
     stage_s += sched_s;
+
+    // ---- Injected transient faults --------------------------------------
+    if (injector) {
+      const StageFaults faults =
+          injector->sample_stage(config, stage.shuffle_read_gb > 1e-9);
+      const double healthy_stage_s = stage_s;
+      // Straggler / noisy neighbor: the whole stage runs on a slow node.
+      stage_s *= faults.straggler_slowdown;
+      // Executor loss: the lost executor's running tasks are re-queued
+      // onto the surviving slots (≈ one extra task duration per loss) and
+      // the resource manager takes a few seconds to replace the executor.
+      if (faults.executor_losses > 0) {
+        stage_s += faults.executor_losses * (task_s + 8.0);
+        result.metrics.executors_lost += faults.executor_losses;
+        result.metrics.task_retries +=
+            faults.executor_losses * place.slots_per_executor;
+      }
+      if (faults.executor_exhausted) {
+        // One task failed spark.task.maxFailures times; the job dies after
+        // paying for the partial stage and every re-queue round.
+        const double failure_time =
+            0.5 * healthy_stage_s + faults.executor_losses * (task_s + 8.0);
+        total_s += failure_time;
+        result.metrics.fault_delay_s += failure_time;
+        result.failure_stage = stage.name;
+        result.status = RunStatus::kExecutorLost;
+        return false;
+      }
+      // Fetch failure: each failed round burns the configured IO retry
+      // waits, then triggers a stage reattempt that recomputes the lost
+      // map outputs (≈ half the stage) before refetching.
+      if (faults.fetch_retries > 0) {
+        const double retry_wait_s =
+            static_cast<double>(config.shuffle_io_max_retries) *
+            static_cast<double>(config.shuffle_io_retry_wait_s);
+        const double reattempt_s =
+            faults.fetch_retries * (0.5 * healthy_stage_s + retry_wait_s);
+        if (faults.fetch_exhausted) {
+          total_s += reattempt_s;
+          result.metrics.fault_delay_s += reattempt_s;
+          result.failure_stage = stage.name;
+          result.status = RunStatus::kFetchFailure;
+          return false;
+        }
+        stage_s += reattempt_s;
+        result.metrics.stage_reattempts += faults.fetch_retries;
+      }
+      result.metrics.fault_delay_s += stage_s - healthy_stage_s;
+    }
 
     result.metrics.cpu_seconds += cpu_s * partitions;
     result.metrics.disk_seconds += disk_s * partitions;

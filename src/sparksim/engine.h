@@ -14,11 +14,13 @@
 // DESIGN.md §8 for the inventory and EXPERIMENTS.md for the calibration.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "sparksim/cluster.h"
+#include "sparksim/faults.h"
 #include "sparksim/spark_config.h"
 #include "sparksim/workload.h"
 
@@ -26,12 +28,24 @@ namespace robotune::sparksim {
 
 enum class RunStatus {
   kOk,
-  kOom,         ///< a task exceeded execution memory; the job died
-  kInfeasible,  ///< executors could not be placed at all
-  kTimeLimit    ///< exceeded the caller-provided cap
+  kOom,           ///< a task exceeded execution memory; the job died
+  kInfeasible,    ///< executors could not be placed at all
+  kTimeLimit,     ///< exceeded the caller-provided cap
+  kExecutorLost,  ///< a task exhausted spark.task.maxFailures (transient)
+  kFetchFailure   ///< stage reattempts after fetch failures ran out (transient)
 };
 
+/// Stable, unique label per status; "unknown" for out-of-range values.
 std::string to_string(RunStatus status);
+/// Inverse of to_string; nullopt for unrecognized labels.
+std::optional<RunStatus> run_status_from_string(const std::string& label);
+/// Every enumerator, in declaration order (round-trip tests iterate this).
+const std::vector<RunStatus>& all_run_statuses();
+/// True for failures caused by injected cluster flakiness (executor loss,
+/// fetch failure): retrying the same configuration may well succeed.
+/// Deterministic failures (OOM, unplaceable) and guard kills are not
+/// transient — retrying them wastes budget.
+bool is_transient(RunStatus status);
 
 /// Diagnostics accumulated over a run (used heavily by tests).
 struct SimMetrics {
@@ -45,6 +59,11 @@ struct SimMetrics {
   double scheduler_seconds = 0.0;  ///< driver/stage overheads
   int total_tasks = 0;
   int total_waves = 0;
+  // Fault-injection diagnostics (all zero when no profile is active).
+  int executors_lost = 0;          ///< executor-loss events across the run
+  int task_retries = 0;            ///< tasks re-queued after executor loss
+  int stage_reattempts = 0;        ///< stage retries after fetch failures
+  double fault_delay_s = 0.0;      ///< wall-clock added by injected faults
 };
 
 struct SimResult {
@@ -54,7 +73,7 @@ struct SimResult {
   double seconds = 0.0;
   SimMetrics metrics;
   std::vector<double> stage_seconds;  ///< per executed stage
-  std::string failure_stage;          ///< stage that OOMed, if any
+  std::string failure_stage;          ///< stage that failed the job, if any
 
   bool ok() const noexcept { return status == RunStatus::kOk; }
 };
@@ -66,6 +85,10 @@ struct EngineOptions {
   /// Multiplicative lognormal noise sigma applied to the whole run
   /// (shared-cluster variance).  0 disables noise.
   double run_noise_sigma = 0.04;
+  /// Transient-fault injection (see sparksim/faults.h).  The default
+  /// all-zero profile is strictly opt-in: it draws no randomness and the
+  /// run is byte-identical to one without the fault layer.
+  FaultProfile faults;
 };
 
 /// Simulates one execution.  Deterministic for a fixed seed.

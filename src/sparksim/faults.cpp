@@ -1,0 +1,91 @@
+#include "sparksim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace robotune::sparksim {
+
+FaultProfile FaultProfile::uniform(double rate, double max_slowdown) {
+  FaultProfile p;
+  p.executor_loss_per_stage = rate;
+  p.fetch_failure_per_stage = rate;
+  p.straggler_per_stage = std::min(1.0, 2.0 * rate);
+  p.straggler_max_slowdown = max_slowdown;
+  return p;
+}
+
+bool FaultProfile::from_preset(const std::string& name, FaultProfile& out) {
+  if (name == "none") {
+    out = FaultProfile{};
+    return true;
+  }
+  if (name == "mild") {
+    out = FaultProfile{0.01, 0.02, 0.05, 2.0, 4};
+    return true;
+  }
+  if (name == "moderate") {
+    out = FaultProfile{0.03, 0.05, 0.10, 3.0, 4};
+    return true;
+  }
+  if (name == "severe") {
+    out = FaultProfile{0.08, 0.12, 0.20, 4.0, 4};
+    return true;
+  }
+  return false;
+}
+
+FaultInjector::FaultInjector(const FaultProfile& profile,
+                             std::uint64_t run_seed)
+    // A fixed tweak keeps this stream independent of the engine's noise
+    // stream, which is seeded with the raw run seed.
+    : profile_(profile), rng_(run_seed ^ 0xfa017c7a11edULL) {}
+
+StageFaults FaultInjector::sample_stage(const SparkConfig& config,
+                                        bool has_shuffle_read) {
+  StageFaults f;
+
+  // Executor loss: consecutive Bernoulli trials model a task that keeps
+  // landing on dying executors; Spark gives up once a single task has
+  // failed spark.task.maxFailures times.
+  if (profile_.executor_loss_per_stage > 0.0) {
+    const int max_failures = std::max(1, config.task_max_failures);
+    while (f.executor_losses < max_failures &&
+           rng_.bernoulli(profile_.executor_loss_per_stage)) {
+      ++f.executor_losses;
+    }
+    if (f.executor_losses >= max_failures) f.executor_exhausted = true;
+  }
+
+  // Shuffle-fetch failure: each configured IO retry halves the chance the
+  // transient outage survives long enough to fail the fetch, at the price
+  // of the retry waits charged by the engine.  Rounds that still fail
+  // trigger a stage reattempt, bounded by max_stage_attempts.
+  if (has_shuffle_read && profile_.fetch_failure_per_stage > 0.0) {
+    const int extra_retries = std::max(0, config.shuffle_io_max_retries - 3);
+    const double p_round = std::clamp(
+        profile_.fetch_failure_per_stage * std::pow(0.5, extra_retries), 0.0,
+        1.0);
+    const int max_attempts = std::max(1, profile_.max_stage_attempts);
+    while (f.fetch_retries < max_attempts && rng_.bernoulli(p_round)) {
+      ++f.fetch_retries;
+    }
+    if (f.fetch_retries >= max_attempts) f.fetch_exhausted = true;
+  }
+
+  // Straggler / noisy neighbor: the stage lands on a slow node.
+  // Speculative execution re-launches the slow tasks elsewhere, capping
+  // the realized slowdown near the speculation multiplier.
+  if (profile_.straggler_per_stage > 0.0 &&
+      rng_.bernoulli(profile_.straggler_per_stage)) {
+    double slow =
+        rng_.uniform(1.0, std::max(1.0, profile_.straggler_max_slowdown));
+    if (config.speculation) {
+      slow = std::min(slow, std::max(1.0, config.speculation_multiplier));
+    }
+    f.straggler_slowdown = slow;
+  }
+
+  return f;
+}
+
+}  // namespace robotune::sparksim

@@ -1,0 +1,111 @@
+// Deterministic fault injection for the cluster simulator.
+//
+// Real shared clusters — the setting LOCAT and OnlineTune target — do not
+// fail only deterministically (OOM, unplaceable executors): executors are
+// preempted or their nodes die, shuffle fetches fail when a map output is
+// lost, and straggler/noisy-neighbor nodes slow whole stages down.  A
+// `FaultProfile` describes the per-stage probabilities of those transient
+// events and a `FaultInjector`, sampled from the run seed on a dedicated
+// RNG stream, decides what happens to each stage.
+//
+// Two invariants the rest of the system relies on:
+//  * an all-zero profile is strictly opt-out: the injector draws nothing,
+//    so runs are byte-identical to a build without the fault layer;
+//  * for a fixed (profile, seed) the event sequence is deterministic —
+//    independent of thread count or scheduling — because the injector
+//    owns a private RNG derived from the run seed.
+//
+// Semantics follow Spark's failure handling (see DESIGN.md § failure
+// model): tasks lost with an executor are re-queued and the job only dies
+// when a task exhausts `spark.task.maxFailures`; a shuffle-fetch failure
+// that survives `spark.shuffle.io.maxRetries` triggers a bounded stage
+// reattempt; stragglers slow the stage tail and are mitigated by
+// speculative execution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "sparksim/spark_config.h"
+
+namespace robotune::sparksim {
+
+/// Per-stage probabilities of transient cluster faults.  Default (all
+/// rates zero) injects nothing.
+struct FaultProfile {
+  /// Probability that an executor is lost (preemption, node failure)
+  /// during a stage.  Each loss re-queues the executor's running tasks;
+  /// repeated losses escalate towards `spark.task.maxFailures`.
+  double executor_loss_per_stage = 0.0;
+  /// Probability that a reduce stage suffers a shuffle-fetch failure
+  /// round after exhausting the configured IO retries.  Consecutive
+  /// failed rounds escalate towards `max_stage_attempts`.
+  double fetch_failure_per_stage = 0.0;
+  /// Probability that a stage lands on a straggler / noisy-neighbor node.
+  double straggler_per_stage = 0.0;
+  /// Worst-case slowdown of a straggling stage (uniform in
+  /// [1, straggler_max_slowdown]); speculation caps the realized factor.
+  double straggler_max_slowdown = 3.0;
+  /// Bound on stage reattempts after fetch failures (Spark's
+  /// spark.stage.maxConsecutiveAttempts default).
+  int max_stage_attempts = 4;
+
+  /// True when any fault can actually fire.  Inactive profiles must not
+  /// consume randomness anywhere.
+  bool active() const noexcept {
+    return executor_loss_per_stage > 0.0 || fetch_failure_per_stage > 0.0 ||
+           straggler_per_stage > 0.0;
+  }
+
+  /// Convenience profile where all three event classes fire at `rate`
+  /// (used by the resilience bench to sweep fault intensity).
+  static FaultProfile uniform(double rate, double max_slowdown = 3.0);
+
+  /// Named presets for the CLI: "none", "mild", "moderate", "severe".
+  /// Returns false for an unknown name.
+  static bool from_preset(const std::string& name, FaultProfile& out);
+};
+
+/// What the injector decided for one stage.
+struct StageFaults {
+  /// Consecutive executor-loss events; each re-queues the lost executor's
+  /// running tasks.
+  int executor_losses = 0;
+  /// True when losses reached spark.task.maxFailures: the job dies with
+  /// RunStatus::kExecutorLost.
+  bool executor_exhausted = false;
+  /// Failed shuffle-fetch rounds (each one costs the IO retry waits and a
+  /// partial refetch before the stage reattempt succeeds).
+  int fetch_retries = 0;
+  /// True when fetch failures reached max_stage_attempts: the job dies
+  /// with RunStatus::kFetchFailure.
+  bool fetch_exhausted = false;
+  /// Multiplicative stage slowdown (1.0 = healthy node).
+  double straggler_slowdown = 1.0;
+
+  bool any() const noexcept {
+    return executor_losses > 0 || fetch_retries > 0 || executor_exhausted ||
+           fetch_exhausted || straggler_slowdown > 1.0;
+  }
+};
+
+/// Samples the fault events of one run.  Owns a private RNG stream derived
+/// from the run seed so the engine's noise stream is never perturbed.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultProfile& profile, std::uint64_t run_seed);
+
+  /// Samples the events hitting one stage.  `has_shuffle_read` gates fetch
+  /// failures; `config` supplies the mitigation knobs (task.maxFailures,
+  /// shuffle.io.maxRetries, speculation).
+  StageFaults sample_stage(const SparkConfig& config, bool has_shuffle_read);
+
+  const FaultProfile& profile() const noexcept { return profile_; }
+
+ private:
+  FaultProfile profile_;
+  Rng rng_;
+};
+
+}  // namespace robotune::sparksim

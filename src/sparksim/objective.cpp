@@ -11,6 +11,7 @@ SparkObjective::SparkObjective(ClusterSpec cluster, WorkloadSpec workload,
     : cluster_(cluster),
       workload_(std::move(workload)),
       space_(std::move(space)),
+      initial_seed_(seed),
       seed_stream_(seed),
       time_cap_s_(time_cap_s),
       run_noise_sigma_(run_noise_sigma),
@@ -39,10 +40,23 @@ EvalOutcome SparkObjective::evaluate_decoded(const DecodedConfig& values,
   EngineOptions engine_options;
   engine_options.time_cap_s = kill_s;
   engine_options.run_noise_sigma = run_noise_sigma_;
+  engine_options.faults = fault_profile_;
 
-  const std::uint64_t run_seed = seed_stream_();
+  // Run, retrying only transient faults: a lost executor or a failed
+  // fetch says nothing about the configuration, so bounded re-runs (with
+  // backoff charged to the session) recover the observation.  Every
+  // attempt draws a fresh run seed — a retried run sees different luck.
   EvalOutcome out;
-  out.raw = simulate(cluster_, workload_, config, run_seed, engine_options);
+  double retry_cost_s = 0.0;
+  for (int attempt = 0;; ++attempt) {
+    const std::uint64_t run_seed = next_run_seed();
+    out.raw = simulate(cluster_, workload_, config, run_seed, engine_options);
+    out.attempts = attempt + 1;
+    if (!is_transient(out.raw.status) || attempt >= retry_policy_.max_retries) {
+      break;
+    }
+    retry_cost_s += out.raw.seconds + retry_policy_.backoff_s(attempt);
+  }
   out.status = out.raw.status;
 
   // Failed runs are observed as "as bad as a killed run, plus a margin":
@@ -77,7 +91,18 @@ EvalOutcome SparkObjective::evaluate_decoded(const DecodedConfig& values,
       out.value_s = penalty;
       out.cost_s = out.raw.seconds;  // failures die quickly
       break;
+    case RunStatus::kExecutorLost:
+    case RunStatus::kFetchFailure:
+      // Exhausted transient retries: the flake, not the configuration,
+      // killed the run.  Censor at the threshold (like a guard stop) so
+      // surrogates are not poisoned by a penalty the configuration did
+      // not earn; the session still pays what the attempts actually cost.
+      out.value_s = kill_s > 0.0 ? kill_s : out.raw.seconds;
+      out.cost_s = out.raw.seconds;
+      out.transient = true;
+      break;
   }
+  out.cost_s += retry_cost_s;
   ++evaluations_;
   total_cost_s_ += out.cost_s;
   return out;

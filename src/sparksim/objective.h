@@ -9,6 +9,14 @@
 //  * failed configurations (OOM / unplaceable) are charged the short time
 //    it took them to die and observed as a distinctly bad penalty value so
 //    that surrogate models learn to avoid the region.
+//
+// Failure resilience (flaky shared clusters): when a FaultProfile is
+// attached, runs can also die transiently (executor loss, fetch failure).
+// A RetryPolicy re-runs only those transient failures, with exponential
+// backoff charged to the session's wall clock.  A transient failure that
+// survives every retry is *censored*, not penalized: it observes the kill
+// threshold like a guard-stopped run, so flake penalties never poison the
+// surrogate models' picture of the configuration space.
 #pragma once
 
 #include <cstdint>
@@ -32,15 +40,40 @@ enum class ObjectiveMetric {
   kCoreSeconds
 };
 
+/// Bounded retries for transient failures.  The default (no retries)
+/// keeps evaluation byte-identical to the retry-free pipeline.
+struct RetryPolicy {
+  /// Extra attempts after a transient failure (0 = fail fast).
+  /// Deterministic failures (OOM, unplaceable) always fail fast.
+  int max_retries = 0;
+  /// Exponential backoff before retry k: base * multiplier^k seconds,
+  /// charged to the evaluation's cost_s (the session waits it out).
+  double backoff_base_s = 5.0;
+  double backoff_multiplier = 2.0;
+
+  double backoff_s(int retry_index) const noexcept {
+    double b = backoff_base_s;
+    for (int i = 0; i < retry_index; ++i) b *= backoff_multiplier;
+    return b;
+  }
+};
+
 struct EvalOutcome {
   RunStatus status = RunStatus::kOk;
   /// Observed objective value in seconds (capped / penalized as above).
   double value_s = 0.0;
-  /// Wall-clock seconds the evaluation cost the tuning session.
+  /// Wall-clock seconds the evaluation cost the tuning session, including
+  /// every failed attempt and backoff wait.
   double cost_s = 0.0;
   /// True when the guard threshold killed the run.
   bool stopped_early = false;
-  SimResult raw;
+  /// Simulator runs performed (1 + retries); equals the seed draws the
+  /// evaluation consumed, which checkpoint/resume replays.
+  int attempts = 1;
+  /// True when the final status is a transient fault that exhausted its
+  /// retries — the value is censored at the threshold, not penalized.
+  bool transient = false;
+  SimResult raw;  ///< last attempt's raw simulation result
 };
 
 class SparkObjective {
@@ -61,6 +94,19 @@ class SparkObjective {
                                double stop_threshold_s = 0.0,
                                bool apply_cap = true);
 
+  /// Attaches transient-fault injection to every subsequent run.  The
+  /// default all-zero profile keeps evaluation byte-identical to a
+  /// fault-free objective.
+  void set_fault_profile(const FaultProfile& profile) {
+    fault_profile_ = profile;
+  }
+  const FaultProfile& fault_profile() const noexcept {
+    return fault_profile_;
+  }
+
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const noexcept { return retry_policy_; }
+
   const ConfigSpace& space() const noexcept { return space_; }
   const WorkloadSpec& workload() const noexcept { return workload_; }
   const ClusterSpec& cluster() const noexcept { return cluster_; }
@@ -69,21 +115,47 @@ class SparkObjective {
 
   std::size_t evaluations() const noexcept { return evaluations_; }
   double total_cost_s() const noexcept { return total_cost_s_; }
+
+  /// Per-run seeds drawn so far (one per simulator attempt).  Checkpoints
+  /// record this so a resumed session can fast-forward to the same point
+  /// in the seed stream.
+  std::uint64_t seed_draws() const noexcept { return seed_draws_; }
+  /// Advances the seed stream by `n` draws without running anything —
+  /// used when replaying checkpointed evaluations on resume.
+  void skip_seed_draws(std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) next_run_seed();
+  }
+
+  /// Rewinds the objective to its just-constructed state: evaluation and
+  /// cost counters AND the internal per-run seed stream.  A reset
+  /// objective therefore produces the exact evaluation sequence of a
+  /// freshly constructed one with the same seed.
   void reset_counters() {
     evaluations_ = 0;
     total_cost_s_ = 0.0;
+    seed_draws_ = 0;
+    seed_stream_.reseed(initial_seed_);
   }
 
  private:
+  std::uint64_t next_run_seed() {
+    ++seed_draws_;
+    return seed_stream_();
+  }
+
   ClusterSpec cluster_;
   WorkloadSpec workload_;
   ConfigSpace space_;
+  std::uint64_t initial_seed_;
   Rng seed_stream_;
   double time_cap_s_;
   double run_noise_sigma_;
   ObjectiveMetric metric_;
+  FaultProfile fault_profile_;
+  RetryPolicy retry_policy_;
   std::size_t evaluations_ = 0;
   double total_cost_s_ = 0.0;
+  std::uint64_t seed_draws_ = 0;
 };
 
 }  // namespace robotune::sparksim

@@ -73,11 +73,14 @@ TuningResult BestConfig::tune(sparksim::SparkObjective& objective, int budget,
       continue;
     }
     // Bound: for each dimension, the gap between the nearest sampled
-    // coordinates below and above the incumbent best.
+    // coordinates below and above the incumbent best.  Transient failures
+    // yielded no usable observation at their location, so they do not
+    // count as exploration evidence when shrinking the box.
     const auto& best = result.history[result.best_index].unit;
     for (std::size_t d = 0; d < dims; ++d) {
       double below = 0.0, above = 1.0;
       for (const auto& e : result.history) {
+        if (e.transient) continue;
         const double v = e.unit[d];
         if (v < best[d]) below = std::max(below, v);
         if (v > best[d]) above = std::min(above, v);

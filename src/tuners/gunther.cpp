@@ -24,8 +24,12 @@ TuningResult Gunther::tune(sparksim::SparkObjective& objective, int budget,
 
   auto evaluate = [&](Individual& ind) {
     const auto e = evaluate_into(objective, ind.genes, guard, result);
-    // Failed configurations get the penalty value so selection avoids them.
-    ind.fitness = e.value_s;
+    // Failed configurations get the penalty value so selection avoids
+    // them.  Transient failures carry a censored value that says nothing
+    // about the genes, so they rank last instead of mid-population — the
+    // GA never breeds from an observation that was pure cluster flake.
+    ind.fitness = e.transient ? std::numeric_limits<double>::infinity()
+                              : e.value_s;
   };
 
   // --- Initial population (random, sized by parameter count) -------------

@@ -8,6 +8,9 @@ TuningResult RandomSearch::tune(sparksim::SparkObjective& objective,
   result.tuner = name();
   Rng rng(seed);
   const std::size_t dims = objective.space().size();
+  // Transient-fault handling rides entirely on evaluate_into/GuardPolicy:
+  // censored flake values never enter the guard median, and RS keeps no
+  // model state that a flake could poison.
   GuardPolicy guard(static_threshold_s_, /*median_multiple=*/0.0);
   std::vector<double> unit(dims);
   for (int i = 0; i < budget; ++i) {

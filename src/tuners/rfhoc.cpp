@@ -34,6 +34,10 @@ TuningResult Rfhoc::tune(sparksim::SparkObjective& objective, int budget,
   ml::Dataset data(dims);
   for (const auto& unit : design) {
     const auto e = evaluate_into(objective, unit, guard, result);
+    // Transient failures are excluded from the training set: their
+    // censored value reflects cluster flakiness, not the configuration,
+    // and would teach the forest that a random region is slow.
+    if (e.transient) continue;
     // Model log(time): same rationale as the BO engine.
     data.add_row(unit, std::log(std::max(1e-6, e.value_s)));
   }

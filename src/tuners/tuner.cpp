@@ -46,16 +46,24 @@ std::vector<double> TuningResult::sampled_times() const {
   return out;
 }
 
-Evaluation evaluate_into(sparksim::SparkObjective& objective,
-                         const std::vector<double>& unit, GuardPolicy& guard,
-                         TuningResult& result) {
-  const auto outcome = objective.evaluate(unit, guard.current());
-  Evaluation e;
-  e.unit = unit;
-  e.value_s = outcome.value_s;
-  e.cost_s = outcome.cost_s;
-  e.status = outcome.status;
-  e.stopped_early = outcome.stopped_early;
+std::size_t TuningResult::transient_failure_count() const {
+  std::size_t n = 0;
+  for (const auto& e : history) {
+    if (e.transient) ++n;
+  }
+  return n;
+}
+
+std::size_t TuningResult::total_attempts() const {
+  std::size_t n = 0;
+  for (const auto& e : history) {
+    n += static_cast<std::size_t>(std::max(1, e.attempts));
+  }
+  return n;
+}
+
+void append_evaluation(const Evaluation& e, GuardPolicy& guard,
+                       TuningResult& result) {
   guard.record(e);
   result.search_cost_s += e.cost_s;
   result.history.push_back(e);
@@ -67,6 +75,21 @@ Evaluation evaluate_into(sparksim::SparkObjective& objective,
       result.best_index = idx;
     }
   }
+}
+
+Evaluation evaluate_into(sparksim::SparkObjective& objective,
+                         const std::vector<double>& unit, GuardPolicy& guard,
+                         TuningResult& result) {
+  const auto outcome = objective.evaluate(unit, guard.current());
+  Evaluation e;
+  e.unit = unit;
+  e.value_s = outcome.value_s;
+  e.cost_s = outcome.cost_s;
+  e.status = outcome.status;
+  e.stopped_early = outcome.stopped_early;
+  e.attempts = outcome.attempts;
+  e.transient = outcome.transient;
+  append_evaluation(e, guard, result);
   return e;
 }
 

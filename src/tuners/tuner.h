@@ -20,6 +20,13 @@ struct Evaluation {
   double cost_s = 0.0;       ///< wall-clock charge to the session
   sparksim::RunStatus status = sparksim::RunStatus::kOk;
   bool stopped_early = false;
+  /// Simulator attempts consumed (1 + transient retries); equals the
+  /// objective seed draws replayed on checkpoint resume.
+  int attempts = 1;
+  /// True when the run died of cluster flakiness after exhausting its
+  /// retries: the value is censored at the guard threshold, and the
+  /// observation says nothing about the configuration itself.
+  bool transient = false;
 
   bool ok() const noexcept { return status == sparksim::RunStatus::kOk; }
 };
@@ -39,6 +46,11 @@ struct TuningResult {
   /// Execution times of all successfully evaluated configurations (the
   /// Fig. 5 distributions; early-stopped runs contribute their threshold).
   std::vector<double> sampled_times() const;
+  /// Evaluations that died of transient faults despite retries.
+  std::size_t transient_failure_count() const;
+  /// Total simulator attempts across the session (>= history.size();
+  /// the excess is retries charged to flaky-cluster recovery).
+  std::size_t total_attempts() const;
 };
 
 /// Tracks the guard threshold: the tighter of a static cap and a multiple
@@ -62,9 +74,15 @@ class GuardPolicy {
     return t;
   }
 
+  /// Feeds the running median.  Only clean successes count: failed runs
+  /// (deterministic or transient) and early-stopped runs carry censored
+  /// or penalized values that would skew the median.
   void record(const Evaluation& e) {
     if (e.ok() && !e.stopped_early) observed_.push_back(e.value_s);
   }
+
+  /// Number of observations feeding the median (diagnostics/tests).
+  std::size_t observations() const noexcept { return observed_.size(); }
 
  private:
   double static_threshold_s_;
@@ -86,5 +104,12 @@ class Tuner {
 Evaluation evaluate_into(sparksim::SparkObjective& objective,
                          const std::vector<double>& unit, GuardPolicy& guard,
                          TuningResult& result);
+
+/// The bookkeeping half of evaluate_into: records an already-obtained
+/// evaluation (guard update, search cost, incumbent tracking).  Checkpoint
+/// resume replays journaled evaluations through this so a resumed session
+/// rebuilds byte-identical tuner state.
+void append_evaluation(const Evaluation& e, GuardPolicy& guard,
+                       TuningResult& result);
 
 }  // namespace robotune::tuners

@@ -129,7 +129,9 @@ TEST(ResultInvariantTest, BestIndexPointsAtSuccessfulMinimum) {
   const auto& best = result.history[result.best_index];
   EXPECT_TRUE(best.ok());
   for (const auto& e : result.history) {
-    if (e.ok()) EXPECT_GE(e.value_s, best.value_s);
+    if (e.ok()) {
+      EXPECT_GE(e.value_s, best.value_s);
+    }
   }
 }
 

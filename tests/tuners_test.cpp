@@ -69,6 +69,68 @@ TEST(GuardPolicyTest, StaticCapWinsWhenTighter) {
   EXPECT_DOUBLE_EQ(guard.current(), 150.0);  // min(150, 300)
 }
 
+TEST(GuardPolicyTest, ThresholdIsMinOfStaticCapAndMedianMultiple) {
+  GuardPolicy guard(480.0, 2.0);
+  Evaluation e;
+  e.status = RunStatus::kOk;
+  for (double v : {100.0, 100.0, 100.0, 100.0, 100.0}) {
+    e.value_s = v;
+    guard.record(e);
+  }
+  ASSERT_EQ(guard.observations(), 5u);
+  EXPECT_DOUBLE_EQ(guard.current(), 200.0);  // min(480, 2 x 100)
+  // A run of slow successes pushes the median-derived bound back above
+  // the static cap, which takes over again.
+  for (double v : {400.0, 400.0, 400.0, 400.0, 400.0, 400.0}) {
+    e.value_s = v;
+    guard.record(e);
+  }
+  EXPECT_DOUBLE_EQ(guard.current(), 480.0);  // min(480, 2 x 400)
+}
+
+TEST(GuardPolicyTest, EarlyStoppedAndFailedRunsNeverEnterTheMedian) {
+  GuardPolicy guard(480.0, 2.0);
+  Evaluation stopped;
+  stopped.status = RunStatus::kTimeLimit;
+  stopped.stopped_early = true;
+  stopped.value_s = 480.0;
+  Evaluation failed;
+  failed.status = RunStatus::kOom;
+  failed.value_s = 504.0;
+  Evaluation transient;
+  transient.status = RunStatus::kExecutorLost;
+  transient.transient = true;
+  transient.value_s = 480.0;
+  for (int i = 0; i < 5; ++i) {
+    guard.record(stopped);
+    guard.record(failed);
+    guard.record(transient);
+  }
+  EXPECT_EQ(guard.observations(), 0u);
+  EXPECT_DOUBLE_EQ(guard.current(), 480.0);  // static cap only
+  // Clean successes are the only observations that count.
+  Evaluation ok;
+  ok.status = RunStatus::kOk;
+  ok.value_s = 50.0;
+  for (int i = 0; i < 5; ++i) guard.record(ok);
+  EXPECT_EQ(guard.observations(), 5u);
+  EXPECT_DOUBLE_EQ(guard.current(), 100.0);
+}
+
+TEST(EvaluateIntoTest, ChargesExactlyTheThresholdOnEarlyStop) {
+  auto objective = make_objective(30);
+  GuardPolicy guard(30.0, 0.0);  // far below any real execution time
+  TuningResult result;
+  const auto e = evaluate_into(objective, objective.space().default_unit(),
+                               guard, result);
+  EXPECT_TRUE(e.stopped_early);
+  EXPECT_EQ(e.status, RunStatus::kTimeLimit);
+  EXPECT_DOUBLE_EQ(e.value_s, 30.0);
+  EXPECT_DOUBLE_EQ(e.cost_s, 30.0);
+  EXPECT_DOUBLE_EQ(result.search_cost_s, 30.0);
+  EXPECT_EQ(guard.observations(), 0u);  // the stop never feeds the median
+}
+
 // ------------------------------------------------------- TuningResult ----
 
 TEST(TuningResultTest, BestTrackingPrefersSuccessfulRuns) {
