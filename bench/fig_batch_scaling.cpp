@@ -1,0 +1,125 @@
+// Batch-BO scaling study: wall-clock speedup and best-found quality of
+// ROBOTune's constant-liar batching (BoOptions::batch_size = q) at
+// q in {1, 2, 4, 8}, each batch evaluated on q scheduler workers.
+//
+// The simulator itself is microseconds per run, so cluster-run latency is
+// emulated: the scheduler sleeps ROBOTUNE_BENCH_EVAL_LATENCY wall-seconds
+// per simulated cost second of each evaluation, on the worker that runs
+// it.  Sleeps overlap across workers exactly like real concurrent trial
+// runs, so the measured speedup is the speedup a q-wide cluster frontend
+// would see — while results stay bit-identical to latency 0.
+//
+// Parameter selection (identical at every q) is primed into the cache
+// up front so the timed region is the BO session the batching actually
+// accelerates.
+//
+// Emits a table to stdout and machine-readable JSON to
+// bench_results/fig_batch_scaling.json (run from the repo root).
+//
+// Environment knobs:
+//   ROBOTUNE_BENCH_BUDGET        evaluation budget        [default 100]
+//   ROBOTUNE_BENCH_EVAL_LATENCY  wall s per simulated s   [default 0.001]
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "bench/harness.h"
+#include "exec/eval_scheduler.h"
+
+using namespace robotune;
+
+int main() {
+  const int budget = bench::bench_budget();
+  const double latency =
+      bench::env_double("ROBOTUNE_BENCH_EVAL_LATENCY", 0.001);
+  const std::vector<int> batch_sizes = {1, 2, 4, 8};
+  const auto kind = sparksim::WorkloadKind::kPageRank;
+  const int dataset = 1;
+  const std::uint64_t seed = 11;
+
+  std::printf(
+      "=== Batch BO scaling on PR-D1 (budget=%d, latency=%.4f s/s) ===\n",
+      budget, latency);
+
+  // One shared parameter selection, computed exactly as RoboTune would
+  // (same seed mixing), so every q starts from the same subspace without
+  // re-paying the selection pipeline inside the timed region.
+  auto selection_objective = bench::make_objective(kind, dataset, seed * 7919);
+  core::SelectionOptions sel;
+  sel.seed ^= seed;
+  const auto selection = core::select_parameters(
+      selection_objective, sparksim::spark24_joint_parameter_groups(), sel);
+  const std::string workload_key = sparksim::to_string(kind);
+
+  struct Row {
+    int q = 0;
+    double wall_s = 0.0;
+    double best_s = 0.0;
+    std::size_t evals = 0;
+  };
+  std::vector<Row> rows;
+  for (int q : batch_sizes) {
+    core::RoboTuneOptions options;
+    options.bo.batch_size = q;
+    core::RoboTune tuner(options);
+    tuner.selection_cache().store(workload_key, selection.selected);
+
+    exec::SchedulerOptions sched;
+    sched.parallelism = q;
+    sched.emulate_latency_per_cost_s = latency;
+    exec::EvalScheduler scheduler(sched);
+
+    auto objective = bench::make_objective(kind, dataset, seed * 7919);
+    const auto start = std::chrono::steady_clock::now();
+    const auto report = tuner.tune_report(objective, budget, seed, nullptr,
+                                          nullptr, &scheduler);
+    const auto elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    Row row;
+    row.q = q;
+    row.wall_s = elapsed;
+    row.best_s = report.tuning.found_any() ? report.tuning.best_value_s()
+                                           : 480.0;
+    row.evals = report.tuning.history.size();
+    rows.push_back(row);
+  }
+
+  const double base_wall = rows.front().wall_s;
+  const double base_best = rows.front().best_s;
+  std::printf("%-6s%12s%12s%12s%12s\n", "q", "wall s", "speedup",
+              "best s", "quality");
+  for (const auto& row : rows) {
+    std::printf("%-6d%12.2f%12.2f%12.2f%12.3f\n", row.q, row.wall_s,
+                base_wall / row.wall_s, row.best_s, row.best_s / base_best);
+  }
+  std::printf("(speedup vs q=1; quality = best/best(q=1), < 1.0 better)\n");
+
+  std::filesystem::create_directories("bench_results");
+  const char* path = "bench_results/fig_batch_scaling.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"workload\": \"PR-D1\",\n  \"budget\": %d,\n"
+               "  \"eval_latency_s\": %.6f,\n  \"rows\": [\n",
+               budget, latency);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    std::fprintf(f,
+                 "    {\"q\": %d, \"workers\": %d, \"wall_s\": %.3f, "
+                 "\"speedup_vs_q1\": %.3f, \"best_s\": %.3f, "
+                 "\"quality_vs_q1\": %.4f, \"evals\": %zu}%s\n",
+                 row.q, row.q, row.wall_s, base_wall / row.wall_s,
+                 row.best_s, row.best_s / base_best, row.evals,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+  return 0;
+}

@@ -9,6 +9,8 @@
 // Environment knobs (all benches):
 //   ROBOTUNE_BENCH_REPS    repetitions per (workload, dataset)   [default 2]
 //   ROBOTUNE_BENCH_BUDGET  evaluation budget per tuning session  [default 100]
+//   ROBOTUNE_BENCH_JOBS    worker threads for the comparison grid
+//                          (0 = hardware concurrency)            [default 1]
 #pragma once
 
 #include <cstdio>
@@ -18,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/robotune.h"
 #include "sparksim/objective.h"
 #include "tuners/bestconfig.h"
@@ -33,8 +36,15 @@ inline int env_int(const char* name, int fallback) {
   return std::atoi(v);
 }
 
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atof(v);
+}
+
 inline int bench_reps() { return env_int("ROBOTUNE_BENCH_REPS", 2); }
 inline int bench_budget() { return env_int("ROBOTUNE_BENCH_BUDGET", 100); }
+inline int bench_jobs() { return env_int("ROBOTUNE_BENCH_JOBS", 1); }
 
 inline sparksim::SparkObjective make_objective(sparksim::WorkloadKind kind,
                                                int dataset,
@@ -70,10 +80,18 @@ using ComparisonGrid =
 /// tuner, `reps` repetitions.  ROBOTune keeps one framework instance per
 /// workload so its caches amortize across datasets, mirroring the paper's
 /// 15-runs-per-workload protocol (datasets are tuned in order D1, D2, D3).
+///
+/// Workloads are independent (each has its own ROBOTune instance), so the
+/// grid parallelizes across them on ROBOTUNE_BENCH_JOBS workers.  Every
+/// session keeps its own seed regardless of scheduling, and per-workload
+/// results are merged in workload order, so the grid is identical for any
+/// job count.
 inline ComparisonGrid run_comparison(int budget, int reps,
                                      std::uint64_t base_seed = 1000) {
-  ComparisonGrid grid;
-  for (auto kind : sparksim::all_workloads()) {
+  const auto workloads = sparksim::all_workloads();
+  std::vector<ComparisonGrid> partial(workloads.size());
+  const auto run_workload = [&](std::size_t wi) {
+    const auto kind = workloads[wi];
     core::RoboTune robotune;  // caches shared across this workload's runs
     for (int dataset = 1; dataset <= 3; ++dataset) {
       const std::string key =
@@ -93,13 +111,24 @@ inline ComparisonGrid run_comparison(int budget, int reps,
         for (auto& [name, tuner] : tuners_list) {
           auto objective = make_objective(kind, dataset, seed * 7919);
           const auto result = tuner->tune(objective, budget, seed);
-          auto& cell = grid[key][name];
+          auto& cell = partial[wi][key][name];
           cell.best.push_back(result.found_any() ? result.best_value_s()
                                                  : 480.0);
           cell.cost.push_back(result.search_cost_s);
         }
       }
     }
+  };
+  const int jobs = bench_jobs();
+  if (jobs == 1) {
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) run_workload(wi);
+  } else {
+    ThreadPool pool(static_cast<std::size_t>(jobs < 0 ? 0 : jobs));
+    pool.parallel_for(workloads.size(), run_workload);
+  }
+  ComparisonGrid grid;
+  for (auto& part : partial) {
+    for (auto& [key, cells] : part) grid[key] = std::move(cells);
   }
   return grid;
 }

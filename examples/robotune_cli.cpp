@@ -17,6 +17,7 @@
 #include "common/error.h"
 #include "core/persistence.h"
 #include "core/robotune.h"
+#include "exec/eval_scheduler.h"
 #include "sparksim/objective.h"
 #include "tuners/bestconfig.h"
 #include "tuners/gunther.h"
@@ -39,6 +40,12 @@ struct CliOptions {
   std::string checkpoint_path;
   bool resume = false;
   bool quiet = false;
+  /// Evaluation workers: 0 = no scheduler (legacy sequential seed
+  /// streams); N >= 1 = scheduler mode with N workers (0-cost to results:
+  /// any N gives bit-identical output, including N = 1).
+  int parallel = 0;
+  /// BO batch width q (robotune only; changes the trajectory).
+  int batch = 1;
 };
 
 void usage(const char* argv0) {
@@ -58,6 +65,11 @@ void usage(const char* argv0) {
       "  --checkpoint PATH           journal the session after every\n"
       "                              evaluation (robotune only)\n"
       "  --resume                    resume from --checkpoint if it exists\n"
+      "  --parallel N                evaluate batches on N workers; results\n"
+      "                              are bit-identical for any N >= 1\n"
+      "                              (default 0 = legacy sequential mode)\n"
+      "  --batch q                   BO proposals per round via constant-\n"
+      "                              liar fantasies (robotune; default 1)\n"
       "  --quiet                     only print the summary line\n",
       argv0);
 }
@@ -146,6 +158,16 @@ bool parse(int argc, char** argv, CliOptions& options) {
       options.checkpoint_path = v;
     } else if (arg == "--resume") {
       options.resume = true;
+    } else if (arg == "--parallel") {
+      const char* v = next();
+      if (!v) return false;
+      options.parallel = std::atoi(v);
+      if (options.parallel < 0) return false;
+    } else if (arg == "--batch") {
+      const char* v = next();
+      if (!v) return false;
+      options.batch = std::atoi(v);
+      if (options.batch < 1) return false;
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else {
@@ -200,9 +222,22 @@ int main(int argc, char** argv) {
     objective.set_retry_policy(retry);
   }
 
+  // --parallel N attaches the batch-evaluation scheduler: evaluations run
+  // on N workers with seed streams derived from (seed, eval index), so
+  // the results are bit-identical for any N (but differ from the legacy
+  // sequential mode at --parallel 0).
+  std::unique_ptr<exec::EvalScheduler> scheduler;
+  if (options.parallel >= 1) {
+    exec::SchedulerOptions sched;
+    sched.parallelism = options.parallel;
+    scheduler = std::make_unique<exec::EvalScheduler>(sched);
+  }
+
   tuners::TuningResult result;
   if (options.tuner == "robotune") {
-    core::RoboTune tuner;
+    core::RoboTuneOptions tuner_options;
+    tuner_options.bo.batch_size = options.batch;
+    core::RoboTune tuner(tuner_options);
     if (!options.state_path.empty() &&
         core::load_state_file(options.state_path, tuner.selection_cache(),
                               tuner.memo_buffer())) {
@@ -239,7 +274,7 @@ int main(int argc, char** argv) {
     core::RoboTuneReport report;
     try {
       report = tuner.tune_report(objective, options.budget, options.seed,
-                                 nullptr, session_ptr);
+                                 nullptr, session_ptr, scheduler.get());
     } catch (const InvalidArgument& e) {
       std::fprintf(stderr, "cannot resume from %s: %s\n",
                    options.checkpoint_path.c_str(), e.what());
@@ -270,6 +305,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown tuner '%s'\n", options.tuner.c_str());
       return 2;
     }
+    tuner->set_scheduler(scheduler.get());
     result = tuner->tune(objective, options.budget, options.seed);
   }
 

@@ -27,6 +27,8 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Drains the queue before joining: tasks already submitted run to
+  /// completion (their futures become ready), none are dropped.
   ~ThreadPool();
 
   std::size_t size() const noexcept { return workers_.size(); }
@@ -46,9 +48,52 @@ class ThreadPool {
     return fut;
   }
 
+  /// Enqueues a group of tasks under a single lock acquisition and
+  /// returns their futures in task order.  A task that throws stores its
+  /// exception in the matching future (see wait_all).
+  template <typename F>
+  auto submit_batch(std::vector<F> tasks)
+      -> std::vector<std::future<std::invoke_result_t<F&>>> {
+    using R = std::invoke_result_t<F&>;
+    std::vector<std::future<R>> futures;
+    futures.reserve(tasks.size());
+    {
+      std::scoped_lock lock(mutex_);
+      for (auto& t : tasks) {
+        auto task =
+            std::make_shared<std::packaged_task<R()>>(std::move(t));
+        futures.push_back(task->get_future());
+        jobs_.emplace([task]() { (*task)(); });
+      }
+    }
+    cv_.notify_all();
+    return futures;
+  }
+
+  /// Blocks until every future is ready, then rethrows the first stored
+  /// exception in *future order* (deterministic regardless of which task
+  /// actually failed first on the clock).  All futures are drained even
+  /// when one throws, so no task is left running against caller state
+  /// that an early exception would have destroyed.  Results of value-
+  /// returning tasks are discarded — wait_all is for tasks that write
+  /// into their own pre-sized output slots.
+  template <typename R>
+  static void wait_all(std::vector<std::future<R>>& futures) {
+    std::exception_ptr first;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+  }
+
   /// Run body(i) for i in [0, n), blocking until all complete.  Falls back
   /// to a plain loop when the pool has a single worker (avoids queueing
-  /// overhead on 1-core machines).  Exceptions from bodies propagate.
+  /// overhead on 1-core machines).  Exceptions from bodies propagate; when
+  /// several bodies throw, the lowest index wins (wait_all semantics).
   template <typename Body>
   void parallel_for(std::size_t n, Body&& body) {
     if (n == 0) return;
@@ -56,12 +101,13 @@ class ThreadPool {
       for (std::size_t i = 0; i < n; ++i) body(i);
       return;
     }
-    std::vector<std::future<void>> futures;
-    futures.reserve(n);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      futures.push_back(submit([i, &body]() { body(i); }));
+      tasks.emplace_back([i, &body]() { body(i); });
     }
-    for (auto& f : futures) f.get();
+    auto futures = submit_batch(std::move(tasks));
+    wait_all(futures);
   }
 
   /// Process-wide shared pool, created on first use.

@@ -22,6 +22,7 @@ BoEngine::BoEngine(std::vector<std::size_t> selected,
   require(options_.initial_samples >= 2, "BoEngine: need >= 2 initial samples");
   require(options_.budget >= options_.initial_samples,
           "BoEngine: budget smaller than initial sample count");
+  require(options_.batch_size >= 1, "BoEngine: batch_size must be >= 1");
 }
 
 std::vector<double> BoEngine::project(const std::vector<double>& full) const {
@@ -42,31 +43,78 @@ std::vector<double> BoEngine::expand(const std::vector<double>& sub) const {
 
 BoResult BoEngine::run(sparksim::SparkObjective& objective,
                        const std::vector<MemoizedConfig>& memoized,
-                       const BoObserver& observer, SessionLog* session) {
+                       const BoObserver& observer, SessionLog* session,
+                       exec::EvalScheduler* scheduler) {
   BoResult result;
   result.tuning.tuner = "ROBOTune";
   Rng rng(options_.seed);
   const std::size_t dims = selected_.size();
+  const bool indexed = scheduler != nullptr;
 
   tuners::GuardPolicy guard(options_.static_threshold_s,
                             options_.median_multiple);
 
   // Checkpoint/resume: journaled evaluations are replayed instead of
   // re-run — same bookkeeping (guard, incumbent, cost) via
-  // append_evaluation, and the objective's seed stream is fast-forwarded
-  // by the attempts each record consumed, so the live continuation after
-  // the journal is bit-identical to an uninterrupted session.
+  // append_evaluation.  In detached mode the objective's sequential seed
+  // stream is fast-forwarded by the attempts each record consumed; in
+  // scheduler mode there is nothing to fast-forward (streams are derived
+  // from the eval index), so replay just skips the index.  Either way the
+  // live continuation after the journal is bit-identical to an
+  // uninterrupted session.
   std::size_t replay_pos = 0;
-  // Length of the journal as loaded; records appended below (live
-  // evaluations) are new work, never replay candidates.
-  const std::size_t journaled =
-      session != nullptr ? session->state.evaluations.size() : 0;
-  const auto evaluate_point =
-      [&](const std::vector<double>& full) -> tuners::Evaluation {
-    if (replay_pos < journaled) {
-      const auto& rec = session->state.evaluations[replay_pos++];
-      objective.skip_seed_draws(
-          static_cast<std::uint64_t>(std::max(1, rec.attempts)));
+  std::size_t journaled = 0;
+  if (session != nullptr) {
+    // Parallel sessions journal in completion order; restore canonical
+    // order and drop anything stranded past a crash hole.
+    canonicalize_journal(session->state);
+    journaled = session->state.evaluations.size();
+    if (journaled > 0) {
+      require(session->state.indexed_seeding == indexed,
+              "BoEngine: checkpoint was journaled under a different "
+              "evaluation-seeding mode; resume with the scheduler "
+              "configuration (--parallel) that produced it");
+    } else {
+      session->state.indexed_seeding = indexed;
+    }
+  }
+
+  const auto record_of = [](const tuners::Evaluation& e,
+                            std::uint64_t index) {
+    EvalRecord rec;
+    rec.index = index;
+    rec.unit = e.unit;
+    rec.value_s = e.value_s;
+    rec.cost_s = e.cost_s;
+    rec.status = e.status;
+    rec.stopped_early = e.stopped_early;
+    rec.transient = e.transient;
+    rec.attempts = e.attempts;
+    return rec;
+  };
+
+  // Evaluates one round of full-space points under the current guard:
+  // the journaled prefix is replayed, the live remainder runs as one
+  // scheduler batch (or inline, detached).  Bookkeeping happens in
+  // canonical order; the returned evaluations are in point order.
+  const auto evaluate_points =
+      [&](const std::vector<std::vector<double>>& points)
+      -> std::vector<tuners::Evaluation> {
+    // Freeze the round's guard threshold before replaying its prefix, so
+    // a resume mid-round evaluates the live remainder under the same
+    // threshold the uninterrupted session used.
+    const double threshold = guard.current();
+    std::vector<tuners::Evaluation> evals;
+    evals.reserve(points.size());
+    while (evals.size() < points.size() && replay_pos < journaled) {
+      const auto& rec = session->state.evaluations[replay_pos];
+      require(rec.index == replay_pos,
+              "BoEngine: journal is not in canonical order");
+      ++replay_pos;
+      if (!indexed) {
+        objective.skip_seed_draws(
+            static_cast<std::uint64_t>(std::max(1, rec.attempts)));
+      }
       tuners::Evaluation e;
       e.unit = rec.unit;
       e.value_s = rec.value_s;
@@ -76,23 +124,47 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
       e.transient = rec.transient;
       e.attempts = rec.attempts;
       tuners::append_evaluation(e, guard, result.tuning);
-      return e;
+      evals.push_back(std::move(e));
     }
-    const auto e =
-        tuners::evaluate_into(objective, full, guard, result.tuning);
-    if (session != nullptr) {
-      EvalRecord rec;
-      rec.unit = e.unit;
-      rec.value_s = e.value_s;
-      rec.cost_s = e.cost_s;
-      rec.status = e.status;
-      rec.stopped_early = e.stopped_early;
-      rec.transient = e.transient;
-      rec.attempts = e.attempts;
-      session->state.evaluations.push_back(std::move(rec));
-      if (session->flush) session->flush(session->state);
+    const std::size_t live_begin = evals.size();
+    if (live_begin == points.size()) return evals;
+
+    if (scheduler != nullptr) {
+      const std::uint64_t first_index = result.tuning.history.size();
+      std::vector<exec::EvalRequest> requests;
+      requests.reserve(points.size() - live_begin);
+      for (std::size_t i = live_begin; i < points.size(); ++i) {
+        requests.push_back({points[i], threshold});
+      }
+      // Journal completions as they happen — possibly out of index
+      // order; canonicalize_journal restores replay order on resume.
+      const auto outcomes = scheduler->run_batch(
+          objective, requests, first_index,
+          [&](const exec::CompletedEval& done) {
+            if (session == nullptr) return;
+            session->state.evaluations.push_back(record_of(
+                tuners::to_evaluation(done.request->unit, *done.outcome),
+                done.eval_index));
+            if (session->flush) session->flush(session->state);
+          });
+      for (std::size_t i = live_begin; i < points.size(); ++i) {
+        evals.push_back(
+            tuners::to_evaluation(points[i], outcomes[i - live_begin]));
+        tuners::append_evaluation(evals.back(), guard, result.tuning);
+      }
+    } else {
+      for (std::size_t i = live_begin; i < points.size(); ++i) {
+        const auto e = tuners::evaluate_into(objective, points[i], guard,
+                                             result.tuning);
+        if (session != nullptr) {
+          session->state.evaluations.push_back(
+              record_of(e, result.tuning.history.size() - 1));
+          if (session->flush) session->flush(session->state);
+        }
+        evals.push_back(e);
+      }
     }
-    return e;
+    return evals;
   };
 
   // ---- Initial training set (§3.2): memoized best configs + LHS --------
@@ -126,14 +198,24 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
   // reflects cluster flakiness, not the configuration, and would poison
   // the GP's picture of the region.
   std::vector<std::pair<std::vector<double>, double>> censored_init;
-  for (const auto& sub : init_subs) {
-    const auto e = evaluate_point(expand(sub));
-    if (e.transient) {
-      censored_init.emplace_back(sub, observe(e.value_s));
-      continue;
+  const auto q_opt = static_cast<std::size_t>(std::max(1, options_.batch_size));
+  for (std::size_t begin = 0; begin < init_subs.size(); begin += q_opt) {
+    const std::size_t end = std::min(init_subs.size(), begin + q_opt);
+    std::vector<std::vector<double>> points;
+    points.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      points.push_back(expand(init_subs[i]));
     }
-    xs.push_back(sub);
-    ys.push_back(observe(e.value_s));
+    const auto evals = evaluate_points(points);
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& e = evals[i - begin];
+      if (e.transient) {
+        censored_init.emplace_back(init_subs[i], observe(e.value_s));
+        continue;
+      }
+      xs.push_back(init_subs[i]);
+      ys.push_back(observe(e.value_s));
+    }
   }
   // Safety valve: the GP needs observations to fit.  If flakes wiped out
   // (nearly) the whole initial design, fall back to the censored values —
@@ -156,13 +238,15 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
   int since_improvement = 0;
   bool model_fitted = false;
 
-  for (int iter = 0; iter < search_budget; ++iter) {
-    result.iterations_run = iter + 1;
+  for (int iter = 0; iter < search_budget;) {
+    const int q = std::min(static_cast<int>(q_opt), search_budget - iter);
 
     // (1) Train the GP on all priors.  Kernel hyperparameters are refit
-    // by marginal likelihood every `hyperfit_every` iterations (a full
+    // by marginal likelihood every `hyperfit_every` rounds (a full
     // O(n^3) factorization); in between, new observations were already
-    // folded in incrementally in O(n^2) via add_point below.
+    // folded in below — incrementally in O(n^2) via add_point when q = 1,
+    // via a fixed-hyperparameter refit when q > 1 (which must also purge
+    // the round's constant-liar fantasies).
     const bool refit =
         options_.hyperfit_every > 0 && (iter % options_.hyperfit_every) == 0;
     if (refit || !model_fitted) {
@@ -175,54 +259,102 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
       model_fitted = true;
     }
 
-    // (2) Hedge proposes the next configuration (or, in the single-
-    // acquisition ablation, the forced function does).
-    gp::GpHedge::Choice choice;
-    if (options_.force_acquisition) {
-      Rng acq_rng(options_.seed ^ (0x9e37ULL + static_cast<std::uint64_t>(iter)));
-      choice.chosen = *options_.force_acquisition;
-      choice.point = gp::optimize_acquisition(model, choice.chosen, dims,
-                                              acq_rng, options_.hedge.params,
-                                              options_.hedge.optimizer);
-      choice.nominees = {choice.point, choice.point, choice.point};
-    } else {
-      choice = hedge.propose(model);
+    // (2) Hedge proposes q configurations (or, in the single-acquisition
+    // ablation, the forced function does).  Between proposals the pending
+    // point is folded in as a constant-liar fantasy (CL-min): it pretends
+    // to have returned the best observation so far, collapsing the
+    // posterior variance around it so the next proposal explores
+    // elsewhere.  The fantasies depend only on the q proposals, never on
+    // evaluation scheduling, so the trajectory is worker-count-invariant.
+    std::vector<gp::GpHedge::Choice> choices;
+    choices.reserve(static_cast<std::size_t>(q));
+    for (int j = 0; j < q; ++j) {
+      gp::GpHedge::Choice choice;
+      if (options_.force_acquisition) {
+        Rng acq_rng(options_.seed ^
+                    (0x9e37ULL + static_cast<std::uint64_t>(iter + j)));
+        choice.chosen = *options_.force_acquisition;
+        choice.point = gp::optimize_acquisition(model, choice.chosen, dims,
+                                                acq_rng, options_.hedge.params,
+                                                options_.hedge.optimizer);
+        choice.nominees = {choice.point, choice.point, choice.point};
+      } else {
+        choice = hedge.propose(model);
+      }
+      result.chosen_acquisitions.push_back(choice.chosen);
+      if (j + 1 < q) {
+        const double lie =
+            ys.empty() ? 0.0 : *std::min_element(ys.begin(), ys.end());
+        model.add_point(choice.point, lie);
+      }
+      choices.push_back(std::move(choice));
     }
-    result.chosen_acquisitions.push_back(choice.chosen);
 
-    // (3) Evaluate it (or replay the journaled outcome on resume).
-    const auto e = evaluate_point(expand(choice.point));
+    // (3) Evaluate the batch (or replay journaled outcomes on resume).
+    std::vector<std::vector<double>> points;
+    points.reserve(static_cast<std::size_t>(q));
+    for (const auto& choice : choices) points.push_back(expand(choice.point));
+    const auto evals = evaluate_points(points);
 
-    // (4) Fold the observation into the model incrementally and update
-    // Hedge's cumulative gains under the refreshed posterior.  Transient
-    // failures are withheld from the model (see the init phase).
-    if (!e.transient) {
-      xs.push_back(choice.point);
-      ys.push_back(observe(e.value_s));
-      model.add_point(choice.point, ys.back());
+    // (4) Fold the real observations into the model and update Hedge's
+    // cumulative gains under the refreshed posterior.  Transient failures
+    // are withheld from the model (see the init phase).  With q = 1 the
+    // incremental add_point path is taken (no fantasy was planted);
+    // with q > 1 the model is rebuilt on real data only, evicting the
+    // round's fantasies without re-optimizing hyperparameters.
+    for (int j = 0; j < q; ++j) {
+      if (evals[static_cast<std::size_t>(j)].transient) continue;
+      xs.push_back(choices[static_cast<std::size_t>(j)].point);
+      ys.push_back(observe(evals[static_cast<std::size_t>(j)].value_s));
+      if (q == 1) model.add_point(xs.back(), ys.back());
     }
-    hedge.update_gains(model, choice);
+    if (q > 1) {
+      gp::GpOptions gp_options;
+      gp_options.optimize_hyperparameters = false;
+      model = gp::GaussianProcess(model.kernel().clone(), gp_options,
+                                  options_.seed ^
+                                      (0x51edULL +
+                                       static_cast<std::uint64_t>(iter)));
+      model.fit(xs, ys);
+      model_fitted = true;
+    }
+    for (int j = 0; j < q; ++j) {
+      hedge.update_gains(model, choices[static_cast<std::size_t>(j)]);
+    }
 
     if (observer) {
-      BoObserverInfo info;
-      info.iteration = iter;
-      info.gp = &model;
-      info.choice = &choice;
-      observer(info);
-    }
-
-    // Automated early stopping (§4), optional.
-    if (e.ok() && e.value_s < best_seen * (1.0 - options_.early_stop_epsilon)) {
-      best_seen = e.value_s;
-      since_improvement = 0;
-    } else {
-      ++since_improvement;
-      if (options_.early_stop_patience > 0 &&
-          since_improvement >= options_.early_stop_patience) {
-        result.early_stopped = true;
-        break;
+      for (int j = 0; j < q; ++j) {
+        BoObserverInfo info;
+        info.iteration = iter + j;
+        info.gp = &model;
+        info.choice = &choices[static_cast<std::size_t>(j)];
+        observer(info);
       }
     }
+
+    // Automated early stopping (§4), optional — checked per evaluation in
+    // canonical order, so a patience trip mid-batch truncates the session
+    // at the same iteration count regardless of q's remainder.
+    bool stop = false;
+    for (int j = 0; j < q; ++j) {
+      result.iterations_run = iter + j + 1;
+      const auto& e = evals[static_cast<std::size_t>(j)];
+      if (e.ok() &&
+          e.value_s < best_seen * (1.0 - options_.early_stop_epsilon)) {
+        best_seen = e.value_s;
+        since_improvement = 0;
+      } else {
+        ++since_improvement;
+        if (options_.early_stop_patience > 0 &&
+            since_improvement >= options_.early_stop_patience) {
+          result.early_stopped = true;
+          stop = true;
+          break;
+        }
+      }
+    }
+    if (stop) break;
+    iter += q;
   }
 
   const auto gains = hedge.gains();

@@ -15,6 +15,7 @@
 
 #include "core/memoization.h"
 #include "core/persistence.h"
+#include "exec/eval_scheduler.h"
 #include "gp/acquisition.h"
 #include "gp/gaussian_process.h"
 #include "sparksim/objective.h"
@@ -53,6 +54,14 @@ struct BoOptions {
   /// Ablation knob: draw the initial samples uniformly at random instead
   /// of via LHS (bench/abl_lhs_vs_random).
   bool lhs_initialization = true;
+  /// Batch width q of the BO loop: each round proposes q configurations
+  /// via constant-liar fantasies (CL-min: every pending point pretends to
+  /// have returned the best observation so far, pushing later proposals
+  /// away from it) and evaluates them as one group — concurrently when a
+  /// scheduler is attached.  q = 1 reproduces the sequential Algorithm 1
+  /// exactly.  The trajectory depends on q, never on how many workers
+  /// evaluate the batch.
+  int batch_size = 1;
   /// GP-Hedge portfolio configuration.
   gp::GpHedge::Options hedge;
   std::uint64_t seed = 2024;
@@ -77,10 +86,18 @@ using BoObserver = std::function<void(const BoObserverInfo&)>;
 ///
 /// On resume, pass the loaded checkpoint back in: the engine re-runs all
 /// of its (deterministic) modeling math but substitutes journaled
-/// outcomes for the first `state.evaluations.size()` cluster runs,
-/// fast-forwarding the objective's seed stream by each record's attempt
-/// count.  Once the journal is exhausted the session continues live,
-/// bit-identical to a never-interrupted run.
+/// outcomes for the first `state.evaluations.size()` cluster runs —
+/// fast-forwarding the objective's sequential seed stream by each
+/// record's attempt count (detached mode) or simply skipping the eval
+/// index (scheduler mode, where streams are index-derived).  Once the
+/// journal is exhausted the session continues live, bit-identical to a
+/// never-interrupted run.
+///
+/// Parallel sessions journal evaluations in *completion* order; the
+/// engine canonicalizes the journal (sort by eval index, truncate at the
+/// first gap) before replaying, so a crash mid-batch loses only the
+/// evaluations that had not finished plus any stranded past a hole.  A
+/// checkpoint resumes only under the seeding mode that produced it.
 struct SessionLog {
   SessionCheckpoint state;
   std::function<void(const SessionCheckpoint&)> flush;
@@ -101,14 +118,19 @@ class BoEngine {
   BoEngine(std::vector<std::size_t> selected, std::vector<double> base_unit,
            BoOptions options = {});
 
-  /// Runs Algorithm 1.  `memoized` seeds the initial set (pass {} for an
-  /// unseen workload).  `session`, when given, journals every completed
-  /// evaluation and replays a previously journaled prefix (see
-  /// SessionLog).
+  /// Runs Algorithm 1 (batched when options.batch_size > 1).  `memoized`
+  /// seeds the initial set (pass {} for an unseen workload).  `session`,
+  /// when given, journals every completed evaluation and replays a
+  /// previously journaled prefix (see SessionLog).  `scheduler`, when
+  /// given, dispatches every evaluation batch through it with per-eval
+  /// index-derived seed streams: results are then bit-identical for any
+  /// scheduler parallelism (but differ from detached-mode runs, whose
+  /// evaluations consume the objective's sequential stream).
   BoResult run(sparksim::SparkObjective& objective,
                const std::vector<MemoizedConfig>& memoized = {},
                const BoObserver& observer = nullptr,
-               SessionLog* session = nullptr);
+               SessionLog* session = nullptr,
+               exec::EvalScheduler* scheduler = nullptr);
 
   /// Projects a full-space unit vector onto the selected subspace.
   std::vector<double> project(const std::vector<double>& full) const;

@@ -1,5 +1,6 @@
 #include "core/persistence.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -10,7 +11,21 @@ namespace robotune::core {
 
 namespace {
 constexpr const char* kHeader = "robotune-state v1";
-constexpr const char* kSessionHeader = "robotune-session v1";
+constexpr const char* kSessionHeader = "robotune-session v2";
+constexpr const char* kSessionHeaderV1 = "robotune-session v1";
+}
+
+std::size_t canonicalize_journal(SessionCheckpoint& session) {
+  auto& evals = session.evaluations;
+  const std::size_t loaded = evals.size();
+  std::stable_sort(evals.begin(), evals.end(),
+                   [](const EvalRecord& a, const EvalRecord& b) {
+                     return a.index < b.index;
+                   });
+  std::size_t keep = 0;
+  while (keep < evals.size() && evals[keep].index == keep) ++keep;
+  evals.resize(keep);
+  return loaded - keep;
 }
 
 std::size_t save_state(const ParameterSelectionCache& selection,
@@ -97,6 +112,8 @@ std::size_t save_session(const SessionCheckpoint& session,
   out << kSessionHeader << "\n";
   out << "meta " << session.seed << " " << session.budget << " "
       << session.workload << "\n";
+  out << "seeding " << (session.indexed_seeding ? "indexed" : "sequential")
+      << "\n";
   out << "selected " << session.selected.size();
   for (std::size_t idx : session.selected) out << " " << idx;
   out << "\n";
@@ -108,9 +125,9 @@ std::size_t save_session(const SessionCheckpoint& session,
     out << "\n";
   }
   for (const auto& e : session.evaluations) {
-    out << "eval " << sparksim::to_string(e.status) << " " << e.value_s
-        << " " << e.cost_s << " " << (e.stopped_early ? 1 : 0) << " "
-        << (e.transient ? 1 : 0) << " " << e.attempts << " "
+    out << "eval " << e.index << " " << sparksim::to_string(e.status) << " "
+        << e.value_s << " " << e.cost_s << " " << (e.stopped_early ? 1 : 0)
+        << " " << (e.transient ? 1 : 0) << " " << e.attempts << " "
         << e.unit.size();
     for (double u : e.unit) out << " " << u;
     out << "\n";
@@ -122,7 +139,8 @@ std::size_t load_session(std::istream& in, SessionCheckpoint& session) {
   std::string line;
   require(static_cast<bool>(std::getline(in, line)),
           "load_session: empty stream");
-  require(line == kSessionHeader,
+  const bool v1 = line == kSessionHeaderV1;
+  require(v1 || line == kSessionHeader,
           "load_session: unrecognized header: " + line);
   session = SessionCheckpoint{};
   while (std::getline(in, line)) {
@@ -133,6 +151,12 @@ std::size_t load_session(std::istream& in, SessionCheckpoint& session) {
     if (kind == "meta") {
       row >> session.seed >> session.budget >> session.workload;
       require(!row.fail(), "load_session: malformed meta row");
+    } else if (kind == "seeding") {
+      std::string mode;
+      row >> mode;
+      require(!row.fail() && (mode == "sequential" || mode == "indexed"),
+              "load_session: malformed seeding row");
+      session.indexed_seeding = mode == "indexed";
     } else if (kind == "selected") {
       std::size_t count = 0;
       row >> count;
@@ -158,6 +182,12 @@ std::size_t load_session(std::istream& in, SessionCheckpoint& session) {
       std::string status_label;
       int stopped = 0, transient = 0;
       std::size_t dims = 0;
+      if (v1) {
+        // v1 journals are sequential by construction: index = position.
+        e.index = session.evaluations.size();
+      } else {
+        row >> e.index;
+      }
       row >> status_label >> e.value_s >> e.cost_s >> stopped >> transient >>
           e.attempts >> dims;
       e.unit.resize(dims);

@@ -17,15 +17,23 @@
 // replayed evaluations rebuild the guard, surrogate, and RNG state
 // deterministically instead of re-running the cluster.
 //
-// Checkpoint format:
-//   robotune-session v1
+// Checkpoint format (v2; v1 files — no eval index, no seeding line —
+// are still read, with indices assigned by file position):
+//   robotune-session v2
 //   meta <seed> <budget> <workload>
+//   seeding sequential|indexed
 //   selected <n> <idx...>
 //   selection-draws <n>
 //   selection-cost <seconds>
 //   memo <value_s> <dim> <unit...>
-//   eval <status> <value_s> <cost_s> <stopped> <transient> <attempts>
-//        <dim> <unit...>
+//   eval <index> <status> <value_s> <cost_s> <stopped> <transient>
+//        <attempts> <dim> <unit...>
+//
+// A parallel session journals evaluations in *completion* order, which
+// under concurrency is not index order and can have holes after a crash
+// (eval 7 finished, eval 6 was in flight).  canonicalize_journal sorts
+// the records into index order and truncates at the first gap, restoring
+// the contiguous prefix that replay needs.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +48,10 @@ namespace robotune::core {
 
 /// One journaled evaluation of a checkpointed session.
 struct EvalRecord {
+  /// Canonical (session-wide, 0-based) evaluation index.  Sequential
+  /// sessions journal in index order; parallel sessions journal in
+  /// completion order and rely on this field to replay canonically.
+  std::uint64_t index = 0;
   std::vector<double> unit;  ///< full-space unit vector evaluated
   double value_s = 0.0;
   double cost_s = 0.0;
@@ -47,7 +59,8 @@ struct EvalRecord {
   bool stopped_early = false;
   bool transient = false;
   /// Simulator attempts (= objective seed draws) the evaluation consumed;
-  /// resume fast-forwards the seed stream by this much per record.
+  /// sequential-seeding resume fast-forwards the seed stream by this much
+  /// per record (indexed-seeding sessions skip indices instead).
   int attempts = 1;
 };
 
@@ -66,8 +79,21 @@ struct SessionCheckpoint {
   /// Memoized configurations blended into the initial design; recorded so
   /// the resumed engine regenerates the same initial sample plan.
   std::vector<MemoizedConfig> memoized;
+  /// Evaluation seed-stream mode of the session.  false: evaluations
+  /// consumed the objective's sequential stream (detached mode); true:
+  /// each evaluation's stream was derived from (seed, eval_index)
+  /// (scheduler mode, any --parallel value).  A checkpoint only resumes
+  /// under the same mode — the continuation would silently diverge
+  /// otherwise.
+  bool indexed_seeding = false;
   std::vector<EvalRecord> evaluations;  ///< completed-evaluation journal
 };
+
+/// Restores canonical order after an out-of-order (parallel) journal:
+/// sorts records by eval index and truncates at the first gap or
+/// duplicate, leaving the longest replayable prefix 0,1,2,...  Returns
+/// the number of records dropped (0 for any sequential journal).
+std::size_t canonicalize_journal(SessionCheckpoint& session);
 
 /// Serializes both caches to a stream.  Returns the number of records.
 std::size_t save_state(const ParameterSelectionCache& selection,

@@ -14,13 +14,15 @@ RoboTune::RoboTune(RoboTuneOptions options) : options_(std::move(options)) {
 
 tuners::TuningResult RoboTune::tune(sparksim::SparkObjective& objective,
                                     int budget, std::uint64_t seed) {
-  return tune_report(objective, budget, seed).tuning;
+  return tune_report(objective, budget, seed, nullptr, nullptr, scheduler())
+      .tuning;
 }
 
 RoboTuneReport RoboTune::tune_report(sparksim::SparkObjective& objective,
                                      int budget, std::uint64_t seed,
                                      const BoObserver& observer,
-                                     SessionLog* session) {
+                                     SessionLog* session,
+                                     exec::EvalScheduler* scheduler) {
   RoboTuneReport report;
   const std::string workload_key =
       sparksim::to_string(objective.workload().kind);
@@ -91,6 +93,10 @@ RoboTuneReport RoboTune::tune_report(sparksim::SparkObjective& objective,
     session->state.selected = report.selected;
     session->state.selection_cost_s = report.selection_cost_s;
     session->state.memoized = memoized;
+    // Record the seeding mode with the very first flush, so resuming an
+    // early checkpoint under the wrong --parallel mode is refused rather
+    // than silently diverging.
+    session->state.indexed_seeding = scheduler != nullptr;
     if (session->flush) session->flush(session->state);
   }
 
@@ -99,7 +105,7 @@ RoboTuneReport RoboTune::tune_report(sparksim::SparkObjective& objective,
   bo.budget = budget;
   bo.seed = seed;
   BoEngine engine(report.selected, objective.space().default_unit(), bo);
-  report.bo = engine.run(objective, memoized, observer, session);
+  report.bo = engine.run(objective, memoized, observer, session, scheduler);
   report.tuning = report.bo.tuning;
   report.tuning.tuner = name();
 

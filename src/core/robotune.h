@@ -67,10 +67,16 @@ class RoboTune : public tuners::Tuner {
   /// loaded checkpoint) skips parameter selection and replays the journal
   /// so the continuation is identical to an uninterrupted run (the
   /// checkpoint's seed/budget/workload must match).
+  ///
+  /// `scheduler`, when given, runs the BO evaluation batches concurrently
+  /// with index-derived seed streams (see BoEngine::run); parameter
+  /// selection itself stays sequential.  A checkpoint resumes only under
+  /// the seeding mode (scheduler vs detached) that produced it.
   RoboTuneReport tune_report(sparksim::SparkObjective& objective, int budget,
                              std::uint64_t seed,
                              const BoObserver& observer = nullptr,
-                             SessionLog* session = nullptr);
+                             SessionLog* session = nullptr,
+                             exec::EvalScheduler* scheduler = nullptr);
 
   ParameterSelectionCache& selection_cache() { return selection_cache_; }
   ConfigMemoizationBuffer& memo_buffer() { return memo_buffer_; }

@@ -1,0 +1,102 @@
+#include "exec/eval_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/error.h"
+
+namespace robotune::exec {
+
+EvalScheduler::EvalScheduler(SchedulerOptions options) : options_(options) {
+  parallelism_ =
+      options_.parallelism > 0
+          ? options_.parallelism
+          : static_cast<int>(std::max<unsigned>(
+                1, std::thread::hardware_concurrency()));
+  if (options_.pool != nullptr) {
+    // An external pool caps concurrency at its own worker count.
+    parallelism_ =
+        std::min(parallelism_, static_cast<int>(options_.pool->size()));
+    parallelism_ = std::max(parallelism_, 1);
+  }
+}
+
+ThreadPool& EvalScheduler::pool() {
+  if (options_.pool != nullptr) return *options_.pool;
+  if (!owned_pool_) {
+    owned_pool_ = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(parallelism_));
+  }
+  return *owned_pool_;
+}
+
+std::vector<sparksim::EvalOutcome> EvalScheduler::run_batch(
+    sparksim::SparkObjective& objective,
+    const std::vector<EvalRequest>& requests,
+    std::uint64_t first_eval_index, const CompletionHook& on_complete) {
+  const std::size_t n = requests.size();
+  std::vector<sparksim::EvalOutcome> outcomes(n);
+  if (n == 0) return outcomes;
+
+  // Every evaluation runs on its own fork: private index-derived RNG
+  // stream, private counters.  The parent objective is read-only until
+  // the canonical-order merge below.
+  std::vector<sparksim::SparkObjective> forks;
+  forks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    forks.push_back(objective.fork_for_eval(first_eval_index + i));
+  }
+
+  const auto emulate_latency = [this](const sparksim::EvalOutcome& out) {
+    if (options_.emulate_latency_per_cost_s <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        out.cost_s * options_.emulate_latency_per_cost_s));
+  };
+
+  if (parallelism_ <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      outcomes[i] =
+          forks[i].evaluate(requests[i].unit, requests[i].stop_threshold_s);
+      emulate_latency(outcomes[i]);
+      if (on_complete) {
+        CompletedEval done;
+        done.eval_index = first_eval_index + i;
+        done.batch_slot = i;
+        done.request = &requests[i];
+        done.outcome = &outcomes[i];
+        on_complete(done);
+      }
+    }
+  } else {
+    std::mutex hook_mutex;
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      tasks.emplace_back([&, i]() {
+        outcomes[i] = forks[i].evaluate(requests[i].unit,
+                                        requests[i].stop_threshold_s);
+        emulate_latency(outcomes[i]);
+        if (on_complete) {
+          std::scoped_lock lock(hook_mutex);
+          CompletedEval done;
+          done.eval_index = first_eval_index + i;
+          done.batch_slot = i;
+          done.request = &requests[i];
+          done.outcome = &outcomes[i];
+          on_complete(done);
+        }
+      });
+    }
+    auto futures = pool().submit_batch(std::move(tasks));
+    ThreadPool::wait_all(futures);
+  }
+
+  // Canonical-order counter merge: evaluations()/total_cost_s() advance
+  // as if the batch had run sequentially.
+  for (const auto& fork : forks) objective.merge_fork(fork);
+  return outcomes;
+}
+
+}  // namespace robotune::exec

@@ -4,6 +4,26 @@
 
 namespace robotune::sparksim {
 
+std::uint64_t derive_eval_seed(std::uint64_t session_seed,
+                               std::uint64_t eval_index) noexcept {
+  // Mix the index in with a golden-ratio multiply before the SplitMix64
+  // finalizer; the extra next() whitens low-entropy (seed, index) pairs.
+  SplitMix64 mix(session_seed ^
+                 ((eval_index + 1) * 0x9e3779b97f4a7c15ULL));
+  mix.next();
+  return mix.next();
+}
+
+SparkObjective SparkObjective::fork_for_eval(
+    std::uint64_t eval_index) const {
+  SparkObjective fork(cluster_, workload_, space_,
+                      derive_eval_seed(initial_seed_, eval_index),
+                      time_cap_s_, run_noise_sigma_, metric_);
+  fork.fault_profile_ = fault_profile_;
+  fork.retry_policy_ = retry_policy_;
+  return fork;
+}
+
 SparkObjective::SparkObjective(ClusterSpec cluster, WorkloadSpec workload,
                                ConfigSpace space, std::uint64_t seed,
                                double time_cap_s, double run_noise_sigma,

@@ -30,6 +30,14 @@
 
 namespace robotune::sparksim {
 
+/// Derives the private run-seed-stream seed of evaluation `eval_index`
+/// in a session whose objective was constructed with `session_seed`.
+/// The mixing differs from the objective's sequential stream (a plain
+/// SplitMix64 expansion of the seed), so index-derived streams and the
+/// sequential stream are statistically independent.
+std::uint64_t derive_eval_seed(std::uint64_t session_seed,
+                               std::uint64_t eval_index) noexcept;
+
 /// What the tuner minimizes (paper §5.1 "Objective": execution time; the
 /// conclusion notes other metrics drop in by replacing the objective).
 enum class ObjectiveMetric {
@@ -130,11 +138,39 @@ class SparkObjective {
   /// cost counters AND the internal per-run seed stream.  A reset
   /// objective therefore produces the exact evaluation sequence of a
   /// freshly constructed one with the same seed.
+  ///
+  /// Interaction with fork_for_eval: forked evaluation streams are
+  /// derived from (initial_seed, eval_index), never from the sequential
+  /// stream or the counters, so reset_counters() does not change what a
+  /// fork at a given index evaluates.  What it does reset is the counter
+  /// baseline that merge_fork folds into — callers running a scheduler
+  /// session must reset (or not) *before* the first batch, not mid-
+  /// session, or the merged totals lose the pre-reset evaluations.
   void reset_counters() {
     evaluations_ = 0;
     total_cost_s_ = 0.0;
     seed_draws_ = 0;
     seed_stream_.reseed(initial_seed_);
+  }
+
+  /// Clones the objective for one scheduler-dispatched evaluation: same
+  /// cluster/workload/space/cap/noise/faults/retries, but a private run-
+  /// seed stream derived from (initial_seed, eval_index) and zeroed
+  /// counters.  Forked evaluations are therefore bit-identical for a
+  /// given index regardless of worker count or completion order, and two
+  /// forks never share writable state (each owns its RNG and counters).
+  SparkObjective fork_for_eval(std::uint64_t eval_index) const;
+
+  /// Folds a completed fork's counters back into this objective.  The
+  /// scheduler calls this in canonical (eval-index) order after a batch
+  /// completes, so evaluations()/total_cost_s() are deterministic even
+  /// though the forks ran concurrently.  The sequential seed stream and
+  /// seed_draws() are untouched: forks never consume it (their streams
+  /// are index-derived), and checkpoint resume of scheduler sessions
+  /// skips eval *indices*, not seed draws.
+  void merge_fork(const SparkObjective& fork) {
+    evaluations_ += fork.evaluations_;
+    total_cost_s_ += fork.total_cost_s_;
   }
 
  private:

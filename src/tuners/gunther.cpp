@@ -22,14 +22,33 @@ TuningResult Gunther::tune(sparksim::SparkObjective& objective, int budget,
   const std::size_t dims = objective.space().size();
   GuardPolicy guard(options_.static_threshold_s, /*median_multiple=*/0.0);
 
-  auto evaluate = [&](Individual& ind) {
-    const auto e = evaluate_into(objective, ind.genes, guard, result);
-    // Failed configurations get the penalty value so selection avoids
-    // them.  Transient failures carry a censored value that says nothing
-    // about the genes, so they rank last instead of mid-population — the
-    // GA never breeds from an observation that was pure cluster flake.
-    ind.fitness = e.transient ? std::numeric_limits<double>::infinity()
-                              : e.value_s;
+  // Evaluates a whole group of individuals — the initial population or
+  // one generation's offspring.  In scheduler mode the group is one
+  // concurrent batch (per-generation parallelism; genes were all drawn
+  // before any evaluation, so the RNG stream is identical either way).
+  // Failed configurations get the penalty value so selection avoids
+  // them.  Transient failures carry a censored value that says nothing
+  // about the genes, so they rank last instead of mid-population — the
+  // GA never breeds from an observation that was pure cluster flake.
+  auto evaluate_group = [&](std::vector<Individual>& group) {
+    if (scheduler() != nullptr) {
+      std::vector<std::vector<double>> units;
+      units.reserve(group.size());
+      for (const auto& ind : group) units.push_back(ind.genes);
+      const auto evals =
+          evaluate_batch_into(*scheduler(), objective, units, guard, result);
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        group[i].fitness = evals[i].transient
+                               ? std::numeric_limits<double>::infinity()
+                               : evals[i].value_s;
+      }
+      return;
+    }
+    for (auto& ind : group) {
+      const auto e = evaluate_into(objective, ind.genes, guard, result);
+      ind.fitness = e.transient ? std::numeric_limits<double>::infinity()
+                                : e.value_s;
+    }
   };
 
   // --- Initial population (random, sized by parameter count) -------------
@@ -40,16 +59,18 @@ TuningResult Gunther::tune(sparksim::SparkObjective& objective, int budget,
       static_cast<int>(budget * options_.max_initial_budget_fraction));
   init_size = std::max(init_size, std::min(budget, 4));
 
-  std::vector<Individual> population;
-  population.reserve(static_cast<std::size_t>(init_size));
   int remaining = budget;
-  for (int i = 0; i < init_size && remaining > 0; ++i, --remaining) {
+  std::vector<Individual> population;
+  const int init_count = std::min(init_size, remaining);
+  population.reserve(static_cast<std::size_t>(init_count));
+  for (int i = 0; i < init_count; ++i) {
     Individual ind;
     ind.genes.resize(dims);
     for (auto& g : ind.genes) g = rng.uniform();
-    evaluate(ind);
     population.push_back(std::move(ind));
   }
+  evaluate_group(population);
+  remaining -= init_count;
 
   // --- Generations: aggressive selection, crossover, mutation -------------
   while (remaining > 0) {
@@ -83,11 +104,10 @@ TuningResult Gunther::tune(sparksim::SparkObjective& objective, int budget,
           }
         }
       }
-      evaluate(child);
-      --remaining;
       offspring.push_back(std::move(child));
-      if (remaining <= 0) break;
     }
+    evaluate_group(offspring);
+    remaining -= gen;
     population.insert(population.end(),
                       std::make_move_iterator(offspring.begin()),
                       std::make_move_iterator(offspring.end()));

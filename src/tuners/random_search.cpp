@@ -12,6 +12,20 @@ TuningResult RandomSearch::tune(sparksim::SparkObjective& objective,
   // censored flake values never enter the guard median, and RS keeps no
   // model state that a flake could poison.
   GuardPolicy guard(static_threshold_s_, /*median_multiple=*/0.0);
+  if (scheduler() != nullptr) {
+    // Scheduler mode: RS has no sequential dependence at all (static
+    // threshold, no model), so the whole budget is one batch.  The unit
+    // vectors are drawn up front in the same RNG order as the sequential
+    // loop below.
+    std::vector<std::vector<double>> units(
+        static_cast<std::size_t>(std::max(0, budget)));
+    for (auto& unit : units) {
+      unit.resize(dims);
+      for (auto& u : unit) u = rng.uniform();
+    }
+    evaluate_batch_into(*scheduler(), objective, units, guard, result);
+    return result;
+  }
   std::vector<double> unit(dims);
   for (int i = 0; i < budget; ++i) {
     for (auto& u : unit) u = rng.uniform();

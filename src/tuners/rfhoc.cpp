@@ -32,14 +32,25 @@ TuningResult Rfhoc::tune(sparksim::SparkObjective& objective, int budget,
   const auto design = sampling::latin_hypercube(
       static_cast<std::size_t>(train_count), dims, rng);
   ml::Dataset data(dims);
-  for (const auto& unit : design) {
-    const auto e = evaluate_into(objective, unit, guard, result);
-    // Transient failures are excluded from the training set: their
-    // censored value reflects cluster flakiness, not the configuration,
-    // and would teach the forest that a random region is slow.
-    if (e.transient) continue;
-    // Model log(time): same rationale as the BO engine.
-    data.add_row(unit, std::log(std::max(1e-6, e.value_s)));
+  // Transient failures are excluded from the training set: their
+  // censored value reflects cluster flakiness, not the configuration,
+  // and would teach the forest that a random region is slow.
+  // Model log(time): same rationale as the BO engine.
+  if (scheduler() != nullptr) {
+    // Sample collection is RFHOC's embarrassingly parallel phase: the
+    // whole LHS design evaluates as one batch.
+    const auto evals =
+        evaluate_batch_into(*scheduler(), objective, design, guard, result);
+    for (std::size_t i = 0; i < design.size(); ++i) {
+      if (evals[i].transient) continue;
+      data.add_row(design[i], std::log(std::max(1e-6, evals[i].value_s)));
+    }
+  } else {
+    for (const auto& unit : design) {
+      const auto e = evaluate_into(objective, unit, guard, result);
+      if (e.transient) continue;
+      data.add_row(unit, std::log(std::max(1e-6, e.value_s)));
+    }
   }
   if (train_count >= budget) return result;
 
@@ -83,6 +94,17 @@ TuningResult Rfhoc::tune(sparksim::SparkObjective& objective, int budget,
             });
 
   // ---- Phase 3: validate the model's favourites on the cluster -----------
+  // Validation stays sequential (the near-duplicate filter depends on
+  // what was already validated); in scheduler mode each evaluation is a
+  // single-eval batch so its seed stream stays index-derived and the
+  // session remains bit-identical at any parallelism.
+  const auto validate_one = [&](const std::vector<double>& unit) {
+    if (scheduler() != nullptr) {
+      evaluate_batch_into(*scheduler(), objective, {unit}, guard, result);
+    } else {
+      evaluate_into(objective, unit, guard, result);
+    }
+  };
   const int validation_budget = budget - train_count;
   int validated = 0;
   for (const auto& ind : population) {
@@ -103,14 +125,14 @@ TuningResult Rfhoc::tune(sparksim::SparkObjective& objective, int budget,
       }
     }
     if (duplicate) continue;
-    evaluate_into(objective, ind.genes, guard, result);
+    validate_one(ind.genes);
     ++validated;
   }
   // If dedup starved the validation phase, fill with fresh random probes.
   while (static_cast<int>(result.history.size()) < budget) {
     std::vector<double> unit(dims);
     for (auto& u : unit) u = rng.uniform();
-    evaluate_into(objective, unit, guard, result);
+    validate_one(unit);
   }
   return result;
 }

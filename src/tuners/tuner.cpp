@@ -77,10 +77,8 @@ void append_evaluation(const Evaluation& e, GuardPolicy& guard,
   }
 }
 
-Evaluation evaluate_into(sparksim::SparkObjective& objective,
-                         const std::vector<double>& unit, GuardPolicy& guard,
-                         TuningResult& result) {
-  const auto outcome = objective.evaluate(unit, guard.current());
+Evaluation to_evaluation(const std::vector<double>& unit,
+                         const sparksim::EvalOutcome& outcome) {
   Evaluation e;
   e.unit = unit;
   e.value_s = outcome.value_s;
@@ -89,8 +87,40 @@ Evaluation evaluate_into(sparksim::SparkObjective& objective,
   e.stopped_early = outcome.stopped_early;
   e.attempts = outcome.attempts;
   e.transient = outcome.transient;
+  return e;
+}
+
+Evaluation evaluate_into(sparksim::SparkObjective& objective,
+                         const std::vector<double>& unit, GuardPolicy& guard,
+                         TuningResult& result) {
+  const auto outcome = objective.evaluate(unit, guard.current());
+  const auto e = to_evaluation(unit, outcome);
   append_evaluation(e, guard, result);
   return e;
+}
+
+std::vector<Evaluation> evaluate_batch_into(
+    exec::EvalScheduler& scheduler, sparksim::SparkObjective& objective,
+    const std::vector<std::vector<double>>& units, GuardPolicy& guard,
+    TuningResult& result) {
+  // Freeze the guard threshold for the whole round: every evaluation of
+  // a batch sees the guard state from before the batch, which is what
+  // keeps outcomes independent of completion order.
+  const double threshold = guard.current();
+  std::vector<exec::EvalRequest> requests;
+  requests.reserve(units.size());
+  for (const auto& unit : units) {
+    requests.push_back({unit, threshold});
+  }
+  const auto outcomes = scheduler.run_batch(objective, requests,
+                                            result.history.size());
+  std::vector<Evaluation> evals;
+  evals.reserve(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    evals.push_back(to_evaluation(units[i], outcomes[i]));
+    append_evaluation(evals.back(), guard, result);
+  }
+  return evals;
 }
 
 }  // namespace robotune::tuners

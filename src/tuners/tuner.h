@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/statistics.h"
+#include "exec/eval_scheduler.h"
 #include "sparksim/objective.h"
 
 namespace robotune::tuners {
@@ -97,6 +98,21 @@ class Tuner {
   /// Runs a tuning session with a budget of `budget` evaluations.
   virtual TuningResult tune(sparksim::SparkObjective& objective, int budget,
                             std::uint64_t seed) = 0;
+
+  /// Attaches a batch-evaluation scheduler: subsequent tune() calls
+  /// dispatch whole rounds (GA generations, DDS sample sets, BO batches)
+  /// through it, with evaluation seeds derived per eval index so results
+  /// are bit-identical for any scheduler parallelism (see
+  /// exec/eval_scheduler.h).  Scheduler-mode trajectories differ from
+  /// detached-mode ones — the seed streams and per-round guard semantics
+  /// differ — so compare like with like.  Detach with nullptr.
+  void set_scheduler(exec::EvalScheduler* scheduler) noexcept {
+    scheduler_ = scheduler;
+  }
+  exec::EvalScheduler* scheduler() const noexcept { return scheduler_; }
+
+ private:
+  exec::EvalScheduler* scheduler_ = nullptr;
 };
 
 /// Helper shared by tuner implementations: evaluate a unit vector under
@@ -111,5 +127,19 @@ Evaluation evaluate_into(sparksim::SparkObjective& objective,
 /// rebuilds byte-identical tuner state.
 void append_evaluation(const Evaluation& e, GuardPolicy& guard,
                        TuningResult& result);
+
+/// Converts a scheduler outcome into the tuner-facing Evaluation record.
+Evaluation to_evaluation(const std::vector<double>& unit,
+                         const sparksim::EvalOutcome& outcome);
+
+/// Batch counterpart of evaluate_into: evaluates `units` as one scheduler
+/// batch (guard threshold frozen at submission, canonical eval indices
+/// starting at result.history.size()) and appends the outcomes — guard
+/// running-median updates included — in eval-index order.  Returns the
+/// evaluations in unit order.
+std::vector<Evaluation> evaluate_batch_into(
+    exec::EvalScheduler& scheduler, sparksim::SparkObjective& objective,
+    const std::vector<std::vector<double>>& units, GuardPolicy& guard,
+    TuningResult& result);
 
 }  // namespace robotune::tuners

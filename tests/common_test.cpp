@@ -289,6 +289,88 @@ TEST(ThreadPoolTest, ExceptionsPropagateFromSubmit) {
   EXPECT_THROW(fut.get(), std::runtime_error);
 }
 
+TEST(ThreadPoolTest, SubmitBatchReturnsFuturesInTaskOrder) {
+  ThreadPool pool(4);
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 32; ++i) {
+    tasks.emplace_back([i] { return i * i; });
+  }
+  auto futures = pool.submit_batch(std::move(tasks));
+  ASSERT_EQ(futures.size(), 32u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, WaitAllRethrowsFirstExceptionByFutureOrder) {
+  ThreadPool pool(4);
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.emplace_back([i]() -> int {
+      // Both 2 and 5 fail; 2 must win regardless of completion timing.
+      if (i == 5) throw std::runtime_error("task 5");
+      if (i == 2) throw std::invalid_argument("task 2");
+      return i;
+    });
+  }
+  auto futures = pool.submit_batch(std::move(tasks));
+  EXPECT_THROW(ThreadPool::wait_all(futures), std::invalid_argument);
+  // wait_all drained every future, including the losing exception's.
+  for (auto& f : futures) EXPECT_FALSE(f.valid());
+}
+
+TEST(ThreadPoolTest, WaitAllDrainsAllTasksDespiteEarlyException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([] { throw std::runtime_error("first"); });
+  for (int i = 0; i < 16; ++i) {
+    tasks.emplace_back([&completed] { completed++; });
+  }
+  auto futures = pool.submit_batch(std::move(tasks));
+  EXPECT_THROW(ThreadPool::wait_all(futures), std::runtime_error);
+  EXPECT_EQ(completed.load(), 16);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(16,
+                                 [](std::size_t i) {
+                                   if (i == 7) {
+                                     throw std::runtime_error("body");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> completed{0};
+  std::vector<std::future<void>> futures;
+  {
+    // One worker + many slow-ish tasks: most are still queued when the
+    // pool goes out of scope.  The destructor must run them all.
+    ThreadPool pool(1);
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 64; ++i) {
+      tasks.emplace_back([&completed] { completed++; });
+    }
+    futures = pool.submit_batch(std::move(tasks));
+  }
+  EXPECT_EQ(completed.load(), 64);
+  for (auto& f : futures) {
+    EXPECT_NO_THROW(f.get());  // ready, not broken_promise
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingExceptionalTasks) {
+  std::future<void> fut;
+  {
+    ThreadPool pool(1);
+    fut = pool.submit([] { throw std::runtime_error("queued"); });
+  }
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
 TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
   EXPECT_GE(ThreadPool::global().size(), 1u);

@@ -1,0 +1,249 @@
+// Tier-1 determinism suite for the parallel batch-evaluation subsystem:
+// every tuner driven through an EvalScheduler must produce bit-identical
+// results at any worker count (1, 4, hardware_concurrency), with and
+// without fault injection, and across checkpoint kill/resume — including
+// journals written in out-of-order completion order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/persistence.h"
+#include "core/robotune.h"
+#include "exec/eval_scheduler.h"
+#include "sparksim/objective.h"
+#include "tuners/bestconfig.h"
+#include "tuners/gunther.h"
+#include "tuners/random_search.h"
+#include "tuners/rfhoc.h"
+
+namespace robotune {
+namespace {
+
+constexpr int kBudget = 20;
+constexpr std::uint64_t kSeed = 5;
+
+sparksim::SparkObjective make_objective(bool with_faults,
+                                        std::uint64_t seed = 13) {
+  sparksim::SparkObjective objective(
+      sparksim::ClusterSpec{},
+      sparksim::make_workload(sparksim::WorkloadKind::kTeraSort, 1),
+      sparksim::spark24_config_space(), seed);
+  if (with_faults) {
+    sparksim::FaultProfile faults;
+    EXPECT_TRUE(sparksim::FaultProfile::from_preset("moderate", faults));
+    objective.set_fault_profile(faults);
+    sparksim::RetryPolicy retry;
+    retry.max_retries = 2;
+    objective.set_retry_policy(retry);
+  }
+  return objective;
+}
+
+core::RoboTuneOptions fast_robotune(int batch_size = 1) {
+  core::RoboTuneOptions options;
+  options.selection.generic_samples = 50;
+  options.selection.forest_trees = 60;
+  options.selection.permutation_repeats = 2;
+  options.bo.initial_samples = 10;
+  options.bo.hyperfit_every = 10;
+  options.bo.batch_size = batch_size;
+  return options;
+}
+
+std::unique_ptr<tuners::Tuner> make_tuner(const std::string& name) {
+  if (name == "ROBOTune") {
+    return std::make_unique<core::RoboTune>(fast_robotune());
+  }
+  if (name == "BestConfig") return std::make_unique<tuners::BestConfig>();
+  if (name == "Gunther") return std::make_unique<tuners::Gunther>();
+  if (name == "RFHOC") return std::make_unique<tuners::Rfhoc>();
+  return std::make_unique<tuners::RandomSearch>();
+}
+
+tuners::TuningResult run_tuner(const std::string& name, int parallelism,
+                               bool with_faults) {
+  auto objective = make_objective(with_faults);
+  auto tuner = make_tuner(name);
+  exec::SchedulerOptions options;
+  options.parallelism = parallelism;
+  exec::EvalScheduler scheduler(options);
+  tuner->set_scheduler(&scheduler);
+  return tuner->tune(objective, kBudget, kSeed);
+}
+
+void expect_results_equal(const tuners::TuningResult& a,
+                          const tuners::TuningResult& b) {
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].unit, b.history[i].unit) << "evaluation " << i;
+    EXPECT_EQ(a.history[i].value_s, b.history[i].value_s) << i;
+    EXPECT_EQ(a.history[i].cost_s, b.history[i].cost_s) << i;
+    EXPECT_EQ(a.history[i].status, b.history[i].status) << i;
+    EXPECT_EQ(a.history[i].stopped_early, b.history[i].stopped_early) << i;
+    EXPECT_EQ(a.history[i].transient, b.history[i].transient) << i;
+    EXPECT_EQ(a.history[i].attempts, b.history[i].attempts) << i;
+  }
+  EXPECT_EQ(a.best_index, b.best_index);
+  EXPECT_DOUBLE_EQ(a.search_cost_s, b.search_cost_s);
+}
+
+const std::vector<std::string>& tuner_names() {
+  static const std::vector<std::string> names = {
+      "ROBOTune", "BestConfig", "Gunther", "RS", "RFHOC"};
+  return names;
+}
+
+// ------------------------------------------- worker-count invariance ----
+
+TEST(ParallelDeterminismTest, EveryTunerBitIdenticalAcrossWorkerCounts) {
+  for (const auto& name : tuner_names()) {
+    const auto serial = run_tuner(name, 1, /*with_faults=*/false);
+    ASSERT_EQ(serial.history.size(), static_cast<std::size_t>(kBudget))
+        << name;
+    for (int parallelism : {4, 0}) {  // 0 = hardware_concurrency
+      const auto parallel = run_tuner(name, parallelism, false);
+      SCOPED_TRACE(name + " @ parallelism " + std::to_string(parallelism));
+      expect_results_equal(serial, parallel);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, EveryTunerBitIdenticalUnderFaultInjection) {
+  for (const auto& name : tuner_names()) {
+    const auto serial = run_tuner(name, 1, /*with_faults=*/true);
+    for (int parallelism : {4, 0}) {
+      const auto parallel = run_tuner(name, parallelism, true);
+      SCOPED_TRACE(name + " @ parallelism " + std::to_string(parallelism));
+      expect_results_equal(serial, parallel);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, BatchBoTrajectoryIndependentOfWorkers) {
+  std::vector<tuners::TuningResult> results;
+  for (int parallelism : {1, 4, 0}) {
+    auto objective = make_objective(false);
+    core::RoboTune tuner(fast_robotune(/*batch_size=*/4));
+    exec::SchedulerOptions options;
+    options.parallelism = parallelism;
+    exec::EvalScheduler scheduler(options);
+    const auto report = tuner.tune_report(objective, kBudget, kSeed, nullptr,
+                                          nullptr, &scheduler);
+    results.push_back(report.tuning);
+  }
+  expect_results_equal(results[0], results[1]);
+  expect_results_equal(results[0], results[2]);
+}
+
+// --------------------------------------------------- checkpoint/resume ----
+
+core::RoboTuneReport run_session(core::SessionLog* session, int parallelism,
+                                 bool with_faults, int batch_size = 2) {
+  auto objective = make_objective(with_faults);
+  core::RoboTune tuner(fast_robotune(batch_size));
+  exec::SchedulerOptions options;
+  options.parallelism = parallelism;
+  exec::EvalScheduler scheduler(options);
+  return tuner.tune_report(objective, kBudget, kSeed, nullptr, session,
+                           &scheduler);
+}
+
+TEST(ParallelDeterminismTest, SchedulerSessionResumesIdentically) {
+  for (const bool with_faults : {false, true}) {
+    core::SessionLog full;
+    const auto uninterrupted = run_session(&full, 4, with_faults);
+    ASSERT_EQ(full.state.evaluations.size(),
+              static_cast<std::size_t>(kBudget));
+    EXPECT_TRUE(full.state.indexed_seeding);
+
+    // Resume from several interruption points, at a different worker
+    // count than the original session, with the kept journal shuffled
+    // into an arbitrary completion order (what a crash mid-batch leaves).
+    for (std::size_t kept : {0u, 6u, 13u}) {
+      core::SessionLog resumed;
+      resumed.state = full.state;
+      resumed.state.evaluations.resize(kept);
+      Rng rng(kept + 1);
+      for (std::size_t i = kept; i > 1; --i) {
+        std::swap(resumed.state.evaluations[i - 1],
+                  resumed.state.evaluations[rng.uniform_index(i)]);
+      }
+      const auto continued = run_session(&resumed, 7, with_faults);
+      SCOPED_TRACE("faults=" + std::to_string(with_faults) +
+                   " kept=" + std::to_string(kept));
+      expect_results_equal(uninterrupted.tuning, continued.tuning);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, JournalWithHoleReplaysLongestPrefix) {
+  core::SessionLog full;
+  const auto uninterrupted = run_session(&full, 4, false);
+
+  // Drop eval 5: a crash while 5 was in flight but 6..9 had finished.
+  core::SessionLog holed;
+  holed.state = full.state;
+  holed.state.evaluations.resize(10);
+  holed.state.evaluations.erase(holed.state.evaluations.begin() + 5);
+  const auto continued = run_session(&holed, 3, false);
+  expect_results_equal(uninterrupted.tuning, continued.tuning);
+}
+
+TEST(ParallelDeterminismTest, CrossModeResumeIsRefused) {
+  // Journal written by a scheduler (indexed) session...
+  core::SessionLog indexed;
+  run_session(&indexed, 2, false);
+  {
+    core::SessionLog resumed;
+    resumed.state = indexed.state;
+    resumed.state.evaluations.resize(8);
+    auto objective = make_objective(false);
+    core::RoboTune tuner(fast_robotune());
+    // ...must not resume detached (sequential seed streams).
+    EXPECT_THROW(
+        tuner.tune_report(objective, kBudget, kSeed, nullptr, &resumed),
+        InvalidArgument);
+  }
+
+  // And a detached journal must not resume under a scheduler.
+  core::SessionLog sequential;
+  {
+    auto objective = make_objective(false);
+    core::RoboTune tuner(fast_robotune());
+    tuner.tune_report(objective, kBudget, kSeed, nullptr, &sequential);
+    EXPECT_FALSE(sequential.state.indexed_seeding);
+  }
+  {
+    core::SessionLog resumed;
+    resumed.state = sequential.state;
+    resumed.state.evaluations.resize(8);
+    EXPECT_THROW(run_session(&resumed, 2, false), InvalidArgument);
+  }
+}
+
+TEST(ParallelDeterminismTest, SchedulerJournalRoundTripsThroughDisk) {
+  const std::string path = "/tmp/robotune_parallel_determinism.journal";
+  std::remove(path.c_str());
+  core::SessionLog full;
+  const auto uninterrupted = run_session(&full, 4, true);
+
+  core::SessionCheckpoint cut = full.state;
+  cut.evaluations.resize(11);
+  ASSERT_TRUE(core::save_session_file(cut, path));
+  core::SessionLog resumed;
+  ASSERT_TRUE(core::load_session_file(path, resumed.state));
+  EXPECT_TRUE(resumed.state.indexed_seeding);
+  EXPECT_EQ(resumed.state.evaluations.size(), 11u);
+  const auto continued = run_session(&resumed, 5, true);
+  expect_results_equal(uninterrupted.tuning, continued.tuning);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace robotune
