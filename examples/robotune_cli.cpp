@@ -18,6 +18,9 @@
 #include "core/persistence.h"
 #include "core/robotune.h"
 #include "exec/eval_scheduler.h"
+#include "obs/metrics.h"
+#include "obs/summary.h"
+#include "obs/trace.h"
 #include "sparksim/objective.h"
 #include "tuners/bestconfig.h"
 #include "tuners/gunther.h"
@@ -46,6 +49,11 @@ struct CliOptions {
   int parallel = 0;
   /// BO batch width q (robotune only; changes the trajectory).
   int batch = 1;
+  /// Observability: span timeline and metrics exports (0-cost to
+  /// results — the determinism test pins byte-identical output).
+  std::string trace_path;
+  obs::TraceFormat trace_format = obs::TraceFormat::kJsonl;
+  std::string metrics_path;
 };
 
 void usage(const char* argv0) {
@@ -70,6 +78,10 @@ void usage(const char* argv0) {
       "                              (default 0 = legacy sequential mode)\n"
       "  --batch q                   BO proposals per round via constant-\n"
       "                              liar fantasies (robotune; default 1)\n"
+      "  --trace PATH                export the span timeline to PATH\n"
+      "  --trace-format jsonl|chrome trace format (default jsonl; chrome\n"
+      "                              loads in Perfetto / chrome://tracing)\n"
+      "  --metrics PATH              export session metrics as JSON\n"
       "  --quiet                     only print the summary line\n",
       argv0);
 }
@@ -168,6 +180,19 @@ bool parse(int argc, char** argv, CliOptions& options) {
       if (!v) return false;
       options.batch = std::atoi(v);
       if (options.batch < 1) return false;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return false;
+      options.trace_path = v;
+    } else if (arg == "--trace-format") {
+      const char* v = next();
+      if (!v || !obs::parse_trace_format(v, options.trace_format)) {
+        return false;
+      }
+    } else if (arg == "--metrics") {
+      const char* v = next();
+      if (!v) return false;
+      options.metrics_path = v;
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else {
@@ -220,6 +245,16 @@ int main(int argc, char** argv) {
     sparksim::RetryPolicy retry;
     retry.max_retries = std::max(0, options.retries);
     objective.set_retry_policy(retry);
+  }
+
+  // Tracing costs one relaxed atomic load per span unless requested.
+  const bool observing =
+      !options.trace_path.empty() || !options.metrics_path.empty();
+  if (!options.trace_path.empty()) obs::tracer().set_enabled(true);
+  if (observing && !obs::kCompiledIn && !options.quiet) {
+    std::printf(
+        "note: built with ROBOTUNE_OBS=OFF — trace/metrics output will "
+        "be empty\n");
   }
 
   // --parallel N attaches the batch-evaluation scheduler: evaluations run
@@ -307,6 +342,28 @@ int main(int argc, char** argv) {
     }
     tuner->set_scheduler(scheduler.get());
     result = tuner->tune(objective, options.budget, options.seed);
+  }
+
+  // Observability exports: by the time the tuner returned, every worker
+  // batch has been joined (wait_all), so snapshot/records are quiescent.
+  if (!options.trace_path.empty() &&
+      !obs::tracer().write_file(options.trace_path, options.trace_format)) {
+    std::fprintf(stderr, "cannot write trace to %s\n",
+                 options.trace_path.c_str());
+    return 2;
+  }
+  const auto metrics_snapshot = obs::metrics().snapshot();
+  if (!options.metrics_path.empty() &&
+      !obs::write_metrics_file(metrics_snapshot, options.metrics_path)) {
+    std::fprintf(stderr, "cannot write metrics to %s\n",
+                 options.metrics_path.c_str());
+    return 2;
+  }
+  if (observing && !options.quiet) {
+    std::fputs(
+        obs::render_summary(metrics_snapshot, obs::tracer().records())
+            .c_str(),
+        stdout);
   }
 
   std::printf("%s %s-D%d budget=%d best=%.2f cost=%.0f evals=%zu\n",

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace robotune {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  // Pool activity depends on worker count and task placement, so it
+  // lives in the scheduling-dependent `runtime.` metric section.
+  obs::count("runtime.pool.workers_started", threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this]() { worker_loop(); });
@@ -35,6 +40,10 @@ void ThreadPool::worker_loop() {
       job = std::move(jobs_.front());
       jobs_.pop();
     }
+    // Counted before the job runs: the job fulfils its future, which is
+    // what orders this thread-local shard write before any snapshot()
+    // taken after a wait_all.
+    obs::count("runtime.pool.tasks_executed");
     job();
   }
 }

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sampling/latin_hypercube.h"
 
 namespace robotune::core {
@@ -50,6 +52,7 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
   Rng rng(options_.seed);
   const std::size_t dims = selected_.size();
   const bool indexed = scheduler != nullptr;
+  obs::set_gauge("bo.selected_dims", static_cast<double>(dims));
 
   tuners::GuardPolicy guard(options_.static_threshold_s,
                             options_.median_multiple);
@@ -111,6 +114,7 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
       require(rec.index == replay_pos,
               "BoEngine: journal is not in canonical order");
       ++replay_pos;
+      obs::count("bo.journal_replayed");
       if (!indexed) {
         objective.skip_seed_draws(
             static_cast<std::uint64_t>(std::max(1, rec.attempts)));
@@ -145,7 +149,14 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
             session->state.evaluations.push_back(record_of(
                 tuners::to_evaluation(done.request->unit, *done.outcome),
                 done.eval_index));
-            if (session->flush) session->flush(session->state);
+            if (session->flush) {
+              // Journal flushes run in completion order on whichever
+              // thread finished the evaluation — span attribution shows
+              // checkpoint-write stalls per worker.
+              obs::Span span("journal", "bo");
+              span.arg("eval_index", done.eval_index);
+              session->flush(session->state);
+            }
           });
       for (std::size_t i = live_begin; i < points.size(); ++i) {
         evals.push_back(
@@ -154,12 +165,26 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
       }
     } else {
       for (std::size_t i = live_begin; i < points.size(); ++i) {
-        const auto e = tuners::evaluate_into(objective, points[i], guard,
-                                             result.tuning);
+        tuners::Evaluation e;
+        {
+          obs::Span span("eval", "bo");
+          span.arg("eval_index",
+                   static_cast<std::uint64_t>(result.tuning.history.size()));
+          e = tuners::evaluate_into(objective, points[i], guard,
+                                    result.tuning);
+          span.arg("status", sparksim::to_string(e.status));
+          span.arg("value_s", e.value_s);
+        }
         if (session != nullptr) {
           session->state.evaluations.push_back(
               record_of(e, result.tuning.history.size() - 1));
-          if (session->flush) session->flush(session->state);
+          if (session->flush) {
+            obs::Span span("journal", "bo");
+            span.arg("eval_index",
+                     static_cast<std::uint64_t>(
+                         result.tuning.history.size() - 1));
+            session->flush(session->state);
+          }
         }
         evals.push_back(e);
       }
@@ -199,22 +224,28 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
   // the GP's picture of the region.
   std::vector<std::pair<std::vector<double>, double>> censored_init;
   const auto q_opt = static_cast<std::size_t>(std::max(1, options_.batch_size));
-  for (std::size_t begin = 0; begin < init_subs.size(); begin += q_opt) {
-    const std::size_t end = std::min(init_subs.size(), begin + q_opt);
-    std::vector<std::vector<double>> points;
-    points.reserve(end - begin);
-    for (std::size_t i = begin; i < end; ++i) {
-      points.push_back(expand(init_subs[i]));
-    }
-    const auto evals = evaluate_points(points);
-    for (std::size_t i = begin; i < end; ++i) {
-      const auto& e = evals[i - begin];
-      if (e.transient) {
-        censored_init.emplace_back(init_subs[i], observe(e.value_s));
-        continue;
+  {
+    obs::Span init_span("init", "bo");
+    init_span.arg("samples",
+                  static_cast<std::uint64_t>(init_subs.size()));
+    init_span.arg("memoized", memo_count);
+    for (std::size_t begin = 0; begin < init_subs.size(); begin += q_opt) {
+      const std::size_t end = std::min(init_subs.size(), begin + q_opt);
+      std::vector<std::vector<double>> points;
+      points.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        points.push_back(expand(init_subs[i]));
       }
-      xs.push_back(init_subs[i]);
-      ys.push_back(observe(e.value_s));
+      const auto evals = evaluate_points(points);
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto& e = evals[i - begin];
+        if (e.transient) {
+          censored_init.emplace_back(init_subs[i], observe(e.value_s));
+          continue;
+        }
+        xs.push_back(init_subs[i]);
+        ys.push_back(observe(e.value_s));
+      }
     }
   }
   // Safety valve: the GP needs observations to fit.  If flakes wiped out
@@ -240,6 +271,10 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
 
   for (int iter = 0; iter < search_budget;) {
     const int q = std::min(static_cast<int>(q_opt), search_budget - iter);
+    obs::count("bo.rounds");
+    obs::Span iter_span("iteration", "bo");
+    iter_span.arg("iter", iter);
+    iter_span.arg("q", q);
 
     // (1) Train the GP on all priors.  Kernel hyperparameters are refit
     // by marginal likelihood every `hyperfit_every` rounds (a full
@@ -250,6 +285,10 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
     const bool refit =
         options_.hyperfit_every > 0 && (iter % options_.hyperfit_every) == 0;
     if (refit || !model_fitted) {
+      obs::Span span("gp_fit", "bo");
+      span.arg("points", static_cast<std::uint64_t>(xs.size()));
+      span.arg("hyperfit", refit ? 1 : 0);
+      if (refit) obs::count("bo.gp_refits");
       gp::GpOptions gp_options;
       gp_options.optimize_hyperparameters = refit;
       model = gp::GaussianProcess(model.kernel().clone(), gp_options,
@@ -268,26 +307,32 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
     // evaluation scheduling, so the trajectory is worker-count-invariant.
     std::vector<gp::GpHedge::Choice> choices;
     choices.reserve(static_cast<std::size_t>(q));
-    for (int j = 0; j < q; ++j) {
-      gp::GpHedge::Choice choice;
-      if (options_.force_acquisition) {
-        Rng acq_rng(options_.seed ^
-                    (0x9e37ULL + static_cast<std::uint64_t>(iter + j)));
-        choice.chosen = *options_.force_acquisition;
-        choice.point = gp::optimize_acquisition(model, choice.chosen, dims,
-                                                acq_rng, options_.hedge.params,
-                                                options_.hedge.optimizer);
-        choice.nominees = {choice.point, choice.point, choice.point};
-      } else {
-        choice = hedge.propose(model);
+    {
+      obs::Span span("acq_opt", "bo");
+      span.arg("q", q);
+      for (int j = 0; j < q; ++j) {
+        gp::GpHedge::Choice choice;
+        if (options_.force_acquisition) {
+          Rng acq_rng(options_.seed ^
+                      (0x9e37ULL + static_cast<std::uint64_t>(iter + j)));
+          choice.chosen = *options_.force_acquisition;
+          choice.point = gp::optimize_acquisition(
+              model, choice.chosen, dims, acq_rng, options_.hedge.params,
+              options_.hedge.optimizer);
+          choice.nominees = {choice.point, choice.point, choice.point};
+        } else {
+          choice = hedge.propose(model);
+        }
+        obs::count(std::string("bo.hedge.selected.") +
+                   gp::to_string(choice.chosen));
+        result.chosen_acquisitions.push_back(choice.chosen);
+        if (j + 1 < q) {
+          const double lie =
+              ys.empty() ? 0.0 : *std::min_element(ys.begin(), ys.end());
+          model.add_point(choice.point, lie);
+        }
+        choices.push_back(std::move(choice));
       }
-      result.chosen_acquisitions.push_back(choice.chosen);
-      if (j + 1 < q) {
-        const double lie =
-            ys.empty() ? 0.0 : *std::min_element(ys.begin(), ys.end());
-        model.add_point(choice.point, lie);
-      }
-      choices.push_back(std::move(choice));
     }
 
     // (3) Evaluate the batch (or replay journaled outcomes on resume).
@@ -309,6 +354,9 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
       if (q == 1) model.add_point(xs.back(), ys.back());
     }
     if (q > 1) {
+      obs::Span span("gp_fit", "bo");
+      span.arg("points", static_cast<std::uint64_t>(xs.size()));
+      span.arg("hyperfit", 0);
       gp::GpOptions gp_options;
       gp_options.optimize_hyperparameters = false;
       model = gp::GaussianProcess(model.kernel().clone(), gp_options,
@@ -348,6 +396,7 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
         if (options_.early_stop_patience > 0 &&
             since_improvement >= options_.early_stop_patience) {
           result.early_stopped = true;
+          obs::count("bo.early_stops");
           stop = true;
           break;
         }

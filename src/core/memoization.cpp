@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace robotune::core {
 
 void ConfigMemoizationBuffer::store(const std::string& workload,
                                     MemoizedConfig config) {
+  obs::count("memo.configs.stored");
   auto& list = entries_[workload];
   list.push_back(std::move(config));
   std::sort(list.begin(), list.end(),
@@ -18,7 +21,11 @@ void ConfigMemoizationBuffer::store(const std::string& workload,
 std::vector<MemoizedConfig> ConfigMemoizationBuffer::best(
     const std::string& workload, std::size_t k) const {
   const auto it = entries_.find(workload);
-  if (it == entries_.end()) return {};
+  if (it == entries_.end() || it->second.empty()) {
+    obs::count("memo.configs.misses");
+    return {};
+  }
+  obs::count("memo.configs.hits");
   const auto& list = it->second;
   std::vector<MemoizedConfig> out(
       list.begin(), list.begin() + std::min(k, list.size()));

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace robotune::core {
 
@@ -26,6 +28,11 @@ RoboTuneReport RoboTune::tune_report(sparksim::SparkObjective& objective,
   RoboTuneReport report;
   const std::string workload_key =
       sparksim::to_string(objective.workload().kind);
+  obs::Span session_span("session", "core");
+  session_span.arg("tuner", name());
+  session_span.arg("workload", workload_key);
+  session_span.arg("budget", budget);
+  session_span.arg("seed", seed);
 
   // A loaded checkpoint (non-empty selection) resumes: selection and the
   // memoized-config snapshot come from the checkpoint, and the objective's
@@ -48,9 +55,13 @@ RoboTuneReport RoboTune::tune_report(sparksim::SparkObjective& objective,
     objective.skip_seed_draws(session->state.selection_seed_draws);
     selection_cache_.store(workload_key, report.selected);
   } else if (auto cached = selection_cache_.lookup(workload_key)) {
+    obs::count("memo.selection_cache.hits");
     report.selected = *cached;
     report.selection_cache_hit = true;
   } else {
+    obs::count("memo.selection_cache.misses");
+    obs::Span span("selection", "core");
+    span.arg("workload", workload_key);
     const std::uint64_t draws_before = objective.seed_draws();
     SelectionOptions sel = options_.selection;
     sel.seed ^= seed;

@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace robotune::exec {
 
@@ -40,6 +42,16 @@ std::vector<sparksim::EvalOutcome> EvalScheduler::run_batch(
   std::vector<sparksim::EvalOutcome> outcomes(n);
   if (n == 0) return outcomes;
 
+  // Batch shape is decided by the tuner, never by the worker count, so
+  // these are logical metrics; the effective parallelism is runtime.
+  obs::count("exec.batches");
+  obs::count("exec.evals_dispatched", n);
+  obs::set_gauge("runtime.exec.parallelism",
+                 static_cast<double>(parallelism_));
+  obs::Span batch_span("eval_batch", "exec");
+  batch_span.arg("size", static_cast<std::uint64_t>(n));
+  batch_span.arg("first_eval_index", first_eval_index);
+
   // Every evaluation runs on its own fork: private index-derived RNG
   // stream, private counters.  The parent objective is read-only until
   // the canonical-order merge below.
@@ -55,10 +67,23 @@ std::vector<sparksim::EvalOutcome> EvalScheduler::run_batch(
         out.cost_s * options_.emulate_latency_per_cost_s));
   };
 
+  // Per-evaluation span with eval-index attribution; on the parallel
+  // path it runs on the worker thread, so the exported timeline shows
+  // which worker ran which evaluation.
+  const auto traced_evaluate = [&](std::size_t i) {
+    obs::Span span("eval", "exec");
+    span.arg("eval_index", first_eval_index + i);
+    span.arg("batch_slot", static_cast<std::uint64_t>(i));
+    outcomes[i] =
+        forks[i].evaluate(requests[i].unit, requests[i].stop_threshold_s);
+    span.arg("status", sparksim::to_string(outcomes[i].status));
+    span.arg("value_s", outcomes[i].value_s);
+    span.arg("attempts", outcomes[i].attempts);
+  };
+
   if (parallelism_ <= 1 || n == 1) {
     for (std::size_t i = 0; i < n; ++i) {
-      outcomes[i] =
-          forks[i].evaluate(requests[i].unit, requests[i].stop_threshold_s);
+      traced_evaluate(i);
       emulate_latency(outcomes[i]);
       if (on_complete) {
         CompletedEval done;
@@ -75,8 +100,7 @@ std::vector<sparksim::EvalOutcome> EvalScheduler::run_batch(
     tasks.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       tasks.emplace_back([&, i]() {
-        outcomes[i] = forks[i].evaluate(requests[i].unit,
-                                        requests[i].stop_threshold_s);
+        traced_evaluate(i);
         emulate_latency(outcomes[i]);
         if (on_complete) {
           std::scoped_lock lock(hook_mutex);

@@ -1,0 +1,176 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace robotune::obs {
+
+namespace {
+
+MetricsSnapshot filter_snapshot(const MetricsSnapshot& in, bool runtime) {
+  MetricsSnapshot out;
+  for (const auto& [name, v] : in.counters) {
+    if (is_runtime_metric(name) == runtime) out.counters.emplace(name, v);
+  }
+  for (const auto& [name, v] : in.gauges) {
+    if (is_runtime_metric(name) == runtime) out.gauges.emplace(name, v);
+  }
+  for (const auto& [name, v] : in.histograms) {
+    if (is_runtime_metric(name) == runtime) out.histograms.emplace(name, v);
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsSnapshot::logical() const {
+  return filter_snapshot(*this, /*runtime=*/false);
+}
+
+MetricsSnapshot MetricsSnapshot::runtime() const {
+  return filter_snapshot(*this, /*runtime=*/true);
+}
+
+const std::vector<double>& seconds_buckets() {
+  static const std::vector<double> bounds = {0.5, 1.0,   2.0,   5.0,  10.0,
+                                             20.0, 50.0, 100.0, 200.0, 480.0,
+                                             600.0, 1200.0};
+  return bounds;
+}
+
+#if ROBOTUNE_OBS_ENABLED
+
+struct MetricsRegistry::Shard {
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+  std::map<std::string, HistogramData, std::less<>> histograms;
+
+  void clear() {
+    counters.clear();
+    histograms.clear();
+  }
+};
+
+namespace {
+
+std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// One thread-local entry per (thread, registry) pair.  Keyed by the
+/// registry's process-unique id — never its address — so a registry
+/// destroyed and another allocated at the same address can never pick up
+/// a stale shard.  The registry owns the shard (shared_ptr), so a thread
+/// exiting never invalidates data a later snapshot() needs.
+struct TlsEntry {
+  std::uint64_t registry_id = 0;
+  MetricsRegistry::Shard* shard = nullptr;
+};
+thread_local std::vector<TlsEntry> tls_shards;
+
+void bucket_observe(HistogramData& h, double value,
+                    const std::vector<double>& bounds) {
+  if (h.bounds.empty()) {
+    h.bounds = bounds;
+    h.counts.assign(bounds.size() + 1, 0);
+  }
+  const auto it =
+      std::lower_bound(h.bounds.begin(), h.bounds.end(), value);
+  h.counts[static_cast<std::size_t>(it - h.bounds.begin())] += 1;
+  h.total += 1;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : id_(next_registry_id()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  for (const auto& entry : tls_shards) {
+    if (entry.registry_id == id_) return *entry.shard;
+  }
+  auto shard = std::make_shared<Shard>();
+  {
+    std::scoped_lock lock(mutex_);
+    shards_.push_back(shard);
+  }
+  tls_shards.push_back({id_, shard.get()});
+  return *shard;
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  auto& counters = local_shard().counters;
+  const auto it = counters.find(name);
+  if (it != counters.end()) {
+    it->second += delta;
+  } else {
+    counters.emplace(std::string(name), delta);
+  }
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  std::scoped_lock lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    it->second = value;
+  } else {
+    gauges_.emplace(std::string(name), value);
+  }
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  observe(name, value, seconds_buckets());
+}
+
+void MetricsRegistry::observe(std::string_view name, double value,
+                              const std::vector<double>& bounds) {
+  auto& histograms = local_shard().histograms;
+  const auto it = histograms.find(name);
+  if (it != histograms.end()) {
+    bucket_observe(it->second, value, bounds);
+  } else {
+    bucket_observe(histograms.emplace(std::string(name), HistogramData{})
+                       .first->second,
+                   value, bounds);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::scoped_lock lock(mutex_);
+  for (const auto& shard : shards_) {
+    for (const auto& [name, v] : shard->counters) out.counters[name] += v;
+    for (const auto& [name, h] : shard->histograms) {
+      auto& merged = out.histograms[name];
+      if (merged.bounds.empty()) {
+        merged.bounds = h.bounds;
+        merged.counts.assign(h.counts.size(), 0);
+      }
+      // Every call site uses one fixed bound set per name, so shard
+      // layouts agree; integer bucket sums make the merge canonical.
+      for (std::size_t i = 0;
+           i < std::min(merged.counts.size(), h.counts.size()); ++i) {
+        merged.counts[i] += h.counts[i];
+      }
+      merged.total += h.total;
+    }
+  }
+  for (const auto& [name, v] : gauges_) out.gauges.emplace(name, v);
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::scoped_lock lock(mutex_);
+  for (const auto& shard : shards_) shard->clear();
+  gauges_.clear();
+}
+
+#endif  // ROBOTUNE_OBS_ENABLED
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace robotune::obs

@@ -1,0 +1,161 @@
+// Zero-dependency metrics registry: counters, gauges, and fixed-bucket
+// histograms for the tuning pipeline.
+//
+// Determinism contract (DESIGN.md §7): *logical* metrics — evaluation
+// counts, guard kills, retries, memoization hits, hedge selections —
+// count events whose multiset is a pure function of the session seed, so
+// their merged totals are identical for any `--parallel` worker count.
+// Anything scheduling- or wall-clock-dependent (pool task counts,
+// effective parallelism) lives under the `runtime.` name prefix and is
+// excluded from the deterministic section; span *durations* live in the
+// Tracer, never here.
+//
+// Concurrency: the hot path writes to a lock-free per-thread shard (no
+// atomics, no mutex — each thread owns its shard exclusively).  Shards
+// are merged in canonical name order by snapshot().  snapshot()/reset()
+// require quiescence: call them only when no instrumented work is in
+// flight, ordered after the workers' writes (a ThreadPool::wait_all or
+// future.get() establishes the needed happens-before edge).  Counter and
+// bucket merges are integer sums, so the merged snapshot is independent
+// of how events were sharded across threads; histograms deliberately
+// carry no floating-point sum (cross-shard FP addition order would make
+// the last bits scheduling-dependent).
+//
+// Compile-out: building with -DROBOTUNE_OBS=OFF (ROBOTUNE_OBS_ENABLED=0)
+// turns every class in this header into an empty inline stub — call
+// sites compile unchanged and the instrumentation provably cannot affect
+// tuning results because it no longer exists.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef ROBOTUNE_OBS_ENABLED
+#define ROBOTUNE_OBS_ENABLED 1
+#endif
+
+namespace robotune::obs {
+
+/// True when the library was built with instrumentation compiled in.
+inline constexpr bool kCompiledIn = ROBOTUNE_OBS_ENABLED != 0;
+
+/// Metrics named under this prefix are scheduling-dependent (worker
+/// counts, pool task placement) and excluded from the deterministic
+/// "logical" section of a snapshot.
+inline constexpr std::string_view kRuntimePrefix = "runtime.";
+
+inline bool is_runtime_metric(std::string_view name) {
+  return name.substr(0, kRuntimePrefix.size()) == kRuntimePrefix;
+}
+
+/// Fixed-bucket histogram: counts[i] tallies values <= bounds[i] (first
+/// matching bound wins), counts.back() tallies the overflow.  Bounds are
+/// fixed per metric name at first observation; all counts are integers so
+/// merged histograms are deterministic.
+struct HistogramData {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries
+  std::uint64_t total = 0;
+
+  bool operator==(const HistogramData&) const = default;
+};
+
+/// A merged, point-in-time view of every metric, keyed in canonical
+/// (lexicographic) name order.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+
+  /// The deterministic section: everything not under `runtime.`.
+  MetricsSnapshot logical() const;
+  /// The scheduling-dependent section: everything under `runtime.`.
+  MetricsSnapshot runtime() const;
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Default bucket bounds for metrics measured in (simulated) seconds:
+/// roughly exponential, with knots at the paper's 480 s cap.
+const std::vector<double>& seconds_buckets();
+
+#if ROBOTUNE_OBS_ENABLED
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to the named counter (per-thread shard, lock-free).
+  void add(std::string_view name, std::uint64_t delta = 1);
+  /// Sets the named gauge (mutex-protected; call from canonical-order
+  /// code, last write wins).
+  void set_gauge(std::string_view name, double value);
+  /// Records `value` into the named histogram with seconds_buckets().
+  void observe(std::string_view name, double value);
+  /// Records `value` into the named histogram; `bounds` fixes the bucket
+  /// upper bounds on the histogram's first observation in each shard
+  /// (pass the same bounds at every call site for a given name).
+  void observe(std::string_view name, double value,
+               const std::vector<double>& bounds);
+
+  /// Merges every shard in canonical name order.  Requires quiescence
+  /// (see file comment).
+  MetricsSnapshot snapshot() const;
+  /// Clears all shards and gauges.  Requires quiescence.
+  void reset();
+
+  struct Shard;  // public for the thread-local registration machinery
+
+ private:
+  Shard& local_shard();
+
+  const std::uint64_t id_;  ///< process-unique, never reused
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Shard>> shards_;
+  std::map<std::string, double, std::less<>> gauges_;
+};
+
+#else  // ROBOTUNE_OBS_ENABLED
+
+/// Compiled-out stub: every operation is an inline no-op and a snapshot
+/// is always empty.
+class MetricsRegistry {
+ public:
+  void add(std::string_view, std::uint64_t = 1) {}
+  void set_gauge(std::string_view, double) {}
+  void observe(std::string_view, double) {}
+  void observe(std::string_view, double, const std::vector<double>&) {}
+  MetricsSnapshot snapshot() const { return {}; }
+  void reset() {}
+};
+
+#endif  // ROBOTUNE_OBS_ENABLED
+
+/// Process-wide registry all instrumentation hooks write to.
+MetricsRegistry& metrics();
+
+// Convenience wrappers over the global registry (the instrumentation
+// call-site idiom).
+inline void count(std::string_view name, std::uint64_t delta = 1) {
+  metrics().add(name, delta);
+}
+inline void set_gauge(std::string_view name, double value) {
+  metrics().set_gauge(name, value);
+}
+inline void observe(std::string_view name, double value) {
+  metrics().observe(name, value);
+}
+
+}  // namespace robotune::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace robotune::sparksim {
 
 std::uint64_t derive_eval_seed(std::uint64_t session_seed,
@@ -72,10 +74,22 @@ EvalOutcome SparkObjective::evaluate_decoded(const DecodedConfig& values,
     const std::uint64_t run_seed = next_run_seed();
     out.raw = simulate(cluster_, workload_, config, run_seed, engine_options);
     out.attempts = attempt + 1;
+    // Logical fault/retry metrics: attempt outcomes are a pure function
+    // of the run seed (sequential or index-derived), so these totals are
+    // identical for any scheduler worker count.
+    obs::count("objective.attempts");
+    if (out.raw.status == RunStatus::kExecutorLost) {
+      obs::count("objective.faults.executor_lost");
+    } else if (out.raw.status == RunStatus::kFetchFailure) {
+      obs::count("objective.faults.fetch_failure");
+    }
     if (!is_transient(out.raw.status) || attempt >= retry_policy_.max_retries) {
       break;
     }
-    retry_cost_s += out.raw.seconds + retry_policy_.backoff_s(attempt);
+    obs::count("objective.retries");
+    const double backoff = retry_policy_.backoff_s(attempt);
+    obs::observe("objective.backoff_s", backoff);
+    retry_cost_s += out.raw.seconds + backoff;
   }
   out.status = out.raw.status;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sampling/latin_hypercube.h"
 
 namespace robotune::tuners {
@@ -34,6 +36,10 @@ TuningResult BestConfig::tune(sparksim::SparkObjective& objective, int budget,
   result.tuner = name();
   Rng rng(seed);
   const std::size_t dims = objective.space().size();
+  obs::Span session_span("session", "tuners");
+  session_span.arg("tuner", name());
+  session_span.arg("budget", budget);
+  session_span.arg("seed", seed);
 
   // BestConfig's runtime threshold: static cap initially, then a multiple
   // of the incumbent best once one exists.
@@ -52,6 +58,10 @@ TuningResult BestConfig::tune(sparksim::SparkObjective& objective, int budget,
   int remaining = budget;
   while (remaining > 0) {
     const int round = std::min(options_.sample_set_size, remaining);
+    obs::count("bestconfig.rounds");
+    obs::Span round_span("iteration", "tuners");
+    round_span.arg("samples", round);
+    round_span.arg("bounded", bounded ? 1 : 0);
     const auto samples =
         dds(static_cast<std::size_t>(round), lo, hi, rng);
     const double round_start_best = incumbent;
@@ -81,11 +91,13 @@ TuningResult BestConfig::tune(sparksim::SparkObjective& objective, int budget,
     const bool improved = incumbent < round_start_best;
     if (!std::isfinite(incumbent) || (bounded && !improved)) {
       // Diverge: back to the full space.
+      obs::count("bestconfig.diverges");
       std::fill(lo.begin(), lo.end(), 0.0);
       std::fill(hi.begin(), hi.end(), 1.0);
       bounded = false;
       continue;
     }
+    obs::count("bestconfig.shrinks");
     // Bound: for each dimension, the gap between the nearest sampled
     // coordinates below and above the incumbent best.  Transient failures
     // yielded no usable observation at their location, so they do not

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace robotune::tuners {
 
 namespace {
@@ -20,6 +23,10 @@ TuningResult Gunther::tune(sparksim::SparkObjective& objective, int budget,
   result.tuner = name();
   Rng rng(seed);
   const std::size_t dims = objective.space().size();
+  obs::Span session_span("session", "tuners");
+  session_span.arg("tuner", name());
+  session_span.arg("budget", budget);
+  session_span.arg("seed", seed);
   GuardPolicy guard(options_.static_threshold_s, /*median_multiple=*/0.0);
 
   // Evaluates a whole group of individuals — the initial population or
@@ -69,11 +76,17 @@ TuningResult Gunther::tune(sparksim::SparkObjective& objective, int budget,
     for (auto& g : ind.genes) g = rng.uniform();
     population.push_back(std::move(ind));
   }
-  evaluate_group(population);
+  {
+    obs::Span span("init", "tuners");
+    span.arg("population", init_count);
+    evaluate_group(population);
+  }
   remaining -= init_count;
 
   // --- Generations: aggressive selection, crossover, mutation -------------
   while (remaining > 0) {
+    obs::count("gunther.generations");
+    obs::Span gen_span("iteration", "tuners");
     std::sort(population.begin(), population.end(),
               [](const Individual& a, const Individual& b) {
                 return a.fitness < b.fitness;
@@ -84,6 +97,7 @@ TuningResult Gunther::tune(sparksim::SparkObjective& objective, int budget,
 
     std::vector<Individual> offspring;
     const int gen = std::min(options_.generation_size, remaining);
+    gen_span.arg("offspring", gen);
     offspring.reserve(static_cast<std::size_t>(gen));
     for (int c = 0; c < gen; ++c) {
       const auto& a =

@@ -1,11 +1,17 @@
 #include "tuners/random_search.h"
 
+#include "obs/trace.h"
+
 namespace robotune::tuners {
 
 TuningResult RandomSearch::tune(sparksim::SparkObjective& objective,
                                 int budget, std::uint64_t seed) {
   TuningResult result;
   result.tuner = name();
+  obs::Span session_span("session", "tuners");
+  session_span.arg("tuner", name());
+  session_span.arg("budget", budget);
+  session_span.arg("seed", seed);
   Rng rng(seed);
   const std::size_t dims = objective.space().size();
   // Transient-fault handling rides entirely on evaluate_into/GuardPolicy:

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ml/random_forest.h"
+#include "obs/trace.h"
 #include "sampling/latin_hypercube.h"
 
 namespace robotune::tuners {
@@ -23,6 +24,10 @@ TuningResult Rfhoc::tune(sparksim::SparkObjective& objective, int budget,
   result.tuner = name();
   Rng rng(seed);
   const std::size_t dims = objective.space().size();
+  obs::Span session_span("session", "tuners");
+  session_span.arg("tuner", name());
+  session_span.arg("budget", budget);
+  session_span.arg("seed", seed);
   GuardPolicy guard(options_.static_threshold_s, /*median_multiple=*/0.0);
 
   // ---- Phase 1: collect training executions ------------------------------
@@ -36,62 +41,71 @@ TuningResult Rfhoc::tune(sparksim::SparkObjective& objective, int budget,
   // censored value reflects cluster flakiness, not the configuration,
   // and would teach the forest that a random region is slow.
   // Model log(time): same rationale as the BO engine.
-  if (scheduler() != nullptr) {
-    // Sample collection is RFHOC's embarrassingly parallel phase: the
-    // whole LHS design evaluates as one batch.
-    const auto evals =
-        evaluate_batch_into(*scheduler(), objective, design, guard, result);
-    for (std::size_t i = 0; i < design.size(); ++i) {
-      if (evals[i].transient) continue;
-      data.add_row(design[i], std::log(std::max(1e-6, evals[i].value_s)));
-    }
-  } else {
-    for (const auto& unit : design) {
-      const auto e = evaluate_into(objective, unit, guard, result);
-      if (e.transient) continue;
-      data.add_row(unit, std::log(std::max(1e-6, e.value_s)));
+  {
+    obs::Span span("train", "tuners");
+    span.arg("samples", train_count);
+    if (scheduler() != nullptr) {
+      // Sample collection is RFHOC's embarrassingly parallel phase: the
+      // whole LHS design evaluates as one batch.
+      const auto evals =
+          evaluate_batch_into(*scheduler(), objective, design, guard, result);
+      for (std::size_t i = 0; i < design.size(); ++i) {
+        if (evals[i].transient) continue;
+        data.add_row(design[i], std::log(std::max(1e-6, evals[i].value_s)));
+      }
+    } else {
+      for (const auto& unit : design) {
+        const auto e = evaluate_into(objective, unit, guard, result);
+        if (e.transient) continue;
+        data.add_row(unit, std::log(std::max(1e-6, e.value_s)));
+      }
     }
   }
   if (train_count >= budget) return result;
 
-  ml::ForestOptions forest_options;
-  forest_options.num_trees = options_.forest_trees;
-  forest_options.tree.max_features = dims;
-  ml::RandomForest model(forest_options, seed ^ 0xabcdULL);
-  model.fit(data);
-
   // ---- Phase 2: GA over the surrogate -------------------------------------
   std::vector<ModelIndividual> population(
       static_cast<std::size_t>(options_.ga_population));
-  for (auto& ind : population) {
-    ind.genes.resize(dims);
-    for (auto& g : ind.genes) g = rng.uniform();
-    ind.predicted = model.predict(ind.genes);
-  }
-  for (int gen = 0; gen < options_.ga_generations; ++gen) {
+  {
+    obs::Span span("surrogate_ga", "tuners");
+    span.arg("population", options_.ga_population);
+    span.arg("generations", options_.ga_generations);
+    ml::ForestOptions forest_options;
+    forest_options.num_trees = options_.forest_trees;
+    forest_options.tree.max_features = dims;
+    ml::RandomForest model(forest_options, seed ^ 0xabcdULL);
+    model.fit(data);
+
+    for (auto& ind : population) {
+      ind.genes.resize(dims);
+      for (auto& g : ind.genes) g = rng.uniform();
+      ind.predicted = model.predict(ind.genes);
+    }
+    for (int gen = 0; gen < options_.ga_generations; ++gen) {
+      std::sort(population.begin(), population.end(),
+                [](const ModelIndividual& a, const ModelIndividual& b) {
+                  return a.predicted < b.predicted;
+                });
+      const auto elite = static_cast<std::size_t>(
+          std::max(2, options_.ga_elite));
+      for (std::size_t i = elite; i < population.size(); ++i) {
+        const auto& a = population[rng.uniform_index(elite)];
+        const auto& b = population[rng.uniform_index(elite)];
+        auto& child = population[i];
+        for (std::size_t d = 0; d < dims; ++d) {
+          child.genes[d] = rng.bernoulli(0.5) ? a.genes[d] : b.genes[d];
+          if (rng.bernoulli(options_.mutation_rate)) {
+            child.genes[d] = rng.uniform();
+          }
+        }
+        child.predicted = model.predict(child.genes);
+      }
+    }
     std::sort(population.begin(), population.end(),
               [](const ModelIndividual& a, const ModelIndividual& b) {
                 return a.predicted < b.predicted;
               });
-    const auto elite = static_cast<std::size_t>(
-        std::max(2, options_.ga_elite));
-    for (std::size_t i = elite; i < population.size(); ++i) {
-      const auto& a = population[rng.uniform_index(elite)];
-      const auto& b = population[rng.uniform_index(elite)];
-      auto& child = population[i];
-      for (std::size_t d = 0; d < dims; ++d) {
-        child.genes[d] = rng.bernoulli(0.5) ? a.genes[d] : b.genes[d];
-        if (rng.bernoulli(options_.mutation_rate)) {
-          child.genes[d] = rng.uniform();
-        }
-      }
-      child.predicted = model.predict(child.genes);
-    }
   }
-  std::sort(population.begin(), population.end(),
-            [](const ModelIndividual& a, const ModelIndividual& b) {
-              return a.predicted < b.predicted;
-            });
 
   // ---- Phase 3: validate the model's favourites on the cluster -----------
   // Validation stays sequential (the near-duplicate filter depends on
@@ -106,6 +120,8 @@ TuningResult Rfhoc::tune(sparksim::SparkObjective& objective, int budget,
     }
   };
   const int validation_budget = budget - train_count;
+  obs::Span validate_span("validate", "tuners");
+  validate_span.arg("budget", validation_budget);
   int validated = 0;
   for (const auto& ind : population) {
     if (validated >= validation_budget) break;

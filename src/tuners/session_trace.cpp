@@ -1,11 +1,64 @@
 #include "tuners/session_trace.h"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
+#include <istream>
 #include <limits>
 #include <ostream>
 
 namespace robotune::tuners {
+
+std::string csv_escape(std::string_view field) {
+  if (field.find_first_of(",\"\r\n") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+bool read_csv_record(std::istream& in, std::vector<std::string>& fields) {
+  fields.clear();
+  int c = in.get();
+  if (c == std::istream::traits_type::eof()) return false;
+  std::string field;
+  bool quoted = false;
+  for (;; c = in.get()) {
+    if (c == std::istream::traits_type::eof()) break;
+    if (quoted) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          field.push_back('"');
+          in.get();
+        } else {
+          quoted = false;  // closing quote
+        }
+      } else {
+        field.push_back(static_cast<char>(c));
+      }
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      break;
+    } else if (c != '\r') {
+      field.push_back(static_cast<char>(c));
+    }
+  }
+  fields.push_back(std::move(field));
+  return true;
+}
 
 std::size_t write_csv(const TuningResult& result, std::ostream& out,
                       const TraceOptions& options) {
@@ -16,7 +69,7 @@ std::size_t write_csv(const TuningResult& result, std::ostream& out,
   if (options.include_parameters) {
     for (std::size_t d = 0; d < dims; ++d) {
       if (options.space != nullptr) {
-        out << "," << options.space->spec(d).name;
+        out << "," << csv_escape(options.space->spec(d).name);
       } else {
         out << ",u" << d;
       }
@@ -30,9 +83,9 @@ std::size_t write_csv(const TuningResult& result, std::ostream& out,
   for (std::size_t i = 0; i < result.history.size(); ++i) {
     const auto& e = result.history[i];
     if (e.ok()) best = std::min(best, e.value_s);
-    out << i << "," << result.tuner << "," << e.value_s << "," << e.cost_s
-        << "," << sparksim::to_string(e.status) << ","
-        << (e.stopped_early ? 1 : 0) << ",";
+    out << i << "," << csv_escape(result.tuner) << "," << e.value_s << ","
+        << e.cost_s << "," << csv_escape(sparksim::to_string(e.status))
+        << "," << (e.stopped_early ? 1 : 0) << ",";
     if (std::isfinite(best)) {
       out << best;
     }  // empty until the first success
@@ -51,10 +104,25 @@ std::size_t write_csv(const TuningResult& result, std::ostream& out,
 
 bool write_csv_file(const TuningResult& result, const std::string& path,
                     const TraceOptions& options) {
-  std::ofstream out(path);
-  if (!out) return false;
-  write_csv(result, out, options);
-  return static_cast<bool>(out);
+  // Write-then-rename: a failure at any point (unwritable directory,
+  // disk full) leaves no partial file at `path`.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return false;
+    write_csv(result, out, options);
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace robotune::tuners

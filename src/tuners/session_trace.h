@@ -10,11 +10,23 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "sparksim/param_space.h"
 #include "tuners/tuner.h"
 
 namespace robotune::tuners {
+
+/// RFC 4180 field quoting: fields containing commas, double quotes, or
+/// line breaks are wrapped in quotes with embedded quotes doubled; all
+/// other fields pass through unchanged.
+std::string csv_escape(std::string_view field);
+
+/// Reads one CSV record (which may span physical lines when a quoted
+/// field embeds newlines) into `fields`.  Returns false at end of input.
+/// Inverse of csv_escape: quoted fields are unescaped.
+bool read_csv_record(std::istream& in, std::vector<std::string>& fields);
 
 struct TraceOptions {
   /// Decode unit coordinates into parameter values using this space.

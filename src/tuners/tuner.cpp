@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace robotune::tuners {
 
@@ -64,6 +65,26 @@ std::size_t TuningResult::total_attempts() const {
 
 void append_evaluation(const Evaluation& e, GuardPolicy& guard,
                        TuningResult& result) {
+  // The canonical-order funnel every tuner's bookkeeping runs through —
+  // the one place evaluation metrics are counted, so totals are
+  // identical no matter which tuner, scheduler, or worker count
+  // produced the evaluations (DESIGN.md §7 determinism contract).
+  obs::count("evals.total");
+  if (e.transient) {
+    obs::count("evals.censored");
+  } else if (e.stopped_early) {
+    obs::count("evals.guard_kills");
+  } else if (e.ok()) {
+    obs::count("evals.ok");
+  } else {
+    obs::count("evals.failed");
+  }
+  if (e.attempts > 1) {
+    obs::count("evals.retries",
+               static_cast<std::uint64_t>(e.attempts - 1));
+  }
+  obs::observe("evals.value_s", e.value_s);
+  obs::observe("evals.cost_s", e.cost_s);
   guard.record(e);
   result.search_cost_s += e.cost_s;
   result.history.push_back(e);

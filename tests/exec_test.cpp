@@ -6,6 +6,7 @@
 #include <set>
 #include <vector>
 
+#include "common/error.h"
 #include "common/rng.h"
 #include "exec/eval_scheduler.h"
 #include "sparksim/objective.h"
@@ -207,6 +208,36 @@ TEST(EvalSchedulerTest, SharedExternalPoolWorks) {
   exec::EvalScheduler serial;
   expect_outcomes_equal(serial.run_batch(reference, make_requests(units), 0),
                         shared);
+}
+
+TEST(EvalSchedulerTest, ThrowingForkLeavesParentCountersUnmerged) {
+  // One malformed request (wrong-size unit) makes its fork's decode
+  // throw inside the batch.  wait_all rethrows before the canonical
+  // merge loop runs, so the parent objective must see NONE of the
+  // batch — not a partial prefix that would depend on scheduling.
+  for (int parallelism : {1, 4}) {
+    auto objective = make_objective(9);
+    exec::SchedulerOptions options;
+    options.parallelism = parallelism;
+    exec::EvalScheduler scheduler(options);
+    auto units = make_units(4, objective.space().size(), 31);
+    units[2].resize(3);  // decode requires a full-width unit vector
+    EXPECT_THROW(scheduler.run_batch(objective, make_requests(units), 0),
+                 InvalidArgument);
+    EXPECT_EQ(objective.evaluations(), 0u);
+    EXPECT_DOUBLE_EQ(objective.total_cost_s(), 0.0);
+
+    // After reset_counters a clean batch merges full totals: the failed
+    // batch left no hidden half-merged state behind.
+    objective.reset_counters();
+    const auto good = make_units(4, objective.space().size(), 31);
+    const auto outcomes =
+        scheduler.run_batch(objective, make_requests(good), 0);
+    double total = 0.0;
+    for (const auto& o : outcomes) total += o.cost_s;
+    EXPECT_EQ(objective.evaluations(), 4u);
+    EXPECT_DOUBLE_EQ(objective.total_cost_s(), total);
+  }
 }
 
 TEST(EvalSchedulerTest, EmptyBatchIsNoop) {

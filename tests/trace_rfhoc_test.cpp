@@ -1,7 +1,9 @@
 // Tests for the session trace exporter and the RFHOC-style tuner.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "sparksim/objective.h"
 #include "tuners/random_search.h"
@@ -93,6 +95,82 @@ TEST(SessionTraceTest, FileWrapperWritesAndFails) {
   EXPECT_TRUE(write_csv_file(result, "/tmp/robotune_trace_test.csv"));
   EXPECT_FALSE(write_csv_file(result, "/nonexistent/dir/trace.csv"));
   std::remove("/tmp/robotune_trace_test.csv");
+}
+
+TEST(SessionTraceTest, CsvEscapeQuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("spark.executor.cores"), "spark.executor.cores");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(SessionTraceTest, SpecialCharacterFieldsRoundTrip) {
+  // A tuner name packing every character class RFC 4180 cares about:
+  // commas split fields, quotes terminate them, newlines split records.
+  // Unescaped, any one of these corrupts the file.
+  TuningResult result;
+  result.tuner = "evil,\"tuner\"\nname";
+  Evaluation e;
+  e.unit = {0.25, 0.75};
+  e.value_s = 120.0;
+  e.cost_s = 120.0;
+  result.history.push_back(e);
+  e.value_s = 80.0;
+  result.history.push_back(e);
+  result.best_index = 1;
+
+  std::stringstream out;
+  TraceOptions options;
+  options.include_parameters = false;
+  EXPECT_EQ(write_csv(result, out, options), 2u);
+
+  std::vector<std::string> fields;
+  ASSERT_TRUE(read_csv_record(out, fields));  // header
+  ASSERT_EQ(fields.size(), 7u);
+  EXPECT_EQ(fields[1], "tuner");
+  std::size_t rows = 0;
+  while (read_csv_record(out, fields)) {
+    ASSERT_EQ(fields.size(), 7u) << "row " << rows;
+    EXPECT_EQ(fields[1], result.tuner) << "row " << rows;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2u);
+}
+
+TEST(SessionTraceTest, FailedWriteLeavesNoPartialFile) {
+  auto objective = make_objective(5);
+  RandomSearch rs;
+  const auto result = rs.tune(objective, 2, 9);
+  const std::string path = "/nonexistent/dir/trace.csv";
+  EXPECT_FALSE(write_csv_file(result, path));
+  EXPECT_EQ(std::ifstream(path).good(), false);
+  EXPECT_EQ(std::ifstream(path + ".tmp").good(), false);
+  // Success replaces the target atomically: no .tmp residue either.
+  const std::string good = "/tmp/robotune_trace_atomic_test.csv";
+  EXPECT_TRUE(write_csv_file(result, good));
+  EXPECT_TRUE(std::ifstream(good).good());
+  EXPECT_FALSE(std::ifstream(good + ".tmp").good());
+  std::remove(good.c_str());
+}
+
+TEST(SessionTraceTest, IncludeParametersFalseOmitsParameterColumns) {
+  auto objective = make_objective(5);
+  RandomSearch rs;
+  const auto result = rs.tune(objective, 4, 9);
+  std::stringstream out;
+  TraceOptions options;
+  options.space = &objective.space();  // ignored without parameters
+  options.include_parameters = false;
+  write_csv(result, out, options);
+  std::vector<std::string> fields;
+  std::size_t records = 0;
+  while (read_csv_record(out, fields)) {
+    EXPECT_EQ(fields.size(), 7u) << "record " << records;
+    ++records;
+  }
+  EXPECT_EQ(records, 5u);  // header + 4 rows
 }
 
 // --------------------------------------------------------------- RFHOC ----
