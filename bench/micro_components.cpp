@@ -101,6 +101,55 @@ void BM_GpPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_GpPredict);
 
+void BM_GpPredictBatch(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> p(8);
+    for (auto& v : p) v = rng.uniform();
+    x.push_back(p);
+    y.push_back(p[0]);
+  }
+  gp::GaussianProcess model(gp::ard_kernel(8), gp::GpOptions{false}, 1);
+  model.fit(x, y);
+  std::vector<std::vector<double>> queries;
+  for (std::size_t i = 0; i < batch; ++i) {
+    std::vector<double> q(8);
+    for (auto& v : q) v = rng.uniform();
+    queries.push_back(q);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_batch(queries).front().mean);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_GpPredictBatch)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_GpPredictWithGradient(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> p(8);
+    for (auto& v : p) v = rng.uniform();
+    x.push_back(p);
+    y.push_back(p[0]);
+  }
+  gp::GaussianProcess model(gp::ard_kernel(8), gp::GpOptions{false}, 1);
+  model.fit(x, y);
+  std::vector<double> q(8, 0.4);
+  gp::GpWorkspace ws;
+  gp::PredictGradient pg;
+  for (auto _ : state) {
+    model.predict_with_gradient(q, ws, pg);
+    benchmark::DoNotOptimize(pg.dmean[0]);
+  }
+}
+BENCHMARK(BM_GpPredictWithGradient);
+
 void BM_AcquisitionOptimize(benchmark::State& state) {
   Rng rng(6);
   std::vector<std::vector<double>> x;
@@ -113,12 +162,20 @@ void BM_AcquisitionOptimize(benchmark::State& state) {
   }
   gp::GaussianProcess model(gp::ard_kernel(6), gp::GpOptions{false}, 1);
   model.fit(x, y);
+  // range(0): 1 = analytic gradients (default hot path), 0 = numeric
+  // central differences (the pre-§8 baseline, kept for comparison).
+  gp::AcquisitionOptimizerOptions options;
+  options.analytic_gradients = state.range(0) != 0;
+  options.workers = 1;  // sequential: isolates the gradient-path cost
   for (auto _ : state) {
     benchmark::DoNotOptimize(gp::optimize_acquisition(
-        model, gp::AcquisitionKind::kEI, 6, rng));
+        model, gp::AcquisitionKind::kEI, 6, rng, {}, options));
   }
 }
-BENCHMARK(BM_AcquisitionOptimize);
+BENCHMARK(BM_AcquisitionOptimize)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"analytic"});
 
 void BM_LbfgsbRosenbrock(benchmark::State& state) {
   const opt::Objective rosen = [](std::span<const double> x,

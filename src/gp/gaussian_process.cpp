@@ -6,11 +6,16 @@
 #include <numbers>
 
 #include "common/statistics.h"
+#include "obs/metrics.h"
 #include "opt/lbfgsb.h"
 
 namespace robotune::gp {
 
 double Prediction::stddev() const { return std::sqrt(std::max(0.0, variance)); }
+
+double PredictGradient::stddev() const {
+  return std::sqrt(std::max(0.0, variance));
+}
 
 GaussianProcess::GaussianProcess(std::unique_ptr<Kernel> kernel,
                                  GpOptions options, std::uint64_t seed)
@@ -137,6 +142,7 @@ void GaussianProcess::add_point(const std::vector<double>& x, double y) {
     train_y_[i] = (train_y_raw_[i] - y_mean_) / y_scale_;
   }
   alpha_ = linalg::cholesky_solve(chol_, train_y_);
+  scratch_.clear();
 
   const double n_d = static_cast<double>(train_x_.size());
   log_marginal_ = -0.5 * linalg::dot(train_y_, alpha_) -
@@ -158,6 +164,7 @@ void GaussianProcess::factorize() {
   }
   chol_ = linalg::cholesky(k);
   alpha_ = linalg::cholesky_solve(chol_, train_y_);
+  scratch_.clear();  // training set changed; scratch sizes are stale
 
   const double n_d = static_cast<double>(n);
   log_marginal_ = -0.5 * linalg::dot(train_y_, alpha_) -
@@ -166,16 +173,22 @@ void GaussianProcess::factorize() {
 }
 
 Prediction GaussianProcess::predict(std::span<const double> x) const {
+  return predict(x, scratch_);
+}
+
+Prediction GaussianProcess::predict(std::span<const double> x,
+                                    GpWorkspace& ws) const {
   require(trained(), "GaussianProcess::predict: not fitted");
   const std::size_t n = train_x_.size();
-  std::vector<double> k_star(n);
+  ws.k_star.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    k_star[i] = (*kernel_)(train_x_[i], x);
+    ws.k_star[i] = (*kernel_)(train_x_[i], x);
   }
-  const double mean_std = linalg::dot(k_star, alpha_);
-  const std::vector<double> v = linalg::solve_lower(chol_, k_star);
+  const double mean_std = linalg::dot(ws.k_star, alpha_);
+  ws.v.resize(n);
+  linalg::solve_lower(chol_, ws.k_star, ws.v);
   const double k_xx = (*kernel_)(x, x);
-  const double var_std = std::max(0.0, k_xx - linalg::dot(v, v));
+  const double var_std = std::max(0.0, k_xx - linalg::dot(ws.v, ws.v));
 
   Prediction p;
   p.mean = mean_std * y_scale_ + y_mean_;
@@ -183,11 +196,91 @@ Prediction GaussianProcess::predict(std::span<const double> x) const {
   return p;
 }
 
+void GaussianProcess::predict_with_gradient(std::span<const double> x,
+                                            GpWorkspace& ws,
+                                            PredictGradient& out) const {
+  require(trained(), "GaussianProcess::predict_with_gradient: not fitted");
+  const std::size_t n = train_x_.size();
+  const std::size_t dims = x.size();
+
+  ws.k_star.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ws.k_star[i] = (*kernel_)(train_x_[i], x);
+  }
+  const double mean_std = linalg::dot(ws.k_star, alpha_);
+  ws.v.resize(n);
+  linalg::solve_lower(chol_, ws.k_star, ws.v);
+  const double k_xx = (*kernel_)(x, x);
+  const double var_raw = k_xx - linalg::dot(ws.v, ws.v);
+
+  // ∂μ/∂x = Jᵀ α and ∂σ²/∂x = −2 Jᵀ (K⁻¹ k*) with J_i = ∂k(x, X_i)/∂x.
+  // K⁻¹ k* = L⁻ᵀ (L⁻¹ k*) = L⁻ᵀ v reuses the forward solve; each row of J
+  // is produced once and folded into both gradients.
+  ws.w.resize(n);
+  linalg::solve_lower_transposed(chol_, ws.v, ws.w);
+  out.dmean.assign(dims, 0.0);
+  out.dvariance.assign(dims, 0.0);
+  ws.kgrad.resize(dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::fill(ws.kgrad.begin(), ws.kgrad.end(), 0.0);
+    kernel_->accumulate_gradient(x, train_x_[i], ws.kgrad);
+    linalg::axpy(alpha_[i], ws.kgrad, out.dmean);
+    linalg::axpy(-2.0 * ws.w[i], ws.kgrad, out.dvariance);
+  }
+
+  out.mean = mean_std * y_scale_ + y_mean_;
+  out.variance = std::max(0.0, var_raw) * y_scale_ * y_scale_;
+  const double var_scale = y_scale_ * y_scale_;
+  for (std::size_t d = 0; d < dims; ++d) {
+    out.dmean[d] *= y_scale_;
+    // The variance clip at 0 is a kink: report the zero subgradient there.
+    out.dvariance[d] = var_raw > 0.0 ? out.dvariance[d] * var_scale : 0.0;
+  }
+}
+
+std::vector<Prediction> GaussianProcess::predict_batch(
+    std::span<const std::vector<double>> points) const {
+  require(trained(), "GaussianProcess::predict_batch: not fitted");
+  const std::size_t n = train_x_.size();
+  const std::size_t m = points.size();
+  obs::count("gp.predict_batch.calls");
+  obs::count("gp.predict_batch.points", m);
+
+  // One cross-kernel matrix (row per query point, contiguous) and one
+  // multi-RHS forward solve instead of m separate k*/solve round trips.
+  // Per-row arithmetic matches predict() exactly, so each Prediction is
+  // bit-identical to the per-point path.  The scratch matrices reuse
+  // their allocations across calls (every element is overwritten).
+  linalg::Matrix& k_star = scratch_.k_rows;
+  k_star.resize(m, n);
+  for (std::size_t j = 0; j < m; ++j) {
+    require(points[j].size() == train_x_.front().size(),
+            "GaussianProcess::predict_batch: dimension mismatch");
+    const auto row = k_star.row(j);
+    for (std::size_t i = 0; i < n; ++i) {
+      row[i] = (*kernel_)(train_x_[i], points[j]);
+    }
+  }
+  linalg::Matrix& v = scratch_.v_rows;
+  linalg::solve_lower_rows(chol_, k_star, v);
+
+  std::vector<Prediction> out(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const double mean_std = linalg::dot(k_star.row(j), alpha_);
+    const double k_xx = (*kernel_)(points[j], points[j]);
+    const double var_std =
+        std::max(0.0, k_xx - linalg::dot(v.row(j), v.row(j)));
+    out[j].mean = mean_std * y_scale_ + y_mean_;
+    out[j].variance = var_std * y_scale_ * y_scale_;
+  }
+  return out;
+}
+
 std::vector<double> GaussianProcess::predict_mean(
     const std::vector<std::vector<double>>& points) const {
   std::vector<double> out;
   out.reserve(points.size());
-  for (const auto& p : points) out.push_back(predict(p).mean);
+  for (const auto& p : predict_batch(points)) out.push_back(p.mean);
   return out;
 }
 

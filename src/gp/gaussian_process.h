@@ -23,6 +23,42 @@ struct Prediction {
   double stddev() const;
 };
 
+/// Posterior mean/variance plus their gradients with respect to the query
+/// point, everything in original (unstandardized) units.
+struct PredictGradient {
+  double mean = 0.0;
+  double variance = 0.0;
+  std::vector<double> dmean;      ///< ∂mean/∂x
+  std::vector<double> dvariance;  ///< ∂variance/∂x
+  double stddev() const;
+};
+
+/// Reusable scratch for the prediction hot path.  The GP owns one for the
+/// convenience predict(x) overload; concurrent callers (the parallel
+/// multi-start acquisition optimizer) pass a private instance per task —
+/// the GP itself is only read.  Buffers grow on first use and are then
+/// reused allocation-free while the training-set size is stable.
+class GpWorkspace {
+ public:
+  void clear() {
+    k_star.clear();
+    v.clear();
+    w.clear();
+    kgrad.clear();
+    k_rows = {};
+    v_rows = {};
+  }
+
+ private:
+  friend class GaussianProcess;
+  std::vector<double> k_star;  ///< cross-covariances k(X, x)
+  std::vector<double> v;       ///< L⁻¹ k*
+  std::vector<double> w;       ///< L⁻ᵀ v = K⁻¹ k*
+  std::vector<double> kgrad;   ///< per-training-point kernel gradient
+  linalg::Matrix k_rows;       ///< batched cross-kernel matrix (row/query)
+  linalg::Matrix v_rows;       ///< batched forward solves
+};
+
 struct GpOptions {
   /// Refit kernel hyperparameters by LML maximization on every fit().
   bool optimize_hyperparameters = true;
@@ -55,7 +91,32 @@ class GaussianProcess {
   /// fit with the same kernel.  Requires a prior fit().
   void add_point(const std::vector<double>& x, double y);
 
+  /// Posterior at one point, using the GP-owned scratch workspace (no
+  /// per-call heap allocations once warmed up).  Not safe to call
+  /// concurrently on one GP instance — concurrent readers use the
+  /// workspace overload with private scratch.
   Prediction predict(std::span<const double> x) const;
+
+  /// Posterior at one point with caller-supplied scratch; thread-safe for
+  /// concurrent calls with distinct workspaces (the GP is only read).
+  Prediction predict(std::span<const double> x, GpWorkspace& ws) const;
+
+  /// Posterior mean/variance *and* their gradients in one O(n²) pass:
+  /// one forward and one backward triangular solve against the cached
+  /// Cholesky factor plus an O(n·d) analytic kernel-gradient sweep —
+  /// versus the (2·dims + 1) full predictions a central-difference
+  /// gradient costs.  Exact (Rasmussen & Williams Eq. 2.25/2.26
+  /// differentiated), not an approximation.
+  void predict_with_gradient(std::span<const double> x, GpWorkspace& ws,
+                             PredictGradient& out) const;
+
+  /// Posterior over a batch of points: the cross-kernel matrix is built
+  /// once and run through a single multi-RHS triangular solve, reusing the
+  /// GP-owned scratch matrices (same single-thread caveat as the
+  /// convenience predict(x)).  Each returned Prediction is bit-identical
+  /// to predict() on the same point.
+  std::vector<Prediction> predict_batch(
+      std::span<const std::vector<double>> points) const;
 
   /// Posterior means over a list of points (used for response surfaces).
   std::vector<double> predict_mean(
@@ -87,6 +148,10 @@ class GaussianProcess {
   linalg::Matrix chol_;          // L with K = L L^T
   std::vector<double> alpha_;    // K^{-1} y (standardized)
   double log_marginal_ = 0.0;
+
+  // Scratch for the convenience predict(x) overload; invalidated on
+  // fit()/add_point().  Deliberately not copied with the model.
+  mutable GpWorkspace scratch_;
 };
 
 }  // namespace robotune::gp

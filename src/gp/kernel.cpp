@@ -33,6 +33,23 @@ double Matern52::operator()(std::span<const double> a,
   return signal_variance_ * (1.0 + z + z * z / 3.0) * std::exp(-z);
 }
 
+void Matern52::accumulate_gradient(std::span<const double> a,
+                                   std::span<const double> b,
+                                   std::span<double> grad) const {
+  // k(r) = s² (1 + z + z²/3) e^{-z} with z = √5 r / l.  Differentiating
+  // through z and substituting z/r = √5/l collapses to
+  //   ∂k/∂a_i = −(5 s² / 3 l²) (1 + z) e^{-z} (a_i − b_i),
+  // which is well-defined at r = 0 (gradient vanishes).
+  static constexpr double kSqrt5 = 2.2360679774997896964091737;
+  const double r = std::sqrt(squared_distance(a, b));
+  const double z = kSqrt5 * r / length_scale_;
+  const double coef = -(5.0 / 3.0) * signal_variance_ * (1.0 + z) *
+                      std::exp(-z) / (length_scale_ * length_scale_);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    grad[i] += coef * (a[i] - b[i]);
+  }
+}
+
 std::vector<double> Matern52::log_params() const {
   return {std::log(length_scale_), std::log(signal_variance_)};
 }
@@ -71,6 +88,25 @@ double Matern52Ard::operator()(std::span<const double> a,
   }
   const double z = kSqrt5 * std::sqrt(ss);
   return signal_variance_ * (1.0 + z + z * z / 3.0) * std::exp(-z);
+}
+
+void Matern52Ard::accumulate_gradient(std::span<const double> a,
+                                      std::span<const double> b,
+                                      std::span<double> grad) const {
+  // Same derivation as the isotropic kernel with the scaled distance
+  // z = √5 √(Σ d_i²/l_i²):  ∂k/∂a_i = −(5 s²/3) (1+z) e^{-z} d_i / l_i².
+  static constexpr double kSqrt5 = 2.2360679774997896964091737;
+  double ss = 0.0;
+  for (std::size_t i = 0; i < scales_.size(); ++i) {
+    const double d = (a[i] - b[i]) / scales_[i];
+    ss += d * d;
+  }
+  const double z = kSqrt5 * std::sqrt(ss);
+  const double coef =
+      -(5.0 / 3.0) * signal_variance_ * (1.0 + z) * std::exp(-z);
+  for (std::size_t i = 0; i < scales_.size(); ++i) {
+    grad[i] += coef * (a[i] - b[i]) / (scales_[i] * scales_[i]);
+  }
 }
 
 std::vector<double> Matern52Ard::log_params() const {
@@ -142,6 +178,13 @@ SumKernel::SumKernel(std::unique_ptr<Kernel> a, std::unique_ptr<Kernel> b)
 double SumKernel::operator()(std::span<const double> x,
                              std::span<const double> y) const {
   return (*a_)(x, y) + (*b_)(x, y);
+}
+
+void SumKernel::accumulate_gradient(std::span<const double> x,
+                                    std::span<const double> y,
+                                    std::span<double> grad) const {
+  a_->accumulate_gradient(x, y, grad);
+  b_->accumulate_gradient(x, y, grad);
 }
 
 double SumKernel::diagonal_noise() const {

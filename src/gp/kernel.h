@@ -22,6 +22,19 @@ class Kernel {
   virtual double operator()(std::span<const double> a,
                             std::span<const double> b) const = 0;
 
+  /// Adds ∂k(a,b)/∂a into `grad` (same length as the points).  The
+  /// accumulate form lets SumKernel forward to its components without a
+  /// scratch vector; callers zero `grad` first when they want the bare
+  /// gradient.  The default adds nothing (correct for white noise, whose
+  /// cross-covariance is identically zero off the observed diagonal).
+  virtual void accumulate_gradient(std::span<const double> a,
+                                   std::span<const double> b,
+                                   std::span<double> grad) const {
+    (void)a;
+    (void)b;
+    (void)grad;
+  }
+
   /// Extra variance added on the diagonal for *observed* points only
   /// (white noise contributes here, not in cross-covariances with test
   /// points).
@@ -42,6 +55,9 @@ class Matern52 : public Kernel {
 
   double operator()(std::span<const double> a,
                     std::span<const double> b) const override;
+  void accumulate_gradient(std::span<const double> a,
+                           std::span<const double> b,
+                           std::span<double> grad) const override;
   std::size_t num_params() const override { return 2; }
   std::vector<double> log_params() const override;
   void set_log_params(std::span<const double> values) override;
@@ -67,6 +83,9 @@ class Matern52Ard : public Kernel {
 
   double operator()(std::span<const double> a,
                     std::span<const double> b) const override;
+  void accumulate_gradient(std::span<const double> a,
+                           std::span<const double> b,
+                           std::span<double> grad) const override;
   std::size_t num_params() const override { return scales_.size() + 1; }
   std::vector<double> log_params() const override;
   void set_log_params(std::span<const double> values) override;
@@ -109,6 +128,9 @@ class SumKernel : public Kernel {
 
   double operator()(std::span<const double> a,
                     std::span<const double> b) const override;
+  void accumulate_gradient(std::span<const double> a,
+                           std::span<const double> b,
+                           std::span<double> grad) const override;
   double diagonal_noise() const override;
   std::size_t num_params() const override;
   std::vector<double> log_params() const override;

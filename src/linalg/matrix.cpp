@@ -1,5 +1,6 @@
 #include "linalg/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace robotune::linalg {
@@ -40,15 +41,36 @@ std::vector<double> Matrix::matvec_transposed(std::span<const double> x) const {
 Matrix Matrix::operator*(const Matrix& rhs) const {
   require(cols_ == rhs.rows_, "matmul: dimension mismatch");
   Matrix out(rows_, rhs.cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double aik = (*this)(i, k);
-      if (aik == 0.0) continue;
-      const double* rhs_row = rhs.data_.data() + k * rhs.cols_;
+  // Column-panel blocking: for each tile of output columns the streamed
+  // slice of rhs is n_k * kColTile doubles, small enough to stay in L1/L2
+  // across all rows of the output.  Only the j loop is tiled — k remains
+  // the innermost accumulation, ascending, so every out(i, j) sums its
+  // terms in the same order as the unblocked loop (bit-identical result).
+  constexpr std::size_t kColTile = 64;
+  for (std::size_t jb = 0; jb < rhs.cols_; jb += kColTile) {
+    const std::size_t je = std::min(rhs.cols_, jb + kColTile);
+    for (std::size_t i = 0; i < rows_; ++i) {
       double* out_row = out.data_.data() + i * out.cols_;
-      for (std::size_t j = 0; j < rhs.cols_; ++j) {
-        out_row[j] += aik * rhs_row[j];
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const double aik = (*this)(i, k);
+        if (aik == 0.0) continue;
+        const double* rhs_row = rhs.data_.data() + k * rhs.cols_;
+        for (std::size_t j = jb; j < je; ++j) {
+          out_row[j] += aik * rhs_row[j];
+        }
       }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::multiply_transposed(const Matrix& rhs) const {
+  require(cols_ == rhs.cols_, "multiply_transposed: dimension mismatch");
+  Matrix out(rows_, rhs.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const std::span<const double> a = row(i);
+    for (std::size_t j = 0; j < rhs.rows_; ++j) {
+      out(i, j) = dot(a, rhs.row(j));
     }
   }
   return out;
@@ -75,10 +97,12 @@ void axpy(double alpha, std::span<const double> b, std::span<double> a) {
 
 namespace {
 
-// In-place attempt; returns false if a non-positive pivot is hit.
+// In-place attempt; returns false if a non-positive pivot is hit.  `l`
+// must already be an n x n matrix — it is wiped and reused across jitter
+// attempts so the retry loop performs no per-attempt allocations.
 bool try_cholesky(const Matrix& a, double jitter, Matrix& l) {
   const std::size_t n = a.rows();
-  l = Matrix(n, n);
+  std::ranges::fill(l.data(), 0.0);
   for (std::size_t j = 0; j < n; ++j) {
     double diag = a(j, j) + jitter;
     for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
@@ -98,7 +122,10 @@ bool try_cholesky(const Matrix& a, double jitter, Matrix& l) {
 
 Matrix cholesky(const Matrix& a, double jitter, int max_attempts) {
   require(a.rows() == a.cols(), "cholesky: matrix must be square");
-  Matrix l;
+  // One workspace shared by every jitter attempt: a failed attempt leaves
+  // garbage behind, but try_cholesky wipes the factor before writing, so
+  // the successful attempt's output is identical to a fresh allocation.
+  Matrix l(a.rows(), a.rows());
   if (try_cholesky(a, 0.0, l)) return l;
   double j = jitter;
   for (int attempt = 0; attempt < max_attempts; ++attempt, j *= 10.0) {
@@ -107,29 +134,64 @@ Matrix cholesky(const Matrix& a, double jitter, int max_attempts) {
   throw NumericalError("cholesky: matrix not positive definite after jitter");
 }
 
-std::vector<double> solve_lower(const Matrix& l, std::span<const double> b) {
+void solve_lower(const Matrix& l, std::span<const double> b,
+                 std::span<double> y) {
   const std::size_t n = l.rows();
-  require(b.size() == n, "solve_lower: dimension mismatch");
-  std::vector<double> y(n);
+  require(b.size() == n && y.size() == n, "solve_lower: dimension mismatch");
   for (std::size_t i = 0; i < n; ++i) {
     double sum = b[i];
     for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
     y[i] = sum / l(i, i);
   }
+}
+
+std::vector<double> solve_lower(const Matrix& l, std::span<const double> b) {
+  std::vector<double> y(l.rows());
+  solve_lower(l, b, y);
   return y;
 }
 
-std::vector<double> solve_lower_transposed(const Matrix& l,
-                                           std::span<const double> y) {
+void solve_lower_transposed(const Matrix& l, std::span<const double> y,
+                            std::span<double> x) {
   const std::size_t n = l.rows();
-  require(y.size() == n, "solve_lower_transposed: dimension mismatch");
-  std::vector<double> x(n);
+  require(y.size() == n && x.size() == n,
+          "solve_lower_transposed: dimension mismatch");
   for (std::size_t ii = n; ii-- > 0;) {
     double sum = y[ii];
     for (std::size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x[k];
     x[ii] = sum / l(ii, ii);
   }
+}
+
+std::vector<double> solve_lower_transposed(const Matrix& l,
+                                           std::span<const double> y) {
+  std::vector<double> x(l.rows());
+  solve_lower_transposed(l, y, x);
   return x;
+}
+
+Matrix solve_lower_rows(const Matrix& l, const Matrix& rhs_rows) {
+  Matrix out;
+  solve_lower_rows(l, rhs_rows, out);
+  return out;
+}
+
+void solve_lower_rows(const Matrix& l, const Matrix& rhs_rows, Matrix& out) {
+  require(rhs_rows.cols() == l.rows(), "solve_lower_rows: dimension mismatch");
+  out.resize(rhs_rows.rows(), rhs_rows.cols());
+  for (std::size_t j = 0; j < rhs_rows.rows(); ++j) {
+    solve_lower(l, rhs_rows.row(j), out.row(j));
+  }
+}
+
+Matrix solve_lower_transposed_rows(const Matrix& l, const Matrix& rhs_rows) {
+  require(rhs_rows.cols() == l.rows(),
+          "solve_lower_transposed_rows: dimension mismatch");
+  Matrix out(rhs_rows.rows(), rhs_rows.cols());
+  for (std::size_t j = 0; j < rhs_rows.rows(); ++j) {
+    solve_lower_transposed(l, rhs_rows.row(j), out.row(j));
+  }
+  return out;
 }
 
 std::vector<double> cholesky_solve(const Matrix& l,

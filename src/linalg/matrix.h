@@ -29,6 +29,16 @@ class Matrix {
   std::size_t cols() const noexcept { return cols_; }
   bool empty() const noexcept { return data_.empty(); }
 
+  /// Reshapes in place, reusing the existing allocation when it is large
+  /// enough.  Element values are unspecified afterwards — for workspace
+  /// matrices whose every element the caller overwrites (a fresh
+  /// Matrix(rows, cols) would pay a full zero-fill pass per call).
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   double& operator()(std::size_t r, std::size_t c) noexcept {
     return data_[r * cols_ + c];
   }
@@ -54,7 +64,18 @@ class Matrix {
   /// this^T * x.
   std::vector<double> matvec_transposed(std::span<const double> x) const;
 
+  /// Cache-blocked this * rhs.  Tiles the output columns so each column
+  /// panel of `rhs` stays cache-resident across rows; the per-element
+  /// accumulation order over k is unchanged (ascending), so the product
+  /// is bit-identical to the naive i-k-j loop.
   Matrix operator*(const Matrix& rhs) const;
+
+  /// this * rhs^T without materializing the transpose: out(i,j) is the
+  /// dot product of row i of this and row j of rhs — two contiguous
+  /// streams, the cache-optimal layout for row-major Gram products.
+  /// Accumulation order matches dot(), so the result is bit-identical to
+  /// (*this) * rhs.transposed().
+  Matrix multiply_transposed(const Matrix& rhs) const;
 
   void add_diagonal(double value);
 
@@ -81,9 +102,31 @@ Matrix cholesky(const Matrix& a, double jitter = 1e-10,
 /// Solve L y = b for lower-triangular L.
 std::vector<double> solve_lower(const Matrix& l, std::span<const double> b);
 
+/// Allocation-free overload: writes the solution into `y` (same size as
+/// `b`; may not alias it).  Identical arithmetic to the vector overload.
+void solve_lower(const Matrix& l, std::span<const double> b,
+                 std::span<double> y);
+
 /// Solve L^T x = y for lower-triangular L.
 std::vector<double> solve_lower_transposed(const Matrix& l,
                                            std::span<const double> y);
+
+/// Allocation-free overload (see solve_lower).
+void solve_lower_transposed(const Matrix& l, std::span<const double> y,
+                            std::span<double> x);
+
+/// Multi-RHS forward solve: row j of the result solves L y = rhs_rows.row(j).
+/// Each right-hand side lives in a *row* (not column) so both the inputs
+/// and the solutions are contiguous; the per-RHS arithmetic is exactly
+/// solve_lower's, so every row is bit-identical to the single-RHS solve.
+Matrix solve_lower_rows(const Matrix& l, const Matrix& rhs_rows);
+
+/// Allocation-free overload: `out` is resized to rhs_rows' shape and every
+/// element overwritten.  Identical arithmetic to the returning overload.
+void solve_lower_rows(const Matrix& l, const Matrix& rhs_rows, Matrix& out);
+
+/// Multi-RHS backward solve: row j solves L^T x = rhs_rows.row(j).
+Matrix solve_lower_transposed_rows(const Matrix& l, const Matrix& rhs_rows);
 
 /// Solve (L L^T) x = b given the Cholesky factor L.
 std::vector<double> cholesky_solve(const Matrix& l, std::span<const double> b);

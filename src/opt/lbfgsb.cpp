@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "linalg/matrix.h"
+#include "obs/trace.h"
 
 namespace robotune::opt {
 
@@ -284,6 +286,42 @@ LbfgsbResult multistart_minimize(
     best.x = probes.front().x;
     best.value = probes.front().value;
   }
+  return best;
+}
+
+LbfgsbResult minimize_starts(const ObjectiveFactory& factory,
+                             const std::vector<std::vector<double>>& starts,
+                             const Bounds& bounds,
+                             const LbfgsbOptions& options, ThreadPool* pool) {
+  require(!starts.empty(), "minimize_starts: no starts");
+
+  // One pre-sized slot per start; a parallel start touches only its own
+  // slot, so the slot vector's final contents do not depend on scheduling.
+  std::vector<LbfgsbResult> slots(starts.size());
+  auto run_start = [&](std::size_t i) {
+    obs::Span span("lbfgsb_start", "opt");
+    span.arg("start_index", static_cast<std::uint64_t>(i));
+    const Objective objective = factory();
+    slots[i] = minimize(objective, starts[i], bounds, options);
+    span.arg("value", slots[i].value);
+    span.arg("evaluations", slots[i].evaluations);
+  };
+  if (pool != nullptr && pool->size() > 1 && starts.size() > 1) {
+    pool->parallel_for(starts.size(), run_start);
+  } else {
+    for (std::size_t i = 0; i < starts.size(); ++i) run_start(i);
+  }
+
+  // Canonical reduction: strictly-lower value wins, so the lowest start
+  // index breaks ties — the argmin is a pure function of the slots.
+  std::size_t best_index = 0;
+  int evaluations = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    evaluations += slots[i].evaluations;
+    if (slots[i].value < slots[best_index].value) best_index = i;
+  }
+  LbfgsbResult best = std::move(slots[best_index]);
+  best.evaluations = evaluations;
   return best;
 }
 

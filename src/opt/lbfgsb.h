@@ -21,6 +21,10 @@
 
 #include "common/rng.h"
 
+namespace robotune {
+class ThreadPool;
+}
+
 namespace robotune::opt {
 
 struct Bounds {
@@ -81,5 +85,23 @@ LbfgsbResult multistart_minimize(
     const Objective& objective, const Bounds& bounds, Rng& rng,
     const MultiStartOptions& options = {},
     const std::vector<std::vector<double>>& warm_starts = {});
+
+/// Produces a fresh, independently usable Objective.  Each parallel start
+/// calls the factory once so objectives can own private scratch state
+/// (e.g. a GP prediction workspace) without synchronization.
+using ObjectiveFactory = std::function<Objective()>;
+
+/// Runs one L-BFGS-B descent from every start and returns the canonical
+/// best: the lowest value, ties broken by lowest start index.  When `pool`
+/// is non-null and has more than one worker, starts run concurrently; each
+/// start writes only its own result slot and the reduction is a fixed
+/// sequential scan, so the returned result is byte-identical at any worker
+/// count (including the inline pool == nullptr path).  `evaluations` sums
+/// objective evaluations across all starts.
+LbfgsbResult minimize_starts(const ObjectiveFactory& factory,
+                             const std::vector<std::vector<double>>& starts,
+                             const Bounds& bounds,
+                             const LbfgsbOptions& options = {},
+                             ThreadPool* pool = nullptr);
 
 }  // namespace robotune::opt

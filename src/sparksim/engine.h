@@ -11,7 +11,7 @@
 // scheduled.
 //
 // Every documented effect is traceable to a Spark mechanism; see
-// DESIGN.md §8 for the inventory and EXPERIMENTS.md for the calibration.
+// DESIGN.md §9 for the inventory and EXPERIMENTS.md for the calibration.
 #pragma once
 
 #include <optional>

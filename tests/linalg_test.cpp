@@ -202,6 +202,120 @@ TEST(SolveTest, LogDetMatchesDiagonalProduct) {
   EXPECT_NEAR(log_det_from_cholesky(l), expected, 1e-12);
 }
 
+// ----------------------------------------------- hot-path equivalences ----
+// The cache-blocked / batched kernels promise *bit-identical* results to
+// their scalar counterparts (DESIGN.md §8); these tests pin that contract
+// with exact floating-point comparisons.
+
+TEST(MatmulBlockedTest, BitIdenticalToNaiveLoopAcrossTileBoundary) {
+  // 70x90 * 90x130 spans more than one 64-column tile in every direction.
+  Rng rng(23);
+  Matrix a(70, 90);
+  Matrix b(90, 130);
+  for (double& v : a.data()) v = rng.uniform(-2, 2);
+  for (double& v : b.data()) v = rng.uniform(-2, 2);
+  const Matrix blocked = a * b;
+  Matrix naive(70, 130);
+  for (std::size_t i = 0; i < 70; ++i) {
+    for (std::size_t k = 0; k < 90; ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < 130; ++j) naive(i, j) += aik * b(k, j);
+    }
+  }
+  for (std::size_t i = 0; i < 70; ++i) {
+    for (std::size_t j = 0; j < 130; ++j) {
+      EXPECT_EQ(blocked(i, j), naive(i, j));  // exact, not approximate
+    }
+  }
+}
+
+TEST(MatmulBlockedTest, MultiplyTransposedMatchesExplicitTranspose) {
+  Rng rng(29);
+  Matrix a(7, 40);
+  Matrix b(9, 40);
+  for (double& v : a.data()) v = rng.uniform(-1, 1);
+  for (double& v : b.data()) v = rng.uniform(-1, 1);
+  const Matrix fused = a.multiply_transposed(b);
+  const Matrix reference = a * b.transposed();
+  ASSERT_EQ(fused.rows(), reference.rows());
+  ASSERT_EQ(fused.cols(), reference.cols());
+  for (std::size_t i = 0; i < fused.rows(); ++i) {
+    for (std::size_t j = 0; j < fused.cols(); ++j) {
+      EXPECT_EQ(fused(i, j), reference(i, j));
+    }
+  }
+}
+
+TEST(SolveTest, MultiRhsForwardSolveBitIdenticalToPerRhs) {
+  Rng rng(31);
+  const Matrix l = cholesky(random_spd(12, rng));
+  Matrix rhs(5, 12);
+  for (double& v : rhs.data()) v = rng.uniform(-3, 3);
+  const Matrix batched = solve_lower_rows(l, rhs);
+  for (std::size_t j = 0; j < 5; ++j) {
+    const auto single = solve_lower(l, rhs.row(j));
+    for (std::size_t i = 0; i < 12; ++i) {
+      EXPECT_EQ(batched(j, i), single[i]);
+    }
+  }
+}
+
+TEST(SolveTest, MultiRhsBackwardSolveBitIdenticalToPerRhs) {
+  Rng rng(37);
+  const Matrix l = cholesky(random_spd(9, rng));
+  Matrix rhs(4, 9);
+  for (double& v : rhs.data()) v = rng.uniform(-3, 3);
+  const Matrix batched = solve_lower_transposed_rows(l, rhs);
+  for (std::size_t j = 0; j < 4; ++j) {
+    const auto single = solve_lower_transposed(l, rhs.row(j));
+    for (std::size_t i = 0; i < 9; ++i) {
+      EXPECT_EQ(batched(j, i), single[i]);
+    }
+  }
+}
+
+TEST(SolveTest, SpanSolvesBitIdenticalToAllocatingOverloads) {
+  Rng rng(41);
+  const Matrix l = cholesky(random_spd(8, rng));
+  std::vector<double> b(8);
+  for (double& v : b) v = rng.uniform(-1, 1);
+  std::vector<double> y(8), x(8);
+  solve_lower(l, b, y);
+  solve_lower_transposed(l, y, x);
+  const auto y_ref = solve_lower(l, b);
+  const auto x_ref = solve_lower_transposed(l, y_ref);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(y[i], y_ref[i]);
+    EXPECT_EQ(x[i], x_ref[i]);
+  }
+}
+
+TEST(CholeskyTest, JitterRetryWorkspaceLeavesNoResidue) {
+  // A rank-one PSD matrix fails the jitter-free attempt partway through,
+  // leaving garbage in the shared workspace; the successful retry must
+  // produce exactly the factor a fresh allocation would have.  Computing
+  // the reference on the pre-jittered matrix (whose first attempt
+  // succeeds) exercises a workspace that was never dirtied.
+  Matrix ones(5, 5, 1.0);
+  const double jitter = 1e-8;
+  const Matrix from_retry = cholesky(ones, jitter);
+  Matrix jittered = ones;
+  jittered.add_diagonal(jitter);
+  const Matrix fresh = cholesky(jittered);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(from_retry(i, j), fresh(i, j));
+    }
+  }
+  // The wipe must also clear the strict upper triangle.
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      EXPECT_EQ(from_retry(i, j), 0.0);
+    }
+  }
+}
+
 // Property sweep: Cholesky solve residuals stay small across sizes.
 class CholeskySizeTest : public ::testing::TestWithParam<std::size_t> {};
 

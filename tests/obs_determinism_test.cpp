@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/persistence.h"
 #include "core/robotune.h"
 #include "exec/eval_scheduler.h"
@@ -61,9 +62,15 @@ struct SessionRun {
 };
 
 /// One full ROBOTune session.  parallelism 0 = detached (no scheduler).
-SessionRun run_session(int parallelism, bool with_faults) {
+/// `acq_workers` / `acq_pool` configure the acquisition optimizer's
+/// multi-start execution (see AcquisitionOptimizerOptions).
+SessionRun run_session(int parallelism, bool with_faults, int acq_workers = 0,
+                       ThreadPool* acq_pool = nullptr) {
   auto objective = make_objective(with_faults);
-  core::RoboTune tuner(fast_robotune(/*batch_size=*/2));
+  core::RoboTuneOptions options = fast_robotune(/*batch_size=*/2);
+  options.bo.hedge.optimizer.workers = acq_workers;
+  options.bo.hedge.optimizer.pool = acq_pool;
+  core::RoboTune tuner(options);
   core::SessionLog session;
   std::unique_ptr<exec::EvalScheduler> scheduler;
   if (parallelism > 0) {
@@ -177,6 +184,36 @@ TEST_F(ObsDeterminismTest, LogicalMetricsIdenticalAcrossWorkerCounts) {
     }
   } else {
     EXPECT_TRUE(logical[0].empty());
+  }
+}
+
+// ----------------------- acquisition multi-start vs worker count ---------
+
+TEST_F(ObsDeterminismTest, AcquisitionMultiStartInvariantAcrossWorkerCounts) {
+  // The parallel multi-start acquisition optimizer (DESIGN.md §8) promises
+  // byte-identical sessions AND identical logical metrics at any worker
+  // count: inline, a 2-worker pool, a 4-worker pool.
+  obs::metrics().reset();
+  const auto inline_run = run_session(/*parallelism=*/1, /*with_faults=*/false,
+                                      /*acq_workers=*/1);
+  const auto inline_logical = obs::metrics().snapshot().logical();
+
+  for (const std::size_t workers : {2u, 4u}) {
+    SCOPED_TRACE("acq pool workers " + std::to_string(workers));
+    ThreadPool pool(workers);
+    obs::metrics().reset();
+    const auto pooled = run_session(1, false, /*acq_workers=*/0, &pool);
+    const auto pooled_logical = obs::metrics().snapshot().logical();
+    expect_runs_equal(inline_run, pooled);
+    EXPECT_EQ(inline_logical, pooled_logical);
+  }
+
+  if (obs::kCompiledIn) {
+    // The hot path actually ran through the batched/gradient code: probe
+    // screening and analytic acquisition gradients left their counters.
+    EXPECT_GT(inline_logical.counters.at("acq.probes"), 0u);
+    EXPECT_GT(inline_logical.counters.at("gp.predict_batch.calls"), 0u);
+    EXPECT_GT(inline_logical.counters.at("gp.acq_grad"), 0u);
   }
 }
 

@@ -1,10 +1,12 @@
 // Tests for the bound-constrained L-BFGS optimizer and multistart driver.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "opt/lbfgsb.h"
 
 namespace robotune::opt {
@@ -167,6 +169,73 @@ TEST(MultistartTest, EmptyBoundsThrow) {
   const auto obj = quadratic({});
   Rng rng(8);
   EXPECT_THROW(multistart_minimize(obj, Bounds{}, rng), InvalidArgument);
+}
+
+// --------------------------------------------- parallel multi-start ----
+
+TEST(MinimizeStartsTest, PicksCanonicalBestAcrossStarts) {
+  // Multimodal objective from the multistart test; two starts land in
+  // different basins and the global one must win.
+  const auto factory = []() {
+    return numeric_gradient([](std::span<const double> x) {
+      return std::sin(12.0 * x[0]) + 2.0 * (x[0] - 0.7) * (x[0] - 0.7);
+    });
+  };
+  const std::vector<std::vector<double>> starts = {{0.4}, {0.9}};
+  const auto r = minimize_starts(factory, starts, Bounds::unit_cube(1));
+  EXPECT_NEAR(r.x[0], 0.916, 0.05);
+  EXPECT_GT(r.evaluations, 2);  // summed across both starts
+}
+
+TEST(MinimizeStartsTest, ByteIdenticalAcrossWorkerCounts) {
+  const auto factory = []() {
+    return numeric_gradient([](std::span<const double> x) {
+      double v = 0.0;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        v += std::sin(9.0 * x[i] + static_cast<double>(i)) +
+             (x[i] - 0.5) * (x[i] - 0.5);
+      }
+      return v;
+    });
+  };
+  std::vector<std::vector<double>> starts;
+  Rng rng(99);
+  for (int s = 0; s < 6; ++s) {
+    starts.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+  const Bounds bounds = Bounds::unit_cube(3);
+  const auto inline_r = minimize_starts(factory, starts, bounds);
+  ThreadPool pool2(2);
+  ThreadPool pool4(4);
+  for (ThreadPool* pool : {&pool2, &pool4}) {
+    const auto r = minimize_starts(factory, starts, bounds, {}, pool);
+    EXPECT_EQ(r.value, inline_r.value);
+    EXPECT_EQ(r.evaluations, inline_r.evaluations);
+    ASSERT_EQ(r.x.size(), inline_r.x.size());
+    for (std::size_t i = 0; i < r.x.size(); ++i) {
+      EXPECT_EQ(r.x[i], inline_r.x[i]);  // exact, not approximate
+    }
+  }
+}
+
+TEST(MinimizeStartsTest, TieBreaksOnLowestStartIndex) {
+  // A flat objective makes every start "win" with the same value; the
+  // canonical reduction must return the first start's (clipped) point.
+  const auto factory = []() -> Objective {
+    return [](std::span<const double>, std::span<double> grad) {
+      std::fill(grad.begin(), grad.end(), 0.0);
+      return 1.0;
+    };
+  };
+  const std::vector<std::vector<double>> starts = {{0.25}, {0.75}};
+  const auto r = minimize_starts(factory, starts, Bounds::unit_cube(1));
+  EXPECT_DOUBLE_EQ(r.x[0], 0.25);
+}
+
+TEST(MinimizeStartsTest, EmptyStartsThrow) {
+  const auto factory = []() { return quadratic({0.5}); };
+  EXPECT_THROW(minimize_starts(factory, {}, Bounds::unit_cube(1)),
+               InvalidArgument);
 }
 
 // Parameterized: quadratic minimization converges from any corner start.

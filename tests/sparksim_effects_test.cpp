@@ -1,6 +1,6 @@
 // Second simulator suite: directional/mechanism tests — every documented
 // configuration effect moves execution time the way the underlying Spark
-// mechanism says it should (DESIGN.md §8 inventory).
+// mechanism says it should (DESIGN.md §9 inventory).
 #include <gtest/gtest.h>
 
 #include <cmath>
