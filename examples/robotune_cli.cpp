@@ -8,12 +8,15 @@
 // the second run hits the selection cache and seeds BO with the first
 // run's best configurations.
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 
+#include "common/chaos.h"
 #include "common/error.h"
 #include "core/persistence.h"
 #include "core/robotune.h"
@@ -30,6 +33,18 @@ using namespace robotune;
 
 namespace {
 
+// Graceful shutdown: SIGINT/SIGTERM set the stop flag, the BO engine
+// notices it at the next round boundary, flushes its journal, and
+// returns with interrupted = true — so ^C leaves a resumable checkpoint
+// instead of a torn session.
+std::atomic<bool> g_stop{false};
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void handle_stop_signal(int sig) {
+  g_signal = sig;
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
 struct CliOptions {
   std::string workload = "PR";
   int dataset = 1;
@@ -42,6 +57,13 @@ struct CliOptions {
   int retries = 2;
   std::string checkpoint_path;
   bool resume = false;
+  /// Load the checkpoint in recover mode: a torn or corrupt journal tail
+  /// is truncated to the longest valid prefix instead of aborting.
+  bool recover = false;
+  /// fsync the journal (and its directory) on every checkpoint flush.
+  bool fsync = false;
+  /// Internal chaos injection profile (preset or per-site rates).
+  std::string chaos_profile = "none";
   bool quiet = false;
   /// Evaluation workers: 0 = no scheduler (legacy sequential seed
   /// streams); N >= 1 = scheduler mode with N workers (0-cost to results:
@@ -73,6 +95,14 @@ void usage(const char* argv0) {
       "  --checkpoint PATH           journal the session after every\n"
       "                              evaluation (robotune only)\n"
       "  --resume                    resume from --checkpoint if it exists\n"
+      "  --recover                   with --resume: truncate a torn or\n"
+      "                              corrupt journal tail to the longest\n"
+      "                              valid prefix instead of aborting\n"
+      "  --fsync                     fsync the journal on every flush\n"
+      "  --chaos-profile P           internal fault injection for soak\n"
+      "                              testing (default none): preset\n"
+      "                              none|surrogate|flaky|full, or\n"
+      "                              cholesky=F,acq=F,journal=F,pool=F\n"
       "  --parallel N                evaluate batches on N workers; results\n"
       "                              are bit-identical for any N >= 1\n"
       "                              (default 0 = legacy sequential mode)\n"
@@ -170,6 +200,14 @@ bool parse(int argc, char** argv, CliOptions& options) {
       options.checkpoint_path = v;
     } else if (arg == "--resume") {
       options.resume = true;
+    } else if (arg == "--recover") {
+      options.recover = true;
+    } else if (arg == "--fsync") {
+      options.fsync = true;
+    } else if (arg == "--chaos-profile") {
+      const char* v = next();
+      if (!v) return false;
+      options.chaos_profile = v;
     } else if (arg == "--parallel") {
       const char* v = next();
       if (!v) return false;
@@ -235,6 +273,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  chaos::ChaosProfile chaos_profile;
+  if (!chaos::ChaosProfile::parse(options.chaos_profile, chaos_profile)) {
+    std::fprintf(stderr, "bad --chaos-profile '%s'\n",
+                 options.chaos_profile.c_str());
+    return 2;
+  }
+  if (chaos_profile.active() && !chaos::kCompiledIn && !options.quiet) {
+    std::printf(
+        "note: built with ROBOTUNE_CHAOS=OFF — --chaos-profile is a "
+        "no-op\n");
+  }
+  chaos::injector().configure(chaos_profile, options.seed);
+
+  // Install the graceful-shutdown handlers before any tuning starts.
+  {
+    struct sigaction sa = {};
+    sa.sa_handler = handle_stop_signal;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+  }
+
   sparksim::SparkObjective objective(
       sparksim::ClusterSpec::paper_testbed(),
       sparksim::make_workload(kind, options.dataset),
@@ -269,9 +329,11 @@ int main(int argc, char** argv) {
   }
 
   tuners::TuningResult result;
+  bool interrupted = false;
   if (options.tuner == "robotune") {
     core::RoboTuneOptions tuner_options;
     tuner_options.bo.batch_size = options.batch;
+    tuner_options.bo.cancel = &g_stop;
     core::RoboTune tuner(tuner_options);
     if (!options.state_path.empty() &&
         core::load_state_file(options.state_path, tuner.selection_cache(),
@@ -287,12 +349,21 @@ int main(int argc, char** argv) {
     core::SessionLog* session_ptr = nullptr;
     if (!options.checkpoint_path.empty()) {
       try {
+        const auto mode = options.recover ? core::LoadMode::kRecover
+                                          : core::LoadMode::kStrict;
+        core::SessionLoadReport load_report;
         if (options.resume &&
-            core::load_session_file(options.checkpoint_path, session.state)) {
+            core::load_session_file(options.checkpoint_path, session.state,
+                                    mode, &load_report)) {
           if (!options.quiet) {
             std::printf("resuming from %s (%zu evaluations journaled)\n",
                         options.checkpoint_path.c_str(),
                         session.state.evaluations.size());
+            if (load_report.recovered) {
+              std::printf(
+                  "recovered journal: dropped %zu torn/corrupt record(s)\n",
+                  load_report.dropped_records);
+            }
           }
         }
       } catch (const std::exception& e) {
@@ -301,8 +372,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       const std::string path = options.checkpoint_path;
-      session.flush = [path](const core::SessionCheckpoint& state) {
-        core::save_session_file(state, path);
+      const auto sync = options.fsync ? core::SyncPolicy::kFsync
+                                      : core::SyncPolicy::kNone;
+      session.flush = [path, sync](const core::SessionCheckpoint& state) {
+        core::save_session_file(state, path, sync);
       };
       session_ptr = &session;
     }
@@ -316,6 +389,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     result = report.tuning;
+    interrupted = report.bo.interrupted;
     if (!options.quiet) {
       std::printf("selection: %zu parameters (%s), one-time cost %.0f s\n",
                   report.selected.size(),
@@ -366,10 +440,23 @@ int main(int argc, char** argv) {
         stdout);
   }
 
+  if (result.history.empty()) {
+    std::printf("%s %s-D%d budget=%d interrupted before any evaluation\n",
+                options.tuner.c_str(), options.workload.c_str(),
+                options.dataset, options.budget);
+    return interrupted ? 128 + static_cast<int>(g_signal) : 0;
+  }
   std::printf("%s %s-D%d budget=%d best=%.2f cost=%.0f evals=%zu\n",
               options.tuner.c_str(), options.workload.c_str(),
               options.dataset, options.budget, result.best_value_s(),
               result.search_cost_s, result.history.size());
+  if (interrupted) {
+    std::printf("interrupted by signal %d after %zu evaluations%s\n",
+                static_cast<int>(g_signal), result.history.size(),
+                options.checkpoint_path.empty()
+                    ? ""
+                    : "; checkpoint is resumable with --resume");
+  }
   if (faults.active()) {
     std::printf(
         "faults: %zu simulator attempts for %zu evaluations, "
@@ -393,5 +480,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  return 0;
+  // Conventional "killed by signal N" status so wrapper scripts can tell
+  // a graceful interruption from a completed run.
+  return interrupted ? 128 + static_cast<int>(g_signal) : 0;
 }

@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/chaos.h"
+
 namespace robotune {
 
 class ThreadPool {
@@ -98,13 +100,13 @@ class ThreadPool {
   void parallel_for(std::size_t n, Body&& body) {
     if (n == 0) return;
     if (size() <= 1 || n == 1) {
-      for (std::size_t i = 0; i < n; ++i) body(i);
+      for (std::size_t i = 0; i < n; ++i) run_indexed(body, i);
       return;
     }
     std::vector<std::function<void()>> tasks;
     tasks.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      tasks.emplace_back([i, &body]() { body(i); });
+      tasks.emplace_back([i, &body]() { run_indexed(body, i); });
     }
     auto futures = submit_batch(std::move(tasks));
     wait_all(futures);
@@ -114,6 +116,18 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  // Chaos site wrapping every parallel_for body.  Keyed on the logical
+  // index — not an invocation counter — so the set of injected failures
+  // is identical on the inline single-worker path and the pooled path,
+  // and the lowest failing index wins either way (wait_all semantics).
+  template <typename Body>
+  static void run_indexed(Body& body, std::size_t i) {
+    if (chaos::fail_indexed(chaos::Site::kPoolTask, i)) {
+      throw chaos::ChaosError("parallel_for: injected task failure");
+    }
+    body(i);
+  }
+
   void worker_loop();
 
   std::vector<std::thread> workers_;

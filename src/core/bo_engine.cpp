@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "common/error.h"
+#include "gp/kernel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sampling/latin_hypercube.h"
@@ -71,6 +73,10 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
     // Parallel sessions journal in completion order; restore canonical
     // order and drop anything stranded past a crash hole.
     canonicalize_journal(session->state);
+    // Degrade events are *derived* state: the resumed engine re-runs the
+    // same deterministic ladder decisions while replaying, so clear and
+    // regenerate rather than double-append.
+    session->state.degrade_events.clear();
     journaled = session->state.evaluations.size();
     if (journaled > 0) {
       require(session->state.indexed_seeding == indexed,
@@ -81,6 +87,24 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
       session->state.indexed_seeding = indexed;
     }
   }
+
+  // Cooperative cancellation (graceful SIGINT/SIGTERM): checked at round
+  // boundaries only, so every completed evaluation is journaled and the
+  // checkpoint left behind resumes bit-identically.
+  const auto cancelled = [this] {
+    return options_.cancel != nullptr &&
+           options_.cancel->load(std::memory_order_relaxed);
+  };
+
+  // One rung of the degradation ladder taken: counted (obs) and
+  // journaled, so a degraded session is auditable and byte-reproducible.
+  const auto note_degrade = [&](int iter, const char* rung) {
+    obs::count(std::string("degrade.") + rung);
+    if (session != nullptr) {
+      session->state.degrade_events.push_back(
+          DegradeEvent{static_cast<std::uint64_t>(iter), rung});
+    }
+  };
 
   const auto record_of = [](const tuners::Evaluation& e,
                             std::uint64_t index) {
@@ -230,6 +254,10 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
                   static_cast<std::uint64_t>(init_subs.size()));
     init_span.arg("memoized", memo_count);
     for (std::size_t begin = 0; begin < init_subs.size(); begin += q_opt) {
+      if (cancelled()) {
+        result.interrupted = true;
+        break;
+      }
       const std::size_t end = std::min(init_subs.size(), begin + q_opt);
       std::vector<std::vector<double>> points;
       points.reserve(end - begin);
@@ -259,8 +287,96 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
   }
 
   // ---- BO loop (Algorithm 1, lines 8-14) --------------------------------
-  gp::GaussianProcess model(gp::ard_kernel(dims), gp::GpOptions{}, rng());
+  // `kernel_state` carries the learned (hyperfit) kernel across rounds.
+  // It is deliberately kept separate from `model.kernel()`: the noise-
+  // inflation rung fits a temporary Sum(kernel, WhiteNoise) model, and
+  // cloning *that* forward would stack an extra noise term per degraded
+  // round.
+  std::unique_ptr<gp::Kernel> kernel_state = gp::ard_kernel(dims);
+  gp::GaussianProcess model(kernel_state->clone(), gp::GpOptions{}, rng());
   gp::GpHedge hedge(dims, rng(), options_.hedge);
+
+  // Deduplicates the training set (L-inf distance < 1e-10, first
+  // occurrence kept) — near-identical points are the classic cause of a
+  // singular kernel matrix.  Falls back to the full set when fewer than
+  // two distinct points remain (the GP needs two).
+  const auto dedup_training = [&xs, &ys](std::vector<std::vector<double>>& dx,
+                                         std::vector<double>& dy) {
+    dx.clear();
+    dy.clear();
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      bool duplicate = false;
+      for (const auto& kept : dx) {
+        double dist = 0.0;
+        for (std::size_t d = 0; d < kept.size(); ++d) {
+          dist = std::max(dist, std::abs(kept[d] - xs[i][d]));
+        }
+        if (dist < 1e-10) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        dx.push_back(xs[i]);
+        dy.push_back(ys[i]);
+      }
+    }
+    if (dx.size() < 2) {
+      dx = xs;
+      dy = ys;
+    }
+  };
+
+  // Degradation ladder for surrogate fits (DESIGN.md §11): a failed fit
+  // walks deterministic fallback rungs instead of killing the session —
+  // retry on deduplicated data, retry with inflated observation noise,
+  // and finally skip the model update for this round (the proposal step
+  // then degrades to seeded space-filling sampling).  Returns true when
+  // some rung produced a usable model; `model` is only assigned on a
+  // successful rung, never left half-fitted.
+  const auto fit_with_ladder = [&](bool hyperfit, std::uint64_t fit_seed,
+                                   int iter) -> bool {
+    try {
+      gp::GpOptions gp_options;
+      gp_options.optimize_hyperparameters = hyperfit;
+      gp::GaussianProcess candidate(kernel_state->clone(), gp_options,
+                                    fit_seed);
+      candidate.fit(xs, ys);
+      model = std::move(candidate);
+      kernel_state = model.kernel().clone();
+      return true;
+    } catch (const NumericalError&) {
+      note_degrade(iter, "gp_refit");
+    }
+    std::vector<std::vector<double>> dx;
+    std::vector<double> dy;
+    dedup_training(dx, dy);
+    try {
+      gp::GpOptions gp_options;
+      gp_options.optimize_hyperparameters = false;
+      gp::GaussianProcess candidate(kernel_state->clone(), gp_options,
+                                    fit_seed);
+      candidate.fit(dx, dy);
+      model = std::move(candidate);
+      return true;
+    } catch (const NumericalError&) {
+      note_degrade(iter, "gp_noise_inflate");
+    }
+    try {
+      gp::GpOptions gp_options;
+      gp_options.optimize_hyperparameters = false;
+      auto inflated = std::make_unique<gp::SumKernel>(
+          kernel_state->clone(), std::make_unique<gp::WhiteNoise>(0.1));
+      gp::GaussianProcess candidate(std::move(inflated), gp_options,
+                                    fit_seed);
+      candidate.fit(dx, dy);
+      model = std::move(candidate);
+      return true;
+    } catch (const NumericalError&) {
+      note_degrade(iter, "gp_skip");
+      return false;
+    }
+  };
 
   const int search_budget = options_.budget - options_.initial_samples;
   double best_seen = result.tuning.found_any()
@@ -269,7 +385,11 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
   int since_improvement = 0;
   bool model_fitted = false;
 
-  for (int iter = 0; iter < search_budget;) {
+  for (int iter = 0; iter < search_budget && !result.interrupted;) {
+    if (cancelled()) {
+      result.interrupted = true;
+      break;
+    }
     const int q = std::min(static_cast<int>(q_opt), search_budget - iter);
     obs::count("bo.rounds");
     obs::Span iter_span("iteration", "bo");
@@ -289,13 +409,8 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
       span.arg("points", static_cast<std::uint64_t>(xs.size()));
       span.arg("hyperfit", refit ? 1 : 0);
       if (refit) obs::count("bo.gp_refits");
-      gp::GpOptions gp_options;
-      gp_options.optimize_hyperparameters = refit;
-      model = gp::GaussianProcess(model.kernel().clone(), gp_options,
-                                  options_.seed ^
-                                      static_cast<std::uint64_t>(iter));
-      model.fit(xs, ys);
-      model_fitted = true;
+      model_fitted = fit_with_ladder(
+          refit, options_.seed ^ static_cast<std::uint64_t>(iter), iter);
     }
 
     // (2) Hedge proposes q configurations (or, in the single-acquisition
@@ -305,31 +420,76 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
     // posterior variance around it so the next proposal explores
     // elsewhere.  The fantasies depend only on the q proposals, never on
     // evaluation scheduling, so the trajectory is worker-count-invariant.
+    // When the ladder left no usable model this round, the whole round's
+    // proposals degrade to a seeded space-filling design; when a single
+    // proposal's acquisition optimizer fails, that proposal alone
+    // degrades to a seeded uniform point.  Either way the fallback is a
+    // pure function of (seed, iteration, slot) — byte-reproducible at
+    // any worker count — and fallback proposals are excluded from the
+    // Hedge portfolio's bookkeeping (no acquisition chose them).
     std::vector<gp::GpHedge::Choice> choices;
+    std::vector<char> fallback(static_cast<std::size_t>(q), 0);
     choices.reserve(static_cast<std::size_t>(q));
-    {
+    if (!model_fitted) {
+      Rng fb_rng(options_.seed ^
+                 (0xfa11ULL + static_cast<std::uint64_t>(iter) *
+                                  0x9e3779b97f4a7c15ULL));
+      const auto design = sampling::latin_hypercube(
+          static_cast<std::size_t>(q), dims, fb_rng);
+      for (int j = 0; j < q; ++j) {
+        note_degrade(iter, "fallback_proposal");
+        gp::GpHedge::Choice choice;
+        choice.point = design[static_cast<std::size_t>(j)];
+        choice.chosen = gp::AcquisitionKind::kEI;  // placeholder; unused
+        choice.nominees = {choice.point, choice.point, choice.point};
+        fallback[static_cast<std::size_t>(j)] = 1;
+        choices.push_back(std::move(choice));
+      }
+    } else {
       obs::Span span("acq_opt", "bo");
       span.arg("q", q);
       for (int j = 0; j < q; ++j) {
         gp::GpHedge::Choice choice;
-        if (options_.force_acquisition) {
-          Rng acq_rng(options_.seed ^
-                      (0x9e37ULL + static_cast<std::uint64_t>(iter + j)));
-          choice.chosen = *options_.force_acquisition;
-          choice.point = gp::optimize_acquisition(
-              model, choice.chosen, dims, acq_rng, options_.hedge.params,
-              options_.hedge.optimizer);
+        try {
+          if (options_.force_acquisition) {
+            Rng acq_rng(options_.seed ^
+                        (0x9e37ULL + static_cast<std::uint64_t>(iter + j)));
+            choice.chosen = *options_.force_acquisition;
+            choice.point = gp::optimize_acquisition(
+                model, choice.chosen, dims, acq_rng, options_.hedge.params,
+                options_.hedge.optimizer);
+            choice.nominees = {choice.point, choice.point, choice.point};
+          } else {
+            choice = hedge.propose(model);
+          }
+        } catch (const NumericalError&) {
+          note_degrade(iter, "acq_fallback");
+          note_degrade(iter, "fallback_proposal");
+          Rng fb_rng(options_.seed ^
+                     (0xacdfULL +
+                      static_cast<std::uint64_t>(iter) * 131ULL +
+                      static_cast<std::uint64_t>(j)));
+          choice.point.assign(dims, 0.0);
+          for (auto& c : choice.point) c = fb_rng.uniform();
+          choice.chosen = gp::AcquisitionKind::kEI;  // placeholder; unused
           choice.nominees = {choice.point, choice.point, choice.point};
-        } else {
-          choice = hedge.propose(model);
+          fallback[static_cast<std::size_t>(j)] = 1;
         }
-        obs::count(std::string("bo.hedge.selected.") +
-                   gp::to_string(choice.chosen));
-        result.chosen_acquisitions.push_back(choice.chosen);
+        if (fallback[static_cast<std::size_t>(j)] == 0) {
+          obs::count(std::string("bo.hedge.selected.") +
+                     gp::to_string(choice.chosen));
+          result.chosen_acquisitions.push_back(choice.chosen);
+        }
         if (j + 1 < q) {
           const double lie =
               ys.empty() ? 0.0 : *std::min_element(ys.begin(), ys.end());
-          model.add_point(choice.point, lie);
+          try {
+            model.add_point(choice.point, lie);
+          } catch (const NumericalError&) {
+            // Skip the fantasy: add_point's strong exception guarantee
+            // keeps the model usable for the remaining proposals.
+            note_degrade(iter, "gp_add_point");
+          }
         }
         choices.push_back(std::move(choice));
       }
@@ -351,26 +511,37 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
       if (evals[static_cast<std::size_t>(j)].transient) continue;
       xs.push_back(choices[static_cast<std::size_t>(j)].point);
       ys.push_back(observe(evals[static_cast<std::size_t>(j)].value_s));
-      if (q == 1) model.add_point(xs.back(), ys.back());
+      if (q == 1 && model_fitted) {
+        try {
+          model.add_point(xs.back(), ys.back());
+        } catch (const NumericalError&) {
+          // The observation is kept in (xs, ys); force the next round
+          // through the full refit ladder instead of trusting a model
+          // that could not absorb it.
+          note_degrade(iter, "gp_add_point");
+          model_fitted = false;
+        }
+      }
     }
-    if (q > 1) {
+    if (q > 1 && model_fitted) {
       obs::Span span("gp_fit", "bo");
       span.arg("points", static_cast<std::uint64_t>(xs.size()));
       span.arg("hyperfit", 0);
-      gp::GpOptions gp_options;
-      gp_options.optimize_hyperparameters = false;
-      model = gp::GaussianProcess(model.kernel().clone(), gp_options,
-                                  options_.seed ^
-                                      (0x51edULL +
-                                       static_cast<std::uint64_t>(iter)));
-      model.fit(xs, ys);
-      model_fitted = true;
+      model_fitted = fit_with_ladder(
+          false,
+          options_.seed ^ (0x51edULL + static_cast<std::uint64_t>(iter)),
+          iter);
     }
-    for (int j = 0; j < q; ++j) {
-      hedge.update_gains(model, choices[static_cast<std::size_t>(j)]);
+    // Hedge gains need a refreshed posterior; fallback proposals carry no
+    // acquisition to reward or punish.
+    if (model_fitted) {
+      for (int j = 0; j < q; ++j) {
+        if (fallback[static_cast<std::size_t>(j)] != 0) continue;
+        hedge.update_gains(model, choices[static_cast<std::size_t>(j)]);
+      }
     }
 
-    if (observer) {
+    if (observer && model_fitted) {
       for (int j = 0; j < q; ++j) {
         BoObserverInfo info;
         info.iteration = iter + j;

@@ -8,6 +8,7 @@
 // updates the portfolio's gains.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -64,6 +65,12 @@ struct BoOptions {
   int batch_size = 1;
   /// GP-Hedge portfolio configuration.
   gp::GpHedge::Options hedge;
+  /// Cooperative cancellation (graceful SIGINT/SIGTERM): when non-null
+  /// and set, the engine stops at the next round boundary and returns
+  /// with `interrupted = true` — every completed evaluation journaled, so
+  /// the checkpoint resumes bit-identically.  The engine only reads the
+  /// flag; signal handlers may set it from any thread.
+  const std::atomic<bool>* cancel = nullptr;
   std::uint64_t seed = 2024;
 };
 
@@ -108,6 +115,9 @@ struct BoResult {
   std::vector<gp::AcquisitionKind> chosen_acquisitions;
   std::vector<double> hedge_gains;   ///< final gains (PI, EI, LCB)
   bool early_stopped = false;
+  /// True when BoOptions::cancel stopped the session before its budget;
+  /// the journal (if any) holds a resumable checkpoint.
+  bool interrupted = false;
   int iterations_run = 0;
 };
 

@@ -1,19 +1,249 @@
 #include "core/persistence.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
+#include "common/chaos.h"
+#include "common/crc32.h"
 #include "common/error.h"
 
 namespace robotune::core {
 
 namespace {
 constexpr const char* kHeader = "robotune-state v1";
-constexpr const char* kSessionHeader = "robotune-session v2";
+constexpr const char* kSessionHeaderV3 = "robotune-session v3";
+constexpr const char* kSessionHeaderV2 = "robotune-session v2";
 constexpr const char* kSessionHeaderV1 = "robotune-session v1";
+
+// Whitespace tokenizer with file:line error context.  Every numeric
+// conversion goes through std::from_chars with a full-token-consumption
+// check, so a malformed field surfaces as InvalidArgument("<source>:<N>:
+// ...") instead of an uncaught std::invalid_argument or a silently
+// truncated value.
+class RecordParser {
+ public:
+  RecordParser(std::string_view payload, const std::string& source,
+               std::size_t line)
+      : payload_(payload), source_(source), line_(line) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidArgument("load_session: " + source_ + ":" +
+                          std::to_string(line_) + ": " + what);
+  }
+
+  bool at_end() {
+    skip_spaces();
+    return pos_ >= payload_.size();
+  }
+
+  std::string_view token(const char* field) {
+    skip_spaces();
+    if (pos_ >= payload_.size()) {
+      fail(std::string("missing ") + field + " field");
+    }
+    const std::size_t start = pos_;
+    while (pos_ < payload_.size() && payload_[pos_] != ' ' &&
+           payload_[pos_] != '\t') {
+      ++pos_;
+    }
+    return payload_.substr(start, pos_ - start);
+  }
+
+  std::uint64_t u64(const char* field) {
+    const std::string_view t = token(field);
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(t.data(), t.data() + t.size(), value);
+    if (ec != std::errc() || ptr != t.data() + t.size()) {
+      fail(std::string("malformed ") + field + " field: '" + std::string(t) +
+           "'");
+    }
+    return value;
+  }
+
+  int i(const char* field) {
+    const std::string_view t = token(field);
+    int value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(t.data(), t.data() + t.size(), value);
+    if (ec != std::errc() || ptr != t.data() + t.size()) {
+      fail(std::string("malformed ") + field + " field: '" + std::string(t) +
+           "'");
+    }
+    return value;
+  }
+
+  double d(const char* field) {
+    const std::string_view t = token(field);
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(t.data(), t.data() + t.size(), value);
+    if (ec != std::errc() || ptr != t.data() + t.size()) {
+      fail(std::string("malformed ") + field + " field: '" + std::string(t) +
+           "'");
+    }
+    return value;
+  }
+
+  void done(const char* record) {
+    if (!at_end()) {
+      fail(std::string("trailing data in ") + record + " record");
+    }
+  }
+
+ private:
+  void skip_spaces() {
+    while (pos_ < payload_.size() &&
+           (payload_[pos_] == ' ' || payload_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view payload_;
+  const std::string& source_;
+  std::size_t line_;
+  std::size_t pos_ = 0;
+};
+
+// Parses one session record payload (shared by all journal versions;
+// `v1` assigns eval indices by file position).
+void parse_session_record(RecordParser& p, bool v1,
+                          SessionCheckpoint& session) {
+  const std::string_view kind = p.token("record kind");
+  if (kind == "meta") {
+    session.seed = p.u64("seed");
+    session.budget = p.i("budget");
+    session.workload = std::string(p.token("workload"));
+    p.done("meta");
+  } else if (kind == "seeding") {
+    const std::string_view mode = p.token("seeding mode");
+    if (mode != "sequential" && mode != "indexed") {
+      p.fail("malformed seeding mode: '" + std::string(mode) + "'");
+    }
+    session.indexed_seeding = mode == "indexed";
+    p.done("seeding");
+  } else if (kind == "selected") {
+    const std::uint64_t count = p.u64("selected count");
+    session.selected.resize(count);
+    for (auto& idx : session.selected) {
+      idx = static_cast<std::size_t>(p.u64("selected index"));
+    }
+    p.done("selected");
+  } else if (kind == "selection-draws") {
+    session.selection_seed_draws = p.u64("selection-draws");
+    p.done("selection-draws");
+  } else if (kind == "selection-cost") {
+    session.selection_cost_s = p.d("selection-cost");
+    p.done("selection-cost");
+  } else if (kind == "memo") {
+    MemoizedConfig config;
+    config.value_s = p.d("memo value");
+    const std::uint64_t dims = p.u64("memo dims");
+    config.unit.resize(dims);
+    for (auto& u : config.unit) u = p.d("memo unit coordinate");
+    p.done("memo");
+    session.memoized.push_back(std::move(config));
+  } else if (kind == "eval") {
+    EvalRecord e;
+    if (v1) {
+      // v1 journals are sequential by construction: index = position.
+      e.index = session.evaluations.size();
+    } else {
+      e.index = p.u64("eval index");
+    }
+    const std::string_view status_label = p.token("eval status");
+    const auto status =
+        sparksim::run_status_from_string(std::string(status_label));
+    if (!status.has_value()) {
+      p.fail("unknown run status: '" + std::string(status_label) + "'");
+    }
+    e.status = *status;
+    e.value_s = p.d("eval value");
+    e.cost_s = p.d("eval cost");
+    e.stopped_early = p.i("eval stopped flag") != 0;
+    e.transient = p.i("eval transient flag") != 0;
+    e.attempts = p.i("eval attempts");
+    const std::uint64_t dims = p.u64("eval dims");
+    e.unit.resize(dims);
+    for (auto& u : e.unit) u = p.d("eval unit coordinate");
+    p.done("eval");
+    session.evaluations.push_back(std::move(e));
+  } else if (kind == "degrade") {
+    DegradeEvent event;
+    event.iter = p.u64("degrade iteration");
+    event.rung = std::string(p.token("degrade rung"));
+    p.done("degrade");
+    session.degrade_events.push_back(std::move(event));
+  } else {
+    p.fail("unknown record kind: '" + std::string(kind) + "'");
+  }
 }
+
+// Splits a v3 frame line into its payload.  Returns false (with `why`
+// set) on any framing violation: short line, bad hex, bad length, length
+// mismatch (torn write), or CRC mismatch (bit flip).
+bool unframe(const std::string& line, std::string_view& payload,
+             std::string& why) {
+  // "<crc:8 hex> <len> <payload>": at minimum 8 + 1 + 1 + 1 + 1 bytes.
+  if (line.size() < 12 || line[8] != ' ') {
+    why = "bad record frame";
+    return false;
+  }
+  std::uint32_t crc = 0;
+  {
+    const auto [ptr, ec] = std::from_chars(line.data(), line.data() + 8, crc,
+                                           /*base=*/16);
+    if (ec != std::errc() || ptr != line.data() + 8) {
+      why = "bad frame checksum field";
+      return false;
+    }
+  }
+  std::size_t len = 0;
+  const char* const len_begin = line.data() + 9;
+  const char* const line_end = line.data() + line.size();
+  const auto [len_end, ec] = std::from_chars(len_begin, line_end, len);
+  if (ec != std::errc() || len_end == len_begin || len_end >= line_end ||
+      *len_end != ' ') {
+    why = "bad frame length field";
+    return false;
+  }
+  payload = std::string_view(len_end + 1, line_end);
+  if (payload.size() != len) {
+    why = "frame length mismatch (torn record)";
+    return false;
+  }
+  if (crc32(payload) != crc) {
+    why = "frame checksum mismatch (corrupt record)";
+    return false;
+  }
+  return true;
+}
+
+bool fsync_file(const char* path) {
+  const int fd = ::open(path, O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+// fsyncs the directory containing `path` so the rename itself is durable.
+bool fsync_parent(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  return fsync_file(dir.c_str());
+}
+
+}  // namespace
 
 std::size_t canonicalize_journal(SessionCheckpoint& session) {
   auto& evals = session.evaluations;
@@ -108,107 +338,152 @@ bool load_state_file(const std::string& path,
 
 std::size_t save_session(const SessionCheckpoint& session,
                          std::ostream& out) {
-  out.precision(17);
-  out << kSessionHeader << "\n";
-  out << "meta " << session.seed << " " << session.budget << " "
-      << session.workload << "\n";
-  out << "seeding " << (session.indexed_seeding ? "indexed" : "sequential")
-      << "\n";
-  out << "selected " << session.selected.size();
-  for (std::size_t idx : session.selected) out << " " << idx;
-  out << "\n";
-  out << "selection-draws " << session.selection_seed_draws << "\n";
-  out << "selection-cost " << session.selection_cost_s << "\n";
+  out << kSessionHeaderV3 << "\n";
+  // Each record is built as a payload string first so its CRC and byte
+  // length can frame it: "<crc:8 hex> <len> <payload>\n".
+  const auto emit = [&out](const std::string& payload) {
+    char head[32];
+    std::snprintf(head, sizeof(head), "%08x %zu ", crc32(payload),
+                  payload.size());
+    out << head << payload << "\n";
+  };
+  const auto payload = [](auto&& fill) {
+    std::ostringstream p;
+    p.precision(17);
+    fill(p);
+    return std::move(p).str();
+  };
+  emit(payload([&](std::ostream& p) {
+    p << "meta " << session.seed << " " << session.budget << " "
+      << session.workload;
+  }));
+  emit(payload([&](std::ostream& p) {
+    p << "seeding " << (session.indexed_seeding ? "indexed" : "sequential");
+  }));
+  emit(payload([&](std::ostream& p) {
+    p << "selected " << session.selected.size();
+    for (std::size_t idx : session.selected) p << " " << idx;
+  }));
+  emit(payload([&](std::ostream& p) {
+    p << "selection-draws " << session.selection_seed_draws;
+  }));
+  emit(payload([&](std::ostream& p) {
+    p << "selection-cost " << session.selection_cost_s;
+  }));
   for (const auto& config : session.memoized) {
-    out << "memo " << config.value_s << " " << config.unit.size();
-    for (double u : config.unit) out << " " << u;
-    out << "\n";
+    emit(payload([&](std::ostream& p) {
+      p << "memo " << config.value_s << " " << config.unit.size();
+      for (double u : config.unit) p << " " << u;
+    }));
   }
   for (const auto& e : session.evaluations) {
-    out << "eval " << e.index << " " << sparksim::to_string(e.status) << " "
+    emit(payload([&](std::ostream& p) {
+      p << "eval " << e.index << " " << sparksim::to_string(e.status) << " "
         << e.value_s << " " << e.cost_s << " " << (e.stopped_early ? 1 : 0)
         << " " << (e.transient ? 1 : 0) << " " << e.attempts << " "
         << e.unit.size();
-    for (double u : e.unit) out << " " << u;
-    out << "\n";
+      for (double u : e.unit) p << " " << u;
+    }));
+  }
+  for (const auto& event : session.degrade_events) {
+    emit(payload([&](std::ostream& p) {
+      p << "degrade " << event.iter << " " << event.rung;
+    }));
   }
   return session.evaluations.size();
 }
 
 std::size_t load_session(std::istream& in, SessionCheckpoint& session) {
-  std::string line;
-  require(static_cast<bool>(std::getline(in, line)),
-          "load_session: empty stream");
-  const bool v1 = line == kSessionHeaderV1;
-  require(v1 || line == kSessionHeader,
-          "load_session: unrecognized header: " + line);
+  return load_session(in, session, LoadMode::kStrict);
+}
+
+std::size_t load_session(std::istream& in, SessionCheckpoint& session,
+                         LoadMode mode, SessionLoadReport* report,
+                         const std::string& source) {
+  SessionLoadReport local;
+  SessionLoadReport& rep = report ? *report : local;
+  rep = SessionLoadReport{};
   session = SessionCheckpoint{};
+
+  std::string line;
+  std::size_t line_no = 1;
+  if (!std::getline(in, line)) {
+    if (mode == LoadMode::kRecover) {
+      rep.recovered = true;
+      return 0;
+    }
+    throw InvalidArgument("load_session: " + source + ": empty stream");
+  }
+  int version = 0;
+  if (line == kSessionHeaderV3) {
+    version = 3;
+  } else if (line == kSessionHeaderV2) {
+    version = 2;
+  } else if (line == kSessionHeaderV1) {
+    version = 1;
+  } else if (mode == LoadMode::kRecover) {
+    // A header torn mid-write: nothing trustworthy follows.
+    rep.recovered = true;
+    ++rep.dropped_records;
+    while (std::getline(in, line)) ++rep.dropped_records;
+    return 0;
+  } else {
+    throw InvalidArgument("load_session: " + source +
+                          ": unrecognized header: " + line);
+  }
+  rep.version = version;
+
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream row(line);
-    std::string kind;
-    row >> kind;
-    if (kind == "meta") {
-      row >> session.seed >> session.budget >> session.workload;
-      require(!row.fail(), "load_session: malformed meta row");
-    } else if (kind == "seeding") {
-      std::string mode;
-      row >> mode;
-      require(!row.fail() && (mode == "sequential" || mode == "indexed"),
-              "load_session: malformed seeding row");
-      session.indexed_seeding = mode == "indexed";
-    } else if (kind == "selected") {
-      std::size_t count = 0;
-      row >> count;
-      session.selected.resize(count);
-      for (auto& idx : session.selected) row >> idx;
-      require(!row.fail(), "load_session: malformed selected row");
-    } else if (kind == "selection-draws") {
-      row >> session.selection_seed_draws;
-      require(!row.fail(), "load_session: malformed selection-draws row");
-    } else if (kind == "selection-cost") {
-      row >> session.selection_cost_s;
-      require(!row.fail(), "load_session: malformed selection-cost row");
-    } else if (kind == "memo") {
-      MemoizedConfig config;
-      std::size_t dims = 0;
-      row >> config.value_s >> dims;
-      config.unit.resize(dims);
-      for (auto& u : config.unit) row >> u;
-      require(!row.fail(), "load_session: malformed memo row");
-      session.memoized.push_back(std::move(config));
-    } else if (kind == "eval") {
-      EvalRecord e;
-      std::string status_label;
-      int stopped = 0, transient = 0;
-      std::size_t dims = 0;
-      if (v1) {
-        // v1 journals are sequential by construction: index = position.
-        e.index = session.evaluations.size();
-      } else {
-        row >> e.index;
+    if (version == 3) {
+      std::string_view record;
+      std::string why;
+      bool ok = unframe(line, record, why);
+      if (ok) {
+        RecordParser parser(record, source, line_no);
+        if (mode == LoadMode::kRecover) {
+          // A frame that passes CRC but fails to parse is still treated
+          // as the corruption point: nothing after it can be trusted.
+          // Parse against a scratch copy so a half-parsed record cannot
+          // leave partially-mutated fields in the kept prefix.
+          SessionCheckpoint scratch = session;
+          try {
+            parse_session_record(parser, /*v1=*/false, scratch);
+            session = std::move(scratch);
+          } catch (const InvalidArgument&) {
+            ok = false;
+          }
+        } else {
+          parse_session_record(parser, /*v1=*/false, session);
+        }
       }
-      row >> status_label >> e.value_s >> e.cost_s >> stopped >> transient >>
-          e.attempts >> dims;
-      e.unit.resize(dims);
-      for (auto& u : e.unit) row >> u;
-      require(!row.fail(), "load_session: malformed eval row");
-      const auto status = sparksim::run_status_from_string(status_label);
-      require(status.has_value(),
-              "load_session: unknown run status: " + status_label);
-      e.status = *status;
-      e.stopped_early = stopped != 0;
-      e.transient = transient != 0;
-      session.evaluations.push_back(std::move(e));
+      if (!ok) {
+        if (mode == LoadMode::kRecover) {
+          rep.recovered = true;
+          ++rep.dropped_records;
+          while (std::getline(in, line)) ++rep.dropped_records;
+          break;
+        }
+        throw InvalidArgument("load_session: " + source + ":" +
+                              std::to_string(line_no) + ": " + why);
+      }
     } else {
-      throw InvalidArgument("load_session: unknown record kind: " + kind);
+      // Legacy unframed journals carry no checksum, so corruption is not
+      // reliably detectable: parse strictly regardless of mode.
+      RecordParser parser(line, source, line_no);
+      parse_session_record(parser, version == 1, session);
     }
   }
+  rep.evaluations = session.evaluations.size();
   return session.evaluations.size();
 }
 
 bool save_session_file(const SessionCheckpoint& session,
-                       const std::string& path) {
+                       const std::string& path, SyncPolicy sync) {
+  // Chaos site: a simulated I/O error leaves the previous checkpoint (if
+  // any) untouched, exactly like a failed open would.
+  if (chaos::fail(chaos::Site::kJournalWrite)) return false;
   // Write-then-rename so a crash mid-write never corrupts an existing
   // checkpoint: resume either sees the old journal or the new one.
   const std::string tmp = path + ".tmp";
@@ -216,15 +491,20 @@ bool save_session_file(const SessionCheckpoint& session,
     std::ofstream out(tmp);
     if (!out) return false;
     save_session(session, out);
+    out.flush();
     if (!out) return false;
   }
-  return std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (sync == SyncPolicy::kFsync && !fsync_file(tmp.c_str())) return false;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) return false;
+  if (sync == SyncPolicy::kFsync && !fsync_parent(path)) return false;
+  return true;
 }
 
-bool load_session_file(const std::string& path, SessionCheckpoint& session) {
+bool load_session_file(const std::string& path, SessionCheckpoint& session,
+                       LoadMode mode, SessionLoadReport* report) {
   std::ifstream in(path);
   if (!in) return false;
-  load_session(in, session);
+  load_session(in, session, mode, report, path);
   return true;
 }
 

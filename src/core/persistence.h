@@ -17,9 +17,14 @@
 // replayed evaluations rebuild the guard, surrogate, and RNG state
 // deterministically instead of re-running the cluster.
 //
-// Checkpoint format (v2; v1 files — no eval index, no seeding line —
-// are still read, with indices assigned by file position):
-//   robotune-session v2
+// Checkpoint format (v3, crash-safe).  The first line is the bare
+// header; every following line is a *framed record*:
+//
+//   robotune-session v3
+//   <crc32:8 lowercase hex> <len:decimal payload bytes> <payload>
+//
+// where the CRC covers exactly the payload bytes.  Payloads are the
+// familiar line records:
 //   meta <seed> <budget> <workload>
 //   seeding sequential|indexed
 //   selected <n> <idx...>
@@ -28,6 +33,14 @@
 //   memo <value_s> <dim> <unit...>
 //   eval <index> <status> <value_s> <cost_s> <stopped> <transient>
 //        <attempts> <dim> <unit...>
+//   degrade <iter> <rung>
+//
+// The framing makes a torn write (power loss mid-checkpoint) or a bit
+// flip detectable at load time: in LoadMode::kRecover the loader
+// truncates at the first bad frame and returns the longest valid record
+// prefix instead of throwing; LoadMode::kStrict keeps the historical
+// throw-on-corruption behavior.  v2 and v1 journals (unframed) are still
+// read — read-only compatibility; the next flush rewrites the file as v3.
 //
 // A parallel session journals evaluations in *completion* order, which
 // under concurrency is not index order and can have holes after a crash
@@ -64,6 +77,15 @@ struct EvalRecord {
   int attempts = 1;
 };
 
+/// One rung of the degradation ladder (DESIGN.md §11) taken during the
+/// session: which BO iteration degraded and how.  Journaled so a degraded
+/// session is auditable and byte-reproducible; never replayed into model
+/// state (the resumed engine re-derives the same rungs deterministically).
+struct DegradeEvent {
+  std::uint64_t iter = 0;
+  std::string rung;  ///< e.g. "gp_refit", "gp_noise_inflate", "gp_skip"
+};
+
 /// Everything needed to resume a killed tuning session with an identical
 /// continuation.  The journal grows by one record per completed
 /// evaluation; all other fields are fixed at session start.
@@ -87,6 +109,9 @@ struct SessionCheckpoint {
   /// otherwise.
   bool indexed_seeding = false;
   std::vector<EvalRecord> evaluations;  ///< completed-evaluation journal
+  /// Degradation-ladder rungs taken so far, in canonical (iteration)
+  /// order.  Cleared and regenerated by the engine on resume.
+  std::vector<DegradeEvent> degrade_events;
 };
 
 /// Restores canonical order after an out-of-order (parallel) journal:
@@ -115,18 +140,53 @@ bool load_state_file(const std::string& path,
                      ParameterSelectionCache& selection,
                      ConfigMemoizationBuffer& memo);
 
-/// Serializes a session checkpoint.  Returns the journal length.
+/// How load_session treats a torn or corrupt journal.
+enum class LoadMode {
+  kStrict,   ///< any bad frame / malformed record throws InvalidArgument
+  kRecover,  ///< truncate at the first bad record, keep the valid prefix
+};
+
+/// Durability of save_session_file.
+enum class SyncPolicy {
+  kNone,   ///< rely on the OS page cache (default; write-then-rename only)
+  kFsync,  ///< fsync the checkpoint and its directory before returning
+};
+
+/// What a load actually did — populated by the LoadMode overloads.
+struct SessionLoadReport {
+  std::size_t evaluations = 0;      ///< eval records loaded
+  std::size_t dropped_records = 0;  ///< journal lines discarded (recover)
+  bool recovered = false;           ///< true when anything was dropped
+  int version = 0;                  ///< journal format version (1, 2, 3)
+};
+
+/// Serializes a session checkpoint (v3 framed format).  Returns the
+/// journal length.
 std::size_t save_session(const SessionCheckpoint& session, std::ostream& out);
 
-/// Restores a checkpoint written by save_session.  Throws InvalidArgument
-/// on malformed input.  Returns the journal length.
+/// Restores a checkpoint written by save_session (v3) or by older
+/// releases (v2/v1, read-only).  Strict mode: throws InvalidArgument on
+/// malformed input.  Returns the journal length.
 std::size_t load_session(std::istream& in, SessionCheckpoint& session);
 
+/// LoadMode-aware variant.  In kRecover, a v3 journal with a torn or
+/// bit-flipped tail loads its longest valid record prefix and never
+/// throws (a corrupt header yields an empty checkpoint); legacy v2/v1
+/// journals are always parsed strictly.  `source` labels error messages
+/// (file path); `report`, when non-null, receives what happened.
+std::size_t load_session(std::istream& in, SessionCheckpoint& session,
+                         LoadMode mode, SessionLoadReport* report = nullptr,
+                         const std::string& source = "<stream>");
+
 /// File wrappers; save replaces the file atomically enough for a
-/// kill-anytime workflow (write then rename).  Load returns false when
-/// the file cannot be opened (no checkpoint yet).
+/// kill-anytime workflow (write then rename; SyncPolicy::kFsync adds
+/// fsync-per-checkpoint durability).  Load returns false when the file
+/// cannot be opened (no checkpoint yet).
 bool save_session_file(const SessionCheckpoint& session,
-                       const std::string& path);
-bool load_session_file(const std::string& path, SessionCheckpoint& session);
+                       const std::string& path,
+                       SyncPolicy sync = SyncPolicy::kNone);
+bool load_session_file(const std::string& path, SessionCheckpoint& session,
+                       LoadMode mode = LoadMode::kStrict,
+                       SessionLoadReport* report = nullptr);
 
 }  // namespace robotune::core

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <memory>
 
+#include "common/chaos.h"
+#include "common/error.h"
 #include "common/statistics.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
@@ -111,6 +113,11 @@ std::vector<double> optimize_acquisition(
     const GaussianProcess& gp, AcquisitionKind kind, std::size_t dims,
     Rng& rng, const AcquisitionParams& params,
     const AcquisitionOptimizerOptions& options) {
+  // Chaos site: thrown before the caller's RNG draw is consumed, so a
+  // failed proposal leaves the generator exactly where a crash would.
+  if (chaos::fail(chaos::Site::kAcqOpt)) {
+    throw NumericalError("optimize_acquisition: optimizer diverged (chaos)");
+  }
   const double best = gp.best_observed();
   const opt::Bounds bounds = opt::Bounds::unit_cube(dims);
 

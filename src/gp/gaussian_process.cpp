@@ -113,7 +113,13 @@ void GaussianProcess::add_point(const std::vector<double>& x, double y) {
 
   if (!(d2 > 1e-12)) {
     // Numerically degenerate (e.g. duplicate point): fall back to a full
-    // refactorization with jitter escalation.
+    // refactorization with jitter escalation.  factorize() can throw
+    // NumericalError even with jitter, so roll back the training-set
+    // mutation first — callers (the BO engine's constant-liar fantasies,
+    // the degradation ladder) rely on the strong exception guarantee to
+    // keep using the model after a failed incremental update.
+    const double old_mean = y_mean_;
+    const double old_scale = y_scale_;
     y_mean_ = stats::mean(train_y_raw_);
     y_scale_ = stats::stddev(train_y_raw_);
     if (!(y_scale_ > 1e-12)) y_scale_ = 1.0;
@@ -121,7 +127,19 @@ void GaussianProcess::add_point(const std::vector<double>& x, double y) {
     for (std::size_t i = 0; i < train_y_.size(); ++i) {
       train_y_[i] = (train_y_raw_[i] - y_mean_) / y_scale_;
     }
-    factorize();
+    try {
+      factorize();
+    } catch (const NumericalError&) {
+      train_x_.pop_back();
+      train_y_raw_.pop_back();
+      train_y_.pop_back();
+      y_mean_ = old_mean;
+      y_scale_ = old_scale;
+      for (std::size_t i = 0; i < train_y_.size(); ++i) {
+        train_y_[i] = (train_y_raw_[i] - y_mean_) / y_scale_;
+      }
+      throw;
+    }
     return;
   }
 

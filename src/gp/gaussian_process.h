@@ -89,6 +89,11 @@ class GaussianProcess {
   /// O(n²) instead of refactorized in O(n³).  Target standardization is
   /// recomputed, so predictions are identical (to rounding) to a batch
   /// fit with the same kernel.  Requires a prior fit().
+  ///
+  /// Strong exception guarantee: the degenerate path (near-duplicate
+  /// point) falls back to a full refactorization, which can throw
+  /// NumericalError — on throw the model is rolled back to its state
+  /// before the call and remains usable for prediction.
   void add_point(const std::vector<double>& x, double y);
 
   /// Posterior at one point, using the GP-owned scratch workspace (no

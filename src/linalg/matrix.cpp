@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/chaos.h"
+
 namespace robotune::linalg {
 
 Matrix Matrix::transposed() const {
@@ -122,6 +124,11 @@ bool try_cholesky(const Matrix& a, double jitter, Matrix& l) {
 
 Matrix cholesky(const Matrix& a, double jitter, int max_attempts) {
   require(a.rows() == a.cols(), "cholesky: matrix must be square");
+  // Chaos site: a forced failure is indistinguishable from a genuinely
+  // non-PD matrix, so callers exercise exactly their real recovery path.
+  if (chaos::fail(chaos::Site::kCholesky)) {
+    throw NumericalError("cholesky: matrix not positive definite (chaos)");
+  }
   // One workspace shared by every jitter attempt: a failed attempt leaves
   // garbage behind, but try_cholesky wipes the factor before writing, so
   // the successful attempt's output is identical to a fresh allocation.

@@ -1,6 +1,7 @@
 #include "tuners/tuner.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.h"
 #include "obs/metrics.h"
@@ -63,12 +64,28 @@ std::size_t TuningResult::total_attempts() const {
   return n;
 }
 
-void append_evaluation(const Evaluation& e, GuardPolicy& guard,
+void append_evaluation(Evaluation& e, GuardPolicy& guard,
                        TuningResult& result) {
   // The canonical-order funnel every tuner's bookkeeping runs through —
   // the one place evaluation metrics are counted, so totals are
   // identical no matter which tuner, scheduler, or worker count
   // produced the evaluations (DESIGN.md §7 determinism contract).
+  //
+  // Quarantine non-finite values here, at the single funnel: a NaN/Inf
+  // observation would otherwise poison every downstream model (GP, RF,
+  // Gunther, BestConfig).  The evaluation is censored like a transient
+  // run — its value says nothing about the configuration — so it is
+  // charged to the session but excluded from model training, the guard
+  // median, and incumbent tracking.
+  if (!std::isfinite(e.value_s) || !std::isfinite(e.cost_s)) {
+    obs::count("evals.quarantined");
+    if (!std::isfinite(e.value_s)) {
+      const double cap = guard.current();
+      e.value_s = cap > 0.0 ? cap : 0.0;
+    }
+    if (!std::isfinite(e.cost_s)) e.cost_s = std::max(0.0, e.value_s);
+    e.transient = true;
+  }
   obs::count("evals.total");
   if (e.transient) {
     obs::count("evals.censored");
@@ -115,7 +132,7 @@ Evaluation evaluate_into(sparksim::SparkObjective& objective,
                          const std::vector<double>& unit, GuardPolicy& guard,
                          TuningResult& result) {
   const auto outcome = objective.evaluate(unit, guard.current());
-  const auto e = to_evaluation(unit, outcome);
+  auto e = to_evaluation(unit, outcome);
   append_evaluation(e, guard, result);
   return e;
 }

@@ -125,7 +125,12 @@ Evaluation evaluate_into(sparksim::SparkObjective& objective,
 /// evaluation (guard update, search cost, incumbent tracking).  Checkpoint
 /// resume replays journaled evaluations through this so a resumed session
 /// rebuilds byte-identical tuner state.
-void append_evaluation(const Evaluation& e, GuardPolicy& guard,
+///
+/// This is also the quarantine point for non-finite objective values: a
+/// NaN/Inf value or cost is censored in place (classified like a
+/// transient run — charged to the session but never trained on and never
+/// the incumbent), which is why `e` is taken by mutable reference.
+void append_evaluation(Evaluation& e, GuardPolicy& guard,
                        TuningResult& result);
 
 /// Converts a scheduler outcome into the tuner-facing Evaluation record.

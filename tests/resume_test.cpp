@@ -4,6 +4,7 @@
 // configuration, and search cost of a never-interrupted run.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -281,6 +282,49 @@ TEST(ResumeTest, KilledSessionResumesFromItsCheckpointFile) {
   ASSERT_TRUE(load_session_file(path, final_state));
   EXPECT_EQ(final_state.evaluations.size(), 20u);
   std::remove(path.c_str());
+}
+
+TEST(ResumeTest, CooperativeCancelLeavesAResumableCheckpoint) {
+  // Reference uninterrupted run.
+  auto reference_objective = make_objective(13);
+  RoboTune reference_tuner(fast_robotune());
+  const auto reference =
+      reference_tuner.tune_report(reference_objective, 20, 5);
+
+  // A session cancelled mid-budget (the flush hook plays the role of the
+  // SIGINT handler: it sets the flag after the 12th journaled
+  // evaluation; the engine notices at the next round boundary).
+  SessionLog session;
+  std::atomic<bool> stop{false};
+  int flushes = 0;
+  session.flush = [&](const SessionCheckpoint&) {
+    if (++flushes == 12) stop.store(true, std::memory_order_relaxed);
+  };
+  auto options = fast_robotune();
+  options.bo.cancel = &stop;
+  auto objective = make_objective(13);
+  RoboTune tuner(options);
+  const auto interrupted =
+      tuner.tune_report(objective, 20, 5, nullptr, &session);
+  EXPECT_TRUE(interrupted.bo.interrupted);
+  EXPECT_LT(interrupted.tuning.history.size(), 20u);
+  // 12 flushes = the selection checkpoint + 11 evaluations, and the
+  // cancelled engine finished its in-flight round before stopping.
+  EXPECT_GE(session.state.evaluations.size(), 11u);
+  // Every completed evaluation made it into the checkpoint.
+  EXPECT_EQ(session.state.evaluations.size(),
+            interrupted.tuning.history.size());
+
+  // The checkpoint resumes into exactly the uninterrupted session.
+  SessionLog resumed_session;
+  resumed_session.state = session.state;
+  auto resumed_objective = make_objective(13);
+  RoboTune resumed_tuner(fast_robotune());
+  const auto resumed = resumed_tuner.tune_report(resumed_objective, 20, 5,
+                                                 nullptr, &resumed_session);
+  EXPECT_FALSE(resumed.bo.interrupted);
+  expect_results_equal(reference.tuning, resumed.tuning);
+  EXPECT_EQ(resumed_session.state.evaluations.size(), 20u);
 }
 
 TEST(ResumeTest, MismatchedCheckpointIsRejected) {
