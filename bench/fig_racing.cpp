@@ -1,0 +1,173 @@
+// Racing early-stop study: effective-evaluation throughput and
+// best-found quality of the evaluation lifecycle layer (DESIGN.md §12),
+// racing off vs the median rule, at scheduler widths q in {1, 4, 8}.
+//
+// Cluster-run latency is emulated exactly as in fig_batch_scaling: the
+// scheduler sleeps ROBOTUNE_BENCH_EVAL_LATENCY wall-seconds per simulated
+// cost second, on the worker that runs the evaluation.  A racer kill
+// truncates the evaluation's simulated cost at the stage boundary where
+// the token landed, so the killed run sleeps only its partial cost — the
+// racing refund is real wall-clock time, which is what this bench
+// measures as effective-eval throughput (evaluations per wall second).
+//
+// Emits a table to stdout and machine-readable JSON to
+// bench_results/fig_racing.json (run from the repo root).
+//
+// Environment knobs:
+//   ROBOTUNE_BENCH_BUDGET        evaluation budget        [default 100]
+//   ROBOTUNE_BENCH_EVAL_LATENCY  wall s per simulated s   [default 0.003]
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "bench/harness.h"
+#include "exec/eval_scheduler.h"
+
+using namespace robotune;
+
+int main() {
+  const int budget = bench::bench_budget();
+  const double latency =
+      bench::env_double("ROBOTUNE_BENCH_EVAL_LATENCY", 0.003);
+  const std::vector<int> widths = {1, 4, 8};
+  const auto kind = sparksim::WorkloadKind::kKMeans;
+  const int dataset = 2;
+  const std::uint64_t seed = 11;
+  // Per-attempt deadline for the racing-on cells.  KM-D2's slow tail sits
+  // well above the healthy band (~160 s), so a 250 s deadline trims the
+  // per-round barrier (round wall = max of the batch) without touching
+  // runs the racer should spare.
+  const double kDeadlineS = 250.0;
+
+  std::printf(
+      "=== Racing early-stop on KM-D2 (budget=%d, latency=%.4f s/s) ===\n",
+      budget, latency);
+
+  // One shared parameter selection (identical for every cell), primed
+  // into the cache so the timed region is just the BO session.
+  auto selection_objective = bench::make_objective(kind, dataset, seed * 7919);
+  core::SelectionOptions sel;
+  sel.seed ^= seed;
+  const auto selection = core::select_parameters(
+      selection_objective, sparksim::spark24_joint_parameter_groups(), sel);
+  const std::string workload_key = sparksim::to_string(kind);
+
+  struct Row {
+    int q = 0;
+    bool racing = false;
+    double wall_s = 0.0;
+    double best_s = 0.0;
+    double search_cost_s = 0.0;
+    std::size_t evals = 0;
+    std::size_t kills = 0;
+  };
+  std::vector<Row> rows;
+  for (int q : widths) {
+    for (bool racing : {false, true}) {
+      core::RoboTuneOptions options;
+      options.bo.batch_size = q;
+      core::RoboTune tuner(options);
+      tuner.selection_cache().store(workload_key, selection.selected);
+
+      exec::SchedulerOptions sched;
+      sched.parallelism = q;
+      sched.emulate_latency_per_cost_s = latency;
+      if (racing) {
+        sched.racing.mode = exec::RacingMode::kMedian;
+        sched.racing.deadline_s = kDeadlineS;
+      }
+      exec::EvalScheduler scheduler(sched);
+
+      auto objective = bench::make_objective(kind, dataset, seed * 7919);
+      const auto start = std::chrono::steady_clock::now();
+      const auto report = tuner.tune_report(objective, budget, seed, nullptr,
+                                            nullptr, &scheduler);
+      const auto elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      Row row;
+      row.q = q;
+      row.racing = racing;
+      row.wall_s = elapsed;
+      row.best_s = report.tuning.found_any() ? report.tuning.best_value_s()
+                                             : 480.0;
+      row.search_cost_s = report.tuning.search_cost_s;
+      row.evals = report.tuning.history.size();
+      for (const auto& e : report.tuning.history) {
+        if (e.status == sparksim::RunStatus::kKilled) ++row.kills;
+      }
+      rows.push_back(row);
+    }
+  }
+
+  std::printf("%-6s%-9s%12s%12s%12s%12s%8s\n", "q", "racing", "wall s",
+              "evals/s", "best s", "cost s", "kills");
+  for (const auto& row : rows) {
+    std::printf("%-6d%-9s%12.2f%12.3f%12.2f%12.0f%8zu\n", row.q,
+                row.racing ? "median+ddl" : "off", row.wall_s,
+                row.evals / row.wall_s, row.best_s, row.search_cost_s,
+                row.kills);
+  }
+
+  std::printf("\n%-6s%18s%15s\n", "q", "throughput gain", "quality ratio");
+  struct Summary {
+    int q = 0;
+    double throughput_ratio = 0.0;
+    double quality_ratio = 0.0;
+  };
+  std::vector<Summary> summaries;
+  for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+    const Row& off = rows[i];
+    const Row& on = rows[i + 1];
+    Summary s;
+    s.q = off.q;
+    s.throughput_ratio =
+        (on.evals / on.wall_s) / (off.evals / off.wall_s);
+    s.quality_ratio = on.best_s / off.best_s;
+    summaries.push_back(s);
+    std::printf("%-6d%17.2fx%15.4f\n", s.q, s.throughput_ratio,
+                s.quality_ratio);
+  }
+  std::printf(
+      "(throughput gain = racing-on evals/s over racing-off at the same "
+      "q;\n quality ratio = racing-on best over racing-off best, 1.0 = "
+      "no loss)\n");
+
+  std::filesystem::create_directories("bench_results");
+  const char* path = "bench_results/fig_racing.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"workload\": \"KM-D2\",\n  \"budget\": %d,\n"
+               "  \"eval_latency_s\": %.6f,\n  \"rows\": [\n",
+               budget, latency);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    std::fprintf(f,
+                 "    {\"q\": %d, \"racing\": \"%s\", \"wall_s\": %.3f, "
+                 "\"throughput_eps\": %.4f, \"best_s\": %.3f, "
+                 "\"search_cost_s\": %.1f, \"evals\": %zu, "
+                 "\"kills\": %zu}%s\n",
+                 row.q, row.racing ? "median+ddl" : "off", row.wall_s,
+                 row.evals / row.wall_s, row.best_s, row.search_cost_s,
+                 row.evals, row.kills, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"summary\": [\n");
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    const auto& s = summaries[i];
+    std::fprintf(f,
+                 "    {\"q\": %d, \"throughput_ratio\": %.3f, "
+                 "\"quality_ratio\": %.4f}%s\n",
+                 s.q, s.throughput_ratio, s.quality_ratio,
+                 i + 1 < summaries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+  return 0;
+}

@@ -71,6 +71,14 @@ struct CliOptions {
   int parallel = 0;
   /// BO batch width q (robotune only; changes the trajectory).
   int batch = 1;
+  /// Racing early-stop policy for in-flight evaluations (scheduler mode
+  /// only): off | median | halving.
+  std::string racing = "off";
+  /// Per-evaluation simulated-time deadline in seconds (scheduler mode
+  /// only; 0 = off).
+  double eval_deadline = 0.0;
+  /// Spot-instance preemption probability per stage (0 = off).
+  double preempt_rate = 0.0;
   /// Observability: span timeline and metrics exports (0-cost to
   /// results — the determinism test pins byte-identical output).
   std::string trace_path;
@@ -108,6 +116,15 @@ void usage(const char* argv0) {
       "                              (default 0 = legacy sequential mode)\n"
       "  --batch q                   BO proposals per round via constant-\n"
       "                              liar fantasies (robotune; default 1)\n"
+      "  --racing off|median|halving kill in-flight evaluations whose\n"
+      "                              partial time already dominates the\n"
+      "                              batch guard threshold (needs\n"
+      "                              --parallel >= 1; default off)\n"
+      "  --eval-deadline S           per-evaluation simulated-time deadline\n"
+      "                              in seconds (needs --parallel >= 1;\n"
+      "                              default 0 = off)\n"
+      "  --preempt-rate F            spot-instance preemption probability\n"
+      "                              per stage (default 0 = off)\n"
       "  --trace PATH                export the span timeline to PATH\n"
       "  --trace-format jsonl|chrome trace format (default jsonl; chrome\n"
       "                              loads in Perfetto / chrome://tracing)\n"
@@ -218,6 +235,22 @@ bool parse(int argc, char** argv, CliOptions& options) {
       if (!v) return false;
       options.batch = std::atoi(v);
       if (options.batch < 1) return false;
+    } else if (arg == "--racing") {
+      const char* v = next();
+      if (!v) return false;
+      options.racing = v;
+    } else if (arg == "--eval-deadline") {
+      const char* v = next();
+      if (!v) return false;
+      options.eval_deadline = std::atof(v);
+      if (options.eval_deadline < 0.0) return false;
+    } else if (arg == "--preempt-rate") {
+      const char* v = next();
+      if (!v) return false;
+      options.preempt_rate = std::atof(v);
+      if (options.preempt_rate < 0.0 || options.preempt_rate > 1.0) {
+        return false;
+      }
     } else if (arg == "--trace") {
       const char* v = next();
       if (!v) return false;
@@ -270,6 +303,24 @@ int main(int argc, char** argv) {
   if (!parse_fault_profile(options.fault_profile, faults)) {
     std::fprintf(stderr, "bad --fault-profile '%s'\n",
                  options.fault_profile.c_str());
+    return 2;
+  }
+  // Spot-preemption intensity rides on top of whatever profile/preset
+  // was chosen (all presets leave it at zero).
+  faults.preemption_per_stage = options.preempt_rate;
+
+  exec::RacingMode racing_mode = exec::RacingMode::kOff;
+  if (!exec::racing_mode_from_string(options.racing, racing_mode)) {
+    std::fprintf(stderr, "bad --racing '%s' (off|median|halving)\n",
+                 options.racing.c_str());
+    return 2;
+  }
+  if ((racing_mode != exec::RacingMode::kOff ||
+       options.eval_deadline > 0.0) &&
+      options.parallel < 1) {
+    std::fprintf(stderr,
+                 "--racing/--eval-deadline need the batch scheduler: "
+                 "pass --parallel N (N >= 1)\n");
     return 2;
   }
 
@@ -325,6 +376,8 @@ int main(int argc, char** argv) {
   if (options.parallel >= 1) {
     exec::SchedulerOptions sched;
     sched.parallelism = options.parallel;
+    sched.racing.mode = racing_mode;
+    sched.racing.deadline_s = options.eval_deadline;
     scheduler = std::make_unique<exec::EvalScheduler>(sched);
   }
 

@@ -17,10 +17,11 @@ constexpr std::array<std::uint64_t, kSiteCount> kSiteSalt = {
     0x4143514f5054ULL,    // "ACQOPT"
     0x4a4f55524e414cULL,  // "JOURNAL"
     0x504f4f4cULL,        // "POOL"
+    0x43414e43454cULL,    // "CANCEL"
 };
 
 const char* kSiteNames[kSiteCount] = {"cholesky", "acq_opt", "journal_write",
-                                      "pool_task"};
+                                      "pool_task", "cancel_delivery"};
 
 }  // namespace
 
@@ -38,6 +39,8 @@ double ChaosProfile::rate(Site site) const noexcept {
       return journal_write_failure;
     case Site::kPoolTask:
       return pool_task_failure;
+    case Site::kCancelDelivery:
+      return cancel_delivery_failure;
   }
   return 0.0;
 }
@@ -100,6 +103,8 @@ bool ChaosProfile::parse(const std::string& text, ChaosProfile& out) {
       parsed.journal_write_failure = rate;
     } else if (key == "pool") {
       parsed.pool_task_failure = rate;
+    } else if (key == "cancel") {
+      parsed.cancel_delivery_failure = rate;
     } else {
       return false;
     }

@@ -27,7 +27,11 @@
 //                   touching the file (a simulated I/O error — the
 //                   session keeps running on a stale checkpoint);
 //  * kPoolTask      ThreadPool::parallel_for bodies throw ChaosError
-//                   (proves deterministic exception propagation).
+//                   (proves deterministic exception propagation);
+//  * kCancelDelivery sparksim's stage boundary ignores a pending kill
+//                   request (a delayed/dropped cancellation signal — the
+//                   run keeps executing until a later boundary's delivery
+//                   succeeds or the run finishes on its own).
 //
 // Counter-based sites (kCholesky, kAcqOpt, kJournalWrite) are only ever
 // armed for call sites on the canonical session thread, or whose effect
@@ -58,8 +62,9 @@ enum class Site : int {
   kAcqOpt,
   kJournalWrite,
   kPoolTask,
+  kCancelDelivery,
 };
-inline constexpr int kSiteCount = 4;
+inline constexpr int kSiteCount = 5;
 
 const char* to_string(Site site) noexcept;
 
@@ -78,10 +83,12 @@ struct ChaosProfile {
   double acq_opt_failure = 0.0;
   double journal_write_failure = 0.0;
   double pool_task_failure = 0.0;
+  double cancel_delivery_failure = 0.0;
 
   bool active() const noexcept {
     return cholesky_failure > 0.0 || acq_opt_failure > 0.0 ||
-           journal_write_failure > 0.0 || pool_task_failure > 0.0;
+           journal_write_failure > 0.0 || pool_task_failure > 0.0 ||
+           cancel_delivery_failure > 0.0;
   }
 
   double rate(Site site) const noexcept;
@@ -96,7 +103,8 @@ struct ChaosProfile {
   /// deterministic propagation) and is only armed explicitly.
   static bool from_preset(const std::string& name, ChaosProfile& out);
 
-  /// Parses a preset name or a "cholesky=F,acq=F,journal=F,pool=F" list.
+  /// Parses a preset name or a
+  /// "cholesky=F,acq=F,journal=F,pool=F,cancel=F" list.
   static bool parse(const std::string& text, ChaosProfile& out);
 };
 

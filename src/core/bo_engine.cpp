@@ -75,16 +75,33 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
     canonicalize_journal(session->state);
     // Degrade events are *derived* state: the resumed engine re-runs the
     // same deterministic ladder decisions while replaying, so clear and
-    // regenerate rather than double-append.
+    // regenerate rather than double-append.  Kill events are NOT cleared:
+    // they belong to journaled evaluations, which replay from the journal
+    // instead of re-running, so the journaled events are the only record
+    // (canonicalize_journal already pruned any past the valid prefix).
     session->state.degrade_events.clear();
     journaled = session->state.evaluations.size();
+    const std::string racing_sig =
+        indexed ? exec::racing_signature(scheduler->racing())
+                : std::string("off");
     if (journaled > 0) {
       require(session->state.indexed_seeding == indexed,
               "BoEngine: checkpoint was journaled under a different "
               "evaluation-seeding mode; resume with the scheduler "
               "configuration (--parallel) that produced it");
+      // Same precedent as the seeding mode: a journal produced under one
+      // racing policy replays evaluations another policy would have
+      // killed differently — refuse the cross-mode resume.
+      const std::string journaled_sig = session->state.racing_mode.empty()
+                                            ? "off"
+                                            : session->state.racing_mode;
+      require(journaled_sig == racing_sig,
+              "BoEngine: checkpoint was journaled under a different "
+              "racing configuration; resume with the racing setup "
+              "(--racing/--eval-deadline) that produced it");
     } else {
       session->state.indexed_seeding = indexed;
+      session->state.racing_mode = racing_sig == "off" ? "" : racing_sig;
     }
   }
 
@@ -151,6 +168,16 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
       e.stopped_early = rec.stopped_early;
       e.transient = rec.transient;
       e.attempts = rec.attempts;
+      if (e.status == sparksim::RunStatus::kKilled) {
+        // The kill reason lives in the journal's kill records, not the
+        // eval record; restore it so a resumed history is identical.
+        for (const auto& kill : session->state.kill_events) {
+          if (kill.index == rec.index) {
+            e.kill_reason = kill.reason;
+            break;
+          }
+        }
+      }
       tuners::append_evaluation(e, guard, result.tuning);
       evals.push_back(std::move(e));
     }
@@ -173,6 +200,10 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
             session->state.evaluations.push_back(record_of(
                 tuners::to_evaluation(done.request->unit, *done.outcome),
                 done.eval_index));
+            if (done.outcome->status == sparksim::RunStatus::kKilled) {
+              session->state.kill_events.push_back(
+                  KillEvent{done.eval_index, done.outcome->kill_reason});
+            }
             if (session->flush) {
               // Journal flushes run in completion order on whichever
               // thread finished the evaluation — span attribution shows
@@ -267,7 +298,11 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
       const auto evals = evaluate_points(points);
       for (std::size_t i = begin; i < end; ++i) {
         const auto& e = evals[i - begin];
-        if (e.transient) {
+        // A racer kill certifies value >= threshold — the same censored
+        // lower bound a guard stop would have produced — so it feeds the
+        // model at its capped value.  Truly transient faults say nothing
+        // about the configuration and are withheld.
+        if (e.transient && e.status != sparksim::RunStatus::kKilled) {
           censored_init.emplace_back(init_subs[i], observe(e.value_s));
           continue;
         }
@@ -508,7 +543,13 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
     // with q > 1 the model is rebuilt on real data only, evicting the
     // round's fantasies without re-optimizing hyperparameters.
     for (int j = 0; j < q; ++j) {
-      if (evals[static_cast<std::size_t>(j)].transient) continue;
+      // Racer kills enter at their censored value (see the init phase);
+      // other transients stay out of the model.
+      if (evals[static_cast<std::size_t>(j)].transient &&
+          evals[static_cast<std::size_t>(j)].status !=
+              sparksim::RunStatus::kKilled) {
+        continue;
+      }
       xs.push_back(choices[static_cast<std::size_t>(j)].point);
       ys.push_back(observe(evals[static_cast<std::size_t>(j)].value_s));
       if (q == 1 && model_fitted) {

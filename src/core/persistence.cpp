@@ -181,6 +181,21 @@ void parse_session_record(RecordParser& p, bool v1,
     event.rung = std::string(p.token("degrade rung"));
     p.done("degrade");
     session.degrade_events.push_back(std::move(event));
+  } else if (kind == "racing") {
+    session.racing_mode = std::string(p.token("racing signature"));
+    p.done("racing");
+  } else if (kind == "kill") {
+    KillEvent event;
+    event.index = p.u64("kill index");
+    const std::string_view reason_label = p.token("kill reason");
+    const auto reason =
+        sparksim::kill_reason_from_string(std::string(reason_label));
+    if (!reason.has_value()) {
+      p.fail("unknown kill reason: '" + std::string(reason_label) + "'");
+    }
+    event.reason = *reason;
+    p.done("kill");
+    session.kill_events.push_back(event);
   } else {
     p.fail("unknown record kind: '" + std::string(kind) + "'");
   }
@@ -255,6 +270,19 @@ std::size_t canonicalize_journal(SessionCheckpoint& session) {
   std::size_t keep = 0;
   while (keep < evals.size() && evals[keep].index == keep) ++keep;
   evals.resize(keep);
+  // Kill events reference evaluations by index; events whose evaluation
+  // fell past the replayable prefix describe work the resumed session
+  // will redo (and re-journal), so they are pruned with it.
+  auto& kills = session.kill_events;
+  std::stable_sort(kills.begin(), kills.end(),
+                   [](const KillEvent& a, const KillEvent& b) {
+                     return a.index < b.index;
+                   });
+  kills.erase(std::remove_if(kills.begin(), kills.end(),
+                             [keep](const KillEvent& k) {
+                               return k.index >= keep;
+                             }),
+              kills.end());
   return loaded - keep;
 }
 
@@ -360,6 +388,13 @@ std::size_t save_session(const SessionCheckpoint& session,
   emit(payload([&](std::ostream& p) {
     p << "seeding " << (session.indexed_seeding ? "indexed" : "sequential");
   }));
+  // Only racing-active sessions carry the record: racing-off journals
+  // stay byte-identical to those of releases without the racing layer.
+  if (!session.racing_mode.empty() && session.racing_mode != "off") {
+    emit(payload([&](std::ostream& p) {
+      p << "racing " << session.racing_mode;
+    }));
+  }
   emit(payload([&](std::ostream& p) {
     p << "selected " << session.selected.size();
     for (std::size_t idx : session.selected) p << " " << idx;
@@ -383,6 +418,12 @@ std::size_t save_session(const SessionCheckpoint& session,
         << " " << (e.transient ? 1 : 0) << " " << e.attempts << " "
         << e.unit.size();
       for (double u : e.unit) p << " " << u;
+    }));
+  }
+  for (const auto& event : session.kill_events) {
+    emit(payload([&](std::ostream& p) {
+      p << "kill " << event.index << " "
+        << sparksim::to_string(event.reason);
     }));
   }
   for (const auto& event : session.degrade_events) {

@@ -34,6 +34,14 @@
 //   eval <index> <status> <value_s> <cost_s> <stopped> <transient>
 //        <attempts> <dim> <unit...>
 //   degrade <iter> <rung>
+//   racing <signature>
+//   kill <index> <reason>
+//
+// `racing` (emitted only when a racing policy was active — racing-off
+// journals stay byte-identical to pre-racing releases) pins the racing
+// signature so resume can refuse a cross-mode restart; `kill` records a
+// mid-flight racing/deadline kill of evaluation <index> with its reason
+// ("deadline", "median-rule", "halving-rung").
 //
 // The framing makes a torn write (power loss mid-checkpoint) or a bit
 // flip detectable at load time: in LoadMode::kRecover the loader
@@ -86,6 +94,17 @@ struct DegradeEvent {
   std::string rung;  ///< e.g. "gp_refit", "gp_noise_inflate", "gp_skip"
 };
 
+/// One racing/deadline kill taken during the session: which evaluation
+/// the racer stopped mid-flight and why.  Unlike degrade events, kill
+/// events are KEPT on resume: they belong to journaled evaluations,
+/// which replay from the journal instead of re-running, so the events
+/// would otherwise be lost.  canonicalize_journal prunes events whose
+/// evaluation fell past the replayable prefix.
+struct KillEvent {
+  std::uint64_t index = 0;  ///< canonical eval index the racer killed
+  sparksim::KillReason reason = sparksim::KillReason::kNone;
+};
+
 /// Everything needed to resume a killed tuning session with an identical
 /// continuation.  The journal grows by one record per completed
 /// evaluation; all other fields are fixed at session start.
@@ -108,10 +127,18 @@ struct SessionCheckpoint {
   /// under the same mode — the continuation would silently diverge
   /// otherwise.
   bool indexed_seeding = false;
+  /// Racing signature the session ran under (exec::racing_signature).
+  /// Empty means racing off; the `racing` record is only emitted when
+  /// non-empty and not "off", so racing-off journals are byte-identical
+  /// to releases without the racing layer.
+  std::string racing_mode;
   std::vector<EvalRecord> evaluations;  ///< completed-evaluation journal
   /// Degradation-ladder rungs taken so far, in canonical (iteration)
   /// order.  Cleared and regenerated by the engine on resume.
   std::vector<DegradeEvent> degrade_events;
+  /// Racing/deadline kills taken so far.  Kept (not regenerated) on
+  /// resume — see KillEvent.
+  std::vector<KillEvent> kill_events;
 };
 
 /// Restores canonical order after an out-of-order (parallel) journal:

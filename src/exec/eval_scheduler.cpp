@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "common/error.h"
@@ -10,6 +11,45 @@
 #include "obs/trace.h"
 
 namespace robotune::exec {
+
+std::string to_string(RacingMode mode) {
+  // Exhaustive over the enum: a new mode without a label is a -Wswitch
+  // warning, which the -Werror CI build turns into a failure.
+  switch (mode) {
+    case RacingMode::kOff:
+      return "off";
+    case RacingMode::kMedian:
+      return "median";
+    case RacingMode::kHalving:
+      return "halving";
+  }
+  return "unknown";
+}
+
+bool racing_mode_from_string(const std::string& label, RacingMode& out) {
+  for (const RacingMode mode :
+       {RacingMode::kOff, RacingMode::kMedian, RacingMode::kHalving}) {
+    if (label == to_string(mode)) {
+      out = mode;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string racing_signature(const RacingOptions& racing) {
+  if (!racing.active()) return "off";
+  std::string sig = to_string(racing.mode);
+  if (racing.deadline_s > 0.0) {
+    // One whitespace-free token: the journal stores the signature as a
+    // single field of the `racing` record.
+    std::ostringstream os;
+    os.precision(17);
+    os << ",deadline=" << racing.deadline_s;
+    sig += os.str();
+  }
+  return sig;
+}
 
 EvalScheduler::EvalScheduler(SchedulerOptions options) : options_(options) {
   parallelism_ =
@@ -61,6 +101,17 @@ std::vector<sparksim::EvalOutcome> EvalScheduler::run_batch(
     forks.push_back(objective.fork_for_eval(first_eval_index + i));
   }
 
+  // Racing / deadline watchdog.  One cancellation token per evaluation,
+  // allocated up front so workers never observe a reallocation.  The
+  // watcher runs synchronously at the run's own stage boundaries and its
+  // rules are pure functions of (frozen batch threshold, the run's own
+  // simulated progress) — no shared racer state, no wall clock — so a
+  // kill decision is identical at any worker count and needs no racer
+  // state journaled for resume.
+  const RacingOptions& racing = options_.racing;
+  const bool racing_active = racing.active();
+  std::vector<sparksim::CancellationToken> tokens(racing_active ? n : 0);
+
   const auto emulate_latency = [this](const sparksim::EvalOutcome& out) {
     if (options_.emulate_latency_per_cost_s <= 0.0) return;
     std::this_thread::sleep_for(std::chrono::duration<double>(
@@ -74,8 +125,59 @@ std::vector<sparksim::EvalOutcome> EvalScheduler::run_batch(
     obs::Span span("eval", "exec");
     span.arg("eval_index", first_eval_index + i);
     span.arg("batch_slot", static_cast<std::uint64_t>(i));
+    sparksim::EvalLifecycle lifecycle;
+    if (racing_active) {
+      sparksim::CancellationToken* token = &tokens[i];
+      const double threshold = requests[i].stop_threshold_s;
+      lifecycle.token = token;
+      lifecycle.chaos_index = first_eval_index + i;
+      lifecycle.progress = [&racing, threshold,
+                            token](const sparksim::StageProgress& p) {
+        // Per-attempt simulated-time deadline.
+        if (racing.deadline_s > 0.0 &&
+            p.sim_elapsed_s > racing.deadline_s) {
+          token->request(sparksim::KillReason::kDeadline);
+        }
+        if (threshold <= 0.0 || p.fraction <= 0.0) return;
+        if (racing.mode == RacingMode::kMedian) {
+          // Projected dominance: with fraction f of stages done in t
+          // simulated seconds, the projected total t/f already dominates
+          // the frozen guard threshold once t > threshold * f * slack.
+          // min_progress keeps the projection from firing on the noisy
+          // first stages.
+          if (p.fraction >= racing.min_progress &&
+              p.sim_elapsed_s >
+                  threshold * p.fraction * racing.dominance_slack) {
+            token->request(sparksim::KillReason::kMedianRule);
+          }
+        } else if (racing.mode == RacingMode::kHalving) {
+          // Successive halving: at each rung (25/50/75% of stages) the
+          // run must have spent no more than its pro-rated share of the
+          // threshold, with a small margin.
+          double rung = 0.0;
+          for (const double r : {0.25, 0.5, 0.75}) {
+            if (p.fraction >= r) rung = r;
+          }
+          if (rung > 0.0 &&
+              p.sim_elapsed_s > threshold * rung * racing.rung_margin) {
+            token->request(sparksim::KillReason::kHalvingRung);
+          }
+        }
+      };
+    }
     outcomes[i] =
-        forks[i].evaluate(requests[i].unit, requests[i].stop_threshold_s);
+        forks[i].evaluate(requests[i].unit, requests[i].stop_threshold_s,
+                          racing_active ? &lifecycle : nullptr);
+    if (outcomes[i].status == sparksim::RunStatus::kKilled) {
+      obs::count("exec.racing.kills");
+      obs::count(std::string("exec.racing.kills.") +
+                 sparksim::to_string(outcomes[i].kill_reason));
+      // The refund: the session is charged the partial time actually
+      // simulated instead of the threshold a guard stop would have paid.
+      const double refund =
+          requests[i].stop_threshold_s - outcomes[i].cost_s;
+      if (refund > 0.0) obs::observe("exec.racing.refund_s", refund);
+    }
     span.arg("status", sparksim::to_string(outcomes[i].status));
     span.arg("value_s", outcomes[i].value_s);
     span.arg("attempts", outcomes[i].attempts);

@@ -29,12 +29,57 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "sparksim/objective.h"
 
 namespace robotune::exec {
+
+/// Early-stop policy the scheduler races in-flight evaluations under.
+enum class RacingMode {
+  kOff,      ///< no racing: every run goes to completion (or guard cap)
+  kMedian,   ///< kill when partial time projects past the guard threshold
+  kHalving   ///< successive-halving rungs at 25/50/75% progress
+};
+
+/// Stable, unique label per mode ("off", "median", "halving").
+std::string to_string(RacingMode mode);
+/// Inverse of to_string; returns false for unrecognized labels.
+bool racing_mode_from_string(const std::string& label, RacingMode& out);
+
+/// Racing / deadline policy of a scheduler.  Everything is keyed on
+/// *simulated* time and the frozen per-batch guard threshold — the rules
+/// are pure functions of one evaluation's own progress, with no shared
+/// racer state, so kills are bit-identical at any worker count and
+/// resume never has to reconstruct racer internals.
+struct RacingOptions {
+  RacingMode mode = RacingMode::kOff;
+  /// Per-evaluation simulated-time deadline, checked at stage
+  /// boundaries, applied to each attempt.  <= 0 disables the deadline.
+  double deadline_s = 0.0;
+  /// Median rule: never kill before this fraction of stages completed
+  /// (early progress is too noisy to project from).
+  double min_progress = 0.2;
+  /// Median rule: kill when sim_elapsed > threshold x fraction x slack —
+  /// i.e. the run's projected total time dominates the frozen guard
+  /// threshold by this factor.
+  double dominance_slack = 1.25;
+  /// Halving: kill at rung r (of 25/50/75% progress) when
+  /// sim_elapsed > threshold x r x rung_margin.
+  double rung_margin = 1.1;
+
+  bool active() const noexcept {
+    return mode != RacingMode::kOff || deadline_s > 0.0;
+  }
+};
+
+/// Stable signature of a racing configuration, journaled with the
+/// session ("off" when inactive) so resume can refuse a cross-mode
+/// restart — a journal produced under one racing policy replays
+/// different evaluations than another policy would have produced.
+std::string racing_signature(const RacingOptions& racing);
 
 /// One evaluation of a batch: the full-space unit vector and the guard
 /// threshold frozen at submission time.  Freezing per batch (instead of
@@ -65,8 +110,12 @@ struct SchedulerOptions {
   /// evaluation (0 = off).  Emulates real cluster-run latency for
   /// scaling studies (bench/fig_batch_scaling): the sleep happens on the
   /// worker, so it parallelizes exactly like a real trial run would,
-  /// without perturbing any result.
+  /// without perturbing any result.  Killed evaluations sleep only their
+  /// partial cost — the racer's refund is real wall-clock time.
   double emulate_latency_per_cost_s = 0.0;
+  /// Deadline + racing early-stop policy (default: off — byte-identical
+  /// to a scheduler without the racing layer).
+  RacingOptions racing;
 };
 
 class EvalScheduler {
@@ -96,6 +145,9 @@ class EvalScheduler {
 
   /// Effective worker count (>= 1).
   int parallelism() const noexcept { return parallelism_; }
+
+  /// The racing policy this scheduler runs batches under.
+  const RacingOptions& racing() const noexcept { return options_.racing; }
 
  private:
   ThreadPool& pool();

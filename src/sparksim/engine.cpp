@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "common/chaos.h"
 #include "common/error.h"
 
 namespace robotune::sparksim {
@@ -25,6 +26,10 @@ std::string to_string(RunStatus status) {
       return "executor-lost";
     case RunStatus::kFetchFailure:
       return "fetch-failure";
+    case RunStatus::kKilled:
+      return "killed";
+    case RunStatus::kPreempted:
+      return "preempted";
   }
   return "unknown";
 }
@@ -40,13 +45,18 @@ const std::vector<RunStatus>& all_run_statuses() {
   static const std::vector<RunStatus> statuses = {
       RunStatus::kOk,           RunStatus::kOom,
       RunStatus::kInfeasible,   RunStatus::kTimeLimit,
-      RunStatus::kExecutorLost, RunStatus::kFetchFailure};
+      RunStatus::kExecutorLost, RunStatus::kFetchFailure,
+      RunStatus::kKilled,       RunStatus::kPreempted};
   return statuses;
 }
 
 bool is_transient(RunStatus status) {
+  // kKilled is deliberately NOT transient: a racing/deadline kill is a
+  // policy decision about the configuration's projected time, and a
+  // retried victim would just be killed again at the same boundary.
   return status == RunStatus::kExecutorLost ||
-         status == RunStatus::kFetchFailure;
+         status == RunStatus::kFetchFailure ||
+         status == RunStatus::kPreempted;
 }
 
 namespace {
@@ -506,6 +516,29 @@ SimResult simulate(const ClusterSpec& cluster, const WorkloadSpec& workload,
         result.status = RunStatus::kExecutorLost;
         return false;
       }
+      // Spot-instance preemption: the reclaimed executor's running tasks
+      // are re-queued (≈ one task duration) and a replacement is acquired
+      // at the reschedule cost.  When the replacement is reclaimed too,
+      // the run gives up after paying for the partial stage — a transient
+      // failure: a retry may land on stabler capacity.
+      if (faults.preemptions > 0) {
+        const double resched_s =
+            injector->profile().preemption_reschedule_s;
+        stage_s += faults.preemptions * (task_s + resched_s);
+        result.metrics.preemptions += faults.preemptions;
+        result.metrics.task_retries +=
+            faults.preemptions * place.slots_per_executor;
+        if (faults.preempted) {
+          const double failure_time =
+              0.5 * healthy_stage_s +
+              faults.preemptions * (task_s + resched_s);
+          total_s += failure_time;
+          result.metrics.fault_delay_s += failure_time;
+          result.failure_stage = stage.name;
+          result.status = RunStatus::kPreempted;
+          return false;
+        }
+      }
       // Fetch failure: each failed round burns the configured IO retry
       // waits, then triggers a stage reattempt that recomputes the lost
       // map outputs (≈ half the stage) before refetching.
@@ -540,11 +573,57 @@ SimResult simulate(const ClusterSpec& cluster, const WorkloadSpec& workload,
     return true;
   };
 
+  // ---- Evaluation lifecycle (progress + cooperative cancellation) -------
+  // stage_boundary() runs after every completed stage: it streams the
+  // run's simulated-time progress to the attached watcher and honors a
+  // pending kill request (status kKilled, partial stage_seconds kept).
+  // Every quantity it exposes is pre-noise simulated time, so a watcher's
+  // decisions are a pure function of (seed, eval index) — never of wall
+  // clock or worker count.  The cancel-delivery chaos site models a
+  // delayed/dropped kill signal: when it fires, this boundary ignores the
+  // request and the next boundary makes its own delivery decision.  With
+  // no lifecycle attached (the default) the boundary is a no-op.
+  const EvalLifecycle* lifecycle = options.lifecycle;
+  const std::size_t total_stages =
+      workload.setup_stages.size() +
+      static_cast<std::size_t>(std::max(0, workload.iterations)) *
+          workload.iteration_stages.size();
+  std::size_t stages_done = 0;
+  std::uint64_t boundary = 0;
+  auto stage_boundary = [&]() -> bool {
+    if (lifecycle == nullptr) return true;
+    ++boundary;
+    if (lifecycle->progress) {
+      StageProgress p;
+      p.stages_done = stages_done;
+      p.total_stages = total_stages;
+      p.fraction = total_stages > 0
+                       ? static_cast<double>(stages_done) / total_stages
+                       : 1.0;
+      p.sim_elapsed_s = total_s;
+      lifecycle->progress(p);
+    }
+    if (lifecycle->token != nullptr && lifecycle->token->kill_requested() &&
+        !chaos::fail_indexed(
+            chaos::Site::kCancelDelivery,
+            lifecycle->chaos_index * 0x9e3779b97f4a7c15ULL + boundary)) {
+      result.kill_reason = lifecycle->token->requested();
+      result.status = RunStatus::kKilled;
+      return false;
+    }
+    return true;
+  };
+
   bool alive = true;
   for (const auto& stage : workload.setup_stages) {
     if (!(alive = run_stage(stage, /*cache_resident=*/false))) break;
+    ++stages_done;
     if (options.time_cap_s > 0.0 && total_s > options.time_cap_s) {
       result.status = RunStatus::kTimeLimit;
+      alive = false;
+      break;
+    }
+    if (!stage_boundary()) {
       alive = false;
       break;
     }
@@ -553,8 +632,13 @@ SimResult simulate(const ClusterSpec& cluster, const WorkloadSpec& workload,
     for (int it = 0; it < workload.iterations && alive; ++it) {
       for (const auto& stage : workload.iteration_stages) {
         if (!(alive = run_stage(stage, /*cache_resident=*/true))) break;
+        ++stages_done;
         if (options.time_cap_s > 0.0 && total_s > options.time_cap_s) {
           result.status = RunStatus::kTimeLimit;
+          alive = false;
+          break;
+        }
+        if (!stage_boundary()) {
           alive = false;
           break;
         }

@@ -21,6 +21,7 @@
 #include "common/rng.h"
 #include "sparksim/cluster.h"
 #include "sparksim/faults.h"
+#include "sparksim/lifecycle.h"
 #include "sparksim/spark_config.h"
 #include "sparksim/workload.h"
 
@@ -32,7 +33,9 @@ enum class RunStatus {
   kInfeasible,    ///< executors could not be placed at all
   kTimeLimit,     ///< exceeded the caller-provided cap
   kExecutorLost,  ///< a task exhausted spark.task.maxFailures (transient)
-  kFetchFailure   ///< stage reattempts after fetch failures ran out (transient)
+  kFetchFailure,  ///< stage reattempts after fetch failures ran out (transient)
+  kKilled,        ///< cooperatively cancelled mid-run (deadline/racing)
+  kPreempted      ///< spot-instance preemptions exhausted rescheduling (transient)
 };
 
 /// Stable, unique label per status; "unknown" for out-of-range values.
@@ -42,9 +45,10 @@ std::optional<RunStatus> run_status_from_string(const std::string& label);
 /// Every enumerator, in declaration order (round-trip tests iterate this).
 const std::vector<RunStatus>& all_run_statuses();
 /// True for failures caused by injected cluster flakiness (executor loss,
-/// fetch failure): retrying the same configuration may well succeed.
-/// Deterministic failures (OOM, unplaceable) and guard kills are not
-/// transient — retrying them wastes budget.
+/// fetch failure, spot preemption): retrying the same configuration may
+/// well succeed.  Deterministic failures (OOM, unplaceable), guard kills
+/// and racing kills are not transient — a retried racing victim would
+/// just be killed again, so retrying them wastes budget.
 bool is_transient(RunStatus status);
 
 /// Diagnostics accumulated over a run (used heavily by tests).
@@ -63,6 +67,7 @@ struct SimMetrics {
   int executors_lost = 0;          ///< executor-loss events across the run
   int task_retries = 0;            ///< tasks re-queued after executor loss
   int stage_reattempts = 0;        ///< stage retries after fetch failures
+  int preemptions = 0;             ///< spot-instance preemption events
   double fault_delay_s = 0.0;      ///< wall-clock added by injected faults
 };
 
@@ -74,6 +79,8 @@ struct SimResult {
   SimMetrics metrics;
   std::vector<double> stage_seconds;  ///< per executed stage
   std::string failure_stage;          ///< stage that failed the job, if any
+  /// Why the run was killed; kNone unless status == kKilled.
+  KillReason kill_reason = KillReason::kNone;
 
   bool ok() const noexcept { return status == RunStatus::kOk; }
 };
@@ -89,6 +96,12 @@ struct EngineOptions {
   /// all-zero profile is strictly opt-in: it draws no randomness and the
   /// run is byte-identical to one without the fault layer.
   FaultProfile faults;
+  /// Optional evaluation lifecycle (see sparksim/lifecycle.h): the engine
+  /// streams per-stage simulated-time progress through it and honors its
+  /// cancellation token at stage boundaries (status kKilled with partial
+  /// stage_seconds).  Null (the default) changes nothing — no boundary
+  /// work, no randomness, byte-identical runs.
+  const EvalLifecycle* lifecycle = nullptr;
 };
 
 /// Simulates one execution.  Deterministic for a fixed seed.

@@ -85,6 +85,20 @@ StageFaults FaultInjector::sample_stage(const SparkConfig& config,
     f.straggler_slowdown = slow;
   }
 
+  // Spot-instance preemption: the cloud provider reclaims an executor
+  // mid-stage.  One preemption is survivable (re-queue + reschedule cost);
+  // when the replacement is reclaimed in the same stage the run gives up
+  // and reports kPreempted.  Gated on the rate so profiles without
+  // preemption draw nothing here — their event streams (and every
+  // pre-preemption session) stay byte-identical.
+  if (profile_.preemption_per_stage > 0.0) {
+    while (f.preemptions < 2 &&
+           rng_.bernoulli(profile_.preemption_per_stage)) {
+      ++f.preemptions;
+    }
+    if (f.preemptions >= 2) f.preempted = true;
+  }
+
   return f;
 }
 

@@ -50,12 +50,23 @@ struct FaultProfile {
   /// Bound on stage reattempts after fetch failures (Spark's
   /// spark.stage.maxConsecutiveAttempts default).
   int max_stage_attempts = 4;
+  /// Probability that a spot-instance executor is reclaimed by the cloud
+  /// provider during a stage.  A preempted executor's tasks are re-queued
+  /// and a replacement is acquired at `preemption_reschedule_s`; when the
+  /// replacement is itself reclaimed in the same stage the run gives up
+  /// (RunStatus::kPreempted, transient — retrying may land on stabler
+  /// capacity).  Appended after the original fields so positional
+  /// brace-initialized presets keep their meaning.
+  double preemption_per_stage = 0.0;
+  /// Seconds to acquire and warm a replacement executor after a
+  /// preemption (resource-manager round trip + JVM/executor startup).
+  double preemption_reschedule_s = 15.0;
 
   /// True when any fault can actually fire.  Inactive profiles must not
   /// consume randomness anywhere.
   bool active() const noexcept {
     return executor_loss_per_stage > 0.0 || fetch_failure_per_stage > 0.0 ||
-           straggler_per_stage > 0.0;
+           straggler_per_stage > 0.0 || preemption_per_stage > 0.0;
   }
 
   /// Convenience profile where all three event classes fire at `rate`
@@ -83,10 +94,17 @@ struct StageFaults {
   bool fetch_exhausted = false;
   /// Multiplicative stage slowdown (1.0 = healthy node).
   double straggler_slowdown = 1.0;
+  /// Spot-instance preemption events; each re-queues the reclaimed
+  /// executor's tasks and pays the reschedule cost.
+  int preemptions = 0;
+  /// True when the replacement executor was reclaimed too: the run dies
+  /// with RunStatus::kPreempted.
+  bool preempted = false;
 
   bool any() const noexcept {
     return executor_losses > 0 || fetch_retries > 0 || executor_exhausted ||
-           fetch_exhausted || straggler_slowdown > 1.0;
+           fetch_exhausted || straggler_slowdown > 1.0 || preemptions > 0 ||
+           preempted;
   }
 };
 

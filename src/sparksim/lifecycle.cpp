@@ -1,0 +1,41 @@
+#include "sparksim/lifecycle.h"
+
+namespace robotune::sparksim {
+
+// Labels are journal/CLI surface (the v3 `kill <index> <reason>` record),
+// so they are frozen: renaming one breaks resume of existing journals.
+// The switch is exhaustive on purpose — -Wswitch turns a forgotten
+// enumerator into a compile error before it can become an "unknown"
+// record on disk.
+std::string to_string(KillReason reason) {
+  switch (reason) {
+    case KillReason::kNone:
+      return "none";
+    case KillReason::kDeadline:
+      return "deadline";
+    case KillReason::kMedianRule:
+      return "median-rule";
+    case KillReason::kHalvingRung:
+      return "halving-rung";
+  }
+  return "unknown";
+}
+
+std::optional<KillReason> kill_reason_from_string(const std::string& label) {
+  for (const KillReason reason : all_kill_reasons()) {
+    if (label == to_string(reason)) return reason;
+  }
+  return std::nullopt;
+}
+
+const std::vector<KillReason>& all_kill_reasons() {
+  static const std::vector<KillReason> kAll = {
+      KillReason::kNone,
+      KillReason::kDeadline,
+      KillReason::kMedianRule,
+      KillReason::kHalvingRung,
+  };
+  return kAll;
+}
+
+}  // namespace robotune::sparksim

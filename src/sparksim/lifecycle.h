@@ -1,0 +1,104 @@
+// Evaluation-lifecycle primitives: cooperative cancellation and per-stage
+// progress streaming for in-flight simulator runs.
+//
+// A production tuning service does not wait out a doomed trial: it watches
+// the run's progress and kills it the moment its partial execution already
+// dominates the batch's guard threshold (median rule / successive halving)
+// or overruns its deadline.  The simulator supports that lifecycle through
+// two cooperating pieces:
+//
+//  * a `ProgressHook` the engine calls at every stage boundary with the
+//    run's simulated-time progress (never wall clock — so every decision
+//    derived from it is bit-identical at any worker count);
+//  * a `CancellationToken` the watcher side sets and the engine checks at
+//    the same boundaries, aborting the run cleanly with partial results
+//    (RunStatus::kKilled and the stage_seconds executed so far).
+//
+// The token is write-once: the first requested KillReason wins, so a
+// deadline and a median-rule decision racing each other on the same run
+// still yield one deterministic reason (the watcher runs synchronously on
+// the evaluating worker, keyed on simulated time only).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace robotune::sparksim {
+
+/// Why an in-flight evaluation was killed (RunStatus::kKilled).
+enum class KillReason {
+  kNone,         ///< not killed
+  kDeadline,     ///< overran the per-evaluation simulated-time deadline
+  kMedianRule,   ///< partial time already dominates the guard threshold
+  kHalvingRung,  ///< exceeded its successive-halving rung budget
+};
+
+/// Stable, unique label per reason; "unknown" for out-of-range values.
+std::string to_string(KillReason reason);
+/// Inverse of to_string; nullopt for unrecognized labels.
+std::optional<KillReason> kill_reason_from_string(const std::string& label);
+/// Every enumerator, in declaration order (round-trip tests iterate this).
+const std::vector<KillReason>& all_kill_reasons();
+
+/// Write-once cancellation flag shared between a watcher (who requests a
+/// kill) and the engine (who honors it at the next stage boundary).  The
+/// first requested reason wins; later requests are ignored.  A request
+/// outlives simulator attempts: a retried evaluation whose earlier
+/// attempt left an undelivered request is killed at its first boundary.
+class CancellationToken {
+ public:
+  void request(KillReason reason) noexcept {
+    if (reason == KillReason::kNone) return;
+    int expected = 0;
+    requested_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                       std::memory_order_relaxed);
+  }
+
+  KillReason requested() const noexcept {
+    return static_cast<KillReason>(
+        requested_.load(std::memory_order_relaxed));
+  }
+
+  bool kill_requested() const noexcept {
+    return requested() != KillReason::kNone;
+  }
+
+  void reset() noexcept {
+    requested_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int> requested_{0};
+};
+
+/// Simulated-time progress of a run, reported at every stage boundary.
+/// All fields are pre-noise simulated quantities — wall clock never
+/// appears, which is what keeps racing decisions worker-count-invariant.
+struct StageProgress {
+  std::size_t stages_done = 0;   ///< stages completed so far
+  std::size_t total_stages = 0;  ///< setup + iterations x iteration stages
+  double fraction = 0.0;         ///< stages_done / total_stages
+  double sim_elapsed_s = 0.0;    ///< cumulative simulated seconds so far
+};
+
+/// Called synchronously by the engine at each stage boundary, on the
+/// thread evaluating the run.
+using ProgressHook = std::function<void(const StageProgress&)>;
+
+/// Lifecycle attachment for one evaluation: the scheduler wires a token
+/// and a progress watcher per in-flight evaluation; a null token (the
+/// default) draws no randomness and changes no behavior.
+struct EvalLifecycle {
+  CancellationToken* token = nullptr;
+  ProgressHook progress;
+  /// Keys the cancel-delivery chaos site (delayed/dropped cancellation):
+  /// the scheduler sets this to the canonical eval index so chaos
+  /// decisions are a pure function of (chaos seed, eval index, boundary).
+  std::uint64_t chaos_index = 0;
+};
+
+}  // namespace robotune::sparksim

@@ -40,14 +40,16 @@ SparkObjective::SparkObjective(ClusterSpec cluster, WorkloadSpec workload,
       metric_(metric) {}
 
 EvalOutcome SparkObjective::evaluate(std::span<const double> unit,
-                                     double stop_threshold_s) {
+                                     double stop_threshold_s,
+                                     const EvalLifecycle* lifecycle) {
   return evaluate_decoded(space_.decode(unit), stop_threshold_s,
-                          /*apply_cap=*/true);
+                          /*apply_cap=*/true, lifecycle);
 }
 
 EvalOutcome SparkObjective::evaluate_decoded(const DecodedConfig& values,
                                              double stop_threshold_s,
-                                             bool apply_cap) {
+                                             bool apply_cap,
+                                             const EvalLifecycle* lifecycle) {
   const SparkConfig config = SparkConfig::from_decoded(space_, values);
 
   // Effective kill threshold: the tighter of the global cap and the
@@ -63,6 +65,7 @@ EvalOutcome SparkObjective::evaluate_decoded(const DecodedConfig& values,
   engine_options.time_cap_s = kill_s;
   engine_options.run_noise_sigma = run_noise_sigma_;
   engine_options.faults = fault_profile_;
+  engine_options.lifecycle = lifecycle;
 
   // Run, retrying only transient faults: a lost executor or a failed
   // fetch says nothing about the configuration, so bounded re-runs (with
@@ -82,6 +85,8 @@ EvalOutcome SparkObjective::evaluate_decoded(const DecodedConfig& values,
       obs::count("objective.faults.executor_lost");
     } else if (out.raw.status == RunStatus::kFetchFailure) {
       obs::count("objective.faults.fetch_failure");
+    } else if (out.raw.status == RunStatus::kPreempted) {
+      obs::count("objective.faults.preempted");
     }
     if (!is_transient(out.raw.status) || attempt >= retry_policy_.max_retries) {
       break;
@@ -127,6 +132,7 @@ EvalOutcome SparkObjective::evaluate_decoded(const DecodedConfig& values,
       break;
     case RunStatus::kExecutorLost:
     case RunStatus::kFetchFailure:
+    case RunStatus::kPreempted:
       // Exhausted transient retries: the flake, not the configuration,
       // killed the run.  Censor at the threshold (like a guard stop) so
       // surrogates are not poisoned by a penalty the configuration did
@@ -134,6 +140,17 @@ EvalOutcome SparkObjective::evaluate_decoded(const DecodedConfig& values,
       out.value_s = kill_s > 0.0 ? kill_s : out.raw.seconds;
       out.cost_s = out.raw.seconds;
       out.transient = true;
+      break;
+    case RunStatus::kKilled:
+      // Racing/deadline kill: a censored observation, like a transient
+      // failure — its partial time says "at least this slow", nothing
+      // more, so it must never enter the surrogates as a hard value.
+      // The session is charged only the partial time actually simulated;
+      // the rest of the threshold is the racer's budget refund.
+      out.value_s = kill_s > 0.0 ? kill_s : out.raw.seconds;
+      out.cost_s = out.raw.seconds;
+      out.transient = true;
+      out.kill_reason = out.raw.kill_reason;
       break;
   }
   out.cost_s += retry_cost_s;

@@ -80,7 +80,11 @@ struct EvalOutcome {
   int attempts = 1;
   /// True when the final status is a transient fault that exhausted its
   /// retries — the value is censored at the threshold, not penalized.
+  /// Racing/deadline kills (kKilled) are also marked transient so the
+  /// same censoring machinery keeps them out of the surrogate models.
   bool transient = false;
+  /// Why the run was killed; kNone unless status == kKilled.
+  KillReason kill_reason = KillReason::kNone;
   SimResult raw;  ///< last attempt's raw simulation result
 };
 
@@ -93,14 +97,19 @@ class SparkObjective {
 
   /// Evaluates a configuration given as a unit-cube vector over the full
   /// space.  `stop_threshold_s` <= 0 disables the per-evaluation guard.
+  /// `lifecycle` (optional) attaches a progress watcher + cancellation
+  /// token to every simulator attempt — see sparksim/lifecycle.h; null
+  /// changes nothing.
   EvalOutcome evaluate(std::span<const double> unit,
-                       double stop_threshold_s = 0.0);
+                       double stop_threshold_s = 0.0,
+                       const EvalLifecycle* lifecycle = nullptr);
 
   /// Evaluates a decoded configuration directly (used for the default-
   /// config comparison, §5.2, where no cap applies).
   EvalOutcome evaluate_decoded(const DecodedConfig& values,
                                double stop_threshold_s = 0.0,
-                               bool apply_cap = true);
+                               bool apply_cap = true,
+                               const EvalLifecycle* lifecycle = nullptr);
 
   /// Attaches transient-fault injection to every subsequent run.  The
   /// default all-zero profile keeps evaluation byte-identical to a

@@ -87,6 +87,13 @@ void append_evaluation(Evaluation& e, GuardPolicy& guard,
     e.transient = true;
   }
   obs::count("evals.total");
+  // Lifecycle sub-counters: killed/preempted evaluations are censored
+  // (counted below) but observable in their own right.
+  if (e.status == sparksim::RunStatus::kKilled) {
+    obs::count("evals.killed");
+  } else if (e.status == sparksim::RunStatus::kPreempted) {
+    obs::count("evals.preempted");
+  }
   if (e.transient) {
     obs::count("evals.censored");
   } else if (e.stopped_early) {
@@ -125,6 +132,7 @@ Evaluation to_evaluation(const std::vector<double>& unit,
   e.stopped_early = outcome.stopped_early;
   e.attempts = outcome.attempts;
   e.transient = outcome.transient;
+  e.kill_reason = outcome.kill_reason;
   return e;
 }
 

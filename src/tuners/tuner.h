@@ -26,8 +26,12 @@ struct Evaluation {
   int attempts = 1;
   /// True when the run died of cluster flakiness after exhausting its
   /// retries: the value is censored at the guard threshold, and the
-  /// observation says nothing about the configuration itself.
+  /// observation says nothing about the configuration itself.  Racing/
+  /// deadline kills (status kKilled) are transient too: their partial
+  /// time is a lower bound, not a measurement.
   bool transient = false;
+  /// Why the racer killed the run; kNone unless status == kKilled.
+  sparksim::KillReason kill_reason = sparksim::KillReason::kNone;
 
   bool ok() const noexcept { return status == sparksim::RunStatus::kOk; }
 };

@@ -92,9 +92,13 @@ TEST(RunStatusTest, UnknownValuesHaveStableLabel) {
 }
 
 TEST(RunStatusTest, OnlyInjectedFaultsAreTransient) {
+  // kKilled is deliberately NOT transient: a racer-killed configuration
+  // would just be killed again on retry, so the retry loop must not
+  // re-run it (censoring happens downstream instead).
   for (RunStatus s : all_run_statuses()) {
-    const bool expected =
-        s == RunStatus::kExecutorLost || s == RunStatus::kFetchFailure;
+    const bool expected = s == RunStatus::kExecutorLost ||
+                          s == RunStatus::kFetchFailure ||
+                          s == RunStatus::kPreempted;
     EXPECT_EQ(is_transient(s), expected) << to_string(s);
   }
 }
@@ -185,6 +189,58 @@ TEST(FaultInjectorTest, SpeculationCapsStragglerSlowdown) {
   }
   EXPECT_LE(spec_max, 1.5);
   EXPECT_GT(plain_max, 2.0);  // uncapped draws reach well past the multiplier
+}
+
+TEST(FaultInjectorTest, PreemptionsCapAtTwoAndEscalate) {
+  FaultProfile p;
+  p.preemption_per_stage = 1.0;  // every trial fires
+  SparkConfig config;
+  FaultInjector injector(p, 19);
+  const auto f = injector.sample_stage(config, false);
+  EXPECT_EQ(f.preemptions, 2);  // capped by the two-strikes rule
+  EXPECT_TRUE(f.preempted);
+  EXPECT_TRUE(f.any());
+}
+
+TEST(FaultInjectorTest, ModeratePreemptionRateLeavesSurvivors) {
+  FaultProfile p;
+  p.preemption_per_stage = 0.3;
+  SparkConfig config;
+  FaultInjector injector(p, 23);
+  int survivable = 0, fatal = 0, clean = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto f = injector.sample_stage(config, false);
+    if (f.preempted) {
+      ++fatal;
+      EXPECT_EQ(f.preemptions, 2);
+    } else if (f.preemptions == 1) {
+      ++survivable;  // one preemption reschedules; the stage survives
+    } else {
+      ++clean;
+      EXPECT_EQ(f.preemptions, 0);
+    }
+  }
+  EXPECT_GT(survivable, 0);
+  EXPECT_GT(fatal, 0);
+  EXPECT_GT(clean, 0);
+}
+
+TEST(FaultInjectorTest, ZeroPreemptionRateDrawsNothing) {
+  // A preemption-free profile must not consume randomness: the
+  // executor-loss stream is unchanged whether the knob exists or not.
+  FaultProfile base;
+  base.executor_loss_per_stage = 0.2;
+  FaultProfile with_knob = base;
+  with_knob.preemption_per_stage = 0.0;
+  SparkConfig config;
+  FaultInjector a(base, 31), b(with_knob, 31);
+  for (int i = 0; i < 100; ++i) {
+    const auto fa = a.sample_stage(config, false);
+    const auto fb = b.sample_stage(config, false);
+    EXPECT_EQ(fa.executor_losses, fb.executor_losses);
+    EXPECT_EQ(fb.preemptions, 0);
+    EXPECT_FALSE(fb.preempted);
+  }
 }
 
 TEST(FaultInjectorTest, DeterministicPerSeed) {
@@ -284,6 +340,42 @@ TEST(EngineFaultsTest, HeavyLossRatesKillSomeRunsTransiently) {
   }
   EXPECT_GT(lost, 0);
   EXPECT_GT(ok, 0);
+}
+
+TEST(EngineFaultsTest, SurvivablePreemptionsOnlySlowTheRunDown) {
+  FaultProfile p;
+  p.preemption_per_stage = 0.15;  // mostly single hits per stage
+  int slowed = 0, preempted = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const auto healthy = run_with_profile(FaultProfile{}, seed);
+    const auto r = run_with_profile(p, seed);
+    if (r.status == RunStatus::kPreempted) {
+      ++preempted;
+      EXPECT_FALSE(r.failure_stage.empty());
+      EXPECT_TRUE(is_transient(r.status));
+      EXPECT_GE(r.metrics.preemptions, 2);
+    } else if (r.metrics.preemptions > 0) {
+      ASSERT_EQ(r.status, RunStatus::kOk);
+      ++slowed;
+      EXPECT_GT(r.seconds, healthy.seconds);
+      EXPECT_GT(r.metrics.fault_delay_s, 0.0);
+      EXPECT_GT(r.metrics.task_retries, 0);
+    }
+  }
+  EXPECT_GT(slowed, 0);
+  EXPECT_GT(preempted, 0);
+}
+
+TEST(EngineFaultsTest, PreemptionRunsAreDeterministicPerSeed) {
+  FaultProfile p;
+  p.preemption_per_stage = 0.25;
+  for (std::uint64_t seed : {4u, 12u, 33u}) {
+    const auto a = run_with_profile(p, seed, 0.04);
+    const auto b = run_with_profile(p, seed, 0.04);
+    expect_identical(a, b);
+    EXPECT_EQ(a.metrics.preemptions, b.metrics.preemptions);
+    EXPECT_EQ(a.kill_reason, b.kill_reason);
+  }
 }
 
 // ---------------------------------------------------------- objective ----
@@ -405,6 +497,26 @@ TEST(ObjectiveFaultsTest, SkipSeedDrawsFastForwardsExactly) {
   EXPECT_EQ(replayed.cost_s, second.cost_s);
   EXPECT_EQ(replayed.status, second.status);
   EXPECT_EQ(replayed.attempts, second.attempts);
+}
+
+TEST(ObjectiveFaultsTest, PreemptionsRetryAndCensorLikeOtherTransients) {
+  FaultProfile p;
+  p.preemption_per_stage = 0.6;  // fatal double-preemptions are common
+  auto objective = make_faulty_objective(p, /*max_retries=*/2);
+  std::size_t retried = 0, censored = 0;
+  for (const auto& unit : random_units(30, 456)) {
+    const auto out = objective.evaluate(unit, /*stop_threshold_s=*/400.0);
+    if (out.attempts > 1) ++retried;
+    if (out.transient) {
+      ++censored;
+      EXPECT_EQ(out.status, RunStatus::kPreempted);
+      EXPECT_EQ(out.attempts, 3);  // all retries consumed
+      EXPECT_DOUBLE_EQ(out.value_s, 400.0);  // censored at the threshold
+      EXPECT_GT(out.cost_s, 0.0);
+    }
+  }
+  EXPECT_GT(retried, 0u);
+  EXPECT_GT(censored, 0u);
 }
 
 TEST(ObjectiveFaultsTest, InactiveProfileMatchesFaultFreeObjective) {

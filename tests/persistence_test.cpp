@@ -174,6 +174,13 @@ SessionCheckpoint journal_checkpoint() {
     e.cost_s = 100.0 + i;
     s.evaluations.push_back(std::move(e));
   }
+  // Eval 4 was racer-killed: censored value, partial cost, a matching
+  // kill record, and the racing signature the session ran under.
+  s.evaluations[4].status = sparksim::RunStatus::kKilled;
+  s.evaluations[4].transient = true;
+  s.evaluations[4].cost_s = 42.5;
+  s.racing_mode = "median";
+  s.kill_events.push_back({4, sparksim::KillReason::kMedianRule});
   s.degrade_events.push_back({2, "gp_refit"});
   s.degrade_events.push_back({2, "gp_noise_inflate"});
   s.degrade_events.push_back({4, "fallback_proposal"});
@@ -195,6 +202,12 @@ void expect_prefix_of(const SessionCheckpoint& loaded,
               reference.degrade_events[i].iter);
     EXPECT_EQ(loaded.degrade_events[i].rung,
               reference.degrade_events[i].rung);
+  }
+  ASSERT_LE(loaded.kill_events.size(), reference.kill_events.size());
+  for (std::size_t i = 0; i < loaded.kill_events.size(); ++i) {
+    EXPECT_EQ(loaded.kill_events[i].index, reference.kill_events[i].index);
+    EXPECT_EQ(loaded.kill_events[i].reason,
+              reference.kill_events[i].reason);
   }
 }
 
@@ -225,6 +238,12 @@ TEST(SessionJournalV3Test, RoundTripsIncludingDegradeEvents) {
   EXPECT_EQ(loaded.degrade_events[0].iter, 2u);
   EXPECT_EQ(loaded.degrade_events[0].rung, "gp_refit");
   EXPECT_EQ(loaded.degrade_events[2].rung, "fallback_proposal");
+  EXPECT_EQ(loaded.racing_mode, "median");
+  ASSERT_EQ(loaded.kill_events.size(), 1u);
+  EXPECT_EQ(loaded.kill_events[0].index, 4u);
+  EXPECT_EQ(loaded.kill_events[0].reason,
+            sparksim::KillReason::kMedianRule);
+  EXPECT_EQ(loaded.evaluations[4].status, sparksim::RunStatus::kKilled);
   expect_prefix_of(loaded, original);
   EXPECT_EQ(loaded.evaluations.size(), original.evaluations.size());
 }
@@ -247,6 +266,13 @@ TEST(SessionJournalV3Test, MalformedFieldsThrowWithSourceAndLine) {
       {"eval x ok 1 1 0 0 1 1 0.5", "malformed eval index field"},
       {"degrade x gp_refit", "malformed degrade iteration field"},
       {"degrade 2", "missing degrade rung field"},
+      {"racing", "missing racing signature field"},
+      {"racing median off", "trailing data"},
+      {"kill", "missing kill index field"},
+      {"kill x deadline", "malformed kill index field"},
+      {"kill 0", "missing kill reason field"},
+      {"kill 0 bogus-reason", "unknown kill reason"},
+      {"kill 0 deadline extra", "trailing data"},
       {"wat 1 2", "unknown record kind"},
   };
   for (const auto& [payload, expected] : cases) {
@@ -394,6 +420,27 @@ TEST(SessionJournalV2Test, LegacyCorruptionThrowsEvenInRecoverMode) {
   std::istringstream in(v2);
   SessionCheckpoint s;
   EXPECT_THROW(load_session(in, s, LoadMode::kRecover), InvalidArgument);
+}
+
+TEST(CanonicalizeJournalTest, PrunesKillEventsPastTheReplayablePrefix) {
+  auto s = journal_checkpoint();
+  // A crash mid-batch: evals 0..2 and 5 completed, 3-4 were in flight.
+  // Kill events for the lost evaluations must be pruned with them.
+  s.evaluations.erase(s.evaluations.begin() + 3,
+                      s.evaluations.begin() + 5);
+  s.kill_events.push_back({5, sparksim::KillReason::kDeadline});
+  const std::size_t dropped = canonicalize_journal(s);
+  EXPECT_EQ(dropped, 1u);  // eval 5 fell past the gap
+  ASSERT_EQ(s.evaluations.size(), 3u);
+  // Both kill events (evals 4 and 5) referenced dropped evaluations.
+  EXPECT_TRUE(s.kill_events.empty());
+
+  // Kill events inside the kept prefix survive canonicalization.
+  auto kept = journal_checkpoint();
+  std::swap(kept.evaluations[0], kept.evaluations[5]);  // completion order
+  EXPECT_EQ(canonicalize_journal(kept), 0u);
+  ASSERT_EQ(kept.kill_events.size(), 1u);
+  EXPECT_EQ(kept.kill_events[0].index, 4u);
 }
 
 TEST(SessionJournalV3Test, FsyncPolicyRoundTripsOnDisk) {
