@@ -1,0 +1,232 @@
+// Tuning-as-a-service throughput study (DESIGN.md §13): a fleet of
+// small seeded sessions pushed through the SessionManager behind the
+// full wire codec (LocalClient round-trips every request through
+// encode → decode → dispatch → encode → decode, exactly what the socket
+// daemon executes).
+//
+// Measures, for one interleaved fleet:
+//   - session throughput (sessions per wall second) and evaluation
+//     throughput (journaled evaluations per wall second),
+//   - admission backpressure (start requests bounced off the full queue
+//     until capacity frees),
+//   - control-plane responsiveness: p50/p99 latency of `suggest`
+//     requests issued continuously while the fleet churns,
+//   - the determinism acceptance: every daemon journal is byte-identical
+//     to a standalone run of the spec file the daemon wrote (the spec
+//     carries the derived seed, so this also proves the seeding
+//     discipline is replayable).
+//
+// Emits a table to stdout and machine-readable JSON to
+// bench_results/fig_service.json (run from the repo root).
+//
+// Environment knobs:
+//   ROBOTUNE_BENCH_SESSIONS  fleet size                  [default 256]
+//   ROBOTUNE_BENCH_BUDGET    evaluations per session     [default 6]
+//   ROBOTUNE_BENCH_VERIFY    1 = byte-verify every journal [default 1]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/session.h"
+#include "service/client.h"
+#include "service/session_manager.h"
+
+using namespace robotune;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+core::SessionSpec bench_spec(int budget) {
+  core::SessionSpec spec;
+  spec.workload = "PR";
+  spec.dataset = 1;
+  spec.tuner = "robotune";
+  spec.budget = budget;
+  spec.parallel = 1;
+  spec.init = std::min(4, budget);
+  spec.selection_samples = 20;
+  return spec;
+}
+
+double percentile(std::vector<double> sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+}  // namespace
+
+int main() {
+  const int sessions = bench::env_int("ROBOTUNE_BENCH_SESSIONS", 256);
+  const int budget = bench::env_int("ROBOTUNE_BENCH_BUDGET", 6);
+  const bool verify = bench::env_int("ROBOTUNE_BENCH_VERIFY", 1) != 0;
+
+  service::ServiceOptions options;
+  options.root = (fs::temp_directory_path() / "robotune-fig-service").string();
+  options.max_live = 4;
+  options.slots = 2;
+  options.max_pending = 16;
+  options.seed = 2024;
+  fs::remove_all(options.root);
+
+  std::printf(
+      "=== Service throughput: %d sessions, budget=%d, max-live %zu, "
+      "slots %zu, queue %zu ===\n",
+      sessions, budget, options.max_live, options.slots,
+      options.max_pending);
+
+  service::SessionManager manager(options);
+  service::LocalClient client(manager);
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Producer: pushes the whole fleet through admission control, retrying
+  // whenever backpressure bounces a start off the full queue.
+  std::size_t rejections = 0;
+  std::thread producer([&] {
+    const std::string body = core::encode_spec_body(bench_spec(budget));
+    for (int i = 0; i < sessions; ++i) {
+      service::Request start;
+      start.verb = "start";
+      start.spec_body = body;
+      start.derive_seed = true;  // the daemon's seeding discipline
+      for (;;) {
+        const auto response = client.call(start);
+        if (response.ok) break;
+        ++rejections;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+
+  // Control-plane prober: hammers `suggest` (the latency-sensitive verb)
+  // against a rotating session while the fleet churns.  A second client
+  // keeps request ids independent of the producer's.
+  service::LocalClient prober(manager);
+  std::vector<double> latencies_us;
+  std::uint64_t probe_id = 1;
+  for (;;) {
+    service::Request fleet_status;
+    fleet_status.verb = "status";
+    const auto status = prober.call(fleet_status);
+    const auto terminal = std::stoull(status.fields.at("done")) +
+                          std::stoull(status.fields.at("cancelled")) +
+                          std::stoull(status.fields.at("failed"));
+    if (terminal >= static_cast<std::uint64_t>(sessions)) break;
+
+    service::Request suggest;
+    suggest.verb = "suggest";
+    suggest.session = probe_id;
+    probe_id = probe_id % static_cast<std::uint64_t>(sessions) + 1;
+    const auto p0 = std::chrono::steady_clock::now();
+    (void)prober.call(suggest);  // "no evaluation yet" still measures
+    const auto p1 = std::chrono::steady_clock::now();
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(p1 - p0).count());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  producer.join();
+  manager.drain();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::size_t total_evals = 0;
+  for (int id = 1; id <= sessions; ++id) {
+    const auto status = manager.status(static_cast<std::uint64_t>(id));
+    if (status) total_evals += status->evaluations;
+  }
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const double p50 = percentile(latencies_us, 0.50);
+  const double p99 = percentile(latencies_us, 0.99);
+
+  // Determinism acceptance: replay every spec file the daemon wrote
+  // (it carries the derived seed) standalone and compare journal bytes.
+  std::size_t verified = 0, mismatches = 0;
+  if (verify) {
+    const std::string replay_root = options.root + "-replay";
+    fs::remove_all(replay_root);
+    fs::create_directories(replay_root);
+    for (int id = 1; id <= sessions; ++id) {
+      core::SessionSpec spec;
+      if (!core::load_spec_file(
+              manager.spec_path(static_cast<std::uint64_t>(id)), spec)) {
+        ++mismatches;
+        continue;
+      }
+      spec.checkpoint_path =
+          replay_root + "/replay-" + std::to_string(id) + ".journal";
+      std::string error;
+      auto session = core::SessionFactory::create(spec, &error);
+      if (!session || !session->run().ok()) {
+        ++mismatches;
+        continue;
+      }
+      ++verified;
+      if (slurp(spec.checkpoint_path) !=
+          slurp(manager.journal_path(static_cast<std::uint64_t>(id)))) {
+        ++mismatches;
+      }
+    }
+    fs::remove_all(replay_root);
+  }
+
+  const double sessions_per_s = static_cast<double>(sessions) / wall_s;
+  const double evals_per_s = static_cast<double>(total_evals) / wall_s;
+  std::printf("fleet drained in %.2f s\n", wall_s);
+  std::printf("%-28s %10.2f\n", "sessions / s", sessions_per_s);
+  std::printf("%-28s %10.2f\n", "evaluations / s", evals_per_s);
+  std::printf("%-28s %10zu\n", "admission rejections", rejections);
+  std::printf("%-28s %10.1f us\n", "suggest p50", p50);
+  std::printf("%-28s %10.1f us\n", "suggest p99", p99);
+  if (verify) {
+    std::printf("%-28s %zu/%d (%zu mismatches)\n",
+                "journals byte-verified", verified, sessions, mismatches);
+  }
+
+  fs::create_directories("bench_results");
+  std::FILE* out = std::fopen("bench_results/fig_service.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"sessions\": %d,\n"
+                 "  \"budget\": %d,\n"
+                 "  \"max_live\": %zu,\n"
+                 "  \"slots\": %zu,\n"
+                 "  \"max_pending\": %zu,\n"
+                 "  \"wall_s\": %.3f,\n"
+                 "  \"sessions_per_s\": %.3f,\n"
+                 "  \"evals_per_s\": %.3f,\n"
+                 "  \"admission_rejections\": %zu,\n"
+                 "  \"suggest_p50_us\": %.1f,\n"
+                 "  \"suggest_p99_us\": %.1f,\n"
+                 "  \"suggest_samples\": %zu,\n"
+                 "  \"verified\": %zu,\n"
+                 "  \"mismatches\": %zu\n"
+                 "}\n",
+                 sessions, budget, options.max_live, options.slots,
+                 options.max_pending, wall_s, sessions_per_s, evals_per_s,
+                 rejections, p50, p99, latencies_us.size(), verified,
+                 mismatches);
+    std::fclose(out);
+    std::printf("wrote bench_results/fig_service.json\n");
+  }
+  fs::remove_all(options.root);
+  return mismatches == 0 ? 0 : 1;
+}

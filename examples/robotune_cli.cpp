@@ -7,6 +7,14 @@
 // Running the same command twice demonstrates cross-process memoization:
 // the second run hits the selection cache and seeds BO with the first
 // run's best configurations.
+//
+// Session assembly lives in core::SessionFactory, shared with the
+// robotune_serve daemon — a CLI run and a daemon-hosted session with the
+// same spec write byte-identical journals.  With --connect the CLI turns
+// into a client of a running daemon instead of tuning locally:
+//
+//   $ ./build/examples/robotune_cli --connect /tmp/rt.sock
+//         --remote start --workload PR --budget 24 --init 8
 #include <algorithm>
 #include <atomic>
 #include <csignal>
@@ -19,15 +27,12 @@
 #include "common/chaos.h"
 #include "common/error.h"
 #include "core/persistence.h"
-#include "core/robotune.h"
-#include "exec/eval_scheduler.h"
+#include "core/session.h"
 #include "obs/metrics.h"
 #include "obs/summary.h"
 #include "obs/trace.h"
+#include "service/client.h"
 #include "sparksim/objective.h"
-#include "tuners/bestconfig.h"
-#include "tuners/gunther.h"
-#include "tuners/random_search.h"
 
 using namespace robotune;
 
@@ -51,6 +56,7 @@ struct CliOptions {
   std::string tuner = "robotune";
   int budget = 100;
   std::uint64_t seed = 7;
+  bool seed_set = false;  ///< --seed given (client mode: no derivation)
   std::string state_path;
   std::string metric = "time";
   std::string fault_profile = "none";
@@ -79,11 +85,21 @@ struct CliOptions {
   double eval_deadline = 0.0;
   /// Spot-instance preemption probability per stage (0 = off).
   double preempt_rate = 0.0;
+  /// BO initial-design size override (0 = engine default of 20).
+  int init = 0;
+  /// Parameter-selection sample-count override (0 = default 100).
+  int selection_samples = 0;
   /// Observability: span timeline and metrics exports (0-cost to
   /// results — the determinism test pins byte-identical output).
   std::string trace_path;
   obs::TraceFormat trace_format = obs::TraceFormat::kJsonl;
   std::string metrics_path;
+  /// Client mode: socket of a robotune_serve daemon.
+  std::string connect_path;
+  /// Client verb: start|status|suggest|observe|checkpoint|cancel|shutdown.
+  std::string remote = "status";
+  std::uint64_t session_id = 0;
+  std::uint64_t from = 0;
 };
 
 void usage(const char* argv0) {
@@ -125,48 +141,26 @@ void usage(const char* argv0) {
       "                              default 0 = off)\n"
       "  --preempt-rate F            spot-instance preemption probability\n"
       "                              per stage (default 0 = off)\n"
+      "  --init N                    BO initial-design size override\n"
+      "                              (robotune; default 0 = 20)\n"
+      "  --selection-samples N       parameter-selection sample count\n"
+      "                              override (robotune; default 0 = 100)\n"
       "  --trace PATH                export the span timeline to PATH\n"
       "  --trace-format jsonl|chrome trace format (default jsonl; chrome\n"
       "                              loads in Perfetto / chrome://tracing)\n"
       "  --metrics PATH              export session metrics as JSON\n"
-      "  --quiet                     only print the summary line\n",
+      "  --quiet                     only print the summary line\n"
+      "client mode (talk to a robotune_serve daemon instead of tuning):\n"
+      "  --connect SOCKET            daemon socket path\n"
+      "  --remote VERB               start|status|suggest|observe|\n"
+      "                              checkpoint|cancel|shutdown\n"
+      "                              (default status; start builds the\n"
+      "                              session spec from the options above,\n"
+      "                              deriving the seed daemon-side unless\n"
+      "                              --seed was given)\n"
+      "  --session ID                target session for the verb\n"
+      "  --from N                    observe: first evaluation index\n",
       argv0);
-}
-
-/// Parses a preset name or a "loss=F,fetch=F,straggler=F[,slowdown=F]"
-/// list into a FaultProfile.
-bool parse_fault_profile(const std::string& text,
-                         sparksim::FaultProfile& out) {
-  if (sparksim::FaultProfile::from_preset(text, out)) return true;
-  out = sparksim::FaultProfile{};
-  std::size_t pos = 0;
-  bool any = false;
-  while (pos < text.size()) {
-    const std::size_t comma = text.find(',', pos);
-    const std::string item =
-        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
-    const std::size_t eq = item.find('=');
-    if (eq == std::string::npos) return false;
-    const std::string key = item.substr(0, eq);
-    char* end = nullptr;
-    const double value = std::strtod(item.c_str() + eq + 1, &end);
-    if (end == item.c_str() + eq + 1) return false;
-    if (key == "loss") {
-      out.executor_loss_per_stage = value;
-    } else if (key == "fetch") {
-      out.fetch_failure_per_stage = value;
-    } else if (key == "straggler") {
-      out.straggler_per_stage = value;
-    } else if (key == "slowdown") {
-      out.straggler_max_slowdown = value;
-    } else {
-      return false;
-    }
-    any = true;
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return any;
 }
 
 bool parse(int argc, char** argv, CliOptions& options) {
@@ -195,6 +189,7 @@ bool parse(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (!v) return false;
       options.seed = static_cast<std::uint64_t>(std::atoll(v));
+      options.seed_set = true;
     } else if (arg == "--state") {
       const char* v = next();
       if (!v) return false;
@@ -251,6 +246,16 @@ bool parse(int argc, char** argv, CliOptions& options) {
       if (options.preempt_rate < 0.0 || options.preempt_rate > 1.0) {
         return false;
       }
+    } else if (arg == "--init") {
+      const char* v = next();
+      if (!v) return false;
+      options.init = std::atoi(v);
+      if (options.init < 0) return false;
+    } else if (arg == "--selection-samples") {
+      const char* v = next();
+      if (!v) return false;
+      options.selection_samples = std::atoi(v);
+      if (options.selection_samples < 0) return false;
     } else if (arg == "--trace") {
       const char* v = next();
       if (!v) return false;
@@ -266,11 +271,97 @@ bool parse(int argc, char** argv, CliOptions& options) {
       options.metrics_path = v;
     } else if (arg == "--quiet") {
       options.quiet = true;
+    } else if (arg == "--connect") {
+      const char* v = next();
+      if (!v) return false;
+      options.connect_path = v;
+    } else if (arg == "--remote") {
+      const char* v = next();
+      if (!v) return false;
+      options.remote = v;
+    } else if (arg == "--session") {
+      const char* v = next();
+      if (!v) return false;
+      options.session_id = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--from") {
+      const char* v = next();
+      if (!v) return false;
+      options.from = static_cast<std::uint64_t>(std::atoll(v));
     } else {
       return false;
     }
   }
   return options.dataset >= 1 && options.dataset <= 3;
+}
+
+/// Maps the local CLI options onto the shared session spec.
+core::SessionSpec spec_from(const CliOptions& options) {
+  core::SessionSpec spec;
+  spec.workload = options.workload;
+  spec.dataset = options.dataset;
+  spec.tuner = options.tuner;
+  spec.budget = options.budget;
+  spec.seed = options.seed;
+  spec.metric = options.metric;
+  spec.fault_profile = options.fault_profile;
+  spec.retries = options.retries;
+  spec.preempt_rate = options.preempt_rate;
+  spec.parallel = options.parallel;
+  spec.batch = options.batch;
+  spec.racing = options.racing;
+  spec.eval_deadline = options.eval_deadline;
+  spec.init = options.init;
+  spec.selection_samples = options.selection_samples;
+  spec.checkpoint_path = options.checkpoint_path;
+  spec.resume = options.resume;
+  spec.recover = options.recover;
+  spec.sync = options.fsync ? core::SyncPolicy::kFsync
+                            : core::SyncPolicy::kNone;
+  return spec;
+}
+
+/// Client mode: one request against a robotune_serve daemon.
+int run_client(const CliOptions& options) {
+  service::SocketClient client;
+  std::string error;
+  if (!client.connect(options.connect_path, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  service::Request request;
+  request.verb = options.remote;
+  request.session = options.session_id;
+  request.from = options.from;
+  if (request.verb == "start") {
+    core::SessionSpec spec = spec_from(options);
+    spec.checkpoint_path.clear();  // the daemon owns durability wiring
+    if (const auto why = spec.validate(); !why.empty()) {
+      std::fprintf(stderr, "%s\n", why.c_str());
+      return 2;
+    }
+    request.spec_body = core::encode_spec_body(spec);
+    request.derive_seed = !options.seed_set;
+  }
+  service::Response response;
+  if (!client.call(request, response, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  if (!response.ok) {
+    std::fprintf(stderr, "error: %s\n", response.error.c_str());
+    return 1;
+  }
+  if (request.verb == "start") {
+    std::printf("session %s started\n", response.fields["id"].c_str());
+    return 0;
+  }
+  for (const auto& [key, value] : response.fields) {
+    std::printf("%s=%s\n", key.c_str(), value.c_str());
+  }
+  for (const auto& record : response.records) {
+    std::printf("eval %s\n", record.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -281,46 +372,11 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
+  if (!options.connect_path.empty()) return run_client(options);
 
-  sparksim::WorkloadKind kind = sparksim::WorkloadKind::kPageRank;
-  bool found = false;
-  for (auto k : sparksim::all_workloads()) {
-    if (sparksim::short_name(k) == options.workload) {
-      kind = k;
-      found = true;
-    }
-  }
-  if (!found) {
-    std::fprintf(stderr, "unknown workload '%s'\n",
-                 options.workload.c_str());
-    return 2;
-  }
-  const auto metric = options.metric == "coreseconds"
-                          ? sparksim::ObjectiveMetric::kCoreSeconds
-                          : sparksim::ObjectiveMetric::kExecutionTime;
-
-  sparksim::FaultProfile faults;
-  if (!parse_fault_profile(options.fault_profile, faults)) {
-    std::fprintf(stderr, "bad --fault-profile '%s'\n",
-                 options.fault_profile.c_str());
-    return 2;
-  }
-  // Spot-preemption intensity rides on top of whatever profile/preset
-  // was chosen (all presets leave it at zero).
-  faults.preemption_per_stage = options.preempt_rate;
-
-  exec::RacingMode racing_mode = exec::RacingMode::kOff;
-  if (!exec::racing_mode_from_string(options.racing, racing_mode)) {
-    std::fprintf(stderr, "bad --racing '%s' (off|median|halving)\n",
-                 options.racing.c_str());
-    return 2;
-  }
-  if ((racing_mode != exec::RacingMode::kOff ||
-       options.eval_deadline > 0.0) &&
-      options.parallel < 1) {
-    std::fprintf(stderr,
-                 "--racing/--eval-deadline need the batch scheduler: "
-                 "pass --parallel N (N >= 1)\n");
+  const core::SessionSpec spec = spec_from(options);
+  if (const auto why = spec.validate(); !why.empty()) {
+    std::fprintf(stderr, "%s\n", why.c_str());
     return 2;
   }
 
@@ -346,18 +402,6 @@ int main(int argc, char** argv) {
     sigaction(SIGTERM, &sa, nullptr);
   }
 
-  sparksim::SparkObjective objective(
-      sparksim::ClusterSpec::paper_testbed(),
-      sparksim::make_workload(kind, options.dataset),
-      sparksim::spark24_config_space(), options.seed * 7919, 480.0, 0.04,
-      metric);
-  objective.set_fault_profile(faults);
-  if (faults.active()) {
-    sparksim::RetryPolicy retry;
-    retry.max_retries = std::max(0, options.retries);
-    objective.set_retry_policy(retry);
-  }
-
   // Tracing costs one relaxed atomic load per span unless requested.
   const bool observing =
       !options.trace_path.empty() || !options.metrics_path.empty();
@@ -368,108 +412,64 @@ int main(int argc, char** argv) {
         "be empty\n");
   }
 
-  // --parallel N attaches the batch-evaluation scheduler: evaluations run
-  // on N workers with seed streams derived from (seed, eval index), so
-  // the results are bit-identical for any N (but differ from the legacy
-  // sequential mode at --parallel 0).
-  std::unique_ptr<exec::EvalScheduler> scheduler;
-  if (options.parallel >= 1) {
-    exec::SchedulerOptions sched;
-    sched.parallelism = options.parallel;
-    sched.racing.mode = racing_mode;
-    sched.racing.deadline_s = options.eval_deadline;
-    scheduler = std::make_unique<exec::EvalScheduler>(sched);
+  std::string why;
+  auto session = core::SessionFactory::create(spec, &why);
+  if (!session) {
+    std::fprintf(stderr, "%s\n", why.c_str());
+    return 2;
+  }
+  if (!options.state_path.empty() &&
+      session->load_state(options.state_path) && !options.quiet) {
+    std::printf("loaded memoized state from %s\n",
+                options.state_path.c_str());
   }
 
-  tuners::TuningResult result;
-  bool interrupted = false;
-  if (options.tuner == "robotune") {
-    core::RoboTuneOptions tuner_options;
-    tuner_options.bo.batch_size = options.batch;
-    tuner_options.bo.cancel = &g_stop;
-    core::RoboTune tuner(tuner_options);
-    if (!options.state_path.empty() &&
-        core::load_state_file(options.state_path, tuner.selection_cache(),
-                              tuner.memo_buffer())) {
-      if (!options.quiet) {
-        std::printf("loaded memoized state from %s\n",
-                    options.state_path.c_str());
-      }
-    }
-    // Checkpoint/resume: journal the session after every evaluation; on
-    // --resume, replay the journal for an identical continuation.
-    core::SessionLog session;
-    core::SessionLog* session_ptr = nullptr;
-    if (!options.checkpoint_path.empty()) {
-      try {
-        const auto mode = options.recover ? core::LoadMode::kRecover
-                                          : core::LoadMode::kStrict;
-        core::SessionLoadReport load_report;
-        if (options.resume &&
-            core::load_session_file(options.checkpoint_path, session.state,
-                                    mode, &load_report)) {
-          if (!options.quiet) {
-            std::printf("resuming from %s (%zu evaluations journaled)\n",
-                        options.checkpoint_path.c_str(),
-                        session.state.evaluations.size());
-            if (load_report.recovered) {
-              std::printf(
-                  "recovered journal: dropped %zu torn/corrupt record(s)\n",
-                  load_report.dropped_records);
-            }
+  // Resume probe: report what the journal holds before replaying it (the
+  // session loads it again itself — the file is tiny).  A strictly
+  // corrupt journal aborts here, matching the historical CLI behavior.
+  if (!options.checkpoint_path.empty() && options.resume) {
+    try {
+      const auto mode = options.recover ? core::LoadMode::kRecover
+                                        : core::LoadMode::kStrict;
+      core::SessionCheckpoint probe;
+      core::SessionLoadReport load_report;
+      if (core::load_session_file(options.checkpoint_path, probe, mode,
+                                  &load_report)) {
+        if (!options.quiet) {
+          std::printf("resuming from %s (%zu evaluations journaled)\n",
+                      options.checkpoint_path.c_str(),
+                      probe.evaluations.size());
+          if (load_report.recovered) {
+            std::printf(
+                "recovered journal: dropped %zu torn/corrupt record(s)\n",
+                load_report.dropped_records);
           }
         }
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "cannot resume from %s: %s\n",
-                     options.checkpoint_path.c_str(), e.what());
-        return 2;
       }
-      const std::string path = options.checkpoint_path;
-      const auto sync = options.fsync ? core::SyncPolicy::kFsync
-                                      : core::SyncPolicy::kNone;
-      session.flush = [path, sync](const core::SessionCheckpoint& state) {
-        core::save_session_file(state, path, sync);
-      };
-      session_ptr = &session;
-    }
-    core::RoboTuneReport report;
-    try {
-      report = tuner.tune_report(objective, options.budget, options.seed,
-                                 nullptr, session_ptr, scheduler.get());
-    } catch (const InvalidArgument& e) {
+    } catch (const std::exception& e) {
       std::fprintf(stderr, "cannot resume from %s: %s\n",
                    options.checkpoint_path.c_str(), e.what());
       return 2;
     }
-    result = report.tuning;
-    interrupted = report.bo.interrupted;
-    if (!options.quiet) {
-      std::printf("selection: %zu parameters (%s), one-time cost %.0f s\n",
-                  report.selected.size(),
-                  report.selection_cache_hit ? "cache hit" : "fresh",
-                  report.selection_cost_s);
-      std::printf("memoized configs used: %s\n",
-                  report.used_memoized_configs ? "yes" : "no");
-    }
-    if (!options.state_path.empty()) {
-      core::save_state_file(tuner.selection_cache(), tuner.memo_buffer(),
-                            options.state_path);
-    }
-  } else {
-    std::unique_ptr<tuners::Tuner> tuner;
-    if (options.tuner == "bestconfig") {
-      tuner = std::make_unique<tuners::BestConfig>();
-    } else if (options.tuner == "gunther") {
-      tuner = std::make_unique<tuners::Gunther>();
-    } else if (options.tuner == "rs") {
-      tuner = std::make_unique<tuners::RandomSearch>();
-    } else {
-      std::fprintf(stderr, "unknown tuner '%s'\n", options.tuner.c_str());
-      return 2;
-    }
-    tuner->set_scheduler(scheduler.get());
-    result = tuner->tune(objective, options.budget, options.seed);
   }
+
+  const auto outcome = session->run(&g_stop);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "%s\n", outcome.error.c_str());
+    return 2;
+  }
+  const auto& result = outcome.result;
+  const bool interrupted = outcome.interrupted;
+
+  if (outcome.report && !options.quiet) {
+    std::printf("selection: %zu parameters (%s), one-time cost %.0f s\n",
+                outcome.report->selected.size(),
+                outcome.report->selection_cache_hit ? "cache hit" : "fresh",
+                outcome.report->selection_cost_s);
+    std::printf("memoized configs used: %s\n",
+                outcome.report->used_memoized_configs ? "yes" : "no");
+  }
+  if (!options.state_path.empty()) session->save_state(options.state_path);
 
   // Observability exports: by the time the tuner returned, every worker
   // batch has been joined (wait_all), so snapshot/records are quiescent.
@@ -510,6 +510,9 @@ int main(int argc, char** argv) {
                     ? ""
                     : "; checkpoint is resumable with --resume");
   }
+  sparksim::FaultProfile faults;
+  core::parse_fault_profile(options.fault_profile, faults);
+  faults.preemption_per_stage = options.preempt_rate;
   if (faults.active()) {
     std::printf(
         "faults: %zu simulator attempts for %zu evaluations, "
@@ -518,18 +521,18 @@ int main(int argc, char** argv) {
         result.transient_failure_count());
   }
   if (!options.quiet) {
-    const auto& space = objective.space();
+    const auto space = sparksim::spark24_config_space();
     const auto best = space.decode(result.best_unit());
     std::printf("best configuration:\n");
     for (std::size_t i = 0; i < space.size(); ++i) {
-      const auto& spec = space.spec(i);
+      const auto& param = space.spec(i);
       if (best[i] == space.defaults()[i]) continue;  // only show changes
-      if (spec.kind == sparksim::ParamKind::kCategorical) {
-        std::printf("  %-46s %s\n", spec.name.c_str(),
-                    spec.categories[static_cast<std::size_t>(best[i])]
+      if (param.kind == sparksim::ParamKind::kCategorical) {
+        std::printf("  %-46s %s\n", param.name.c_str(),
+                    param.categories[static_cast<std::size_t>(best[i])]
                         .c_str());
       } else {
-        std::printf("  %-46s %g\n", spec.name.c_str(), best[i]);
+        std::printf("  %-46s %g\n", param.name.c_str(), best[i]);
       }
     }
   }

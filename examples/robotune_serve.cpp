@@ -1,0 +1,156 @@
+// Tuning-as-a-service daemon: hosts a fleet of concurrent tuning
+// sessions behind a Unix-domain socket (DESIGN.md §13).
+//
+//   $ ./build/examples/robotune_serve --root /tmp/rt-fleet
+//         --socket /tmp/rt.sock --max-live 2 --slots 1 &
+//   $ ./build/examples/robotune_cli --connect /tmp/rt.sock
+//         --remote start --workload PR --dataset 2 --budget 24 --init 8
+//   session 1 started
+//   $ ./build/examples/robotune_cli --connect /tmp/rt.sock
+//         --remote status --session 1
+//
+// On startup the daemon replays every session found under --root:
+// completed sessions are re-registered, interrupted ones resume from
+// their crash-safe journals, and a session whose files are corrupt
+// beyond recovery is quarantined (the fleet keeps serving).  SIGINT and
+// SIGTERM shut down gracefully: live sessions stop at their next round
+// boundary with resumable journals, so the next start continues the
+// fleet where it left off.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "service/server.h"
+#include "service/session_manager.h"
+
+using namespace robotune;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s --root DIR [options]\n"
+      "  --root DIR        service root for per-session spec/journal files\n"
+      "  --socket PATH     listening socket      (default DIR/robotune.sock)\n"
+      "  --max-live N      concurrent sessions   (default 2)\n"
+      "  --queue N         pending-queue bound   (default 8)\n"
+      "  --slots N         turnstile compute slices, 0 = max-live\n"
+      "                    (default 0; 1 = strict round-robin)\n"
+      "  --seed N          service seed for derived session seeds\n"
+      "                    (default 2024)\n"
+      "  --fsync           fsync every journal flush\n"
+      "  --pool-threads N  size the process-global thread pool before\n"
+      "                    first use (0 = hardware concurrency)\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::ServiceOptions options;
+  std::string socket_path;
+  long pool_threads = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--root") {
+      const char* v = next();
+      if (!v) return usage(argv[0]), 2;
+      options.root = v;
+    } else if (arg == "--socket") {
+      const char* v = next();
+      if (!v) return usage(argv[0]), 2;
+      socket_path = v;
+    } else if (arg == "--max-live") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 1) return usage(argv[0]), 2;
+      options.max_live = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--queue") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 0) return usage(argv[0]), 2;
+      options.max_pending = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--slots") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 0) return usage(argv[0]), 2;
+      options.slots = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return usage(argv[0]), 2;
+      options.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--fsync") {
+      options.sync = core::SyncPolicy::kFsync;
+    } else if (arg == "--pool-threads") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 0) return usage(argv[0]), 2;
+      pool_threads = std::atol(v);
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (options.root.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (socket_path.empty()) socket_path = options.root + "/robotune.sock";
+  if (pool_threads >= 0 &&
+      !ThreadPool::configure_global(
+          static_cast<std::size_t>(pool_threads))) {
+    std::fprintf(stderr,
+                 "warning: global thread pool already created; "
+                 "--pool-threads ignored\n");
+  }
+
+  {
+    struct sigaction sa = {};
+    sa.sa_handler = handle_stop_signal;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+  }
+
+  service::SessionManager manager(options);
+  const auto recovery = manager.recover_fleet();
+  std::printf(
+      "fleet recovery: %zu resumed, %zu completed, %zu cancelled, "
+      "%zu quarantined\n",
+      recovery.readmitted, recovery.completed, recovery.cancelled,
+      recovery.quarantined);
+  for (const auto& file : recovery.quarantined_files) {
+    std::printf("  quarantined: %s\n", file.c_str());
+  }
+
+  service::Server server(manager, socket_path);
+  std::string error;
+  if (!server.listen(&error)) {
+    std::fprintf(stderr, "cannot listen on %s: %s\n", socket_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf("serving on %s (max-live %zu, queue %zu, slots %zu)\n",
+              socket_path.c_str(), options.max_live, options.max_pending,
+              options.slots == 0 ? options.max_live : options.slots);
+  std::fflush(stdout);
+
+  const std::size_t served = server.serve(g_stop);
+
+  // Graceful shutdown: every live session checkpoints at its next round
+  // boundary; journals stay resumable for the next start.
+  std::printf("shutting down after %zu request(s)\n", served);
+  manager.shutdown(/*cancel_live=*/true);
+  const auto status = manager.service_status();
+  std::printf("fleet at exit: %zu done, %zu cancelled, %zu failed\n",
+              status.done, status.cancelled, status.failed);
+  return 0;
+}

@@ -6,6 +6,15 @@
 
 namespace robotune {
 
+namespace {
+
+/// Worker count global() is created with, settable once before first use
+/// (ThreadPool::configure_global).  0 = hardware concurrency.
+std::atomic<std::size_t> g_global_threads{0};
+std::atomic<bool> g_global_created{false};
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -44,13 +53,31 @@ void ThreadPool::worker_loop() {
     // what orders this thread-local shard write before any snapshot()
     // taken after a wait_all.
     obs::count("runtime.pool.tasks_executed");
-    job();
+    busy_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      job();
+    } catch (...) {
+      // A packaged_task never throws out of operator(); this guard only
+      // keeps the busy counter honest for raw closures.
+      busy_.fetch_sub(1, std::memory_order_relaxed);
+      throw;
+    }
+    busy_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  g_global_created.store(true, std::memory_order_release);
+  static ThreadPool pool(g_global_threads.load(std::memory_order_acquire));
   return pool;
+}
+
+bool ThreadPool::configure_global(std::size_t threads) {
+  if (g_global_created.load(std::memory_order_acquire)) return false;
+  g_global_threads.store(threads, std::memory_order_release);
+  // A racing first global() call could have constructed the pool between
+  // the check and the store; report whether the request actually took.
+  return !g_global_created.load(std::memory_order_acquire);
 }
 
 }  // namespace robotune

@@ -1,14 +1,18 @@
 // Minimal task-based thread pool (Core Guidelines CP.4: think in terms of
 // tasks, not threads).  Used to parallelize embarrassingly parallel loops:
 // random-forest tree training, multi-start acquisition optimization, and
-// repeated tuner runs inside the benchmark harnesses.
+// repeated tuner runs inside the benchmark harnesses.  The service layer
+// (src/service) additionally multiplexes whole tuning sessions over a
+// pool and sizes its admission control from the introspection calls.
 //
 // Tasks must not share writable state; each parallel_for body receives the
 // index and should only write to its own slot of a pre-sized output.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -17,6 +21,7 @@
 #include <vector>
 
 #include "common/chaos.h"
+#include "obs/metrics.h"
 
 namespace robotune {
 
@@ -35,16 +40,39 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueue a task; the returned future yields its result.
+  /// Tasks submitted but not yet picked up by a worker.  A point-in-time
+  /// reading (another thread may enqueue or dequeue immediately after) —
+  /// meant for admission control and load reporting, not for
+  /// synchronization.
+  std::size_t queued() const {
+    std::scoped_lock lock(mutex_);
+    return jobs_.size();
+  }
+
+  /// Workers currently blocked waiting for work (same point-in-time
+  /// caveat as queued()).
+  std::size_t idle_workers() const {
+    const std::size_t busy = busy_.load(std::memory_order_relaxed);
+    return busy >= size() ? 0 : size() - busy;
+  }
+
+  /// Enqueue a task; the returned future yields its result.  The
+  /// caller's obs session scope (if any) is forwarded to the worker that
+  /// runs the task, so per-session metric attribution survives the
+  /// thread hop.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
+    const std::uint64_t session = obs::ScopedSession::current();
     {
       std::scoped_lock lock(mutex_);
-      jobs_.emplace([task]() { (*task)(); });
+      jobs_.emplace([task, session]() {
+        obs::ScopedSession scope(session);
+        (*task)();
+      });
     }
     cv_.notify_one();
     return fut;
@@ -52,20 +80,25 @@ class ThreadPool {
 
   /// Enqueues a group of tasks under a single lock acquisition and
   /// returns their futures in task order.  A task that throws stores its
-  /// exception in the matching future (see wait_all).
+  /// exception in the matching future (see wait_all).  Like submit, the
+  /// caller's obs session scope travels with every task.
   template <typename F>
   auto submit_batch(std::vector<F> tasks)
       -> std::vector<std::future<std::invoke_result_t<F&>>> {
     using R = std::invoke_result_t<F&>;
     std::vector<std::future<R>> futures;
     futures.reserve(tasks.size());
+    const std::uint64_t session = obs::ScopedSession::current();
     {
       std::scoped_lock lock(mutex_);
       for (auto& t : tasks) {
         auto task =
             std::make_shared<std::packaged_task<R()>>(std::move(t));
         futures.push_back(task->get_future());
-        jobs_.emplace([task]() { (*task)(); });
+        jobs_.emplace([task, session]() {
+          obs::ScopedSession scope(session);
+          (*task)();
+        });
       }
     }
     cv_.notify_all();
@@ -115,6 +148,14 @@ class ThreadPool {
   /// Process-wide shared pool, created on first use.
   static ThreadPool& global();
 
+  /// Sets the worker count global() will be created with.  Must be
+  /// called before the first global() use: returns true when the request
+  /// took effect, false when the global pool already exists (its size is
+  /// then fixed for the process lifetime — the old behavior, but now
+  /// detectable instead of silent).  0 restores the hardware-concurrency
+  /// default.
+  static bool configure_global(std::size_t threads);
+
  private:
   // Chaos site wrapping every parallel_for body.  Keyed on the logical
   // index — not an invocation counter — so the set of injected failures
@@ -132,8 +173,9 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> jobs_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
+  std::atomic<std::size_t> busy_{0};
   bool stopping_ = false;
 };
 

@@ -107,8 +107,11 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
 
   // Cooperative cancellation (graceful SIGINT/SIGTERM): checked at round
   // boundaries only, so every completed evaluation is journaled and the
-  // checkpoint left behind resumes bit-identically.
+  // checkpoint left behind resumes bit-identically.  The yield hook runs
+  // first — round boundaries are where the service layer's turnstile
+  // slices CPU between concurrent sessions.
   const auto cancelled = [this] {
+    if (options_.yield) options_.yield();
     return options_.cancel != nullptr &&
            options_.cancel->load(std::memory_order_relaxed);
   };

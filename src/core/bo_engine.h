@@ -71,6 +71,13 @@ struct BoOptions {
   /// the checkpoint resumes bit-identically.  The engine only reads the
   /// flag; signal handlers may set it from any thread.
   const std::atomic<bool>* cancel = nullptr;
+  /// Cooperative fair-scheduling hook (the service layer's round-robin
+  /// turnstile): invoked at every round boundary, immediately before
+  /// `cancel` is polled.  The hook may block — that is how a session
+  /// manager slices CPU between concurrent sessions — but must not
+  /// mutate engine-visible state, so a null or no-op yield leaves the
+  /// trajectory byte-identical.
+  std::function<void()> yield;
   std::uint64_t seed = 2024;
 };
 

@@ -49,6 +49,9 @@ RoboTuneReport RoboTune::tune_report(sparksim::SparkObjective& objective,
   }
 
   // ---- Parameter selection (checkpoint, cache hit, or RF pipeline) ------
+  // Selection is the session's longest non-yielding stretch, so give the
+  // service turnstile one boundary before it starts.
+  if (const auto& pace = pacing_yield()) pace();
   if (resuming) {
     report.selected = session->state.selected;
     report.selection_cost_s = session->state.selection_cost_s;
@@ -115,6 +118,10 @@ RoboTuneReport RoboTune::tune_report(sparksim::SparkObjective& objective,
   BoOptions bo = options_.bo;
   bo.budget = budget;
   bo.seed = seed;
+  // Tuner-level pacing (service layer) flows into the engine unless the
+  // caller already wired explicit hooks through RoboTuneOptions::bo.
+  if (bo.cancel == nullptr) bo.cancel = pacing_cancel();
+  if (!bo.yield) bo.yield = pacing_yield();
   BoEngine engine(report.selected, objective.space().default_unit(), bo);
   report.bo = engine.run(objective, memoized, observer, session, scheduler);
   report.tuning = report.bo.tuning;

@@ -1,0 +1,456 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/crc32.h"
+#include "tuners/bestconfig.h"
+#include "tuners/gunther.h"
+#include "tuners/random_search.h"
+
+namespace robotune::core {
+
+namespace {
+
+constexpr const char* kSpecHeader = "robotune-spec v1";
+
+bool workload_from_short_name(const std::string& name,
+                              sparksim::WorkloadKind& out) {
+  for (auto k : sparksim::all_workloads()) {
+    if (sparksim::short_name(k) == name) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool known_tuner(const std::string& name) {
+  return name == "robotune" || name == "bestconfig" || name == "gunther" ||
+         name == "rs";
+}
+
+std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+}  // namespace
+
+bool parse_fault_profile(const std::string& text,
+                         sparksim::FaultProfile& out) {
+  if (sparksim::FaultProfile::from_preset(text, out)) return true;
+  out = sparksim::FaultProfile{};
+  std::size_t pos = 0;
+  bool any = false;
+  while (pos < text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string item =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = item.substr(0, eq);
+    char* end = nullptr;
+    const double value = std::strtod(item.c_str() + eq + 1, &end);
+    if (end == item.c_str() + eq + 1) return false;
+    if (key == "loss") {
+      out.executor_loss_per_stage = value;
+    } else if (key == "fetch") {
+      out.fetch_failure_per_stage = value;
+    } else if (key == "straggler") {
+      out.straggler_per_stage = value;
+    } else if (key == "slowdown") {
+      out.straggler_max_slowdown = value;
+    } else {
+      return false;
+    }
+    any = true;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return any;
+}
+
+std::string SessionSpec::validate() const {
+  sparksim::WorkloadKind kind;
+  if (!workload_from_short_name(workload, kind)) {
+    return "unknown workload '" + workload + "'";
+  }
+  if (dataset < 1 || dataset > 3) return "dataset must be 1..3";
+  if (!known_tuner(tuner)) return "unknown tuner '" + tuner + "'";
+  if (budget < 1) return "budget must be >= 1";
+  if (metric != "time" && metric != "coreseconds") {
+    return "metric must be time|coreseconds";
+  }
+  sparksim::FaultProfile faults;
+  if (fault_profile.find(' ') != std::string::npos ||
+      !parse_fault_profile(fault_profile, faults)) {
+    return "bad fault profile '" + fault_profile + "'";
+  }
+  if (retries < 0) return "retries must be >= 0";
+  if (preempt_rate < 0.0 || preempt_rate > 1.0) {
+    return "preempt rate must be in [0, 1]";
+  }
+  if (parallel < 0) return "parallel must be >= 0";
+  if (batch < 1) return "batch must be >= 1";
+  exec::RacingMode mode;
+  if (!exec::racing_mode_from_string(racing, mode)) {
+    return "bad racing mode '" + racing + "' (off|median|halving)";
+  }
+  if ((mode != exec::RacingMode::kOff || eval_deadline > 0.0) &&
+      parallel < 1) {
+    return "racing/eval-deadline need the batch scheduler (parallel >= 1)";
+  }
+  if (eval_deadline < 0.0) return "eval deadline must be >= 0";
+  if (init < 0 || selection_samples < 0) {
+    return "init/selection-samples must be >= 0";
+  }
+  if (tuner == "robotune") {
+    const int effective_init = init > 0 ? init : 20;
+    if (init > 0 && init < 2) return "init must be >= 2";
+    if (budget < effective_init) {
+      return "budget smaller than the BO initial sample count";
+    }
+  }
+  return {};
+}
+
+std::string encode_spec_body(const SessionSpec& spec) {
+  std::ostringstream payload;
+  payload << "workload=" << spec.workload << " dataset=" << spec.dataset
+          << " tuner=" << spec.tuner << " budget=" << spec.budget
+          << " seed=" << spec.seed << " metric=" << spec.metric
+          << " fault=" << spec.fault_profile << " retries=" << spec.retries
+          << " preempt=" << format_double(spec.preempt_rate)
+          << " parallel=" << spec.parallel << " batch=" << spec.batch
+          << " racing=" << spec.racing
+          << " deadline=" << format_double(spec.eval_deadline)
+          << " init=" << spec.init
+          << " selsamples=" << spec.selection_samples;
+  return payload.str();
+}
+
+bool decode_spec_body(const std::string& body, SessionSpec& spec,
+                      std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  SessionSpec parsed;
+  std::istringstream tokens(body);
+  std::string token;
+  while (tokens >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) return fail("bad spec token '" + token + "'");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "workload") {
+      parsed.workload = value;
+    } else if (key == "dataset") {
+      parsed.dataset = std::atoi(value.c_str());
+    } else if (key == "tuner") {
+      parsed.tuner = value;
+    } else if (key == "budget") {
+      parsed.budget = std::atoi(value.c_str());
+    } else if (key == "seed") {
+      parsed.seed = static_cast<std::uint64_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+    } else if (key == "metric") {
+      parsed.metric = value;
+    } else if (key == "fault") {
+      parsed.fault_profile = value;
+    } else if (key == "retries") {
+      parsed.retries = std::atoi(value.c_str());
+    } else if (key == "preempt") {
+      parsed.preempt_rate = std::atof(value.c_str());
+    } else if (key == "parallel") {
+      parsed.parallel = std::atoi(value.c_str());
+    } else if (key == "batch") {
+      parsed.batch = std::atoi(value.c_str());
+    } else if (key == "racing") {
+      parsed.racing = value;
+    } else if (key == "deadline") {
+      parsed.eval_deadline = std::atof(value.c_str());
+    } else if (key == "init") {
+      parsed.init = std::atoi(value.c_str());
+    } else if (key == "selsamples") {
+      parsed.selection_samples = std::atoi(value.c_str());
+    } else {
+      // Unknown keys from a newer writer are a hard error: the spec is
+      // the determinism contract, so silently dropping a knob could
+      // replay a different session than the one that was started.
+      return fail("unknown spec key '" + key + "'");
+    }
+  }
+  if (const auto why = parsed.validate(); !why.empty()) return fail(why);
+  // Keep the caller's durability wiring.
+  parsed.checkpoint_path = spec.checkpoint_path;
+  parsed.resume = spec.resume;
+  parsed.recover = spec.recover;
+  parsed.sync = spec.sync;
+  spec = parsed;
+  return true;
+}
+
+std::string encode_spec(const SessionSpec& spec) {
+  const std::string body = encode_spec_body(spec);
+  char head[32];
+  std::snprintf(head, sizeof(head), "%08x %zu ", crc32(body), body.size());
+  return std::string(kSpecHeader) + "\n" + head + body + "\n";
+}
+
+bool decode_spec(const std::string& text, SessionSpec& spec,
+                 std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kSpecHeader) {
+    return fail("bad spec header");
+  }
+  if (!std::getline(in, line)) return fail("missing spec record");
+  // Frame: "<crc32:8 hex> <len> <payload>".
+  if (line.size() < 10 || line[8] != ' ') return fail("bad spec frame");
+  std::uint32_t crc = 0;
+  for (int i = 0; i < 8; ++i) {
+    const char c = line[static_cast<std::size_t>(i)];
+    std::uint32_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint32_t>(c - 'a' + 10);
+    } else {
+      return fail("bad spec frame checksum field");
+    }
+    crc = (crc << 4) | nibble;
+  }
+  const std::size_t len_end = line.find(' ', 9);
+  if (len_end == std::string::npos) return fail("bad spec frame length");
+  std::size_t len = 0;
+  for (std::size_t i = 9; i < len_end; ++i) {
+    if (line[i] < '0' || line[i] > '9') return fail("bad spec frame length");
+    len = len * 10 + static_cast<std::size_t>(line[i] - '0');
+  }
+  const std::string body = line.substr(len_end + 1);
+  if (body.size() != len) return fail("spec frame length mismatch (torn)");
+  if (crc32(body) != crc) return fail("spec checksum mismatch (corrupt)");
+  return decode_spec_body(body, spec, error);
+}
+
+bool save_spec_file(const SessionSpec& spec, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << encode_spec(spec);
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool load_spec_file(const std::string& path, SessionSpec& spec,
+                    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return decode_spec(buffer.str(), spec, error);
+}
+
+Session::Session(SessionSpec spec) : spec_(std::move(spec)) {
+  workload_from_short_name(spec_.workload, kind_);
+  metric_ = spec_.metric == "coreseconds"
+                ? sparksim::ObjectiveMetric::kCoreSeconds
+                : sparksim::ObjectiveMetric::kExecutionTime;
+  parse_fault_profile(spec_.fault_profile, faults_);
+  faults_.preemption_per_stage = spec_.preempt_rate;
+  exec::racing_mode_from_string(spec_.racing, racing_mode_);
+
+  if (spec_.tuner == "robotune") {
+    RoboTuneOptions options;
+    options.bo.batch_size = spec_.batch;
+    if (spec_.init > 0) options.bo.initial_samples = spec_.init;
+    if (spec_.selection_samples > 0) {
+      options.selection.generic_samples =
+          static_cast<std::size_t>(spec_.selection_samples);
+    }
+    auto tuner = std::make_unique<RoboTune>(options);
+    robotune_ = tuner.get();
+    tuner_ = std::move(tuner);
+  } else if (spec_.tuner == "bestconfig") {
+    tuner_ = std::make_unique<tuners::BestConfig>();
+  } else if (spec_.tuner == "gunther") {
+    tuner_ = std::make_unique<tuners::Gunther>();
+  } else {
+    tuner_ = std::make_unique<tuners::RandomSearch>();
+  }
+}
+
+bool Session::load_state(const std::string& path) {
+  if (robotune_ == nullptr) return false;
+  return load_state_file(path, robotune_->selection_cache(),
+                         robotune_->memo_buffer());
+}
+
+bool Session::save_state(const std::string& path) {
+  if (robotune_ == nullptr) return false;
+  return save_state_file(robotune_->selection_cache(),
+                         robotune_->memo_buffer(), path);
+}
+
+SessionOutcome Session::run(
+    const std::atomic<bool>* cancel, std::function<void()> yield,
+    std::function<void(const SessionProgress&)> progress) {
+  SessionOutcome outcome;
+  if (ran_) {
+    outcome.error = "session already ran";
+    return outcome;
+  }
+  ran_ = true;
+
+  sparksim::SparkObjective objective(
+      sparksim::ClusterSpec::paper_testbed(),
+      sparksim::make_workload(kind_, spec_.dataset),
+      sparksim::spark24_config_space(), spec_.seed * 7919, 480.0, 0.04,
+      metric_);
+  objective.set_fault_profile(faults_);
+  if (faults_.active()) {
+    sparksim::RetryPolicy retry;
+    retry.max_retries = std::max(0, spec_.retries);
+    objective.set_retry_policy(retry);
+  }
+
+  std::unique_ptr<exec::EvalScheduler> scheduler;
+  if (spec_.parallel >= 1) {
+    exec::SchedulerOptions sched;
+    sched.parallelism = spec_.parallel;
+    sched.racing.mode = racing_mode_;
+    sched.racing.deadline_s = spec_.eval_deadline;
+    scheduler = std::make_unique<exec::EvalScheduler>(sched);
+  }
+
+  tuner_->set_pacing(cancel, std::move(yield));
+
+  // Incumbent-best extraction for the progress hook: successful
+  // observations only (failed/penalized values are not a configuration
+  // anyone should be handed as "current best").
+  const auto best_of = [](const SessionCheckpoint& state) {
+    SessionProgress p;
+    p.evaluations = state.evaluations.size();
+    p.best_value_s = std::numeric_limits<double>::infinity();
+    for (const auto& e : state.evaluations) {
+      if (e.status != sparksim::RunStatus::kOk) continue;
+      if (e.value_s < p.best_value_s) {
+        p.best_value_s = e.value_s;
+        p.best_unit = e.unit;
+      }
+    }
+    return p;
+  };
+
+  if (robotune_ != nullptr) {
+    SessionLog session;
+    SessionLog* session_ptr = nullptr;
+    if (!spec_.checkpoint_path.empty()) {
+      try {
+        const auto mode =
+            spec_.recover ? LoadMode::kRecover : LoadMode::kStrict;
+        SessionLoadReport load_report;
+        if (spec_.resume &&
+            load_session_file(spec_.checkpoint_path, session.state, mode,
+                              &load_report)) {
+          outcome.resumed = true;
+          outcome.replayed = session.state.evaluations.size();
+          outcome.journal_recovered = load_report.recovered;
+          outcome.dropped_records = load_report.dropped_records;
+        }
+      } catch (const std::exception& e) {
+        outcome.error = std::string("cannot resume from ") +
+                        spec_.checkpoint_path + ": " + e.what();
+        return outcome;
+      }
+      const std::string path = spec_.checkpoint_path;
+      const auto sync = spec_.sync;
+      session.flush = [path, sync, progress,
+                       &best_of](const SessionCheckpoint& state) {
+        save_session_file(state, path, sync);
+        if (progress) progress(best_of(state));
+      };
+      session_ptr = &session;
+    }
+    RoboTuneReport report;
+    try {
+      report = robotune_->tune_report(objective, spec_.budget, spec_.seed,
+                                      nullptr, session_ptr, scheduler.get());
+    } catch (const std::exception& e) {
+      outcome.error = e.what();
+      return outcome;
+    }
+    outcome.result = report.tuning;
+    outcome.interrupted = report.bo.interrupted;
+    outcome.report = std::move(report);
+    // Parallel sessions journal in completion order; re-flush the journal
+    // in canonical index order so the final bytes are identical for any
+    // worker count.  Already-canonical journals (every sequential or q=1
+    // session) are left byte-for-byte untouched.
+    if (session_ptr != nullptr && !session.state.evaluations.empty()) {
+      bool canonical = true;
+      for (std::size_t i = 0; i < session.state.evaluations.size(); ++i) {
+        if (session.state.evaluations[i].index != i) {
+          canonical = false;
+          break;
+        }
+      }
+      if (!canonical) {
+        canonicalize_journal(session.state);
+        save_session_file(session.state, spec_.checkpoint_path, spec_.sync);
+      }
+    }
+  } else {
+    try {
+      tuner_->set_scheduler(scheduler.get());
+      outcome.result = tuner_->tune(objective, spec_.budget, spec_.seed);
+      tuner_->set_scheduler(nullptr);
+    } catch (const std::exception& e) {
+      outcome.error = e.what();
+      return outcome;
+    }
+    outcome.interrupted =
+        cancel != nullptr && cancel->load(std::memory_order_relaxed) &&
+        static_cast<int>(outcome.result.history.size()) < spec_.budget;
+  }
+
+  if (progress) {
+    SessionProgress final_progress;
+    final_progress.evaluations = outcome.result.history.size();
+    if (outcome.result.found_any()) {
+      final_progress.best_value_s = outcome.result.best_value_s();
+      final_progress.best_unit = outcome.result.best_unit();
+    } else {
+      final_progress.best_value_s = std::numeric_limits<double>::infinity();
+    }
+    progress(final_progress);
+  }
+  return outcome;
+}
+
+std::unique_ptr<Session> SessionFactory::create(const SessionSpec& spec,
+                                                std::string* error) {
+  if (auto why = spec.validate(); !why.empty()) {
+    if (error != nullptr) *error = std::move(why);
+    return nullptr;
+  }
+  return std::unique_ptr<Session>(new Session(spec));
+}
+
+}  // namespace robotune::core

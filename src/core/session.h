@@ -1,0 +1,172 @@
+// Reusable tuning-session assembly (shared by robotune_cli and the
+// service daemon).
+//
+// A SessionSpec is the complete, serializable description of one tuning
+// run: workload, tuner, budget, seed, fault/racing/parallelism knobs,
+// and the durability wiring (journal path, resume/recover, fsync).  The
+// SessionFactory validates a spec and builds a Session: the objective,
+// evaluation scheduler, tuner, and checkpoint log are assembled exactly
+// the way the CLI always did, so a daemon-hosted session and a
+// standalone `robotune_cli` invocation with the same spec produce
+// byte-identical journals.
+//
+// Specs persist as a small framed file (same CRC32 framing as the v3
+// journal) so the daemon can re-create its fleet after a restart and
+// detect a corrupt spec instead of replaying garbage:
+//
+//   robotune-spec v1
+//   <crc32:8 hex> <len> workload=PR dataset=1 tuner=robotune ...
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/persistence.h"
+#include "core/robotune.h"
+#include "exec/eval_scheduler.h"
+#include "sparksim/objective.h"
+#include "tuners/tuner.h"
+
+namespace robotune::core {
+
+/// Everything needed to run (or re-run) one tuning session.  The
+/// tuning-relevant fields round-trip through encode_spec/decode_spec;
+/// the durability fields (checkpoint_path, resume, recover, sync) are
+/// host wiring — the daemon derives them from its service root — and are
+/// not serialized.
+struct SessionSpec {
+  std::string workload = "PR";  ///< PR|KM|CC|LR|TS (sparksim short name)
+  int dataset = 1;              ///< Table-1 dataset, 1..3
+  std::string tuner = "robotune";  ///< robotune|bestconfig|gunther|rs
+  int budget = 100;
+  std::uint64_t seed = 7;
+  std::string metric = "time";  ///< time|coreseconds
+  /// Transient-fault injection: preset name or per-site rate list (see
+  /// robotune_cli --fault-profile).  Must not contain spaces.
+  std::string fault_profile = "none";
+  int retries = 2;
+  double preempt_rate = 0.0;
+  /// Evaluation workers: 0 = detached sequential seed streams; N >= 1 =
+  /// scheduler mode (bit-identical results for any N).
+  int parallel = 0;
+  int batch = 1;              ///< BO batch width q (robotune only)
+  std::string racing = "off";  ///< off|median|halving (needs parallel >= 1)
+  double eval_deadline = 0.0;  ///< per-eval deadline seconds (0 = off)
+  /// BO initial-design size override (0 = engine default of 20).  Small
+  /// budgets — service smoke tests, the fig_service bench — need this to
+  /// keep budget >= initial_samples.
+  int init = 0;
+  /// Parameter-selection sample-count override (0 = default 100).  The
+  /// RF selection pipeline dominates a short session's wall clock; the
+  /// service bench dials it down to pack hundreds of sessions into CI.
+  int selection_samples = 0;
+
+  // ---- host durability wiring (not serialized) --------------------------
+  std::string checkpoint_path;  ///< empty = no journal
+  bool resume = false;
+  bool recover = false;
+  SyncPolicy sync = SyncPolicy::kNone;
+
+  /// Empty when the spec is well-formed, else a human-readable reason.
+  std::string validate() const;
+};
+
+/// Serializes the tuning-relevant fields as one line of space-separated
+/// key=value tokens (no framing) — the service protocol embeds this in
+/// `start` requests.
+std::string encode_spec_body(const SessionSpec& spec);
+/// Parses encode_spec_body output and validates the result.  Durability
+/// fields of `spec` are preserved.
+bool decode_spec_body(const std::string& body, SessionSpec& spec,
+                      std::string* error = nullptr);
+
+/// Serializes the tuning-relevant fields as a framed spec file body.
+std::string encode_spec(const SessionSpec& spec);
+/// Parses encode_spec output.  Durability fields are left untouched.
+/// Returns false (with `error` set, when non-null) on a malformed,
+/// torn, or corrupt spec.
+bool decode_spec(const std::string& text, SessionSpec& spec,
+                 std::string* error = nullptr);
+/// File wrappers (write-then-rename, like the journal).
+bool save_spec_file(const SessionSpec& spec, const std::string& path);
+bool load_spec_file(const std::string& path, SessionSpec& spec,
+                    std::string* error = nullptr);
+
+/// Point-in-time view of a running session, delivered on every journal
+/// flush (robotune sessions) and once at completion (all tuners).
+struct SessionProgress {
+  std::size_t evaluations = 0;   ///< completed so far
+  double best_value_s = 0.0;     ///< incumbent objective (inf until found)
+  std::vector<double> best_unit;  ///< incumbent configuration (may be empty)
+};
+
+struct SessionOutcome {
+  tuners::TuningResult result;
+  /// robotune only: selection + memoization details, BoResult.
+  std::optional<RoboTuneReport> report;
+  bool interrupted = false;  ///< cancelled at a round boundary
+  bool resumed = false;      ///< journal prefix was replayed
+  std::size_t replayed = 0;  ///< evaluations replayed from the journal
+  bool journal_recovered = false;  ///< recover mode dropped a torn tail
+  std::size_t dropped_records = 0;
+  std::string error;  ///< non-empty = the session failed (nothing ran)
+
+  bool ok() const noexcept { return error.empty(); }
+};
+
+/// One assembled tuning session.  `run` may be called exactly once.
+class Session {
+ public:
+  const SessionSpec& spec() const noexcept { return spec_; }
+
+  /// Loads / saves the cross-session memoized state (selection cache +
+  /// config buffer); no-ops (returning false) for non-robotune tuners.
+  bool load_state(const std::string& path);
+  bool save_state(const std::string& path);
+
+  /// Runs the session to completion (or to cancellation).  `cancel`
+  /// (nullable) is polled at round boundaries; `yield` (nullable) is the
+  /// fair-scheduling hook invoked at the same boundaries; `progress`
+  /// (nullable) fires on every journal flush with the incumbent best.
+  ///
+  /// When the session journals (spec.checkpoint_path non-empty) and ran
+  /// with batch parallelism, the journal is re-flushed in canonical
+  /// (eval-index) order on completion, so the final bytes are identical
+  /// for any worker count; sequential sessions are already canonical and
+  /// their journal bytes are never rewritten.
+  SessionOutcome run(
+      const std::atomic<bool>* cancel = nullptr,
+      std::function<void()> yield = nullptr,
+      std::function<void(const SessionProgress&)> progress = nullptr);
+
+ private:
+  friend class SessionFactory;
+  explicit Session(SessionSpec spec);
+
+  SessionSpec spec_;
+  sparksim::WorkloadKind kind_;
+  sparksim::ObjectiveMetric metric_;
+  sparksim::FaultProfile faults_;
+  exec::RacingMode racing_mode_ = exec::RacingMode::kOff;
+  std::unique_ptr<tuners::Tuner> tuner_;
+  RoboTune* robotune_ = nullptr;  ///< non-null when tuner is robotune
+  bool ran_ = false;
+};
+
+/// Parses a fault-profile string (preset name or "loss=F,fetch=F,..."
+/// list); shared by the CLI and the spec decoder.
+bool parse_fault_profile(const std::string& text, sparksim::FaultProfile& out);
+
+class SessionFactory {
+ public:
+  /// Validates `spec` and assembles a Session.  Returns null (with
+  /// `error` set, when non-null) when the spec is rejected.
+  static std::unique_ptr<Session> create(const SessionSpec& spec,
+                                         std::string* error = nullptr);
+};
+
+}  // namespace robotune::core

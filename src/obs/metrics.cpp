@@ -31,6 +31,28 @@ MetricsSnapshot MetricsSnapshot::runtime() const {
   return filter_snapshot(*this, /*runtime=*/true);
 }
 
+std::string session_prefix(std::uint64_t session_id) {
+  return std::string(kSessionPrefix) + std::to_string(session_id) + "/";
+}
+
+MetricsSnapshot MetricsSnapshot::session(std::uint64_t session_id) const {
+  const std::string prefix = session_prefix(session_id);
+  MetricsSnapshot out;
+  const auto strip = [&prefix](const std::string& name) {
+    return name.substr(prefix.size());
+  };
+  for (const auto& [name, v] : counters) {
+    if (name.starts_with(prefix)) out.counters.emplace(strip(name), v);
+  }
+  for (const auto& [name, v] : gauges) {
+    if (name.starts_with(prefix)) out.gauges.emplace(strip(name), v);
+  }
+  for (const auto& [name, v] : histograms) {
+    if (name.starts_with(prefix)) out.histograms.emplace(strip(name), v);
+  }
+  return out;
+}
+
 const std::vector<double>& seconds_buckets() {
   static const std::vector<double> bounds = {0.5, 1.0,   2.0,   5.0,  10.0,
                                              20.0, 50.0, 100.0, 200.0, 480.0,
@@ -68,6 +90,11 @@ struct TlsEntry {
 };
 thread_local std::vector<TlsEntry> tls_shards;
 
+/// Session id attached to the calling thread (0 = none).  A plain
+/// thread_local — ScopedSession saves/restores it, ThreadPool::submit
+/// forwards it to worker threads.
+thread_local std::uint64_t tls_session_id = 0;
+
 void bucket_observe(HistogramData& h, double value,
                     const std::vector<double>& bounds) {
   if (h.bounds.empty()) {
@@ -99,8 +126,10 @@ MetricsRegistry::Shard& MetricsRegistry::local_shard() {
   return *shard;
 }
 
-void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
-  auto& counters = local_shard().counters;
+namespace {
+
+void add_to(std::map<std::string, std::uint64_t, std::less<>>& counters,
+            std::string_view name, std::uint64_t delta) {
   const auto it = counters.find(name);
   if (it != counters.end()) {
     it->second += delta;
@@ -109,13 +138,44 @@ void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
   }
 }
 
+void observe_into(std::map<std::string, HistogramData, std::less<>>& hists,
+                  std::string_view name, double value,
+                  const std::vector<double>& bounds) {
+  const auto it = hists.find(name);
+  if (it != hists.end()) {
+    bucket_observe(it->second, value, bounds);
+  } else {
+    bucket_observe(
+        hists.emplace(std::string(name), HistogramData{}).first->second,
+        value, bounds);
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  auto& counters = local_shard().counters;
+  add_to(counters, name, delta);
+  // Duplicate logical events into the active session scope, if any, so a
+  // multi-session process can attribute them (see ScopedSession).
+  if (tls_session_id != 0 && !is_runtime_metric(name)) {
+    add_to(counters, session_prefix(tls_session_id).append(name), delta);
+  }
+}
+
 void MetricsRegistry::set_gauge(std::string_view name, double value) {
   std::scoped_lock lock(mutex_);
-  const auto it = gauges_.find(name);
-  if (it != gauges_.end()) {
-    it->second = value;
-  } else {
-    gauges_.emplace(std::string(name), value);
+  const auto set = [this](std::string_view key, double v) {
+    const auto it = gauges_.find(key);
+    if (it != gauges_.end()) {
+      it->second = v;
+    } else {
+      gauges_.emplace(std::string(key), v);
+    }
+  };
+  set(name, value);
+  if (tls_session_id != 0 && !is_runtime_metric(name)) {
+    set(session_prefix(tls_session_id).append(name), value);
   }
 }
 
@@ -126,15 +186,21 @@ void MetricsRegistry::observe(std::string_view name, double value) {
 void MetricsRegistry::observe(std::string_view name, double value,
                               const std::vector<double>& bounds) {
   auto& histograms = local_shard().histograms;
-  const auto it = histograms.find(name);
-  if (it != histograms.end()) {
-    bucket_observe(it->second, value, bounds);
-  } else {
-    bucket_observe(histograms.emplace(std::string(name), HistogramData{})
-                       .first->second,
-                   value, bounds);
+  observe_into(histograms, name, value, bounds);
+  if (tls_session_id != 0 && !is_runtime_metric(name)) {
+    observe_into(histograms, session_prefix(tls_session_id).append(name),
+                 value, bounds);
   }
 }
+
+ScopedSession::ScopedSession(std::uint64_t id) noexcept
+    : prev_(tls_session_id) {
+  if (id != 0) tls_session_id = id;
+}
+
+ScopedSession::~ScopedSession() { tls_session_id = prev_; }
+
+std::uint64_t ScopedSession::current() noexcept { return tls_session_id; }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot out;

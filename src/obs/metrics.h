@@ -53,6 +53,20 @@ inline bool is_runtime_metric(std::string_view name) {
   return name.substr(0, kRuntimePrefix.size()) == kRuntimePrefix;
 }
 
+/// Session-scoped tallies live under this prefix: while an
+/// obs::ScopedSession is active on a thread, every logical counter,
+/// gauge, and histogram is *additionally* recorded under
+/// "session/<id>/<name>", so a multi-session process (the service layer)
+/// can attribute events per session.  Runtime metrics are never
+/// duplicated into a session scope — they are scheduling-dependent by
+/// definition, and the per-session section keeps the same
+/// byte-identical-at-any-worker-count guarantee the global logical
+/// section has (pinned by obs_determinism_test).
+inline constexpr std::string_view kSessionPrefix = "session/";
+
+/// "session/<id>/" — the name prefix a session's tallies live under.
+std::string session_prefix(std::uint64_t session_id);
+
 /// Fixed-bucket histogram: counts[i] tallies values <= bounds[i] (first
 /// matching bound wins), counts.back() tallies the overflow.  Bounds are
 /// fixed per metric name at first observation; all counts are integers so
@@ -78,6 +92,10 @@ struct MetricsSnapshot {
   MetricsSnapshot logical() const;
   /// The scheduling-dependent section: everything under `runtime.`.
   MetricsSnapshot runtime() const;
+  /// One session's tallies ("session/<id>/..."), with the scope prefix
+  /// stripped — directly comparable against a single-session run's
+  /// logical section.
+  MetricsSnapshot session(std::uint64_t session_id) const;
   bool empty() const {
     return counters.empty() && gauges.empty() && histograms.empty();
   }
@@ -127,6 +145,27 @@ class MetricsRegistry {
   std::map<std::string, double, std::less<>> gauges_;
 };
 
+/// RAII session attribution: while alive on a thread, logical metrics
+/// are additionally tallied under "session/<id>/<name>" and spans carry
+/// a "session" arg.  Scopes nest (the previous id is restored on
+/// destruction) and propagate across ThreadPool::submit/submit_batch —
+/// a task observes the session that *enqueued* it, whichever worker
+/// runs it.  Id 0 means "no session" and records nothing extra.
+class ScopedSession {
+ public:
+  explicit ScopedSession(std::uint64_t id) noexcept;
+  ~ScopedSession();
+
+  ScopedSession(const ScopedSession&) = delete;
+  ScopedSession& operator=(const ScopedSession&) = delete;
+
+  /// The session id attached to the calling thread; 0 = none.
+  static std::uint64_t current() noexcept;
+
+ private:
+  std::uint64_t prev_;
+};
+
 #else  // ROBOTUNE_OBS_ENABLED
 
 /// Compiled-out stub: every operation is an inline no-op and a snapshot
@@ -139,6 +178,13 @@ class MetricsRegistry {
   void observe(std::string_view, double, const std::vector<double>&) {}
   MetricsSnapshot snapshot() const { return {}; }
   void reset() {}
+};
+
+/// Compiled-out stub: no thread-local state, no per-session tallies.
+class ScopedSession {
+ public:
+  explicit ScopedSession(std::uint64_t) noexcept {}
+  static std::uint64_t current() noexcept { return 0; }
 };
 
 #endif  // ROBOTUNE_OBS_ENABLED

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include "obs/metrics.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -238,6 +240,13 @@ Span::Span(std::string_view name, std::string_view category,
   record_.tid = buffer_->tid;
   record_.depth = buffer_->depth++;
   record_.start_us = tracer.now_us();
+  // Multi-session attribution (the service layer): every span opened
+  // under an obs::ScopedSession carries its session id, which is what
+  // parents an "iteration" span to its owning "session" in a process
+  // hosting many interleaved sessions.
+  if (const std::uint64_t sid = ScopedSession::current(); sid != 0) {
+    arg("session", sid);
+  }
 }
 
 Span::~Span() {

@@ -1,0 +1,118 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace robotune::service {
+
+Response LocalClient::call(const Request& request) {
+  Request wire = request;
+  if (wire.rid == 0) wire.rid = next_rid_++;
+  // Round-trip through the codec so local callers cover the wire format.
+  Request decoded;
+  std::string why;
+  Response response;
+  if (!decode_request(encode_request(wire), decoded, why)) {
+    response.rid = wire.rid;
+    response.ok = false;
+    response.error = "request codec: " + why;
+    return response;
+  }
+  const Response dispatched = dispatch_request(manager_, decoded);
+  if (!decode_response(encode_response(dispatched), response, why)) {
+    response = Response{};
+    response.rid = wire.rid;
+    response.ok = false;
+    response.error = "response codec: " + why;
+  }
+  return response;
+}
+
+SocketClient::~SocketClient() { close(); }
+
+void SocketClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool SocketClient::connect(const std::string& socket_path,
+                           std::string* error) {
+  close();
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path too long";
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "connect " + socket_path + ": " + std::strerror(errno);
+    }
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool SocketClient::call(const Request& request, Response& response,
+                        std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (fd_ < 0) return fail("not connected");
+  Request wire = request;
+  if (wire.rid == 0) wire.rid = next_rid_++;
+  const std::string frame = frame_message(encode_request(wire));
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  char buffer[4096];
+  for (;;) {
+    std::string payload;
+    std::string why;
+    const auto result = reader_.next(payload, why);
+    if (result == FrameReader::Result::kReady) {
+      if (!decode_response(payload, response, why)) {
+        return fail("bad response: " + why);
+      }
+      return true;
+    }
+    if (result == FrameReader::Result::kCorrupt) {
+      close();
+      return fail("corrupt response stream: " + why);
+    }
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      close();
+      return fail("server closed the connection");
+    }
+    reader_.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+  }
+}
+
+}  // namespace robotune::service

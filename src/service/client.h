@@ -1,0 +1,55 @@
+// Client APIs for the tuning service.
+//
+// LocalClient drives a SessionManager in-process through the same
+// dispatch path as the daemon — tests and benches measure protocol and
+// manager behavior without a socket in the loop.  SocketClient speaks
+// the framed protocol over a Unix-domain socket to a live daemon.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.h"
+#include "service/session_manager.h"
+
+namespace robotune::service {
+
+class LocalClient {
+ public:
+  explicit LocalClient(SessionManager& manager) : manager_(manager) {}
+
+  /// Round-trips the request through encode → decode → dispatch →
+  /// encode → decode, so even the in-process path exercises the full
+  /// wire codec.
+  Response call(const Request& request);
+
+ private:
+  SessionManager& manager_;
+  std::uint64_t next_rid_ = 1;
+};
+
+class SocketClient {
+ public:
+  SocketClient() = default;
+  ~SocketClient();
+
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  bool connect(const std::string& socket_path, std::string* error = nullptr);
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Sends one request and blocks for its response.  Returns false on
+  /// transport failure (error set); protocol-level failures come back as
+  /// response.ok == false.
+  bool call(const Request& request, Response& response,
+            std::string* error = nullptr);
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+  std::uint64_t next_rid_ = 1;
+};
+
+}  // namespace robotune::service

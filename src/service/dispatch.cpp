@@ -1,0 +1,144 @@
+// Request dispatcher shared by the in-process LocalClient and the
+// Unix-domain-socket server: one code path, so the socketless tests and
+// benches exercise exactly what the daemon executes.
+#include <cstdio>
+#include <sstream>
+
+#include "service/session_manager.h"
+
+namespace robotune::service {
+
+namespace {
+
+std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+std::string format_unit(const std::vector<double>& unit) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < unit.size(); ++i) {
+    if (i != 0) out << ' ';
+    out << format_double(unit[i]);
+  }
+  return out.str();
+}
+
+Response error_response(std::uint64_t rid, std::string why) {
+  Response r;
+  r.rid = rid;
+  r.ok = false;
+  r.error = std::move(why);
+  return r;
+}
+
+}  // namespace
+
+Response dispatch_request(SessionManager& manager, const Request& request,
+                          std::atomic<bool>* shutdown_flag) {
+  Response response;
+  response.rid = request.rid;
+
+  if (request.verb == "start") {
+    core::SessionSpec spec;
+    std::string why;
+    if (!core::decode_spec_body(request.spec_body, spec, &why)) {
+      return error_response(request.rid, "bad spec: " + why);
+    }
+    const auto result = manager.start(std::move(spec), request.derive_seed);
+    if (!result.admitted) return error_response(request.rid, result.error);
+    response.ok = true;
+    response.fields["id"] = std::to_string(result.id);
+    return response;
+  }
+
+  if (request.verb == "suggest") {
+    const auto result = manager.suggest(request.session);
+    if (!result.ok) return error_response(request.rid, result.error);
+    response.ok = true;
+    response.fields["evals"] = std::to_string(result.evaluations);
+    response.fields["best"] = format_double(result.best_value_s);
+    response.fields["unit"] = format_unit(result.best_unit);
+    return response;
+  }
+
+  if (request.verb == "observe") {
+    const auto result =
+        manager.observe(request.session, request.from, request.limit);
+    if (!result.ok) return error_response(request.rid, result.error);
+    response.ok = true;
+    response.fields["total"] = std::to_string(result.total);
+    for (const auto& e : result.records) {
+      std::ostringstream rec;
+      rec << e.index << ' ' << static_cast<int>(e.status) << ' '
+          << format_double(e.value_s) << ' ' << format_double(e.cost_s)
+          << ' ' << (e.stopped_early ? 1 : 0) << ' '
+          << (e.transient ? 1 : 0) << ' ' << e.attempts;
+      response.records.push_back(rec.str());
+    }
+    return response;
+  }
+
+  if (request.verb == "checkpoint") {
+    const auto result = manager.checkpoint(request.session);
+    if (!result.ok) return error_response(request.rid, result.error);
+    response.ok = true;
+    response.fields["journal"] = result.journal_path;
+    response.fields["evals"] = std::to_string(result.evaluations);
+    return response;
+  }
+
+  if (request.verb == "cancel") {
+    std::string why;
+    if (!manager.cancel(request.session, &why)) {
+      return error_response(request.rid, why);
+    }
+    response.ok = true;
+    return response;
+  }
+
+  if (request.verb == "status") {
+    if (request.session != 0) {
+      const auto status = manager.status(request.session);
+      if (!status) return error_response(request.rid, "no such session");
+      response.ok = true;
+      response.fields["state"] = to_string(status->state);
+      response.fields["evals"] = std::to_string(status->evaluations);
+      response.fields["best"] = format_double(status->best_value_s);
+      response.fields["resumed"] = status->resumed ? "1" : "0";
+      response.fields["replayed"] = std::to_string(status->replayed);
+      response.fields["recovered"] = status->journal_recovered ? "1" : "0";
+      if (!status->error.empty()) {
+        response.fields["failure"] = status->error;
+      }
+      return response;
+    }
+    const auto s = manager.service_status();
+    response.ok = true;
+    response.fields["queued"] = std::to_string(s.queued);
+    response.fields["running"] = std::to_string(s.running);
+    response.fields["done"] = std::to_string(s.done);
+    response.fields["cancelled"] = std::to_string(s.cancelled);
+    response.fields["failed"] = std::to_string(s.failed);
+    response.fields["accepting"] = s.accepting ? "1" : "0";
+    response.fields["max_live"] = std::to_string(s.max_live);
+    response.fields["max_pending"] = std::to_string(s.max_pending);
+    response.fields["slots"] = std::to_string(s.slots);
+    return response;
+  }
+
+  if (request.verb == "shutdown") {
+    if (shutdown_flag == nullptr) {
+      return error_response(request.rid,
+                            "shutdown is only available over the socket");
+    }
+    shutdown_flag->store(true, std::memory_order_relaxed);
+    response.ok = true;
+    return response;
+  }
+
+  return error_response(request.rid, "unknown verb '" + request.verb + "'");
+}
+
+}  // namespace robotune::service

@@ -1,0 +1,152 @@
+#include "service/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace robotune::service {
+
+namespace {
+
+constexpr int kPollTimeoutMs = 100;
+
+/// Writes the whole buffer (handling short writes); false on error.
+bool write_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(SessionManager& manager, std::string socket_path)
+    : manager_(manager), socket_path_(std::move(socket_path)) {}
+
+Server::~Server() {
+  close_all();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(socket_path_.c_str());
+  }
+}
+
+bool Server::listen(std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path too long";
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  ::unlink(socket_path_.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail("bind " + socket_path_);
+  }
+  if (::listen(listen_fd_, 64) != 0) return fail("listen");
+  return true;
+}
+
+std::size_t Server::serve(std::atomic<bool>& stop) {
+  std::size_t served = 0;
+  char buffer[4096];
+  while (!stop.load(std::memory_order_relaxed)) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : connections_) {
+      fds.push_back({fd, POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), kPollTimeoutMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int client = ::accept(listen_fd_, nullptr, nullptr);
+      if (client >= 0) connections_.emplace(client, Connection{});
+    }
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const int fd = fds[i].fd;
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n <= 0) {
+        ::close(fd);
+        connections_.erase(it);
+        continue;
+      }
+      it->second.reader.feed(std::string_view(buffer,
+                                              static_cast<std::size_t>(n)));
+      bool drop = false;
+      for (;;) {
+        std::string payload;
+        std::string why;
+        const auto result = it->second.reader.next(payload, why);
+        if (result == FrameReader::Result::kNeedMore) break;
+        if (result == FrameReader::Result::kCorrupt) {
+          // Tell the client what happened, then cut the connection: a
+          // corrupt stream cannot be re-synchronized.
+          Response err;
+          err.ok = false;
+          err.error = why;
+          write_all(fd, frame_message(encode_response(err)));
+          drop = true;
+          break;
+        }
+        Request request;
+        Response response;
+        if (!decode_request(payload, request, why)) {
+          response.ok = false;
+          response.error = why;
+        } else {
+          response = dispatch_request(manager_, request, &stop);
+        }
+        ++served;
+        if (!write_all(fd, frame_message(encode_response(response)))) {
+          drop = true;
+          break;
+        }
+      }
+      if (drop) {
+        ::close(fd);
+        connections_.erase(fd);
+      }
+    }
+  }
+  close_all();
+  return served;
+}
+
+void Server::close_all() {
+  for (const auto& [fd, conn] : connections_) ::close(fd);
+  connections_.clear();
+}
+
+}  // namespace robotune::service

@@ -1,0 +1,50 @@
+// Unix-domain-socket front end of the tuning service: a single-threaded
+// poll loop that accepts clients, parses framed requests, dispatches
+// them against the SessionManager, and writes framed responses.  All
+// heavy work happens on the manager's session pool — the loop itself
+// only shuffles small control messages, so one thread is plenty.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "service/protocol.h"
+#include "service/session_manager.h"
+
+namespace robotune::service {
+
+class Server {
+ public:
+  Server(SessionManager& manager, std::string socket_path);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens (removing a stale socket file first).  Returns
+  /// false with `error` set on failure.
+  bool listen(std::string* error = nullptr);
+
+  /// Serves until `stop` becomes true (checked every poll timeout) — a
+  /// client's `shutdown` request sets it too.  Returns the number of
+  /// requests served.
+  std::size_t serve(std::atomic<bool>& stop);
+
+  const std::string& socket_path() const noexcept { return socket_path_; }
+
+ private:
+  struct Connection {
+    FrameReader reader;
+  };
+
+  void close_all();
+
+  SessionManager& manager_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  std::map<int, Connection> connections_;
+};
+
+}  // namespace robotune::service

@@ -1,0 +1,531 @@
+#include "service/session_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace robotune::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool terminal(SessionState state) {
+  return state == SessionState::kDone || state == SessionState::kCancelled ||
+         state == SessionState::kFailed;
+}
+
+/// splitmix64 over (service seed, session id): well-spread, stable
+/// across restarts, and documented — the daemon's seeding discipline.
+std::uint64_t derive_session_seed(std::uint64_t service_seed,
+                                  std::uint64_t id) {
+  std::uint64_t z = service_seed + 0x9e3779b97f4a7c15ULL * (id + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Best-effort fsync of a path (file or directory).
+void sync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+core::SessionProgress progress_from_journal(
+    const core::SessionCheckpoint& state) {
+  core::SessionProgress p;
+  p.evaluations = state.evaluations.size();
+  p.best_value_s = std::numeric_limits<double>::infinity();
+  for (const auto& e : state.evaluations) {
+    if (e.status != sparksim::RunStatus::kOk) continue;
+    if (e.value_s < p.best_value_s) {
+      p.best_value_s = e.value_s;
+      p.best_unit = e.unit;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+const char* to_string(SessionState state) noexcept {
+  switch (state) {
+    case SessionState::kQueued:
+      return "queued";
+    case SessionState::kRunning:
+      return "running";
+    case SessionState::kDone:
+      return "done";
+    case SessionState::kCancelled:
+      return "cancelled";
+    case SessionState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+// ---- Turnstile -----------------------------------------------------------
+
+void Turnstile::wait_for_turn(std::unique_lock<std::mutex>& lock,
+                              std::uint64_t id) {
+  if (active_ < slots_ && waiting_.empty()) {
+    ++active_;
+    return;
+  }
+  waiting_.push_back(id);
+  cv_.wait(lock, [&] {
+    return active_ < slots_ && !waiting_.empty() && waiting_.front() == id;
+  });
+  waiting_.pop_front();
+  ++active_;
+  // With several slots the next waiter may be eligible too.
+  cv_.notify_all();
+}
+
+void Turnstile::enter(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  wait_for_turn(lock, id);
+}
+
+void Turnstile::yield(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (waiting_.empty()) return;  // nobody wants the slice — keep running
+  --active_;
+  cv_.notify_all();
+  wait_for_turn(lock, id);
+}
+
+void Turnstile::leave() {
+  std::scoped_lock lock(mutex_);
+  --active_;
+  cv_.notify_all();
+}
+
+// ---- SessionManager ------------------------------------------------------
+
+SessionManager::SessionManager(ServiceOptions options)
+    : options_(std::move(options)),
+      turnstile_(options_.slots == 0 ? options_.max_live : options_.slots),
+      pool_(std::max<std::size_t>(1, options_.max_live)) {
+  fs::create_directories(options_.root);
+}
+
+SessionManager::~SessionManager() { shutdown(/*cancel_live=*/true); }
+
+std::string SessionManager::journal_path(std::uint64_t id) const {
+  return options_.root + "/session-" + std::to_string(id) + ".journal";
+}
+
+std::string SessionManager::spec_path(std::uint64_t id) const {
+  return options_.root + "/session-" + std::to_string(id) + ".spec";
+}
+
+std::string SessionManager::tombstone_path(std::uint64_t id) const {
+  return options_.root + "/session-" + std::to_string(id) + ".cancelled";
+}
+
+SessionManager::StartResult SessionManager::start(core::SessionSpec spec,
+                                                  bool derive_seed) {
+  return admit(std::move(spec), derive_seed, /*fixed_id=*/0);
+}
+
+SessionManager::StartResult SessionManager::admit(core::SessionSpec spec,
+                                                  bool derive_seed,
+                                                  std::uint64_t fixed_id) {
+  StartResult result;
+  // Hosted sessions must journal — that is what makes the fleet
+  // recoverable — and only the robotune stack takes a SessionLog.
+  if (spec.tuner != "robotune") {
+    result.error = "service sessions require tuner=robotune";
+    return result;
+  }
+  if (const auto why = spec.validate(); !why.empty()) {
+    result.error = why;
+    return result;
+  }
+  std::shared_ptr<Entry> entry;
+  {
+    std::scoped_lock lock(mutex_);
+    if (!accepting_) {
+      result.error = "service is shutting down";
+      return result;
+    }
+    if (queued_ >= options_.max_pending) {
+      result.error = "queue full (" + std::to_string(queued_) +
+                     " pending); retry later";
+      obs::count("service.admission.rejected");
+      return result;
+    }
+    const std::uint64_t id = fixed_id != 0 ? fixed_id : next_id_++;
+    if (fixed_id != 0) next_id_ = std::max(next_id_, fixed_id + 1);
+    if (derive_seed) spec.seed = derive_session_seed(options_.seed, id);
+    spec.checkpoint_path = journal_path(id);
+    spec.sync = options_.sync;
+    if (!save_spec_file(spec, spec_path(id))) {
+      result.error = "cannot write spec file under " + options_.root;
+      return result;
+    }
+    entry = std::make_shared<Entry>();
+    entry->id = id;
+    entry->spec = spec;
+    entry->progress.best_value_s = std::numeric_limits<double>::infinity();
+    sessions_[id] = entry;
+    ++queued_;
+    result.admitted = true;
+    result.id = id;
+    obs::count("service.admission.accepted");
+  }
+  pool_.submit([this, entry] { run_entry(entry); });
+  return result;
+}
+
+void SessionManager::run_entry(const std::shared_ptr<Entry>& entry) {
+  {
+    std::scoped_lock lock(mutex_);
+    if (entry->cancel.load(std::memory_order_relaxed)) {
+      // Cancelled while still queued: terminal without ever running.
+      --queued_;
+      entry->state = SessionState::kCancelled;
+      terminal_cv_.notify_all();
+      return;
+    }
+    entry->state = SessionState::kRunning;
+    --queued_;
+    ++running_;
+  }
+  // Scope every metric and span of this session (and of its private
+  // evaluation pool — ThreadPool::submit propagates the scope) under
+  // session/<id>/.
+  obs::ScopedSession scope(entry->id);
+  obs::count("service.sessions.started");
+  const std::uint64_t id = entry->id;
+  turnstile_.enter(id);
+
+  core::SessionOutcome outcome;
+  try {
+    std::string create_error;
+    if (auto session = core::SessionFactory::create(entry->spec,
+                                                    &create_error)) {
+      outcome = session->run(
+          &entry->cancel, [this, id] { turnstile_.yield(id); },
+          [this, entry](const core::SessionProgress& p) {
+            std::scoped_lock lock(mutex_);
+            entry->progress = p;
+          });
+    } else {
+      outcome.error = create_error;
+    }
+  } catch (const std::exception& e) {
+    // One session's failure must never wedge the fleet: record it and
+    // keep the worker (and the turnstile slice accounting) healthy.
+    outcome.error = e.what();
+  }
+  turnstile_.leave();
+
+  const SessionState state = !outcome.ok() ? SessionState::kFailed
+                             : outcome.interrupted
+                                 ? SessionState::kCancelled
+                                 : SessionState::kDone;
+  {
+    std::scoped_lock lock(mutex_);
+    --running_;
+    entry->state = state;
+    entry->error = outcome.error;
+    entry->resumed = outcome.resumed;
+    entry->replayed = outcome.replayed;
+    entry->journal_recovered = outcome.journal_recovered;
+  }
+  obs::count(state == SessionState::kDone     ? "service.sessions.done"
+             : state == SessionState::kFailed ? "service.sessions.failed"
+                                              : "service.sessions.cancelled");
+  terminal_cv_.notify_all();
+}
+
+bool SessionManager::cancel(std::uint64_t id, std::string* error) {
+  std::scoped_lock lock(mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    if (error != nullptr) *error = "no such session";
+    return false;
+  }
+  if (terminal(it->second->state)) {
+    if (error != nullptr) {
+      *error = std::string("session already ") +
+               to_string(it->second->state);
+    }
+    return false;
+  }
+  it->second->cancel.store(true, std::memory_order_relaxed);
+  // Tombstone the explicit cancel so a daemon restart keeps the session
+  // cancelled instead of resuming it (graceful shutdown, by contrast,
+  // leaves no tombstone — its sessions resume).
+  std::FILE* f = std::fopen(tombstone_path(id).c_str(), "w");
+  if (f != nullptr) std::fclose(f);
+  return true;
+}
+
+std::optional<SessionStatus> SessionManager::status(std::uint64_t id) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return std::nullopt;
+  const Entry& e = *it->second;
+  SessionStatus s;
+  s.id = e.id;
+  s.state = e.state;
+  s.spec = e.spec;
+  s.evaluations = e.progress.evaluations;
+  s.best_value_s = e.progress.best_value_s;
+  s.best_unit = e.progress.best_unit;
+  s.resumed = e.resumed;
+  s.replayed = e.replayed;
+  s.journal_recovered = e.journal_recovered;
+  s.error = e.error;
+  return s;
+}
+
+ServiceStatus SessionManager::service_status() const {
+  std::scoped_lock lock(mutex_);
+  ServiceStatus s;
+  for (const auto& [id, entry] : sessions_) {
+    switch (entry->state) {
+      case SessionState::kQueued:
+        ++s.queued;
+        break;
+      case SessionState::kRunning:
+        ++s.running;
+        break;
+      case SessionState::kDone:
+        ++s.done;
+        break;
+      case SessionState::kCancelled:
+        ++s.cancelled;
+        break;
+      case SessionState::kFailed:
+        ++s.failed;
+        break;
+    }
+  }
+  s.accepting = accepting_;
+  s.max_live = options_.max_live;
+  s.max_pending = options_.max_pending;
+  s.slots = options_.slots == 0 ? options_.max_live : options_.slots;
+  return s;
+}
+
+SessionManager::SuggestResult SessionManager::suggest(
+    std::uint64_t id) const {
+  SuggestResult result;
+  std::scoped_lock lock(mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    result.error = "no such session";
+    return result;
+  }
+  const Entry& e = *it->second;
+  if (e.progress.best_unit.empty()) {
+    result.error = "no successful evaluation yet";
+    return result;
+  }
+  result.ok = true;
+  result.evaluations = e.progress.evaluations;
+  result.best_value_s = e.progress.best_value_s;
+  result.best_unit = e.progress.best_unit;
+  return result;
+}
+
+SessionManager::CheckpointResult SessionManager::checkpoint(
+    std::uint64_t id) const {
+  CheckpointResult result;
+  std::size_t evaluations = 0;
+  {
+    std::scoped_lock lock(mutex_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      result.error = "no such session";
+      return result;
+    }
+    evaluations = it->second->progress.evaluations;
+  }
+  // The journal is already flushed after every evaluation; the verb adds
+  // the durability barrier (fsync file + directory) that the default
+  // SyncPolicy::kNone skips.
+  const std::string path = journal_path(id);
+  sync_path(path);
+  sync_path(spec_path(id));
+  sync_path(options_.root);
+  result.ok = true;
+  result.journal_path = path;
+  result.evaluations = evaluations;
+  return result;
+}
+
+SessionManager::ObserveResult SessionManager::observe(
+    std::uint64_t id, std::uint64_t from, std::uint64_t limit) const {
+  ObserveResult result;
+  {
+    std::scoped_lock lock(mutex_);
+    if (sessions_.find(id) == sessions_.end()) {
+      result.error = "no such session";
+      return result;
+    }
+  }
+  core::SessionCheckpoint state;
+  try {
+    if (load_session_file(journal_path(id), state,
+                          core::LoadMode::kRecover)) {
+      core::canonicalize_journal(state);
+    }
+  } catch (const std::exception& e) {
+    // A corrupt journal must not take the daemon down with the request.
+    result.error = std::string("journal unreadable: ") + e.what();
+    return result;
+  }
+  result.ok = true;
+  result.total = state.evaluations.size();
+  for (const auto& record : state.evaluations) {
+    if (record.index < from) continue;
+    if (limit != 0 && result.records.size() >= limit) break;
+    result.records.push_back(record);
+  }
+  return result;
+}
+
+FleetRecovery SessionManager::recover_fleet() {
+  FleetRecovery recovery;
+  std::vector<std::uint64_t> ids;
+  {
+    std::error_code ec;
+    for (const auto& dirent : fs::directory_iterator(options_.root, ec)) {
+      const std::string name = dirent.path().filename().string();
+      // session-<id>.spec
+      if (name.rfind("session-", 0) != 0) continue;
+      const std::size_t dot = name.rfind(".spec");
+      if (dot == std::string::npos || dot + 5 != name.size()) continue;
+      const std::string digits = name.substr(8, dot - 8);
+      if (digits.empty() ||
+          digits.find_first_not_of("0123456789") != std::string::npos) {
+        continue;
+      }
+      ids.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+
+  for (const std::uint64_t id : ids) {
+    core::SessionSpec spec;
+    std::string error;
+    if (!load_spec_file(spec_path(id), spec, &error)) {
+      quarantine(id, recovery);
+      continue;
+    }
+    // Replay the journal (recover mode: a torn tail from kill -9 is the
+    // expected case and truncates to the longest valid prefix).  A
+    // journal whose header is unusable is corruption beyond recovery:
+    // quarantine the session rather than silently restarting it.
+    core::SessionCheckpoint state;
+    core::SessionLoadReport report;
+    bool have_journal = false;
+    try {
+      have_journal = load_session_file(journal_path(id), state,
+                                       core::LoadMode::kRecover, &report);
+    } catch (const std::exception&) {
+      quarantine(id, recovery);
+      continue;
+    }
+    if (have_journal && report.version == 0) {
+      quarantine(id, recovery);
+      continue;
+    }
+    if (have_journal) core::canonicalize_journal(state);
+
+    const bool tombstoned = fs::exists(tombstone_path(id));
+    const bool complete =
+        have_journal &&
+        static_cast<int>(state.evaluations.size()) >= spec.budget;
+    if (tombstoned || complete) {
+      // Terminal on disk: re-register without re-running.
+      auto entry = std::make_shared<Entry>();
+      entry->id = id;
+      entry->spec = spec;
+      entry->spec.checkpoint_path = journal_path(id);
+      entry->spec.sync = options_.sync;
+      entry->state =
+          tombstoned ? SessionState::kCancelled : SessionState::kDone;
+      entry->progress = progress_from_journal(state);
+      {
+        std::scoped_lock lock(mutex_);
+        sessions_[id] = entry;
+        next_id_ = std::max(next_id_, id + 1);
+      }
+      if (tombstoned) {
+        ++recovery.cancelled;
+      } else {
+        ++recovery.completed;
+      }
+      continue;
+    }
+    // Incomplete: re-admit with resume+recover so the journal prefix
+    // replays and the session continues exactly where it died.
+    spec.resume = true;
+    spec.recover = true;
+    const auto result = admit(std::move(spec), /*derive_seed=*/false, id);
+    if (result.admitted) {
+      ++recovery.readmitted;
+    } else {
+      quarantine(id, recovery);
+    }
+  }
+  obs::set_gauge("service.recovery.readmitted",
+                 static_cast<std::int64_t>(recovery.readmitted));
+  obs::set_gauge("service.recovery.quarantined",
+                 static_cast<std::int64_t>(recovery.quarantined));
+  return recovery;
+}
+
+void SessionManager::quarantine(std::uint64_t id, FleetRecovery& recovery) {
+  const std::string dir = options_.root + "/quarantine";
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  for (const std::string& path :
+       {spec_path(id), journal_path(id), tombstone_path(id)}) {
+    if (!fs::exists(path, ec)) continue;
+    const std::string target =
+        dir + "/" + fs::path(path).filename().string();
+    fs::rename(path, target, ec);
+    if (!ec) recovery.quarantined_files.push_back(target);
+  }
+  ++recovery.quarantined;
+  obs::count("service.sessions.quarantined");
+}
+
+void SessionManager::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  terminal_cv_.wait(lock, [&] { return queued_ == 0 && running_ == 0; });
+}
+
+void SessionManager::shutdown(bool cancel_live) {
+  {
+    std::scoped_lock lock(mutex_);
+    accepting_ = false;
+    if (cancel_live) {
+      for (const auto& [id, entry] : sessions_) {
+        if (!terminal(entry->state)) {
+          entry->cancel.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+  drain();
+}
+
+}  // namespace robotune::service

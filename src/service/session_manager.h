@@ -1,0 +1,241 @@
+// Tuning-as-a-service: a SessionManager owns a fleet of concurrent
+// tuning sessions multiplexed over a robotune::ThreadPool (DESIGN.md §13).
+//
+// Each admitted session is the full existing stack — RoboTune's BO
+// engine with the degradation ladder, the batch-evaluation scheduler
+// with racing/deadlines, the crash-safe v3 journal — assembled by
+// core::SessionFactory exactly as `robotune_cli` assembles a standalone
+// run.  Sessions are fully independent (no shared selection cache or
+// memo buffer): a daemon-hosted session with spec S produces a journal
+// byte-identical to `robotune_cli` running S, regardless of how many
+// sessions run beside it or how many workers the manager has.
+//
+// Admission control: at most `max_live` sessions run concurrently (the
+// pool's worker count); up to `max_pending` more wait in FIFO order;
+// beyond that, start requests are rejected — backpressure, not an
+// unbounded queue.
+//
+// Fair scheduling: a turnstile grants `slots` compute slices; running
+// sessions yield at every round boundary (the BoOptions::yield hook) and
+// re-queue FIFO, so CPU rotates round-robin among runnable sessions
+// instead of letting the first admitted session run to completion.
+// The turnstile only re-orders *wall-clock* interleaving; per-session
+// results and journal bytes do not depend on slots or worker count.
+//
+// Durability: every session journals into `<root>/session-<id>.journal`
+// with its spec beside it in `<root>/session-<id>.spec`.  After a crash,
+// recover_fleet() rebuilds the whole fleet from disk: completed sessions
+// are re-registered as done, incomplete ones are re-admitted with
+// resume+recover (replaying their journal prefix), and a session whose
+// files are corrupt beyond recovery is quarantined into
+// `<root>/quarantine/` — one bad session never takes the daemon down.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/persistence.h"
+#include "core/session.h"
+#include "service/protocol.h"
+
+namespace robotune::service {
+
+struct ServiceOptions {
+  /// Directory holding per-session spec/journal files (created if
+  /// missing).  Required.
+  std::string root;
+  /// Sessions running concurrently (= manager pool workers).
+  std::size_t max_live = 2;
+  /// Admitted-but-not-yet-running sessions tolerated before start
+  /// requests are rejected with "queue full".
+  std::size_t max_pending = 8;
+  /// Concurrent compute slices granted by the turnstile; 0 = max_live
+  /// (no extra gating).  1 = strict round-robin time slicing.
+  std::size_t slots = 0;
+  /// Service seed: session seeds are derived from (this, session id)
+  /// when a start request asks for derivation.
+  std::uint64_t seed = 2024;
+  /// Journal durability for every hosted session.
+  core::SyncPolicy sync = core::SyncPolicy::kNone;
+};
+
+enum class SessionState { kQueued, kRunning, kDone, kCancelled, kFailed };
+
+const char* to_string(SessionState state) noexcept;
+
+/// Point-in-time snapshot of one session.
+struct SessionStatus {
+  std::uint64_t id = 0;
+  SessionState state = SessionState::kQueued;
+  core::SessionSpec spec;
+  std::size_t evaluations = 0;
+  double best_value_s = 0.0;  ///< +inf until a successful evaluation
+  std::vector<double> best_unit;
+  bool resumed = false;           ///< journal prefix replayed at start
+  std::size_t replayed = 0;
+  bool journal_recovered = false;  ///< recover mode dropped a torn tail
+  std::string error;               ///< kFailed: why
+};
+
+/// Fleet-wide counters.
+struct ServiceStatus {
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::size_t done = 0;
+  std::size_t cancelled = 0;
+  std::size_t failed = 0;
+  bool accepting = true;
+  std::size_t max_live = 0;
+  std::size_t max_pending = 0;
+  std::size_t slots = 0;
+};
+
+/// What recover_fleet() found on disk.
+struct FleetRecovery {
+  std::size_t readmitted = 0;   ///< incomplete sessions resumed
+  std::size_t completed = 0;    ///< finished sessions re-registered
+  std::size_t cancelled = 0;    ///< tombstoned sessions kept terminal
+  std::size_t quarantined = 0;  ///< corrupt sessions moved aside
+  std::vector<std::string> quarantined_files;
+};
+
+/// FIFO turnstile: grants up to `slots` concurrent compute slices and
+/// rotates them round-robin among requesters at yield points.
+class Turnstile {
+ public:
+  explicit Turnstile(std::size_t slots) : slots_(slots == 0 ? 1 : slots) {}
+
+  void enter(std::uint64_t id);
+  /// Round-boundary pacing: keeps the slice when nobody is waiting,
+  /// otherwise hands it to the longest-waiting session and re-queues.
+  void yield(std::uint64_t id);
+  void leave();
+
+ private:
+  void wait_for_turn(std::unique_lock<std::mutex>& lock, std::uint64_t id);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t slots_;
+  std::size_t active_ = 0;
+  std::deque<std::uint64_t> waiting_;
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(ServiceOptions options);
+  /// Cancels everything still live and drains before destruction.
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  struct StartResult {
+    bool admitted = false;
+    std::uint64_t id = 0;
+    std::string error;
+  };
+  /// Admits a session (backpressure-rejects when the pending queue is
+  /// full).  `derive_seed` replaces spec.seed with a seed derived from
+  /// (service seed, session id) — the daemon's seeding discipline.
+  StartResult start(core::SessionSpec spec, bool derive_seed = false);
+
+  /// Requests cooperative cancellation; the session stops at its next
+  /// round boundary with a resumable journal.  False: no such session.
+  bool cancel(std::uint64_t id, std::string* error = nullptr);
+
+  std::optional<SessionStatus> status(std::uint64_t id) const;
+  ServiceStatus service_status() const;
+
+  struct SuggestResult {
+    bool ok = false;
+    std::string error;
+    std::size_t evaluations = 0;
+    double best_value_s = 0.0;
+    std::vector<double> best_unit;
+  };
+  /// Current incumbent: the best successfully evaluated configuration.
+  SuggestResult suggest(std::uint64_t id) const;
+
+  struct CheckpointResult {
+    bool ok = false;
+    std::string error;
+    std::string journal_path;
+    std::size_t evaluations = 0;
+  };
+  /// Durability barrier: fsyncs the session's journal (and the service
+  /// root) so everything journaled so far survives power loss.
+  CheckpointResult checkpoint(std::uint64_t id) const;
+
+  struct ObserveResult {
+    bool ok = false;
+    std::string error;
+    std::size_t total = 0;  ///< canonical journal length
+    std::vector<core::EvalRecord> records;
+  };
+  /// Reads the session's journaled evaluations [from, from+limit).
+  ObserveResult observe(std::uint64_t id, std::uint64_t from,
+                        std::uint64_t limit = 0) const;
+
+  /// Rebuilds the fleet from the service root after a restart.  Must be
+  /// called before serving requests (not thread-safe against start()).
+  FleetRecovery recover_fleet();
+
+  /// Blocks until every admitted session reaches a terminal state.
+  void drain();
+  /// Stops admissions, optionally cancels live sessions, and drains.
+  void shutdown(bool cancel_live = true);
+
+  const ServiceOptions& options() const noexcept { return options_; }
+  std::string journal_path(std::uint64_t id) const;
+  std::string spec_path(std::uint64_t id) const;
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    core::SessionSpec spec;
+    SessionState state = SessionState::kQueued;
+    std::atomic<bool> cancel{false};
+    core::SessionProgress progress;
+    bool resumed = false;
+    std::size_t replayed = 0;
+    bool journal_recovered = false;
+    std::string error;
+  };
+
+  StartResult admit(core::SessionSpec spec, bool derive_seed,
+                    std::uint64_t fixed_id);
+  void run_entry(const std::shared_ptr<Entry>& entry);
+  void finish_entry(const std::shared_ptr<Entry>& entry,
+                    SessionState terminal);
+  std::string tombstone_path(std::uint64_t id) const;
+  void quarantine(std::uint64_t id, FleetRecovery& recovery);
+
+  ServiceOptions options_;
+  Turnstile turnstile_;
+  ThreadPool pool_;
+  mutable std::mutex mutex_;
+  std::condition_variable terminal_cv_;
+  std::map<std::uint64_t, std::shared_ptr<Entry>> sessions_;
+  std::uint64_t next_id_ = 1;
+  std::size_t queued_ = 0;
+  std::size_t running_ = 0;
+  bool accepting_ = true;
+};
+
+/// Shared request dispatcher: the in-process LocalClient and the socket
+/// server both route through this, so tests on the local path cover the
+/// daemon's behavior too.
+Response dispatch_request(SessionManager& manager, const Request& request,
+                          std::atomic<bool>* shutdown_flag = nullptr);
+
+}  // namespace robotune::service

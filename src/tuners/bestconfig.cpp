@@ -57,6 +57,7 @@ TuningResult BestConfig::tune(sparksim::SparkObjective& objective, int budget,
 
   int remaining = budget;
   while (remaining > 0) {
+    if (paced_stop()) break;  // cooperative cancel at round boundary
     const int round = std::min(options_.sample_set_size, remaining);
     obs::count("bestconfig.rounds");
     obs::Span round_span("iteration", "tuners");

@@ -85,6 +85,7 @@ TuningResult Gunther::tune(sparksim::SparkObjective& objective, int budget,
 
   // --- Generations: aggressive selection, crossover, mutation -------------
   while (remaining > 0) {
+    if (paced_stop()) break;  // cooperative cancel at generation boundary
     obs::count("gunther.generations");
     obs::Span gen_span("iteration", "tuners");
     std::sort(population.begin(), population.end(),

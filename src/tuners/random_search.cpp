@@ -34,6 +34,7 @@ TuningResult RandomSearch::tune(sparksim::SparkObjective& objective,
   }
   std::vector<double> unit(dims);
   for (int i = 0; i < budget; ++i) {
+    if (paced_stop()) break;  // cooperative cancel between evaluations
     for (auto& u : unit) u = rng.uniform();
     evaluate_into(objective, unit, guard, result);
   }

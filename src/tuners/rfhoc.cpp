@@ -125,6 +125,7 @@ TuningResult Rfhoc::tune(sparksim::SparkObjective& objective, int budget,
   int validated = 0;
   for (const auto& ind : population) {
     if (validated >= validation_budget) break;
+    if (paced_stop()) return result;  // cooperative cancel between probes
     // Skip near-duplicates of already-validated candidates.
     bool duplicate = false;
     for (int j = 0; j < validated; ++j) {
@@ -146,6 +147,7 @@ TuningResult Rfhoc::tune(sparksim::SparkObjective& objective, int budget,
   }
   // If dedup starved the validation phase, fill with fresh random probes.
   while (static_cast<int>(result.history.size()) < budget) {
+    if (paced_stop()) break;
     std::vector<double> unit(dims);
     for (auto& u : unit) u = rng.uniform();
     validate_one(unit);

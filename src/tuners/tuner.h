@@ -4,7 +4,9 @@
 // where Gunther/RS are augmented with a static threshold for fairness).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <string>
 #include <vector>
@@ -115,8 +117,35 @@ class Tuner {
   }
   exec::EvalScheduler* scheduler() const noexcept { return scheduler_; }
 
+  /// Cooperative pacing for sessions hosted by the service layer.
+  /// `cancel` (nullable) is polled at round boundaries: when set, the
+  /// tuner returns early with every completed evaluation kept in the
+  /// result.  `yield` (nullable) is invoked at the same boundaries so a
+  /// fair scheduler can slice CPU between concurrent sessions; it must
+  /// not mutate tuner-visible state — with a null/no-op yield the
+  /// session's results are unchanged.
+  void set_pacing(const std::atomic<bool>* cancel,
+                  std::function<void()> yield) {
+    cancel_ = cancel;
+    yield_ = std::move(yield);
+  }
+  const std::atomic<bool>* pacing_cancel() const noexcept { return cancel_; }
+  const std::function<void()>& pacing_yield() const noexcept {
+    return yield_;
+  }
+
+ protected:
+  /// Round-boundary pacing point: yields to the fair scheduler (if any),
+  /// then reports whether the session was cancelled.
+  bool paced_stop() const {
+    if (yield_) yield_();
+    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
+
  private:
   exec::EvalScheduler* scheduler_ = nullptr;
+  const std::atomic<bool>* cancel_ = nullptr;
+  std::function<void()> yield_;
 };
 
 /// Helper shared by tuner implementations: evaluate a unit vector under

@@ -376,6 +376,50 @@ TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
   EXPECT_GE(ThreadPool::global().size(), 1u);
 }
 
+TEST(ThreadPoolTest, QueuedAndIdleWorkersReportBacklog) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.queued(), 0u);
+  EXPECT_EQ(pool.idle_workers(), 1u);
+
+  // Block the only worker, then pile tasks behind it: queued() must see
+  // the backlog and idle_workers() the saturation.
+  std::promise<void> gate;
+  auto blocker = pool.submit([fut = gate.get_future().share()] { fut.wait(); });
+  while (pool.queued() != 0 || pool.idle_workers() != 0) {
+    std::this_thread::yield();  // until the worker picked the blocker up
+  }
+  std::vector<std::function<void()>> tasks(5, [] {});
+  auto futures = pool.submit_batch(std::move(tasks));
+  EXPECT_EQ(pool.queued(), 5u);
+  EXPECT_EQ(pool.idle_workers(), 0u);
+
+  gate.set_value();
+  blocker.get();
+  ThreadPool::wait_all(futures);
+  EXPECT_EQ(pool.queued(), 0u);
+  // The busy counter is decremented after the future is fulfilled, so
+  // give the worker a beat to park again.
+  while (pool.idle_workers() != 1) std::this_thread::yield();
+}
+
+TEST(ThreadPoolTest, ConfigureGlobalIsFirstUseOnly) {
+  // Whether the request takes depends on whether any earlier test (or
+  // library path) already touched global(); both outcomes are exercised
+  // across the suite's build modes.  What must always hold: once the
+  // global pool exists, further requests report failure instead of
+  // silently doing nothing.
+  const bool took = ThreadPool::configure_global(3);
+  ThreadPool& pool = ThreadPool::global();
+  if (took) {
+    EXPECT_EQ(pool.size(), 3u);
+  }
+  EXPECT_FALSE(ThreadPool::configure_global(1));
+  EXPECT_GE(pool.size(), 1u);
+  // Restore the hardware-concurrency default request for any later
+  // first-use (no-op here since global() exists, and that is the point).
+  EXPECT_FALSE(ThreadPool::configure_global(0));
+}
+
 // ----------------------------------------------------------------- error ----
 
 TEST(ErrorTest, RequireThrowsOnViolation) {

@@ -217,6 +217,70 @@ TEST_F(ObsDeterminismTest, AcquisitionMultiStartInvariantAcrossWorkerCounts) {
   }
 }
 
+// ------------------------------- per-session metric attribution ---------
+
+TEST_F(ObsDeterminismTest, SessionScopedMetricsIdenticalAcrossWorkerCounts) {
+  // The service layer runs every hosted session inside an
+  // obs::ScopedSession, which additionally tallies logical metrics under
+  // "session/<id>/".  That per-session section inherits the full
+  // determinism contract: identical for any worker count, and equal to
+  // the logical section of the same run executed with no session scope
+  // at all (the scope is attribution, never perturbation).
+  obs::metrics().reset();
+  run_session(/*parallelism=*/1, /*with_faults=*/true);
+  const auto unscoped = obs::metrics().snapshot().logical();
+
+  std::vector<obs::MetricsSnapshot> scoped;
+  for (const int parallelism : {1, 4}) {
+    SCOPED_TRACE("parallelism " + std::to_string(parallelism));
+    obs::metrics().reset();
+    {
+      obs::ScopedSession scope(42);
+      run_session(parallelism, /*with_faults=*/true);
+    }
+    scoped.push_back(obs::metrics().snapshot().session(42));
+  }
+  EXPECT_EQ(scoped[0], scoped[1]);
+  if (obs::kCompiledIn) {
+    EXPECT_EQ(scoped[0], unscoped);
+    EXPECT_EQ(scoped[0].counters.at("evals.total"),
+              static_cast<std::uint64_t>(kBudget));
+    // Scheduling-dependent names are never duplicated into a session
+    // scope — the per-session section stays deterministic by
+    // construction.
+    for (const auto& [name, value] : scoped[0].counters) {
+      EXPECT_FALSE(obs::is_runtime_metric(name)) << name;
+    }
+  } else {
+    EXPECT_TRUE(scoped[0].empty());
+  }
+}
+
+TEST_F(ObsDeterminismTest, ConcurrentSessionsKeepSeparateTallies) {
+  // Two different sessions in one registry epoch: each section carries
+  // exactly its own run's events even when both ran back-to-back (the
+  // daemon's steady state, minus wall-clock interleaving which the
+  // service_test covers end-to-end).
+  obs::metrics().reset();
+  {
+    obs::ScopedSession scope(7);
+    run_session(/*parallelism=*/1, /*with_faults=*/true);
+  }
+  {
+    obs::ScopedSession scope(8);
+    run_session(/*parallelism=*/4, /*with_faults=*/true);
+  }
+  const auto snapshot = obs::metrics().snapshot();
+  EXPECT_EQ(snapshot.session(7), snapshot.session(8));
+  if (obs::kCompiledIn) {
+    EXPECT_EQ(snapshot.session(7).counters.at("evals.total"),
+              static_cast<std::uint64_t>(kBudget));
+    // The global logical section totals both sessions.
+    EXPECT_EQ(snapshot.logical().counters.at("evals.total"),
+              static_cast<std::uint64_t>(2 * kBudget));
+  }
+}
+
 TEST_F(ObsDeterminismTest, RuntimeMetricsAreSeparatedNotCompared) {
   obs::metrics().reset();
   run_session(4, /*with_faults=*/false);
