@@ -130,6 +130,12 @@ int main(int argc, char** argv) {
   for (const auto& file : recovery.quarantined_files) {
     std::printf("  quarantined: %s\n", file.c_str());
   }
+  // Operational re-admission failures (not corruption): files are left
+  // in place; surface them so the operator knows those sessions are not
+  // running.
+  for (const auto& line : recovery.errors) {
+    std::fprintf(stderr, "recovery failure: %s\n", line.c_str());
+  }
 
   service::Server server(manager, socket_path);
   std::string error;

@@ -1,6 +1,8 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -38,6 +40,47 @@ std::string format_double(double v) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.17g", v);
   return buffer;
+}
+
+// Strict numeric field parsers: the spec is the determinism contract,
+// so a malformed value (`seed=abc` silently becoming 0) must fail the
+// decode the same way an unknown key does — otherwise a restart could
+// replay a different session than the one that was started.
+
+bool parse_spec_int(const std::string& text, int& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  if (value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  out = static_cast<int>(value);
+  return true;
+}
+
+bool parse_spec_u64(const std::string& text, std::uint64_t& out) {
+  // strtoull silently wraps negatives ("-1" → 2^64-1): reject them.
+  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+bool parse_spec_double(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  if (!std::isfinite(value)) return false;
+  out = value;
+  return true;
 }
 
 }  // namespace
@@ -144,6 +187,7 @@ bool decode_spec_body(const std::string& body, SessionSpec& spec,
   SessionSpec parsed;
   std::istringstream tokens(body);
   std::string token;
+  bool numeric_ok = true;
   while (tokens >> token) {
     const std::size_t eq = token.find('=');
     if (eq == std::string::npos) return fail("bad spec token '" + token + "'");
@@ -152,39 +196,41 @@ bool decode_spec_body(const std::string& body, SessionSpec& spec,
     if (key == "workload") {
       parsed.workload = value;
     } else if (key == "dataset") {
-      parsed.dataset = std::atoi(value.c_str());
+      numeric_ok = parse_spec_int(value, parsed.dataset);
     } else if (key == "tuner") {
       parsed.tuner = value;
     } else if (key == "budget") {
-      parsed.budget = std::atoi(value.c_str());
+      numeric_ok = parse_spec_int(value, parsed.budget);
     } else if (key == "seed") {
-      parsed.seed = static_cast<std::uint64_t>(
-          std::strtoull(value.c_str(), nullptr, 10));
+      numeric_ok = parse_spec_u64(value, parsed.seed);
     } else if (key == "metric") {
       parsed.metric = value;
     } else if (key == "fault") {
       parsed.fault_profile = value;
     } else if (key == "retries") {
-      parsed.retries = std::atoi(value.c_str());
+      numeric_ok = parse_spec_int(value, parsed.retries);
     } else if (key == "preempt") {
-      parsed.preempt_rate = std::atof(value.c_str());
+      numeric_ok = parse_spec_double(value, parsed.preempt_rate);
     } else if (key == "parallel") {
-      parsed.parallel = std::atoi(value.c_str());
+      numeric_ok = parse_spec_int(value, parsed.parallel);
     } else if (key == "batch") {
-      parsed.batch = std::atoi(value.c_str());
+      numeric_ok = parse_spec_int(value, parsed.batch);
     } else if (key == "racing") {
       parsed.racing = value;
     } else if (key == "deadline") {
-      parsed.eval_deadline = std::atof(value.c_str());
+      numeric_ok = parse_spec_double(value, parsed.eval_deadline);
     } else if (key == "init") {
-      parsed.init = std::atoi(value.c_str());
+      numeric_ok = parse_spec_int(value, parsed.init);
     } else if (key == "selsamples") {
-      parsed.selection_samples = std::atoi(value.c_str());
+      numeric_ok = parse_spec_int(value, parsed.selection_samples);
     } else {
       // Unknown keys from a newer writer are a hard error: the spec is
       // the determinism contract, so silently dropping a knob could
       // replay a different session than the one that was started.
       return fail("unknown spec key '" + key + "'");
+    }
+    if (!numeric_ok) {
+      return fail("bad spec value '" + value + "' for key '" + key + "'");
     }
   }
   if (const auto why = parsed.validate(); !why.empty()) return fail(why);

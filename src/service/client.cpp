@@ -96,6 +96,18 @@ bool SocketClient::call(const Request& request, Response& response,
       if (!decode_response(payload, response, why)) {
         return fail("bad response: " + why);
       }
+      if (response.rid != wire.rid) {
+        // rid 0 is the server's stream-level error frame (corrupt
+        // request stream — the server drops the connection after it):
+        // fail distinctly.  Any other mismatch is a stale reply to an
+        // earlier call that errored out mid-receive; skip it and keep
+        // reading for our own.
+        if (response.rid == 0) {
+          close();
+          return fail("server stream error: " + response.error);
+        }
+        continue;
+      }
       return true;
     }
     if (result == FrameReader::Result::kCorrupt) {

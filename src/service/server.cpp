@@ -2,6 +2,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -15,7 +16,14 @@ namespace {
 
 constexpr int kPollTimeoutMs = 100;
 
-/// Writes the whole buffer (handling short writes); false on error.
+/// Responses are dispatched synchronously on the serve loop, so a send
+/// to a wedged peer would stall every other client and the shutdown
+/// polling.  SO_SNDTIMEO bounds each send: a client that stops reading
+/// for this long is dropped, not waited on.
+constexpr int kSendTimeoutSec = 5;
+
+/// Writes the whole buffer (handling short writes); false on error or
+/// on the SO_SNDTIMEO deadline (EAGAIN/EWOULDBLOCK from a full buffer).
 bool write_all(int fd, const std::string& bytes) {
   std::size_t off = 0;
   while (off < bytes.size()) {
@@ -89,7 +97,13 @@ std::size_t Server::serve(std::atomic<bool>& stop) {
 
     if ((fds[0].revents & POLLIN) != 0) {
       const int client = ::accept(listen_fd_, nullptr, nullptr);
-      if (client >= 0) connections_.emplace(client, Connection{});
+      if (client >= 0) {
+        timeval deadline = {};
+        deadline.tv_sec = kSendTimeoutSec;
+        ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &deadline,
+                     sizeof(deadline));
+        connections_.emplace(client, Connection{});
+      }
     }
     for (std::size_t i = 1; i < fds.size(); ++i) {
       if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;

@@ -153,38 +153,53 @@ SessionManager::StartResult SessionManager::admit(core::SessionSpec spec,
     result.error = why;
     return result;
   }
-  std::shared_ptr<Entry> entry;
+  std::uint64_t id = 0;
   {
     std::scoped_lock lock(mutex_);
     if (!accepting_) {
       result.error = "service is shutting down";
       return result;
     }
-    if (queued_ >= options_.max_pending) {
+    // Backpressure gates *external* start requests only: fleet recovery
+    // (fixed_id != 0) re-admits sessions that were already admitted
+    // before the crash, so a full pre-crash queue must never turn a
+    // healthy session away.
+    if (fixed_id == 0 && queued_ >= options_.max_pending) {
       result.error = "queue full (" + std::to_string(queued_) +
                      " pending); retry later";
       obs::count("service.admission.rejected");
       return result;
     }
-    const std::uint64_t id = fixed_id != 0 ? fixed_id : next_id_++;
+    id = fixed_id != 0 ? fixed_id : next_id_++;
     if (fixed_id != 0) next_id_ = std::max(next_id_, fixed_id + 1);
-    if (derive_seed) spec.seed = derive_session_seed(options_.seed, id);
-    spec.checkpoint_path = journal_path(id);
-    spec.sync = options_.sync;
-    if (!save_spec_file(spec, spec_path(id))) {
-      result.error = "cannot write spec file under " + options_.root;
-      return result;
-    }
-    entry = std::make_shared<Entry>();
-    entry->id = id;
-    entry->spec = spec;
-    entry->progress.best_value_s = std::numeric_limits<double>::infinity();
-    sessions_[id] = entry;
-    ++queued_;
-    result.admitted = true;
-    result.id = id;
-    obs::count("service.admission.accepted");
+    ++queued_;  // reserve the queue slot; rolled back if the write fails
   }
+  // The spec write (file + rename) happens outside the manager lock so
+  // status/suggest/dispatch and the sessions' progress callbacks never
+  // stall behind disk I/O.  The id and queue slot are already reserved.
+  if (derive_seed) spec.seed = derive_session_seed(options_.seed, id);
+  spec.checkpoint_path = journal_path(id);
+  spec.sync = options_.sync;
+  if (!save_spec_file(spec, spec_path(id))) {
+    std::scoped_lock lock(mutex_);
+    --queued_;
+    result.error = "cannot write spec file under " + options_.root;
+    return result;
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->id = id;
+  entry->spec = spec;
+  entry->progress.best_value_s = std::numeric_limits<double>::infinity();
+  {
+    std::scoped_lock lock(mutex_);
+    sessions_[id] = entry;
+    // A cancelling shutdown may have swept sessions_ while the spec was
+    // being written; catch this late-inserted entry up with the sweep.
+    if (cancel_all_) entry->cancel.store(true, std::memory_order_relaxed);
+  }
+  result.admitted = true;
+  result.id = id;
+  obs::count("service.admission.accepted");
   pool_.submit([this, entry] { run_entry(entry); });
   return result;
 }
@@ -244,31 +259,38 @@ void SessionManager::run_entry(const std::shared_ptr<Entry>& entry) {
     entry->resumed = outcome.resumed;
     entry->replayed = outcome.replayed;
     entry->journal_recovered = outcome.journal_recovered;
+    // Notify under the lock: once drain() observes the counters at zero
+    // the manager may be destroyed, so an after-unlock notify could hit
+    // a dead condition variable.
+    terminal_cv_.notify_all();
   }
   obs::count(state == SessionState::kDone     ? "service.sessions.done"
              : state == SessionState::kFailed ? "service.sessions.failed"
                                               : "service.sessions.cancelled");
-  terminal_cv_.notify_all();
 }
 
 bool SessionManager::cancel(std::uint64_t id, std::string* error) {
-  std::scoped_lock lock(mutex_);
-  const auto it = sessions_.find(id);
-  if (it == sessions_.end()) {
-    if (error != nullptr) *error = "no such session";
-    return false;
-  }
-  if (terminal(it->second->state)) {
-    if (error != nullptr) {
-      *error = std::string("session already ") +
-               to_string(it->second->state);
+  {
+    std::scoped_lock lock(mutex_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      if (error != nullptr) *error = "no such session";
+      return false;
     }
-    return false;
+    if (terminal(it->second->state)) {
+      if (error != nullptr) {
+        *error = std::string("session already ") +
+                 to_string(it->second->state);
+      }
+      return false;
+    }
+    it->second->cancel.store(true, std::memory_order_relaxed);
   }
-  it->second->cancel.store(true, std::memory_order_relaxed);
   // Tombstone the explicit cancel so a daemon restart keeps the session
   // cancelled instead of resuming it (graceful shutdown, by contrast,
-  // leaves no tombstone — its sessions resume).
+  // leaves no tombstone — its sessions resume).  Written outside the
+  // manager lock: tombstone creation is idempotent and nothing else
+  // races it, so the fleet need not stall behind this disk write.
   std::FILE* f = std::fopen(tombstone_path(id).c_str(), "w");
   if (f != nullptr) std::fclose(f);
   return true;
@@ -476,13 +498,21 @@ FleetRecovery SessionManager::recover_fleet() {
     }
     // Incomplete: re-admit with resume+recover so the journal prefix
     // replays and the session continues exactly where it died.
+    // Re-admission bypasses the max_pending backpressure check (the
+    // pre-crash fleet was already admitted), so a rejection here is an
+    // operational failure — shutdown racing recovery, an unwritable
+    // root — never evidence of corruption.  Quarantine is reserved for
+    // corrupt files; a healthy session that cannot be re-admitted keeps
+    // its spec and journal in place and is reported instead.
     spec.resume = true;
     spec.recover = true;
     const auto result = admit(std::move(spec), /*derive_seed=*/false, id);
     if (result.admitted) {
       ++recovery.readmitted;
     } else {
-      quarantine(id, recovery);
+      ++recovery.failed;
+      recovery.errors.push_back("session " + std::to_string(id) + ": " +
+                                result.error);
     }
   }
   obs::set_gauge("service.recovery.readmitted",
@@ -518,6 +548,7 @@ void SessionManager::shutdown(bool cancel_live) {
     std::scoped_lock lock(mutex_);
     accepting_ = false;
     if (cancel_live) {
+      cancel_all_ = true;
       for (const auto& [id, entry] : sessions_) {
         if (!terminal(entry->state)) {
           entry->cancel.store(true, std::memory_order_relaxed);

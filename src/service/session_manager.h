@@ -29,6 +29,11 @@
 // resume+recover (replaying their journal prefix), and a session whose
 // files are corrupt beyond recovery is quarantined into
 // `<root>/quarantine/` — one bad session never takes the daemon down.
+// Recovery re-admission bypasses the max_pending bound (backpressure
+// gates external start requests; the pre-crash fleet was already
+// admitted), and quarantine is strictly a corruption verdict: a healthy
+// session whose re-admission fails operationally keeps its files and is
+// reported in FleetRecovery::errors instead.
 #pragma once
 
 #include <atomic>
@@ -105,7 +110,12 @@ struct FleetRecovery {
   std::size_t completed = 0;    ///< finished sessions re-registered
   std::size_t cancelled = 0;    ///< tombstoned sessions kept terminal
   std::size_t quarantined = 0;  ///< corrupt sessions moved aside
+  /// Intact sessions re-admission failed on (shutdown racing recovery,
+  /// unwritable root, ...).  Their files stay in place — operational
+  /// failure is not corruption, so they are never quarantined.
+  std::size_t failed = 0;
   std::vector<std::string> quarantined_files;
+  std::vector<std::string> errors;  ///< one line per failed session
 };
 
 /// FIFO turnstile: grants up to `slots` concurrent compute slices and
@@ -230,6 +240,9 @@ class SessionManager {
   std::size_t queued_ = 0;
   std::size_t running_ = 0;
   bool accepting_ = true;
+  /// Set by a cancelling shutdown so an admit() that reserved its slot
+  /// before the sweep still sees the cancel when it inserts its entry.
+  bool cancel_all_ = false;
 };
 
 /// Shared request dispatcher: the in-process LocalClient and the socket

@@ -10,6 +10,8 @@
 // recovered session finishes with exactly the bytes an uninterrupted
 // run would have produced.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -21,6 +23,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/persistence.h"
@@ -252,6 +255,52 @@ TEST(ServiceSpecTest, SpecBodyRoundTripsAllTuningFields) {
   core::SessionSpec scratch;
   EXPECT_FALSE(
       core::decode_spec_body("workload=PR surprise=1", scratch, &error));
+}
+
+TEST(ServiceSpecTest, SpecBodyRejectsMalformedNumericValues) {
+  // Same contract as unknown keys: a malformed numeric value must fail
+  // the decode, not silently become 0 (seed=abc replaying a different
+  // session than the one that was started).
+  const std::string good = core::encode_spec_body(small_spec(77));
+  core::SessionSpec scratch;
+  std::string error;
+  ASSERT_TRUE(core::decode_spec_body(good, scratch, &error)) << error;
+
+  const auto swap_field = [&](const std::string& key,
+                              const std::string& value) {
+    std::istringstream tokens(good);
+    std::ostringstream out;
+    std::string token;
+    bool first = true;
+    while (tokens >> token) {
+      if (!first) out << ' ';
+      first = false;
+      if (token.rfind(key + "=", 0) == 0) {
+        out << key << '=' << value;
+      } else {
+        out << token;
+      }
+    }
+    return out.str();
+  };
+
+  for (const auto& [key, value] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"seed", "abc"},
+           {"seed", "12x"},
+           {"seed", "-1"},
+           {"seed", ""},
+           {"budget", "eight"},
+           {"budget", "8garbage"},
+           {"dataset", ""},
+           {"preempt", "0..5"},
+           {"preempt", "nan"},
+           {"deadline", "soon"}}) {
+    core::SessionSpec spec;
+    EXPECT_FALSE(
+        core::decode_spec_body(swap_field(key, value), spec, &error))
+        << key << '=' << value;
+  }
 }
 
 TEST(ServiceSpecTest, SpecFileDetectsCorruption) {
@@ -525,6 +574,62 @@ TEST(ServiceRecoveryTest, RestartResumesFleetAndQuarantinesCorruptSession) {
   EXPECT_FALSE(restarted.status(ids[1]).has_value());  // quarantined
 }
 
+TEST(ServiceRecoveryTest, ReadmissionBypassesBackpressureAndNeverQuarantines) {
+  // A pre-crash fleet can legitimately hold max_live running plus
+  // max_pending queued incomplete sessions.  Recovery re-admission must
+  // bypass the max_pending bound (backpressure gates external starts) —
+  // before this was fixed, the overflow sessions' perfectly valid spec
+  // and journal files were quarantined as if corrupt.
+  constexpr int kSessions = 3;
+  TempDir dir("readmit");
+  service::ServiceOptions roomy;
+  roomy.root = dir.path();
+  roomy.max_live = 2;
+  roomy.max_pending = kSessions;
+
+  std::uint64_t ids[kSessions];
+  {
+    service::SessionManager manager(roomy);
+    for (int i = 0; i < kSessions; ++i) {
+      const auto started =
+          manager.start(small_spec(61 + static_cast<std::uint64_t>(i),
+                                   /*budget=*/16));
+      ASSERT_TRUE(started.admitted) << started.error;
+      ids[i] = started.id;
+    }
+    // Partial progress on the running pair, then "crash".
+    wait_for_evals(manager, ids[0], 2);
+    manager.shutdown(/*cancel_live=*/true);
+  }
+
+  // Restart with a queue bound smaller than the surviving fleet: every
+  // incomplete session must still come back, and none may be moved to
+  // quarantine/.
+  service::ServiceOptions tight = roomy;
+  tight.max_live = 1;
+  tight.max_pending = 1;
+  service::SessionManager restarted(tight);
+  const auto recovery = restarted.recover_fleet();
+  EXPECT_EQ(recovery.readmitted, static_cast<std::size_t>(kSessions));
+  EXPECT_EQ(recovery.quarantined, 0u);
+  EXPECT_EQ(recovery.failed, 0u);
+  EXPECT_TRUE(recovery.errors.empty());
+  EXPECT_FALSE(fs::exists(dir.file("quarantine")));
+
+  // Every session is registered and its files are still in place.
+  // (RestartResumesFleet... covers readmitted sessions running to
+  // byte-identical completion; this test pins the admission decision, so
+  // stop the fleet instead of paying for three full runs.)
+  restarted.shutdown(/*cancel_live=*/true);
+  for (int i = 0; i < kSessions; ++i) {
+    const auto status = restarted.status(ids[i]);
+    ASSERT_TRUE(status.has_value()) << "session " << i;
+    EXPECT_NE(status->state, service::SessionState::kFailed)
+        << status->error;
+    EXPECT_TRUE(fs::exists(restarted.spec_path(ids[i]))) << "session " << i;
+  }
+}
+
 TEST(ServiceRecoveryTest, TombstonedAndCompletedSessionsStayTerminal) {
   TempDir dir("terminal");
   service::ServiceOptions options;
@@ -644,6 +749,108 @@ TEST(ServiceDispatchTest, LocalClientDrivesFullVerbSet) {
   shutdown.verb = "shutdown";
   response = client.call(shutdown);
   EXPECT_FALSE(response.ok);
+}
+
+// Minimal scripted peer: listens on a Unix socket, accepts one client,
+// reads one request, and answers with a caller-supplied sequence of
+// response frames.  Exists to exercise SocketClient's response/rid
+// matching without a full daemon in the loop.
+class ScriptedPeer {
+ public:
+  explicit ScriptedPeer(const std::string& path) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    ::unlink(path.c_str());
+    ::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr));
+    ::listen(listen_fd_, 1);
+  }
+  ~ScriptedPeer() {
+    if (thread_.joinable()) thread_.join();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  /// Accepts one connection, waits for one request frame, then sends
+  /// every response in order.  Runs on a background thread.
+  void respond_with(std::vector<service::Response> responses) {
+    thread_ = std::thread([this, responses = std::move(responses)] {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      ASSERT_GE(fd, 0);
+      char buffer[4096];
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      ASSERT_GT(n, 0);
+      for (const auto& response : responses) {
+        const std::string frame =
+            service::frame_message(service::encode_response(response));
+        ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+                  static_cast<ssize_t>(frame.size()));
+      }
+      ::close(fd);
+    });
+  }
+
+ private:
+  int listen_fd_ = -1;
+  std::thread thread_;
+};
+
+TEST(ServiceSocketClientTest, SkipsStaleFramesAndMatchesRid) {
+  // A client that hit a transport error mid-call can find the previous
+  // request's late reply in the stream on its next call.  call() must
+  // skip the stale frame (mismatched rid) and return the one answering
+  // the in-flight request — never mis-attribute.
+  TempDir dir("rid-stale");
+  const std::string path = dir.file("peer.sock");
+  ScriptedPeer peer(path);
+
+  service::Response stale;
+  stale.ok = true;
+  stale.rid = 7;  // not the rid call() will send
+  stale.fields["id"] = "999";
+  service::Response fresh;
+  fresh.ok = true;
+  fresh.fields["id"] = "1";
+  // SocketClient numbers requests from 1.
+  fresh.rid = 1;
+  peer.respond_with({stale, fresh});
+
+  service::SocketClient client;
+  ASSERT_TRUE(client.connect(path));
+  service::Request request;
+  request.verb = "status";
+  service::Response response;
+  std::string error;
+  ASSERT_TRUE(client.call(request, response, &error)) << error;
+  EXPECT_EQ(response.rid, 1u);
+  EXPECT_EQ(response.fields.at("id"), "1");
+}
+
+TEST(ServiceSocketClientTest, FailsDistinctlyOnServerStreamError) {
+  // rid 0 is the server's corrupt-request-stream error frame — the
+  // server cuts the connection after sending it, so the client must
+  // fail the call rather than keep waiting for a matching rid.
+  TempDir dir("rid-zero");
+  const std::string path = dir.file("peer.sock");
+  ScriptedPeer peer(path);
+
+  service::Response err;
+  err.ok = false;
+  err.rid = 0;
+  err.error = "frame checksum mismatch";
+  peer.respond_with({err});
+
+  service::SocketClient client;
+  ASSERT_TRUE(client.connect(path));
+  service::Request request;
+  request.verb = "status";
+  service::Response response;
+  std::string error;
+  EXPECT_FALSE(client.call(request, response, &error));
+  EXPECT_NE(error.find("server stream error"), std::string::npos) << error;
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+  EXPECT_FALSE(client.connected());
 }
 
 TEST(ServiceTurnstileTest, YieldRotatesFifoWithoutSelfDeadlock) {
