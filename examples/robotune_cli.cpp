@@ -96,10 +96,14 @@ struct CliOptions {
   std::string metrics_path;
   /// Client mode: socket of a robotune_serve daemon.
   std::string connect_path;
-  /// Client verb: start|status|suggest|observe|checkpoint|cancel|shutdown.
+  /// Client verb: start|status|suggest|observe|checkpoint|cancel|
+  /// metrics|shutdown.
   std::string remote = "status";
   std::uint64_t session_id = 0;
   std::uint64_t from = 0;
+  /// metrics verb: "prom" asks the daemon for the Prometheus text
+  /// exposition, printed raw (pipe it into a scrape file).
+  std::string format;
 };
 
 void usage(const char* argv0) {
@@ -153,13 +157,15 @@ void usage(const char* argv0) {
       "client mode (talk to a robotune_serve daemon instead of tuning):\n"
       "  --connect SOCKET            daemon socket path\n"
       "  --remote VERB               start|status|suggest|observe|\n"
-      "                              checkpoint|cancel|shutdown\n"
+      "                              checkpoint|cancel|metrics|shutdown\n"
       "                              (default status; start builds the\n"
       "                              session spec from the options above,\n"
       "                              deriving the seed daemon-side unless\n"
       "                              --seed was given)\n"
       "  --session ID                target session for the verb\n"
-      "  --from N                    observe: first evaluation index\n",
+      "  --from N                    observe: first evaluation index\n"
+      "  --format prom               metrics: print the daemon's\n"
+      "                              Prometheus text exposition raw\n",
       argv0);
 }
 
@@ -287,6 +293,10 @@ bool parse(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (!v) return false;
       options.from = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (!v) return false;
+      options.format = v;
     } else {
       return false;
     }
@@ -332,6 +342,7 @@ int run_client(const CliOptions& options) {
   request.verb = options.remote;
   request.session = options.session_id;
   request.from = options.from;
+  request.format = options.format;
   if (request.verb == "start") {
     core::SessionSpec spec = spec_from(options);
     spec.checkpoint_path.clear();  // the daemon owns durability wiring
@@ -355,11 +366,19 @@ int run_client(const CliOptions& options) {
     std::printf("session %s started\n", response.fields["id"].c_str());
     return 0;
   }
+  // `metrics --format prom` prints the exposition raw — pipe it into a
+  // node_exporter textfile or straight at a scraper.
+  if (const auto prom = response.fields.find("prom");
+      prom != response.fields.end()) {
+    std::fputs(prom->second.c_str(), stdout);
+    return 0;
+  }
   for (const auto& [key, value] : response.fields) {
     std::printf("%s=%s\n", key.c_str(), value.c_str());
   }
   for (const auto& record : response.records) {
-    std::printf("eval %s\n", record.c_str());
+    std::printf("%s %s\n", request.verb == "metrics" ? "session" : "eval",
+                record.c_str());
   }
   return 0;
 }

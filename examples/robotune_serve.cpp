@@ -20,19 +20,29 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <map>
 #include <string>
+#include <system_error>
+#include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
 #include "service/server.h"
 #include "service/session_manager.h"
+#include "service/telemetry.h"
 
 using namespace robotune;
 
 namespace {
 
 std::atomic<bool> g_stop{false};
+volatile std::sig_atomic_t g_signal = 0;
 
-extern "C" void handle_stop_signal(int) {
+extern "C" void handle_stop_signal(int sig) {
+  g_signal = sig;
   g_stop.store(true, std::memory_order_relaxed);
 }
 
@@ -49,8 +59,43 @@ void usage(const char* argv0) {
       "                    (default 2024)\n"
       "  --fsync           fsync every journal flush\n"
       "  --pool-threads N  size the process-global thread pool before\n"
-      "                    first use (0 = hardware concurrency)\n",
+      "                    first use (0 = hardware concurrency)\n"
+      "  --events-file P   fleet event journal   (default DIR/events.jsonl)\n"
+      "  --no-events       disable the fleet event journal\n"
+      "  --events-max-bytes N  event journal rotation threshold\n"
+      "  --metrics-file P  Prometheus text dump, rewritten ~1/s and at\n"
+      "                    exit (atomic temp+rename; point a scraper or\n"
+      "                    node_exporter textfile collector at it)\n"
+      "  --trace-dir DIR   enable span tracing; per-session JSONL trace\n"
+      "                    files are exported here at shutdown\n",
       argv0);
+}
+
+/// Exports the recorded spans split by owning session:
+/// `<dir>/session-<id>.trace.jsonl` per session plus
+/// `<dir>/fleet.trace.jsonl` for spans outside any session scope.
+void export_traces(const std::string& dir) {
+  const auto records = obs::tracer().records();
+  std::map<std::string, std::vector<obs::SpanRecord>> by_session;
+  for (const auto& span : records) {
+    std::string sid;
+    for (const auto& [key, value] : span.args) {
+      if (key == "session") {
+        sid = value;
+        break;
+      }
+    }
+    by_session[sid].push_back(span);
+  }
+  for (const auto& [sid, spans] : by_session) {
+    const std::string path =
+        sid.empty() ? dir + "/fleet.trace.jsonl"
+                    : dir + "/session-" + sid + ".trace.jsonl";
+    if (!obs::write_spans_file(spans, path, obs::TraceFormat::kJsonl)) {
+      std::fprintf(stderr, "warning: cannot write trace file %s\n",
+                   path.c_str());
+    }
+  }
 }
 
 }  // namespace
@@ -58,6 +103,10 @@ void usage(const char* argv0) {
 int main(int argc, char** argv) {
   service::ServiceOptions options;
   std::string socket_path;
+  std::string events_file;
+  bool no_events = false;
+  std::string metrics_file;
+  std::string trace_dir;
   long pool_threads = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -94,6 +143,24 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v || std::atoi(v) < 0) return usage(argv[0]), 2;
       pool_threads = std::atol(v);
+    } else if (arg == "--events-file") {
+      const char* v = next();
+      if (!v) return usage(argv[0]), 2;
+      events_file = v;
+    } else if (arg == "--no-events") {
+      no_events = true;
+    } else if (arg == "--events-max-bytes") {
+      const char* v = next();
+      if (!v || std::atoll(v) < 1) return usage(argv[0]), 2;
+      options.events_max_bytes = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--metrics-file") {
+      const char* v = next();
+      if (!v) return usage(argv[0]), 2;
+      metrics_file = v;
+    } else if (arg == "--trace-dir") {
+      const char* v = next();
+      if (!v) return usage(argv[0]), 2;
+      trace_dir = v;
     } else {
       usage(argv[0]);
       return 2;
@@ -112,6 +179,18 @@ int main(int argc, char** argv) {
                  "--pool-threads ignored\n");
   }
 
+  // The event journal defaults ON (it is a durability/ops artifact like
+  // the session journals): <root>/events.jsonl unless overridden.
+  if (!no_events) {
+    options.events_path =
+        events_file.empty() ? options.root + "/events.jsonl" : events_file;
+  }
+  if (!trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(trace_dir, ec);
+    obs::tracer().set_enabled(true);
+  }
+
   {
     struct sigaction sa = {};
     sa.sa_handler = handle_stop_signal;
@@ -121,6 +200,11 @@ int main(int argc, char** argv) {
   }
 
   service::SessionManager manager(options);
+  if (!manager.events_error().empty()) {
+    std::fprintf(stderr, "warning: event journal disabled: %s\n",
+                 manager.events_error().c_str());
+  }
+  manager.events().emit(0, "daemon.start");
   const auto recovery = manager.recover_fleet();
   std::printf(
       "fleet recovery: %zu resumed, %zu completed, %zu cancelled, "
@@ -144,6 +228,13 @@ int main(int argc, char** argv) {
                  error.c_str());
     return 1;
   }
+  if (!metrics_file.empty()) {
+    // Rewritten roughly once a second on the serve loop (atomic
+    // temp+rename, so a scraper never reads a torn file).
+    server.set_tick([&manager, metrics_file] {
+      obs::write_prometheus_file(obs::metrics().snapshot(), metrics_file);
+    });
+  }
   std::printf("serving on %s (max-live %zu, queue %zu, slots %zu)\n",
               socket_path.c_str(), options.max_live, options.max_pending,
               options.slots == 0 ? options.max_live : options.slots);
@@ -155,8 +246,26 @@ int main(int argc, char** argv) {
   // boundary; journals stay resumable for the next start.
   std::printf("shutting down after %zu request(s)\n", served);
   manager.shutdown(/*cancel_live=*/true);
+  manager.events().emit(0, "daemon.stop",
+                        g_signal != 0
+                            ? "signal " + std::to_string(g_signal)
+                            : "shutdown verb");
+  manager.events().flush();
+  const auto snapshot = obs::metrics().snapshot();
+  if (!metrics_file.empty()) {
+    if (!obs::write_prometheus_file(snapshot, metrics_file)) {
+      std::fprintf(stderr, "warning: cannot write metrics file %s\n",
+                   metrics_file.c_str());
+    }
+  }
+  if (!trace_dir.empty()) export_traces(trace_dir);
   const auto status = manager.service_status();
+  std::printf("%s", service::render_fleet_summary(
+                        snapshot, status, manager.list_sessions())
+                        .c_str());
   std::printf("fleet at exit: %zu done, %zu cancelled, %zu failed\n",
               status.done, status.cancelled, status.failed);
-  return 0;
+  // The conventional shell exit status for death-by-signal, so process
+  // supervisors can tell an operator interrupt from a clean shutdown.
+  return g_signal != 0 ? 128 + g_signal : 0;
 }

@@ -1,0 +1,203 @@
+// robotune_top: a live fleet monitor for the tuning daemon.
+//
+//   $ ./build/examples/robotune_serve --root /tmp/rt-fleet &
+//   $ ./build/examples/robotune_top --socket /tmp/rt-fleet/robotune.sock
+//
+//   robotune fleet @ /tmp/rt-fleet/robotune.sock        poll 1.0s
+//   queued 1  running 2  done 4  cancelled 0  failed 0  accepting yes
+//   rpc 312 requests, 2 errors | suggest p50 41.0us p95 88.5us p99 120.2us
+//
+//       id state        evals       best s   wait ms  sug p99 us
+//        1 done            24        41.52       0.3        55.0
+//        2 running         11        44.80       1.2        61.4
+//   ...
+//
+// It polls the daemon's `metrics` verb (DESIGN.md §14) — the same data
+// a Prometheus scrape sees — and renders a per-session table: state,
+// journaled evaluations, incumbent value, admission→running queue wait,
+// and the session's suggest-latency p99.  One request per refresh; the
+// daemon's hot path is untouched between polls.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.h"
+
+using namespace robotune;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void handle_stop_signal(int) { g_stop = 1; }
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s --socket PATH [options]\n"
+      "  --socket PATH   daemon socket (robotune_serve --socket)\n"
+      "  --interval MS   refresh period in milliseconds (default 1000)\n"
+      "  --limit N       show at most N sessions (default all)\n"
+      "  --once          print one snapshot and exit (no screen clearing;\n"
+      "                  for scripts and tests)\n",
+      argv0);
+}
+
+std::string field(const service::Response& response, const char* key) {
+  const auto it = response.fields.find(key);
+  return it == response.fields.end() ? std::string() : it->second;
+}
+
+/// One `metrics` record: "<id> <state> <evals> <best> <wait_ms> <p99us>".
+struct Row {
+  std::string id;
+  std::string state;
+  std::string evals;
+  double best = 0.0;
+  double wait_ms = 0.0;
+  double p99_us = 0.0;
+  bool ok = false;
+};
+
+Row parse_row(const std::string& record) {
+  Row row;
+  std::istringstream in(record);
+  row.ok = static_cast<bool>(in >> row.id >> row.state >> row.evals >>
+                             row.best >> row.wait_ms >> row.p99_us);
+  return row;
+}
+
+void render(const service::Response& response, const std::string& socket,
+            double interval_s, std::size_t limit, bool clear) {
+  std::string out;
+  char line[256];
+  if (clear) out += "\x1b[H\x1b[2J";  // cursor home + clear screen
+  std::snprintf(line, sizeof(line), "robotune fleet @ %s        poll %.1fs\n",
+                socket.c_str(), interval_s);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "queued %s  running %s  done %s  cancelled %s  failed %s  "
+                "accepting %s\n",
+                field(response, "queued").c_str(),
+                field(response, "running").c_str(),
+                field(response, "done").c_str(),
+                field(response, "cancelled").c_str(),
+                field(response, "failed").c_str(),
+                field(response, "accepting") == "1" ? "yes" : "no");
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "rpc %s requests, %s errors | suggest p50 %sus p95 %sus "
+                "p99 %sus | events seq %s\n\n",
+                field(response, "rpc_requests").c_str(),
+                field(response, "rpc_errors").c_str(),
+                field(response, "suggest_p50_us").c_str(),
+                field(response, "suggest_p95_us").c_str(),
+                field(response, "suggest_p99_us").c_str(),
+                field(response, "events_seq").c_str());
+  out += line;
+  std::snprintf(line, sizeof(line), "%6s %-10s %6s %12s %9s %11s\n", "id",
+                "state", "evals", "best s", "wait ms", "sug p99 us");
+  out += line;
+  std::size_t shown = 0;
+  for (const std::string& record : response.records) {
+    if (limit != 0 && shown >= limit) {
+      std::snprintf(line, sizeof(line), "  ... %zu more session(s)\n",
+                    response.records.size() - shown);
+      out += line;
+      break;
+    }
+    const Row row = parse_row(record);
+    if (!row.ok) continue;
+    char best[24];
+    if (row.best > 1e300) {
+      std::snprintf(best, sizeof(best), "-");
+    } else {
+      std::snprintf(best, sizeof(best), "%.2f", row.best);
+    }
+    std::snprintf(line, sizeof(line), "%6s %-10s %6s %12s %9.1f %11.1f\n",
+                  row.id.c_str(), row.state.c_str(), row.evals.c_str(),
+                  best, row.wait_ms, row.p99_us);
+    out += line;
+    ++shown;
+  }
+  std::fputs(out.c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  long interval_ms = 1000;
+  std::size_t limit = 0;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--socket") {
+      const char* v = next();
+      if (!v) return usage(argv[0]), 2;
+      socket_path = v;
+    } else if (arg == "--interval") {
+      const char* v = next();
+      if (!v || std::atol(v) < 1) return usage(argv[0]), 2;
+      interval_ms = std::atol(v);
+    } else if (arg == "--limit") {
+      const char* v = next();
+      if (!v || std::atol(v) < 0) return usage(argv[0]), 2;
+      limit = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--once") {
+      once = true;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  {
+    struct sigaction sa = {};
+    sa.sa_handler = handle_stop_signal;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+  }
+
+  service::SocketClient client;
+  std::string error;
+  if (!client.connect(socket_path, &error)) {
+    std::fprintf(stderr, "cannot connect to %s: %s\n", socket_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+
+  while (g_stop == 0) {
+    service::Request request;
+    request.verb = "metrics";
+    service::Response response;
+    if (!client.call(request, response, &error)) {
+      std::fprintf(stderr, "daemon went away: %s\n", error.c_str());
+      return 1;
+    }
+    if (!response.ok) {
+      std::fprintf(stderr, "metrics request failed: %s\n",
+                   response.error.c_str());
+      return 1;
+    }
+    render(response, socket_path, interval_ms / 1000.0, limit,
+           /*clear=*/!once);
+    if (once) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}

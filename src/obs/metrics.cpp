@@ -63,10 +63,15 @@ const std::vector<double>& seconds_buckets() {
 #if ROBOTUNE_OBS_ENABLED
 
 struct MetricsRegistry::Shard {
+  /// Taken only by the owning thread (per write) and by snapshot()/
+  /// reset() (per merge), so writes never contend with each other —
+  /// the lock exists purely to make live snapshots coherent per shard.
+  std::mutex mutex;
   std::map<std::string, std::uint64_t, std::less<>> counters;
   std::map<std::string, HistogramData, std::less<>> histograms;
 
   void clear() {
+    std::scoped_lock lock(mutex);
     counters.clear();
     histograms.clear();
   }
@@ -154,7 +159,9 @@ void observe_into(std::map<std::string, HistogramData, std::less<>>& hists,
 }  // namespace
 
 void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
-  auto& counters = local_shard().counters;
+  Shard& shard = local_shard();
+  std::scoped_lock lock(shard.mutex);
+  auto& counters = shard.counters;
   add_to(counters, name, delta);
   // Duplicate logical events into the active session scope, if any, so a
   // multi-session process can attribute them (see ScopedSession).
@@ -185,7 +192,9 @@ void MetricsRegistry::observe(std::string_view name, double value) {
 
 void MetricsRegistry::observe(std::string_view name, double value,
                               const std::vector<double>& bounds) {
-  auto& histograms = local_shard().histograms;
+  Shard& shard = local_shard();
+  std::scoped_lock lock(shard.mutex);
+  auto& histograms = shard.histograms;
   observe_into(histograms, name, value, bounds);
   if (tls_session_id != 0 && !is_runtime_metric(name)) {
     observe_into(histograms, session_prefix(tls_session_id).append(name),
@@ -206,6 +215,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot out;
   std::scoped_lock lock(mutex_);
   for (const auto& shard : shards_) {
+    std::scoped_lock shard_lock(shard->mutex);
     for (const auto& [name, v] : shard->counters) out.counters[name] += v;
     for (const auto& [name, h] : shard->histograms) {
       auto& merged = out.histograms[name];

@@ -10,16 +10,21 @@
 // excluded from the deterministic section; span *durations* live in the
 // Tracer, never here.
 //
-// Concurrency: the hot path writes to a lock-free per-thread shard (no
-// atomics, no mutex — each thread owns its shard exclusively).  Shards
-// are merged in canonical name order by snapshot().  snapshot()/reset()
-// require quiescence: call them only when no instrumented work is in
-// flight, ordered after the workers' writes (a ThreadPool::wait_all or
-// future.get() establishes the needed happens-before edge).  Counter and
-// bucket merges are integer sums, so the merged snapshot is independent
-// of how events were sharded across threads; histograms deliberately
-// carry no floating-point sum (cross-shard FP addition order would make
-// the last bits scheduling-dependent).
+// Concurrency: the hot path writes to a per-thread shard guarded by a
+// shard-local mutex that only the owning thread and snapshot()/reset()
+// ever take — writes stay contention-free in steady state, while
+// snapshot() may run concurrently with instrumented work (the daemon's
+// `metrics` verb and --metrics-file dumps poll a live fleet).  A live
+// snapshot is coherent per shard but not across shards: events written
+// while the merge walks other shards may or may not be included.
+// Determinism assertions (exact totals, byte-identical logical
+// sections) therefore still require quiescence ordered after the
+// workers' writes (a ThreadPool::wait_all or future.get() establishes
+// the needed happens-before edge).  Counter and bucket merges are
+// integer sums, so the merged snapshot is independent of how events
+// were sharded across threads; histograms deliberately carry no
+// floating-point sum (cross-shard FP addition order would make the
+// last bits scheduling-dependent).
 //
 // Compile-out: building with -DROBOTUNE_OBS=OFF (ROBOTUNE_OBS_ENABLED=0)
 // turns every class in this header into an empty inline stub — call
@@ -115,7 +120,8 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  /// Adds `delta` to the named counter (per-thread shard, lock-free).
+  /// Adds `delta` to the named counter (per-thread shard; the shard
+  /// mutex is only ever contended by a concurrent snapshot).
   void add(std::string_view name, std::uint64_t delta = 1);
   /// Sets the named gauge (mutex-protected; call from canonical-order
   /// code, last write wins).
@@ -128,8 +134,9 @@ class MetricsRegistry {
   void observe(std::string_view name, double value,
                const std::vector<double>& bounds);
 
-  /// Merges every shard in canonical name order.  Requires quiescence
-  /// (see file comment).
+  /// Merges every shard in canonical name order.  Safe to call while
+  /// instrumented work is in flight (live exposition); exact totals
+  /// require quiescence (see file comment).
   MetricsSnapshot snapshot() const;
   /// Clears all shards and gauges.  Requires quiescence.
   void reset();

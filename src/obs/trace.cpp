@@ -57,7 +57,6 @@ std::string json_escape(std::string_view text) {
 
 namespace {
 
-#if ROBOTUNE_OBS_ENABLED
 void write_span_json(std::ostream& out, const SpanRecord& span,
                      TraceFormat format) {
   if (format == TraceFormat::kJsonl) {
@@ -90,15 +89,14 @@ void write_span_json(std::ostream& out, const SpanRecord& span,
   }
   out << "}";
 }
-#endif  // ROBOTUNE_OBS_ENABLED
 
-bool atomic_write(const std::string& path, TraceFormat format,
-                  const Tracer& tracer) {
+template <typename WriteFn>
+bool atomic_write(const std::string& path, WriteFn&& write_fn) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return false;
-    tracer.write(out, format);
+    write_fn(out);
     if (!out) {
       out.close();
       std::remove(tmp.c_str());
@@ -113,6 +111,44 @@ bool atomic_write(const std::string& path, TraceFormat format,
 }
 
 }  // namespace
+
+void write_spans(const std::vector<SpanRecord>& spans, std::ostream& out,
+                 TraceFormat format) {
+  if (format == TraceFormat::kJsonl) {
+    for (const auto& span : spans) {
+      write_span_json(out, span, format);
+      out << "\n";
+    }
+    return;
+  }
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata so Perfetto labels the lanes.
+  std::vector<std::uint32_t> tids;
+  for (const auto& span : spans) tids.push_back(span.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  for (const std::uint32_t tid : tids) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\""
+        << (tid == 0 ? "session" : "worker-" + std::to_string(tid))
+        << "\"}}";
+  }
+  for (const auto& span : spans) {
+    if (!first) out << ",";
+    first = false;
+    write_span_json(out, span, format);
+  }
+  out << "]}\n";
+}
+
+bool write_spans_file(const std::vector<SpanRecord>& spans,
+                      const std::string& path, TraceFormat format) {
+  return atomic_write(
+      path, [&](std::ostream& out) { write_spans(spans, out, format); });
+}
 
 #if ROBOTUNE_OBS_ENABLED
 
@@ -192,39 +228,12 @@ void Tracer::reset() {
 }
 
 void Tracer::write(std::ostream& out, TraceFormat format) const {
-  const auto spans = records();
-  if (format == TraceFormat::kJsonl) {
-    for (const auto& span : spans) {
-      write_span_json(out, span, format);
-      out << "\n";
-    }
-    return;
-  }
-  out << "{\"traceEvents\":[";
-  bool first = true;
-  // Thread-name metadata so Perfetto labels the lanes.
-  std::vector<std::uint32_t> tids;
-  for (const auto& span : spans) tids.push_back(span.tid);
-  std::sort(tids.begin(), tids.end());
-  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
-  for (const std::uint32_t tid : tids) {
-    if (!first) out << ",";
-    first = false;
-    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
-        << ",\"args\":{\"name\":\""
-        << (tid == 0 ? "session" : "worker-" + std::to_string(tid))
-        << "\"}}";
-  }
-  for (const auto& span : spans) {
-    if (!first) out << ",";
-    first = false;
-    write_span_json(out, span, format);
-  }
-  out << "]}\n";
+  write_spans(records(), out, format);
 }
 
 bool Tracer::write_file(const std::string& path, TraceFormat format) const {
-  return atomic_write(path, format, *this);
+  return atomic_write(
+      path, [&](std::ostream& out) { write(out, format); });
 }
 
 Span::Span(std::string_view name, std::string_view category)
@@ -282,7 +291,8 @@ void Tracer::write(std::ostream& out, TraceFormat format) const {
 }
 
 bool Tracer::write_file(const std::string& path, TraceFormat format) const {
-  return atomic_write(path, format, *this);
+  return atomic_write(
+      path, [&](std::ostream& out) { write(out, format); });
 }
 
 #endif  // ROBOTUNE_OBS_ENABLED

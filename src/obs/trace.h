@@ -57,6 +57,19 @@ bool parse_trace_format(std::string_view text, TraceFormat& out);
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 std::string json_escape(std::string_view text);
 
+/// Writes an explicit span list in the given format — the same output
+/// Tracer::write produces, for callers exporting a *subset* of the
+/// recorded spans (e.g. the daemon's per-session --trace-dir files).
+/// Spans are written in the order given; pass Tracer::records() slices
+/// to keep the canonical (start_us, tid) order.
+void write_spans(const std::vector<SpanRecord>& spans, std::ostream& out,
+                 TraceFormat format);
+
+/// File wrapper over write_spans (temp file + rename); false when the
+/// path is unwritable, leaving no partial file behind.
+bool write_spans_file(const std::vector<SpanRecord>& spans,
+                      const std::string& path, TraceFormat format);
+
 #if ROBOTUNE_OBS_ENABLED
 
 class Tracer {

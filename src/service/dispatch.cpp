@@ -1,10 +1,13 @@
 // Request dispatcher shared by the in-process LocalClient and the
 // Unix-domain-socket server: one code path, so the socketless tests and
-// benches exercise exactly what the daemon executes.
+// benches exercise exactly what the daemon executes — including the
+// per-verb telemetry wrapped around every request (DESIGN.md §14).
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 
 #include "service/session_manager.h"
+#include "service/telemetry.h"
 
 namespace robotune::service {
 
@@ -33,10 +36,10 @@ Response error_response(std::uint64_t rid, std::string why) {
   return r;
 }
 
-}  // namespace
-
-Response dispatch_request(SessionManager& manager, const Request& request,
-                          std::atomic<bool>* shutdown_flag) {
+/// The verb switch, unwrapped: dispatch_request() times and counts
+/// around this.
+Response dispatch_inner(SessionManager& manager, const Request& request,
+                        std::atomic<bool>* shutdown_flag) {
   Response response;
   response.rid = request.rid;
 
@@ -128,6 +131,10 @@ Response dispatch_request(SessionManager& manager, const Request& request,
     return response;
   }
 
+  if (request.verb == "metrics") {
+    return handle_metrics(manager, request);
+  }
+
   if (request.verb == "shutdown") {
     if (shutdown_flag == nullptr) {
       return error_response(request.rid,
@@ -139,6 +146,26 @@ Response dispatch_request(SessionManager& manager, const Request& request,
   }
 
   return error_response(request.rid, "unknown verb '" + request.verb + "'");
+}
+
+}  // namespace
+
+Response dispatch_request(SessionManager& manager, const Request& request,
+                          std::atomic<bool>* shutdown_flag) {
+  // The clock reads compile out with ROBOTUNE_OBS=OFF: without a metric
+  // sink the measurement would be pure overhead on the hot path.
+  if constexpr (obs::kCompiledIn) {
+    const auto begin = std::chrono::steady_clock::now();
+    Response response = dispatch_inner(manager, request, shutdown_flag);
+    const double latency_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - begin)
+            .count();
+    record_rpc(request.verb, request.session, response.ok, latency_us);
+    return response;
+  } else {
+    return dispatch_inner(manager, request, shutdown_flag);
+  }
 }
 
 }  // namespace robotune::service

@@ -189,6 +189,7 @@ std::string encode_request(const Request& request) {
     out << " spec=" << escape(request.spec_body);
   }
   if (request.derive_seed) out << " derive_seed=1";
+  if (!request.format.empty()) out << " format=" << escape(request.format);
   return out.str();
 }
 
@@ -217,6 +218,8 @@ bool decode_request(const std::string& payload, Request& request,
       request.spec_body = value;
     } else if (key == "derive_seed") {
       request.derive_seed = value == "1";
+    } else if (key == "format") {
+      request.format = value;
     } else {
       error = "unknown request key '" + key + "'";
       return false;

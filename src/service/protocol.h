@@ -16,7 +16,8 @@
 //   req verb=suggest rid=2 session=7
 //   res rid=2 ok=1 evals=24 best=41.52 unit=0.5%200.25%20...
 //
-// Verbs: start, suggest, observe, checkpoint, cancel, status, shutdown.
+// Verbs: start, suggest, observe, checkpoint, cancel, status, metrics,
+// shutdown.
 // The same Request/Response structs drive the in-process LocalClient
 // (tests and benches skip the socket) and the Unix-domain-socket server,
 // so both paths exercise identical dispatch code.
@@ -65,12 +66,14 @@ bool unframe_line(std::string_view line, std::string& payload,
 
 struct Request {
   std::string verb;          ///< start|suggest|observe|checkpoint|cancel|
-                             ///< status|shutdown
+                             ///< status|metrics|shutdown
   std::uint64_t rid = 0;     ///< echoed in the response
   std::uint64_t session = 0; ///< target session id (0 = none/service-wide)
   std::uint64_t from = 0;    ///< observe: first evaluation index
   std::uint64_t limit = 0;   ///< observe: max records (0 = all)
   std::string spec_body;     ///< start: core::encode_spec_body output
+  std::string format;        ///< metrics: "prom" adds the Prometheus text
+                             ///< exposition in fields["prom"]
   /// start: let the daemon derive the session seed from its service seed
   /// and the assigned session id, ignoring spec_body's seed field.
   bool derive_seed = false;

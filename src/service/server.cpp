@@ -7,8 +7,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace robotune::service {
 
@@ -82,7 +85,21 @@ bool Server::listen(std::string* error) {
 std::size_t Server::serve(std::atomic<bool>& stop) {
   std::size_t served = 0;
   char buffer[4096];
+  auto last_tick = std::chrono::steady_clock::now();
+  const auto disconnect = [&](int fd) {
+    ::close(fd);
+    connections_.erase(fd);
+    obs::count("service.clients.disconnected");
+    manager_.events().emit(0, "client.disconnect");
+  };
   while (!stop.load(std::memory_order_relaxed)) {
+    if (tick_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_tick >= std::chrono::seconds(1)) {
+        last_tick = now;
+        tick_();
+      }
+    }
     std::vector<pollfd> fds;
     fds.push_back({listen_fd_, POLLIN, 0});
     for (const auto& [fd, conn] : connections_) {
@@ -103,6 +120,8 @@ std::size_t Server::serve(std::atomic<bool>& stop) {
         ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &deadline,
                      sizeof(deadline));
         connections_.emplace(client, Connection{});
+        obs::count("service.clients.connected");
+        manager_.events().emit(0, "client.connect");
       }
     }
     for (std::size_t i = 1; i < fds.size(); ++i) {
@@ -112,8 +131,7 @@ std::size_t Server::serve(std::atomic<bool>& stop) {
       if (it == connections_.end()) continue;
       const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
       if (n <= 0) {
-        ::close(fd);
-        connections_.erase(it);
+        disconnect(fd);
         continue;
       }
       it->second.reader.feed(std::string_view(buffer,
@@ -127,6 +145,8 @@ std::size_t Server::serve(std::atomic<bool>& stop) {
         if (result == FrameReader::Result::kCorrupt) {
           // Tell the client what happened, then cut the connection: a
           // corrupt stream cannot be re-synchronized.
+          obs::count("service.protocol.corrupt_frames");
+          manager_.events().emit(0, "protocol.corrupt", why);
           Response err;
           err.ok = false;
           err.error = why;
@@ -137,6 +157,8 @@ std::size_t Server::serve(std::atomic<bool>& stop) {
         Request request;
         Response response;
         if (!decode_request(payload, request, why)) {
+          obs::count("service.protocol.decode_errors");
+          manager_.events().emit(0, "rpc.error", why);
           response.ok = false;
           response.error = why;
         } else {
@@ -148,10 +170,7 @@ std::size_t Server::serve(std::atomic<bool>& stop) {
           break;
         }
       }
-      if (drop) {
-        ::close(fd);
-        connections_.erase(fd);
-      }
+      if (drop) disconnect(fd);
     }
   }
   close_all();

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -32,6 +33,11 @@ class Server {
   /// requests served.
   std::size_t serve(std::atomic<bool>& stop);
 
+  /// Periodic hook run on the serve loop roughly once a second (the
+  /// daemon's metrics-file dump).  Runs between requests, never
+  /// concurrently with dispatch.
+  void set_tick(std::function<void()> tick) { tick_ = std::move(tick); }
+
   const std::string& socket_path() const noexcept { return socket_path_; }
 
  private:
@@ -45,6 +51,7 @@ class Server {
   std::string socket_path_;
   int listen_fd_ = -1;
   std::map<int, Connection> connections_;
+  std::function<void()> tick_;
 };
 
 }  // namespace robotune::service

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <limits>
@@ -11,6 +12,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "service/telemetry.h"
 
 namespace robotune::service {
 
@@ -118,6 +120,17 @@ SessionManager::SessionManager(ServiceOptions options)
       turnstile_(options_.slots == 0 ? options_.max_live : options_.slots),
       pool_(std::max<std::size_t>(1, options_.max_live)) {
   fs::create_directories(options_.root);
+  if (!options_.events_path.empty()) {
+    EventJournal::Options ev;
+    ev.path = options_.events_path;
+    ev.max_bytes = options_.events_max_bytes;
+    ev.keep = options_.events_keep;
+    ev.fsync = options_.sync == core::SyncPolicy::kFsync;
+    std::string error;
+    // An unopenable event journal degrades observability, never
+    // availability: the fleet serves regardless.
+    if (!events_.open(ev, &error)) events_error_ = error;
+  }
 }
 
 SessionManager::~SessionManager() { shutdown(/*cancel_live=*/true); }
@@ -147,32 +160,42 @@ SessionManager::StartResult SessionManager::admit(core::SessionSpec spec,
   // recoverable — and only the robotune stack takes a SessionLog.
   if (spec.tuner != "robotune") {
     result.error = "service sessions require tuner=robotune";
+    events_.emit(0, "admission.reject", result.error);
     return result;
   }
   if (const auto why = spec.validate(); !why.empty()) {
     result.error = why;
+    events_.emit(0, "admission.reject", result.error);
     return result;
   }
   std::uint64_t id = 0;
+  bool backpressure = false;
   {
     std::scoped_lock lock(mutex_);
     if (!accepting_) {
       result.error = "service is shutting down";
-      return result;
-    }
-    // Backpressure gates *external* start requests only: fleet recovery
-    // (fixed_id != 0) re-admits sessions that were already admitted
-    // before the crash, so a full pre-crash queue must never turn a
-    // healthy session away.
-    if (fixed_id == 0 && queued_ >= options_.max_pending) {
+    } else if (fixed_id == 0 && queued_ >= options_.max_pending) {
+      // Backpressure gates *external* start requests only: fleet
+      // recovery (fixed_id != 0) re-admits sessions that were already
+      // admitted before the crash, so a full pre-crash queue must never
+      // turn a healthy session away.
       result.error = "queue full (" + std::to_string(queued_) +
                      " pending); retry later";
       obs::count("service.admission.rejected");
-      return result;
+      backpressure = true;
+    } else {
+      id = fixed_id != 0 ? fixed_id : next_id_++;
+      if (fixed_id != 0) next_id_ = std::max(next_id_, fixed_id + 1);
+      ++queued_;  // reserve the queue slot; rolled back if the write fails
+      sample_gauges_locked();
     }
-    id = fixed_id != 0 ? fixed_id : next_id_++;
-    if (fixed_id != 0) next_id_ = std::max(next_id_, fixed_id + 1);
-    ++queued_;  // reserve the queue slot; rolled back if the write fails
+  }
+  if (!result.error.empty()) {
+    // Event emission is disk I/O — never under the manager mutex.
+    if (backpressure) {
+      events_.emit(0, "admission.backpressure", result.error);
+    }
+    return result;
   }
   // The spec write (file + rename) happens outside the manager lock so
   // status/suggest/dispatch and the sessions' progress callbacks never
@@ -181,15 +204,20 @@ SessionManager::StartResult SessionManager::admit(core::SessionSpec spec,
   spec.checkpoint_path = journal_path(id);
   spec.sync = options_.sync;
   if (!save_spec_file(spec, spec_path(id))) {
-    std::scoped_lock lock(mutex_);
-    --queued_;
+    {
+      std::scoped_lock lock(mutex_);
+      --queued_;
+      sample_gauges_locked();
+    }
     result.error = "cannot write spec file under " + options_.root;
+    events_.emit(0, "admission.reject", result.error);
     return result;
   }
   auto entry = std::make_shared<Entry>();
   entry->id = id;
   entry->spec = spec;
   entry->progress.best_value_s = std::numeric_limits<double>::infinity();
+  entry->enqueued_at = std::chrono::steady_clock::now();
   {
     std::scoped_lock lock(mutex_);
     sessions_[id] = entry;
@@ -200,24 +228,47 @@ SessionManager::StartResult SessionManager::admit(core::SessionSpec spec,
   result.admitted = true;
   result.id = id;
   obs::count("service.admission.accepted");
+  // Emitted before the pool submit so this session's event stream
+  // always opens accept → enter before the worker's queue.leave.
+  events_.emit(id, "admission.accept", fixed_id != 0 ? "readmission" : "");
+  events_.emit(id, "queue.enter");
   pool_.submit([this, entry] { run_entry(entry); });
   return result;
 }
 
 void SessionManager::run_entry(const std::shared_ptr<Entry>& entry) {
+  const double wait_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() -
+                             entry->enqueued_at)
+                             .count();
+  if (entry->cancel.load(std::memory_order_relaxed)) {
+    // Cancelled while still queued: terminal without ever running. Journal
+    // the terminal event before committing the counters — drain() returns
+    // the moment the counters read zero and promises a complete journal.
+    events_.emit(entry->id, "queue.leave");
+    events_.emit(entry->id, "session.cancelled", "cancelled while queued");
+    obs::count("service.sessions.cancelled");
+    std::scoped_lock lock(mutex_);
+    --queued_;
+    ++cancelled_;
+    entry->state = SessionState::kCancelled;
+    entry->queue_wait_ms = wait_ms;
+    sample_gauges_locked();
+    terminal_cv_.notify_all();
+    return;
+  }
   {
     std::scoped_lock lock(mutex_);
-    if (entry->cancel.load(std::memory_order_relaxed)) {
-      // Cancelled while still queued: terminal without ever running.
-      --queued_;
-      entry->state = SessionState::kCancelled;
-      terminal_cv_.notify_all();
-      return;
-    }
     entry->state = SessionState::kRunning;
     --queued_;
     ++running_;
+    entry->queue_wait_ms = wait_ms;
+    sample_gauges_locked();
   }
+  obs::metrics().observe("runtime.service.queue.wait_ms",
+                         entry->queue_wait_ms, queue_wait_buckets_ms());
+  events_.emit(entry->id, "queue.leave");
+  events_.emit(entry->id, "session.running");
   // Scope every metric and span of this session (and of its private
   // evaluation pool — ThreadPool::submit propagates the scope) under
   // session/<id>/.
@@ -251,22 +302,43 @@ void SessionManager::run_entry(const std::shared_ptr<Entry>& entry) {
                              : outcome.interrupted
                                  ? SessionState::kCancelled
                                  : SessionState::kDone;
+  // Emit the terminal event and outcome counter BEFORE committing the state
+  // transition: drain() returns as soon as the counters read zero, and its
+  // contract is that the journal then contains every terminal event. Per-id
+  // event order is safe — this thread is the only writer for this session.
+  obs::count(state == SessionState::kDone     ? "service.sessions.done"
+             : state == SessionState::kFailed ? "service.sessions.failed"
+                                              : "service.sessions.cancelled");
+  events_.emit(id,
+               state == SessionState::kDone     ? "session.done"
+               : state == SessionState::kFailed ? "session.failed"
+                                                : "session.cancelled",
+               outcome.error);
   {
     std::scoped_lock lock(mutex_);
     --running_;
+    switch (state) {
+      case SessionState::kDone:
+        ++done_;
+        break;
+      case SessionState::kFailed:
+        ++failed_;
+        break;
+      default:
+        ++cancelled_;
+        break;
+    }
     entry->state = state;
     entry->error = outcome.error;
     entry->resumed = outcome.resumed;
     entry->replayed = outcome.replayed;
     entry->journal_recovered = outcome.journal_recovered;
+    sample_gauges_locked();
     // Notify under the lock: once drain() observes the counters at zero
     // the manager may be destroyed, so an after-unlock notify could hit
     // a dead condition variable.
     terminal_cv_.notify_all();
   }
-  obs::count(state == SessionState::kDone     ? "service.sessions.done"
-             : state == SessionState::kFailed ? "service.sessions.failed"
-                                              : "service.sessions.cancelled");
 }
 
 bool SessionManager::cancel(std::uint64_t id, std::string* error) {
@@ -293,14 +365,11 @@ bool SessionManager::cancel(std::uint64_t id, std::string* error) {
   // races it, so the fleet need not stall behind this disk write.
   std::FILE* f = std::fopen(tombstone_path(id).c_str(), "w");
   if (f != nullptr) std::fclose(f);
+  events_.emit(id, "cancel.requested");
   return true;
 }
 
-std::optional<SessionStatus> SessionManager::status(std::uint64_t id) const {
-  std::scoped_lock lock(mutex_);
-  const auto it = sessions_.find(id);
-  if (it == sessions_.end()) return std::nullopt;
-  const Entry& e = *it->second;
+SessionStatus SessionManager::status_of(const Entry& e) {
   SessionStatus s;
   s.id = e.id;
   s.state = e.state;
@@ -312,10 +381,33 @@ std::optional<SessionStatus> SessionManager::status(std::uint64_t id) const {
   s.replayed = e.replayed;
   s.journal_recovered = e.journal_recovered;
   s.error = e.error;
+  s.queue_wait_ms = e.queue_wait_ms;
   return s;
 }
 
+std::optional<SessionStatus> SessionManager::status(std::uint64_t id) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return std::nullopt;
+  return status_of(*it->second);
+}
+
 ServiceStatus SessionManager::service_status() const {
+  std::scoped_lock lock(mutex_);
+  ServiceStatus s;
+  s.queued = queued_;
+  s.running = running_;
+  s.done = done_;
+  s.cancelled = cancelled_;
+  s.failed = failed_;
+  s.accepting = accepting_;
+  s.max_live = options_.max_live;
+  s.max_pending = options_.max_pending;
+  s.slots = options_.slots == 0 ? options_.max_live : options_.slots;
+  return s;
+}
+
+ServiceStatus SessionManager::recount_status() const {
   std::scoped_lock lock(mutex_);
   ServiceStatus s;
   for (const auto& [id, entry] : sessions_) {
@@ -342,6 +434,31 @@ ServiceStatus SessionManager::service_status() const {
   s.max_pending = options_.max_pending;
   s.slots = options_.slots == 0 ? options_.max_live : options_.slots;
   return s;
+}
+
+std::vector<SessionStatus> SessionManager::list_sessions() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<SessionStatus> out;
+  out.reserve(sessions_.size());
+  // std::map iteration: ascending id order by construction.
+  for (const auto& [id, entry] : sessions_) out.push_back(status_of(*entry));
+  return out;
+}
+
+void SessionManager::sample_gauges_locked() {
+  if constexpr (!obs::kCompiledIn) return;
+  obs::set_gauge("runtime.service.queue.depth",
+                 static_cast<double>(queued_));
+  obs::set_gauge("runtime.service.sessions.live",
+                 static_cast<double>(running_));
+  obs::set_gauge("runtime.service.sessions.done",
+                 static_cast<double>(done_));
+  obs::set_gauge("runtime.service.sessions.cancelled",
+                 static_cast<double>(cancelled_));
+  obs::set_gauge("runtime.service.sessions.failed",
+                 static_cast<double>(failed_));
+  obs::set_gauge("runtime.service.pool.busy",
+                 static_cast<double>(pool_.size() - pool_.idle_workers()));
 }
 
 SessionManager::SuggestResult SessionManager::suggest(
@@ -488,7 +605,15 @@ FleetRecovery SessionManager::recover_fleet() {
         std::scoped_lock lock(mutex_);
         sessions_[id] = entry;
         next_id_ = std::max(next_id_, id + 1);
+        if (tombstoned) {
+          ++cancelled_;
+        } else {
+          ++done_;
+        }
+        sample_gauges_locked();
       }
+      events_.emit(id, tombstoned ? "recovery.cancelled"
+                                  : "recovery.completed");
       if (tombstoned) {
         ++recovery.cancelled;
       } else {
@@ -506,6 +631,9 @@ FleetRecovery SessionManager::recover_fleet() {
     // its spec and journal in place and is reported instead.
     spec.resume = true;
     spec.recover = true;
+    // Emitted before admit() so the logical stream of a resumed session
+    // always opens recovery.resumed → admission.accept → queue.enter.
+    events_.emit(id, "recovery.resumed");
     const auto result = admit(std::move(spec), /*derive_seed=*/false, id);
     if (result.admitted) {
       ++recovery.readmitted;
@@ -513,12 +641,13 @@ FleetRecovery SessionManager::recover_fleet() {
       ++recovery.failed;
       recovery.errors.push_back("session " + std::to_string(id) + ": " +
                                 result.error);
+      events_.emit(id, "recovery.failed", result.error);
     }
   }
   obs::set_gauge("service.recovery.readmitted",
-                 static_cast<std::int64_t>(recovery.readmitted));
+                 static_cast<double>(recovery.readmitted));
   obs::set_gauge("service.recovery.quarantined",
-                 static_cast<std::int64_t>(recovery.quarantined));
+                 static_cast<double>(recovery.quarantined));
   return recovery;
 }
 
@@ -536,6 +665,16 @@ void SessionManager::quarantine(std::uint64_t id, FleetRecovery& recovery) {
   }
   ++recovery.quarantined;
   obs::count("service.sessions.quarantined");
+  std::string moved;
+  for (const std::string& target : recovery.quarantined_files) {
+    if (fs::path(target).string().find("session-" + std::to_string(id) +
+                                       ".") == std::string::npos) {
+      continue;
+    }
+    if (!moved.empty()) moved += " ";
+    moved += fs::path(target).filename().string();
+  }
+  events_.emit(id, "recovery.quarantined", moved);
 }
 
 void SessionManager::drain() {

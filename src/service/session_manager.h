@@ -37,6 +37,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -50,6 +51,7 @@
 #include "common/thread_pool.h"
 #include "core/persistence.h"
 #include "core/session.h"
+#include "service/events.h"
 #include "service/protocol.h"
 
 namespace robotune::service {
@@ -71,6 +73,13 @@ struct ServiceOptions {
   std::uint64_t seed = 2024;
   /// Journal durability for every hosted session.
   core::SyncPolicy sync = core::SyncPolicy::kNone;
+  /// Fleet event journal path (DESIGN.md §14); empty = no event
+  /// journal.  Not gated by ROBOTUNE_OBS — it is a durability/ops
+  /// artifact like the session journals, not instrumentation.
+  std::string events_path;
+  /// Event journal rotation: size threshold and rotated files kept.
+  std::size_t events_max_bytes = 256 * 1024;
+  std::size_t events_keep = 3;
 };
 
 enum class SessionState { kQueued, kRunning, kDone, kCancelled, kFailed };
@@ -89,6 +98,9 @@ struct SessionStatus {
   std::size_t replayed = 0;
   bool journal_recovered = false;  ///< recover mode dropped a torn tail
   std::string error;               ///< kFailed: why
+  /// Wall-clock milliseconds the session spent admitted-but-queued
+  /// before its first run (0 while still queued; scheduling-dependent).
+  double queue_wait_ms = 0.0;
 };
 
 /// Fleet-wide counters.
@@ -164,7 +176,16 @@ class SessionManager {
   bool cancel(std::uint64_t id, std::string* error = nullptr);
 
   std::optional<SessionStatus> status(std::uint64_t id) const;
+  /// O(1): served from incrementally maintained state counters — never
+  /// a scan over the registered sessions (ROADMAP 5).
   ServiceStatus service_status() const;
+  /// O(n) verification twin of service_status(): recomputes the counts
+  /// by scanning every registered session.  For tests asserting the
+  /// incremental counters never drift; not for the hot path.
+  ServiceStatus recount_status() const;
+  /// Snapshot of every registered session, ascending id order (the
+  /// `metrics` verb's per-session records).
+  std::vector<SessionStatus> list_sessions() const;
 
   struct SuggestResult {
     bool ok = false;
@@ -209,6 +230,14 @@ class SessionManager {
   std::string journal_path(std::uint64_t id) const;
   std::string spec_path(std::uint64_t id) const;
 
+  /// The fleet event journal (disabled unless options.events_path is
+  /// set).  Exposed so the server/daemon can emit transport-level
+  /// events (client connects, protocol errors) into the same stream.
+  EventJournal& events() noexcept { return events_; }
+  /// Non-empty when options.events_path was set but could not be
+  /// opened (the manager keeps serving; the operator should know).
+  const std::string& events_error() const noexcept { return events_error_; }
+
  private:
   struct Entry {
     std::uint64_t id = 0;
@@ -220,25 +249,37 @@ class SessionManager {
     std::size_t replayed = 0;
     bool journal_recovered = false;
     std::string error;
+    std::chrono::steady_clock::time_point enqueued_at;
+    double queue_wait_ms = 0.0;
   };
 
   StartResult admit(core::SessionSpec spec, bool derive_seed,
                     std::uint64_t fixed_id);
   void run_entry(const std::shared_ptr<Entry>& entry);
-  void finish_entry(const std::shared_ptr<Entry>& entry,
-                    SessionState terminal);
+  static SessionStatus status_of(const Entry& entry);
+  /// Re-samples the fleet gauges (queue depth, live/terminal counts,
+  /// pool occupancy) — called at every state transition, under mutex_.
+  void sample_gauges_locked();
   std::string tombstone_path(std::uint64_t id) const;
   void quarantine(std::uint64_t id, FleetRecovery& recovery);
 
   ServiceOptions options_;
   Turnstile turnstile_;
   ThreadPool pool_;
+  EventJournal events_;
+  std::string events_error_;
   mutable std::mutex mutex_;
   std::condition_variable terminal_cv_;
   std::map<std::uint64_t, std::shared_ptr<Entry>> sessions_;
   std::uint64_t next_id_ = 1;
+  // Incrementally maintained state counts (ROADMAP 5): every transition
+  // updates these under mutex_, so service_status() is O(1) instead of
+  // scanning sessions_.  recount_status() is the O(n) verification twin.
   std::size_t queued_ = 0;
   std::size_t running_ = 0;
+  std::size_t done_ = 0;
+  std::size_t cancelled_ = 0;
+  std::size_t failed_ = 0;
   bool accepting_ = true;
   /// Set by a cancelling shutdown so an admit() that reserved its slot
   /// before the sweep still sees the cancel when it inserts its entry.
