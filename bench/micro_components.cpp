@@ -6,6 +6,7 @@
 #include "core/parameter_selection.h"
 #include "gp/acquisition.h"
 #include "gp/gaussian_process.h"
+#include "gp/rff_gp.h"
 #include "ml/random_forest.h"
 #include "opt/lbfgsb.h"
 #include "sampling/latin_hypercube.h"
@@ -149,6 +150,75 @@ void BM_GpPredictWithGradient(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GpPredictWithGradient);
+
+// One constant-liar cycle: plant a fantasy with the rank-1 add, purge it
+// with the LIFO remove.  The model is restored bit-identically, so the
+// loop never refits — exactly the q > 1 engine pattern (DESIGN.md §15).
+void BM_GpAddRemovePoint(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> p(8);
+    for (auto& v : p) v = rng.uniform();
+    x.push_back(p);
+    y.push_back(p[0] * p[1] + std::sin(5 * p[2]));
+  }
+  gp::GaussianProcess model(gp::ard_kernel(8), gp::GpOptions{false}, 1);
+  model.fit(x, y);
+  std::vector<double> fantasy(8, 0.37);
+  for (auto _ : state) {
+    model.add_point(fantasy, -1.0);
+    model.remove_point(model.num_points() - 1);
+    benchmark::DoNotOptimize(model.num_points());
+  }
+}
+BENCHMARK(BM_GpAddRemovePoint)->Arg(100)->Arg(200)->Arg(500);
+
+void BM_RffFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> p(8);
+    for (auto& v : p) v = rng.uniform();
+    x.push_back(p);
+    y.push_back(p[0] * p[1] + std::sin(5 * p[2]));
+  }
+  gp::MaternHyperparams hypers;
+  hypers.length_scales.assign(8, 0.5);
+  // Fresh model per iteration, like the engine's fit_rff: the timing
+  // includes the (cheap, deterministic) spectral draw.
+  for (auto _ : state) {
+    gp::RffGp model(gp::RffOptions{256, 0x5eed});
+    model.fit(x, y, hypers);
+    benchmark::DoNotOptimize(model.num_points());
+  }
+}
+BENCHMARK(BM_RffFit)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_RffPredict(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> p(8);
+    for (auto& v : p) v = rng.uniform();
+    x.push_back(p);
+    y.push_back(p[0]);
+  }
+  gp::MaternHyperparams hypers;
+  hypers.length_scales.assign(8, 0.5);
+  gp::RffGp model(gp::RffOptions{256, 0x5eed});
+  model.fit(x, y, hypers);
+  std::vector<double> q(8, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(q).mean);
+  }
+}
+BENCHMARK(BM_RffPredict);
 
 void BM_AcquisitionOptimize(benchmark::State& state) {
   Rng rng(6);

@@ -89,6 +89,12 @@ struct CliOptions {
   int init = 0;
   /// Parameter-selection sample-count override (0 = default 100).
   int selection_samples = 0;
+  /// Surrogate tier: exact | rff | auto (robotune only).
+  std::string surrogate = "auto";
+  /// RFF feature count override (0 = engine default of 256).
+  int rff_features = 0;
+  /// Hyperparameter-refit schedule: fixed | doubling | auto.
+  std::string refit_schedule = "auto";
   /// Observability: span timeline and metrics exports (0-cost to
   /// results — the determinism test pins byte-identical output).
   std::string trace_path;
@@ -149,6 +155,16 @@ void usage(const char* argv0) {
       "                              (robotune; default 0 = 20)\n"
       "  --selection-samples N       parameter-selection sample count\n"
       "                              override (robotune; default 0 = 100)\n"
+      "  --surrogate exact|rff|auto  surrogate tier (robotune; auto uses\n"
+      "                              the exact GP below 256 observations\n"
+      "                              and random features above; default\n"
+      "                              auto)\n"
+      "  --rff-features M            random-feature count for the rff\n"
+      "                              tier (default 0 = 256)\n"
+      "  --refit-schedule fixed|doubling|auto\n"
+      "                              hyperparameter-refit cadence (auto:\n"
+      "                              fixed below the sparse switchover,\n"
+      "                              doubling above; default auto)\n"
       "  --trace PATH                export the span timeline to PATH\n"
       "  --trace-format jsonl|chrome trace format (default jsonl; chrome\n"
       "                              loads in Perfetto / chrome://tracing)\n"
@@ -262,6 +278,19 @@ bool parse(int argc, char** argv, CliOptions& options) {
       if (!v) return false;
       options.selection_samples = std::atoi(v);
       if (options.selection_samples < 0) return false;
+    } else if (arg == "--surrogate") {
+      const char* v = next();
+      if (!v) return false;
+      options.surrogate = v;
+    } else if (arg == "--rff-features") {
+      const char* v = next();
+      if (!v) return false;
+      options.rff_features = std::atoi(v);
+      if (options.rff_features < 0) return false;
+    } else if (arg == "--refit-schedule") {
+      const char* v = next();
+      if (!v) return false;
+      options.refit_schedule = v;
     } else if (arg == "--trace") {
       const char* v = next();
       if (!v) return false;
@@ -322,6 +351,9 @@ core::SessionSpec spec_from(const CliOptions& options) {
   spec.eval_deadline = options.eval_deadline;
   spec.init = options.init;
   spec.selection_samples = options.selection_samples;
+  spec.surrogate = options.surrogate;
+  spec.rff_features = options.rff_features;
+  spec.refit = options.refit_schedule;
   spec.checkpoint_path = options.checkpoint_path;
   spec.resume = options.resume;
   spec.recover = options.recover;

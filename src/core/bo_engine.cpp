@@ -7,11 +7,50 @@
 
 #include "common/error.h"
 #include "gp/kernel.h"
+#include "gp/rff_gp.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sampling/latin_hypercube.h"
 
 namespace robotune::core {
+
+const char* to_string(SurrogateTier tier) noexcept {
+  switch (tier) {
+    case SurrogateTier::kExact:
+      return "exact";
+    case SurrogateTier::kRff:
+      return "rff";
+    case SurrogateTier::kAuto:
+      return "auto";
+  }
+  return "auto";
+}
+
+const char* to_string(RefitSchedule schedule) noexcept {
+  switch (schedule) {
+    case RefitSchedule::kFixed:
+      return "fixed";
+    case RefitSchedule::kDoubling:
+      return "doubling";
+    case RefitSchedule::kAuto:
+      return "auto";
+  }
+  return "auto";
+}
+
+std::optional<SurrogateTier> parse_surrogate_tier(std::string_view name) {
+  if (name == "exact") return SurrogateTier::kExact;
+  if (name == "rff") return SurrogateTier::kRff;
+  if (name == "auto") return SurrogateTier::kAuto;
+  return std::nullopt;
+}
+
+std::optional<RefitSchedule> parse_refit_schedule(std::string_view name) {
+  if (name == "fixed") return RefitSchedule::kFixed;
+  if (name == "doubling") return RefitSchedule::kDoubling;
+  if (name == "auto") return RefitSchedule::kAuto;
+  return std::nullopt;
+}
 
 BoEngine::BoEngine(std::vector<std::size_t> selected,
                    std::vector<double> base_unit, BoOptions options)
@@ -27,6 +66,10 @@ BoEngine::BoEngine(std::vector<std::size_t> selected,
   require(options_.budget >= options_.initial_samples,
           "BoEngine: budget smaller than initial sample count");
   require(options_.batch_size >= 1, "BoEngine: batch_size must be >= 1");
+  require(options_.sparse_threshold >= 2,
+          "BoEngine: sparse_threshold must be >= 2");
+  require(options_.rff_features >= 1,
+          "BoEngine: rff_features must be >= 1");
 }
 
 std::vector<double> BoEngine::project(const std::vector<double>& full) const {
@@ -331,7 +374,8 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
   // cloning *that* forward would stack an extra noise term per degraded
   // round.
   std::unique_ptr<gp::Kernel> kernel_state = gp::ard_kernel(dims);
-  gp::GaussianProcess model(kernel_state->clone(), gp::GpOptions{}, rng());
+  std::unique_ptr<gp::Surrogate> model = std::make_unique<gp::GaussianProcess>(
+      kernel_state->clone(), gp::GpOptions{}, rng());
   gp::GpHedge hedge(dims, rng(), options_.hedge);
 
   // Deduplicates the training set (L-inf distance < 1e-10, first
@@ -365,23 +409,24 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
     }
   };
 
-  // Degradation ladder for surrogate fits (DESIGN.md §11): a failed fit
+  // Degradation ladder for exact-GP fits (DESIGN.md §11): a failed fit
   // walks deterministic fallback rungs instead of killing the session —
   // retry on deduplicated data, retry with inflated observation noise,
   // and finally skip the model update for this round (the proposal step
   // then degrades to seeded space-filling sampling).  Returns true when
   // some rung produced a usable model; `model` is only assigned on a
   // successful rung, never left half-fitted.
-  const auto fit_with_ladder = [&](bool hyperfit, std::uint64_t fit_seed,
-                                   int iter) -> bool {
+  const auto fit_exact_ladder = [&](bool hyperfit, std::uint64_t fit_seed,
+                                    int iter) -> bool {
     try {
       gp::GpOptions gp_options;
       gp_options.optimize_hyperparameters = hyperfit;
+      gp_options.shrink_restarts_at = options_.sparse_threshold;
       gp::GaussianProcess candidate(kernel_state->clone(), gp_options,
                                     fit_seed);
       candidate.fit(xs, ys);
-      model = std::move(candidate);
-      kernel_state = model.kernel().clone();
+      kernel_state = candidate.kernel().clone();
+      model = std::make_unique<gp::GaussianProcess>(std::move(candidate));
       return true;
     } catch (const NumericalError&) {
       note_degrade(iter, "gp_refit");
@@ -395,7 +440,7 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
       gp::GaussianProcess candidate(kernel_state->clone(), gp_options,
                                     fit_seed);
       candidate.fit(dx, dy);
-      model = std::move(candidate);
+      model = std::make_unique<gp::GaussianProcess>(std::move(candidate));
       return true;
     } catch (const NumericalError&) {
       note_degrade(iter, "gp_noise_inflate");
@@ -408,12 +453,63 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
       gp::GaussianProcess candidate(std::move(inflated), gp_options,
                                     fit_seed);
       candidate.fit(dx, dy);
-      model = std::move(candidate);
+      model = std::make_unique<gp::GaussianProcess>(std::move(candidate));
       return true;
     } catch (const NumericalError&) {
       note_degrade(iter, "gp_skip");
       return false;
     }
+  };
+
+  // Random-features rung (DESIGN.md §15): fit the sparse tier under the
+  // kernel-state hyperparameters.  Any failure — a kernel shape the
+  // spectral map cannot mirror, or a lost factorization (incl. chaos) —
+  // lands the journaled `rff_fallback` rung and the caller keeps or
+  // rebuilds the exact model instead.
+  const auto fit_rff = [&](int iter) -> bool {
+    const auto hypers = gp::extract_matern_hyperparams(*kernel_state, dims);
+    if (!hypers) {
+      note_degrade(iter, "rff_fallback");
+      return false;
+    }
+    gp::RffOptions rff_options;
+    rff_options.num_features =
+        static_cast<std::size_t>(options_.rff_features);
+    rff_options.seed = options_.seed ^ 0x5eedULL;
+    try {
+      gp::RffGp candidate(rff_options);
+      candidate.fit(xs, ys, *hypers);
+      model = std::make_unique<gp::RffGp>(std::move(candidate));
+      obs::count("bo.surrogate.rff_fits");
+      return true;
+    } catch (const NumericalError&) {
+      note_degrade(iter, "rff_fallback");
+      return false;
+    }
+  };
+
+  // Tier dispatch: below the switchover everything (arithmetic and
+  // trajectory) is byte-identical to the exact-only engine.  Above it,
+  // hyperfit rounds still *learn* on the exact GP (that is where the
+  // marginal likelihood lives), then refit the sparse tier on top; plain
+  // rounds fit the sparse tier directly and only fall back to the exact
+  // ladder when the RFF fit is lost.
+  const auto fit_with_ladder = [&](bool hyperfit, std::uint64_t fit_seed,
+                                   int iter) -> bool {
+    const bool want_sparse =
+        options_.surrogate == SurrogateTier::kRff ||
+        (options_.surrogate == SurrogateTier::kAuto &&
+         xs.size() >= static_cast<std::size_t>(options_.sparse_threshold));
+    if (!want_sparse) return fit_exact_ladder(hyperfit, fit_seed, iter);
+    if (hyperfit) {
+      if (!fit_exact_ladder(true, fit_seed, iter)) return false;
+      // A failed RFF fit keeps the freshly fitted exact model — degraded
+      // in speed, never in correctness.
+      fit_rff(iter);
+      return true;
+    }
+    if (fit_rff(iter)) return true;
+    return fit_exact_ladder(false, fit_seed, iter);
   };
 
   const int search_budget = options_.budget - options_.initial_samples;
@@ -422,6 +518,9 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
                          : std::numeric_limits<double>::infinity();
   int since_improvement = 0;
   bool model_fitted = false;
+  // Doubling-schedule state: the next training-set size that triggers a
+  // hyperparameter refit.  0 fires on the first doubling-scheduled round.
+  std::size_t next_doubling_n = 0;
 
   for (int iter = 0; iter < search_budget && !result.interrupted;) {
     if (cancelled()) {
@@ -434,14 +533,23 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
     iter_span.arg("iter", iter);
     iter_span.arg("q", q);
 
-    // (1) Train the GP on all priors.  Kernel hyperparameters are refit
-    // by marginal likelihood every `hyperfit_every` rounds (a full
-    // O(n^3) factorization); in between, new observations were already
-    // folded in below — incrementally in O(n^2) via add_point when q = 1,
-    // via a fixed-hyperparameter refit when q > 1 (which must also purge
-    // the round's constant-liar fantasies).
+    // (1) Train the surrogate on all priors.  Kernel hyperparameters are
+    // refit by marginal likelihood on the schedule — every
+    // `hyperfit_every` rounds (fixed), or whenever the training set has
+    // doubled since the last refit (doubling: the total refit cost over a
+    // run is a geometric series, O(n³) *amortized*).  In between, new
+    // observations were already folded in below, incrementally in O(n²) /
+    // O(m²) via add_point and remove_point.
+    const bool doubling_active =
+        options_.refit_schedule == RefitSchedule::kDoubling ||
+        (options_.refit_schedule == RefitSchedule::kAuto &&
+         xs.size() >= static_cast<std::size_t>(options_.sparse_threshold));
     const bool refit =
-        options_.hyperfit_every > 0 && (iter % options_.hyperfit_every) == 0;
+        doubling_active
+            ? xs.size() >= std::max<std::size_t>(next_doubling_n, 1)
+            : options_.hyperfit_every > 0 &&
+                  (iter % options_.hyperfit_every) == 0;
+    if (refit) next_doubling_n = 2 * std::max<std::size_t>(1, xs.size());
     if (refit || !model_fitted) {
       obs::Span span("gp_fit", "bo");
       span.arg("points", static_cast<std::uint64_t>(xs.size()));
@@ -468,6 +576,7 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
     std::vector<gp::GpHedge::Choice> choices;
     std::vector<char> fallback(static_cast<std::size_t>(q), 0);
     choices.reserve(static_cast<std::size_t>(q));
+    int fantasies_planted = 0;
     if (!model_fitted) {
       Rng fb_rng(options_.seed ^
                  (0xfa11ULL + static_cast<std::uint64_t>(iter) *
@@ -494,11 +603,11 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
                         (0x9e37ULL + static_cast<std::uint64_t>(iter + j)));
             choice.chosen = *options_.force_acquisition;
             choice.point = gp::optimize_acquisition(
-                model, choice.chosen, dims, acq_rng, options_.hedge.params,
+                *model, choice.chosen, dims, acq_rng, options_.hedge.params,
                 options_.hedge.optimizer);
             choice.nominees = {choice.point, choice.point, choice.point};
           } else {
-            choice = hedge.propose(model);
+            choice = hedge.propose(*model);
           }
         } catch (const NumericalError&) {
           note_degrade(iter, "acq_fallback");
@@ -522,7 +631,8 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
           const double lie =
               ys.empty() ? 0.0 : *std::min_element(ys.begin(), ys.end());
           try {
-            model.add_point(choice.point, lie);
+            model->add_point(choice.point, lie);
+            ++fantasies_planted;
           } catch (const NumericalError&) {
             // Skip the fantasy: add_point's strong exception guarantee
             // keeps the model usable for the remaining proposals.
@@ -542,9 +652,12 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
     // (4) Fold the real observations into the model and update Hedge's
     // cumulative gains under the refreshed posterior.  Transient failures
     // are withheld from the model (see the init phase).  With q = 1 the
-    // incremental add_point path is taken (no fantasy was planted);
-    // with q > 1 the model is rebuilt on real data only, evicting the
-    // round's fantasies without re-optimizing hyperparameters.
+    // incremental add_point path is taken (no fantasy was planted); with
+    // q > 1 the round's constant-liar fantasies are purged by rank-1
+    // downdates (they are the model's last points, so each removal is a
+    // LIFO truncation) and the reals folded in incrementally — O(q·n²)
+    // instead of the O(n³) refit-from-scratch this block used to cost.
+    const std::size_t round_begin = xs.size();
     for (int j = 0; j < q; ++j) {
       // Racer kills enter at their censored value (see the init phase);
       // other transients stay out of the model.
@@ -557,7 +670,7 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
       ys.push_back(observe(evals[static_cast<std::size_t>(j)].value_s));
       if (q == 1 && model_fitted) {
         try {
-          model.add_point(xs.back(), ys.back());
+          model->add_point(xs.back(), ys.back());
         } catch (const NumericalError&) {
           // The observation is kept in (xs, ys); force the next round
           // through the full refit ladder instead of trusting a model
@@ -568,20 +681,49 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
       }
     }
     if (q > 1 && model_fitted) {
-      obs::Span span("gp_fit", "bo");
-      span.arg("points", static_cast<std::uint64_t>(xs.size()));
-      span.arg("hyperfit", 0);
-      model_fitted = fit_with_ladder(
-          false,
-          options_.seed ^ (0x51edULL + static_cast<std::uint64_t>(iter)),
-          iter);
+      bool incremental = true;
+      {
+        obs::Span span("cl_purge", "bo");
+        span.arg("fantasies", fantasies_planted);
+        span.arg("reals", static_cast<std::uint64_t>(xs.size() - round_begin));
+        try {
+          for (int k = 0; k < fantasies_planted; ++k) {
+            model->remove_point(model->num_points() - 1);
+          }
+          if (fantasies_planted > 0) {
+            obs::count("bo.cl_purge.downdates",
+                       static_cast<std::uint64_t>(fantasies_planted));
+          }
+          for (std::size_t i = round_begin; i < xs.size(); ++i) {
+            model->add_point(xs[i], ys[i]);
+          }
+        } catch (const NumericalError&) {
+          // A lost downdate (or an add the model could not absorb): the
+          // strong guarantees kept the model predictable, but its
+          // training set no longer matches (xs, ys) — rebuild it via the
+          // refit rung.  Deterministic in (seed, iter): worker count
+          // never reaches here.
+          note_degrade(iter, "cl_purge");
+          incremental = false;
+        }
+      }
+      if (!incremental) {
+        obs::count("bo.cl_purge.refits");
+        obs::Span span("gp_fit", "bo");
+        span.arg("points", static_cast<std::uint64_t>(xs.size()));
+        span.arg("hyperfit", 0);
+        model_fitted = fit_with_ladder(
+            false,
+            options_.seed ^ (0x51edULL + static_cast<std::uint64_t>(iter)),
+            iter);
+      }
     }
     // Hedge gains need a refreshed posterior; fallback proposals carry no
     // acquisition to reward or punish.
     if (model_fitted) {
       for (int j = 0; j < q; ++j) {
         if (fallback[static_cast<std::size_t>(j)] != 0) continue;
-        hedge.update_gains(model, choices[static_cast<std::size_t>(j)]);
+        hedge.update_gains(*model, choices[static_cast<std::size_t>(j)]);
       }
     }
 
@@ -589,7 +731,7 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
       for (int j = 0; j < q; ++j) {
         BoObserverInfo info;
         info.iteration = iter + j;
-        info.gp = &model;
+        info.gp = model.get();
         info.choice = &choices[static_cast<std::size_t>(j)];
         observer(info);
       }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/memoization.h"
@@ -23,6 +24,26 @@
 #include "tuners/tuner.h"
 
 namespace robotune::core {
+
+/// Which surrogate tier models the observations (DESIGN.md §15).
+enum class SurrogateTier {
+  kExact,  ///< always the exact GP (O(n³) fits)
+  kRff,    ///< always the random-features tier (O(n·m²) fits)
+  kAuto,   ///< exact below BoOptions::sparse_threshold points, RFF above
+};
+
+/// When kernel hyperparameters are re-learned by marginal likelihood.
+enum class RefitSchedule {
+  kFixed,     ///< every BoOptions::hyperfit_every iterations
+  kDoubling,  ///< when the training set doubles since the last refit —
+              ///< total refit cost stays O(n³) *amortized over the run*
+  kAuto,      ///< fixed below sparse_threshold, doubling above
+};
+
+const char* to_string(SurrogateTier tier) noexcept;
+const char* to_string(RefitSchedule schedule) noexcept;
+std::optional<SurrogateTier> parse_surrogate_tier(std::string_view name);
+std::optional<RefitSchedule> parse_refit_schedule(std::string_view name);
 
 struct BoOptions {
   /// Total evaluation budget, initial samples included (paper: 100).
@@ -37,8 +58,21 @@ struct BoOptions {
   double static_threshold_s = 480.0;
   double median_multiple = 2.5;
   /// Kernel hyperparameters are refit by marginal likelihood every this
-  /// many iterations (1 = every iteration).
+  /// many iterations (1 = every iteration) under the fixed schedule.
   int hyperfit_every = 5;
+  /// Hyperparameter-refit cadence (see RefitSchedule).  The default
+  /// (kAuto) keeps the fixed cadence — and byte-identical trajectories —
+  /// below `sparse_threshold` and switches to doubling above it.
+  RefitSchedule refit_schedule = RefitSchedule::kAuto;
+  /// Surrogate tier selection (see SurrogateTier).  kAuto is exact below
+  /// `sparse_threshold` training points, random features at or above.
+  SurrogateTier surrogate = SurrogateTier::kAuto;
+  /// Training-set size where kAuto switches tiers, doubling-refit
+  /// scheduling kicks in, and the exact GP's hyperparameter search drops
+  /// to a single warm-started descent.
+  int sparse_threshold = 256;
+  /// Random-feature count m for the RFF tier (fit O(n·m²)).
+  int rff_features = 256;
   /// Optional automated early stopping (§4): stop when the best value has
   /// not improved by `early_stop_epsilon` (relative) for
   /// `early_stop_patience` iterations.  0 disables.
@@ -83,7 +117,8 @@ struct BoOptions {
 
 struct BoObserverInfo {
   int iteration = 0;  ///< 0-based index of the BO iteration (post-init)
-  const gp::GaussianProcess* gp = nullptr;
+  /// The active surrogate (exact GP or RFF tier — check gp->tier()).
+  const gp::Surrogate* gp = nullptr;
   const gp::GpHedge::Choice* choice = nullptr;
 };
 

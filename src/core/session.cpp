@@ -160,6 +160,13 @@ std::string SessionSpec::validate() const {
       return "budget smaller than the BO initial sample count";
     }
   }
+  if (!parse_surrogate_tier(surrogate)) {
+    return "bad surrogate tier '" + surrogate + "' (exact|rff|auto)";
+  }
+  if (rff_features < 0) return "rff-features must be >= 0";
+  if (!parse_refit_schedule(refit)) {
+    return "bad refit schedule '" + refit + "' (fixed|doubling|auto)";
+  }
   return {};
 }
 
@@ -174,7 +181,9 @@ std::string encode_spec_body(const SessionSpec& spec) {
           << " racing=" << spec.racing
           << " deadline=" << format_double(spec.eval_deadline)
           << " init=" << spec.init
-          << " selsamples=" << spec.selection_samples;
+          << " selsamples=" << spec.selection_samples
+          << " surrogate=" << spec.surrogate
+          << " rff=" << spec.rff_features << " refit=" << spec.refit;
   return payload.str();
 }
 
@@ -223,6 +232,12 @@ bool decode_spec_body(const std::string& body, SessionSpec& spec,
       numeric_ok = parse_spec_int(value, parsed.init);
     } else if (key == "selsamples") {
       numeric_ok = parse_spec_int(value, parsed.selection_samples);
+    } else if (key == "surrogate") {
+      parsed.surrogate = value;
+    } else if (key == "rff") {
+      numeric_ok = parse_spec_int(value, parsed.rff_features);
+    } else if (key == "refit") {
+      parsed.refit = value;
     } else {
       // Unknown keys from a newer writer are a hard error: the spec is
       // the determinism contract, so silently dropping a knob could
@@ -326,6 +341,13 @@ Session::Session(SessionSpec spec) : spec_(std::move(spec)) {
     RoboTuneOptions options;
     options.bo.batch_size = spec_.batch;
     if (spec_.init > 0) options.bo.initial_samples = spec_.init;
+    if (const auto tier = parse_surrogate_tier(spec_.surrogate)) {
+      options.bo.surrogate = *tier;
+    }
+    if (spec_.rff_features > 0) options.bo.rff_features = spec_.rff_features;
+    if (const auto schedule = parse_refit_schedule(spec_.refit)) {
+      options.bo.refit_schedule = *schedule;
+    }
     if (spec_.selection_samples > 0) {
       options.selection.generic_samples =
           static_cast<std::size_t>(spec_.selection_samples);

@@ -64,6 +64,12 @@ struct SessionSpec {
   /// RF selection pipeline dominates a short session's wall clock; the
   /// service bench dials it down to pack hundreds of sessions into CI.
   int selection_samples = 0;
+  /// Surrogate tier: exact|rff|auto (robotune only; DESIGN.md §15).
+  std::string surrogate = "auto";
+  /// RFF feature count override (0 = engine default of 256).
+  int rff_features = 0;
+  /// Hyperparameter-refit schedule: fixed|doubling|auto.
+  std::string refit = "auto";
 
   // ---- host durability wiring (not serialized) --------------------------
   std::string checkpoint_path;  ///< empty = no journal

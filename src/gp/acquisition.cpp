@@ -110,7 +110,7 @@ double acquisition_value_gradient(AcquisitionKind kind,
 }
 
 std::vector<double> optimize_acquisition(
-    const GaussianProcess& gp, AcquisitionKind kind, std::size_t dims,
+    const Surrogate& gp, AcquisitionKind kind, std::size_t dims,
     Rng& rng, const AcquisitionParams& params,
     const AcquisitionOptimizerOptions& options) {
   // Chaos site: thrown before the caller's RNG draw is consumed, so a
@@ -226,7 +226,7 @@ std::vector<double> GpHedge::probabilities() const {
   return p;
 }
 
-GpHedge::Choice GpHedge::propose(const GaussianProcess& gp) {
+GpHedge::Choice GpHedge::propose(const Surrogate& gp) {
   static constexpr AcquisitionKind kKinds[] = {
       AcquisitionKind::kPI, AcquisitionKind::kEI, AcquisitionKind::kLCB};
   Choice choice;
@@ -251,7 +251,7 @@ GpHedge::Choice GpHedge::propose(const GaussianProcess& gp) {
   return choice;
 }
 
-void GpHedge::update_gains(const GaussianProcess& gp, const Choice& choice) {
+void GpHedge::update_gains(const Surrogate& gp, const Choice& choice) {
   require(choice.nominees.size() == gains_.size(),
           "GpHedge::update_gains: nominee count mismatch");
   // Hoffman et al.: reward each function with the posterior mean of its

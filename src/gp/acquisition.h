@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "gp/gaussian_process.h"
+#include "gp/surrogate.h"
 #include "opt/lbfgsb.h"
 
 namespace robotune::gp {
@@ -75,7 +75,7 @@ struct AcquisitionOptimizerOptions {
 /// AcquisitionOptimizerOptions).  Consumes exactly one draw from `rng`
 /// regardless of probe/start/worker counts.
 std::vector<double> optimize_acquisition(
-    const GaussianProcess& gp, AcquisitionKind kind, std::size_t dims,
+    const Surrogate& gp, AcquisitionKind kind, std::size_t dims,
     Rng& rng, const AcquisitionParams& params = {},
     const AcquisitionOptimizerOptions& options = {});
 
@@ -103,11 +103,11 @@ class GpHedge {
 
   /// Nominates candidates from each acquisition and picks one by the
   /// current Hedge distribution.
-  Choice propose(const GaussianProcess& gp);
+  Choice propose(const Surrogate& gp);
 
   /// Updates cumulative gains using the refit GP's posterior mean at the
   /// nominees from the last propose() call.
-  void update_gains(const GaussianProcess& gp, const Choice& choice);
+  void update_gains(const Surrogate& gp, const Choice& choice);
 
   std::span<const double> gains() const noexcept { return gains_; }
 

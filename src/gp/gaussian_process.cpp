@@ -5,6 +5,7 @@
 #include <limits>
 #include <numbers>
 
+#include "common/chaos.h"
 #include "common/statistics.h"
 #include "obs/metrics.h"
 #include "opt/lbfgsb.h"
@@ -24,7 +25,8 @@ GaussianProcess::GaussianProcess(std::unique_ptr<Kernel> kernel,
 }
 
 GaussianProcess::GaussianProcess(const GaussianProcess& other)
-    : kernel_(other.kernel_->clone()),
+    : Surrogate(other),
+      kernel_(other.kernel_->clone()),
       options_(other.options_),
       seed_(other.seed_),
       train_x_(other.train_x_),
@@ -49,14 +51,7 @@ void GaussianProcess::fit(const std::vector<std::vector<double>>& x,
   require(x.size() == y.size(), "GaussianProcess::fit: X/y size mismatch");
   train_x_ = x;
   train_y_raw_.assign(y.begin(), y.end());
-
-  y_mean_ = stats::mean(train_y_raw_);
-  y_scale_ = stats::stddev(train_y_raw_);
-  if (!(y_scale_ > 1e-12)) y_scale_ = 1.0;
-  train_y_.resize(train_y_raw_.size());
-  for (std::size_t i = 0; i < train_y_.size(); ++i) {
-    train_y_[i] = (train_y_raw_[i] - y_mean_) / y_scale_;
-  }
+  restandardize();
 
   if (options_.optimize_hyperparameters && train_x_.size() >= 4) {
     // Maximize the log marginal likelihood over log-hyperparameters by
@@ -82,7 +77,14 @@ void GaussianProcess::fit(const std::vector<std::vector<double>>& x,
         1e-5);
     Rng rng(seed_);
     opt::MultiStartOptions ms;
-    ms.starts = options_.hyperparameter_restarts;
+    // Past the sparse switchover the warm start (the previous round's
+    // optimum, passed as an explicit start candidate below) is a strong
+    // prior; extra cold starts only multiply the O(n³) factorizations.
+    const bool shrink =
+        options_.shrink_restarts_at > 0 &&
+        train_x_.size() >=
+            static_cast<std::size_t>(options_.shrink_restarts_at);
+    ms.starts = shrink ? 1 : options_.hyperparameter_restarts;
     ms.probe_candidates = 16;
     ms.lbfgsb.max_iterations = 50;
     const auto result =
@@ -99,8 +101,8 @@ void GaussianProcess::add_point(const std::vector<double>& x, double y) {
   const std::size_t n = train_x_.size();
 
   // Cross-covariances against the existing points (raw kernel scale).
-  std::vector<double> k_star(n);
-  for (std::size_t i = 0; i < n; ++i) k_star[i] = (*kernel_)(train_x_[i], x);
+  std::vector<double> k_star(n, 0.0);
+  kernel_->accumulate_covariance_row(train_x_, x, k_star);
   const double k_self =
       (*kernel_)(x, x) + kernel_->diagonal_noise() + 1e-10;
 
@@ -110,6 +112,7 @@ void GaussianProcess::add_point(const std::vector<double>& x, double y) {
 
   train_x_.push_back(x);
   train_y_raw_.push_back(y);
+  obs::count("gp.add_point.calls");
 
   if (!(d2 > 1e-12)) {
     // Numerically degenerate (e.g. duplicate point): fall back to a full
@@ -118,15 +121,10 @@ void GaussianProcess::add_point(const std::vector<double>& x, double y) {
     // mutation first — callers (the BO engine's constant-liar fantasies,
     // the degradation ladder) rely on the strong exception guarantee to
     // keep using the model after a failed incremental update.
+    obs::count("gp.add_point.degenerate");
     const double old_mean = y_mean_;
     const double old_scale = y_scale_;
-    y_mean_ = stats::mean(train_y_raw_);
-    y_scale_ = stats::stddev(train_y_raw_);
-    if (!(y_scale_ > 1e-12)) y_scale_ = 1.0;
-    train_y_.resize(train_y_raw_.size());
-    for (std::size_t i = 0; i < train_y_.size(); ++i) {
-      train_y_[i] = (train_y_raw_[i] - y_mean_) / y_scale_;
-    }
+    restandardize();
     try {
       factorize();
     } catch (const NumericalError&) {
@@ -143,22 +141,23 @@ void GaussianProcess::add_point(const std::vector<double>& x, double y) {
     return;
   }
 
-  linalg::Matrix grown(n + 1, n + 1);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j <= i; ++j) grown(i, j) = chol_(i, j);
+  // Geometric factor growth: one reallocate-and-copy per capacity
+  // doubling instead of per observation — a long online session's factor
+  // extends in place, O(n) writes for the new row.
+  if (n + 1 > chol_.square_capacity()) {
+    chol_.reserve_square(std::max<std::size_t>(
+        n + 1, 2 * std::max<std::size_t>(1, chol_.square_capacity())));
+    obs::count("gp.add_point.reserve");
   }
-  for (std::size_t j = 0; j < n; ++j) grown(n, j) = l[j];
-  grown(n, n) = std::sqrt(d2);
-  chol_ = std::move(grown);
+  chol_.grow_square();
+  for (std::size_t j = 0; j < n; ++j) {
+    chol_(n, j) = l[j];
+    chol_(j, n) = 0.0;  // keep the (unread) upper triangle tidy
+  }
+  chol_(n, n) = std::sqrt(d2);
 
   // Re-standardize targets (O(n)) and re-solve for alpha (O(n²)).
-  y_mean_ = stats::mean(train_y_raw_);
-  y_scale_ = stats::stddev(train_y_raw_);
-  if (!(y_scale_ > 1e-12)) y_scale_ = 1.0;
-  train_y_.resize(train_y_raw_.size());
-  for (std::size_t i = 0; i < train_y_.size(); ++i) {
-    train_y_[i] = (train_y_raw_[i] - y_mean_) / y_scale_;
-  }
+  restandardize();
   alpha_ = linalg::cholesky_solve(chol_, train_y_);
   scratch_.clear();
 
@@ -168,16 +167,82 @@ void GaussianProcess::add_point(const std::vector<double>& x, double y) {
                   0.5 * n_d * std::log(2.0 * std::numbers::pi);
 }
 
+void GaussianProcess::remove_point(std::size_t index) {
+  require(trained(), "GaussianProcess::remove_point: fit() first");
+  const std::size_t n = train_x_.size();
+  require(index < n, "GaussianProcess::remove_point: index out of range");
+  require(n >= 2, "GaussianProcess::remove_point: cannot drop the last point");
+  // Chaos site: fired before any mutation, so the strong exception
+  // guarantee is trivially honest — the BO engine's constant-liar purge
+  // falls back to its full-refit rung with the model intact.
+  if (chaos::fail(chaos::Site::kCholesky)) {
+    throw NumericalError(
+        "GaussianProcess::remove_point: downdate failed (chaos)");
+  }
+  obs::count("gp.remove_point.calls");
+
+  if (index + 1 < n) {
+    // Interior removal: delete row/column `index` from the factor and
+    // repair the trailing block.  With K partitioned around the removed
+    // point, the trailing factor satisfies L33·L33ᵀ = K33 − L31·L31ᵀ −
+    // v·vᵀ where v is the removed column's sub-diagonal slice — so the
+    // new factor of K33 − L31·L31ᵀ is exactly the rank-1 *update* of L33
+    // with v.  A positive update cannot fail (unlike a downdate).
+    std::vector<double> v(n - 1 - index);
+    for (std::size_t r = index + 1; r < n; ++r) {
+      v[r - index - 1] = chol_(r, index);
+    }
+    // Shift trailing rows up / sub-diagonal columns left, in place.  Row
+    // r's data is consumed before row r+1 overwrites it (ascending scan).
+    for (std::size_t r = index + 1; r < n; ++r) {
+      for (std::size_t c = 0; c < index; ++c) chol_(r - 1, c) = chol_(r, c);
+      for (std::size_t c = index + 1; c <= r; ++c) {
+        chol_(r - 1, c - 1) = chol_(r, c);
+      }
+    }
+    chol_.shrink_square(n - 1);
+    linalg::cholesky_update_rank1(chol_, index, v);
+  } else {
+    // LIFO removal (the constant-liar purge): the leading (n−1)² block
+    // *is* the pre-add factor, bit for bit — truncation restores it.
+    chol_.shrink_square(n - 1);
+  }
+
+  train_x_.erase(train_x_.begin() + static_cast<std::ptrdiff_t>(index));
+  train_y_raw_.erase(train_y_raw_.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+  restandardize();
+  alpha_ = linalg::cholesky_solve(chol_, train_y_);
+  scratch_.clear();
+
+  const double n_d = static_cast<double>(train_x_.size());
+  log_marginal_ = -0.5 * linalg::dot(train_y_, alpha_) -
+                  0.5 * linalg::log_det_from_cholesky(chol_) -
+                  0.5 * n_d * std::log(2.0 * std::numbers::pi);
+}
+
+void GaussianProcess::restandardize() {
+  y_mean_ = stats::mean(train_y_raw_);
+  y_scale_ = stats::stddev(train_y_raw_);
+  if (!(y_scale_ > 1e-12)) y_scale_ = 1.0;
+  train_y_.resize(train_y_raw_.size());
+  for (std::size_t i = 0; i < train_y_.size(); ++i) {
+    train_y_[i] = (train_y_raw_[i] - y_mean_) / y_scale_;
+  }
+}
+
 void GaussianProcess::factorize() {
   const std::size_t n = train_x_.size();
   linalg::Matrix k(n, n);
   const double noise = kernel_->diagonal_noise();
+  const std::span<const std::vector<double>> points(train_x_);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j <= i; ++j) {
-      const double v = (*kernel_)(train_x_[i], train_x_[j]);
-      k(i, j) = v;
-      k(j, i) = v;
-    }
+    // Row i's lower triangle in one SIMD-blocked covariance sweep; the
+    // freshly constructed matrix is zero-filled, so accumulation lands
+    // the bare kernel values.
+    kernel_->accumulate_covariance_row(points.subspan(0, i + 1), train_x_[i],
+                                       k.row(i).subspan(0, i + 1));
+    for (std::size_t j = 0; j < i; ++j) k(j, i) = k(i, j);
     k(i, i) += noise + 1e-10;  // numeric jitter
   }
   chol_ = linalg::cholesky(k);
@@ -190,18 +255,12 @@ void GaussianProcess::factorize() {
                   0.5 * n_d * std::log(2.0 * std::numbers::pi);
 }
 
-Prediction GaussianProcess::predict(std::span<const double> x) const {
-  return predict(x, scratch_);
-}
-
 Prediction GaussianProcess::predict(std::span<const double> x,
                                     GpWorkspace& ws) const {
   require(trained(), "GaussianProcess::predict: not fitted");
   const std::size_t n = train_x_.size();
-  ws.k_star.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    ws.k_star[i] = (*kernel_)(train_x_[i], x);
-  }
+  ws.k_star.assign(n, 0.0);
+  kernel_->accumulate_covariance_row(train_x_, x, ws.k_star);
   const double mean_std = linalg::dot(ws.k_star, alpha_);
   ws.v.resize(n);
   linalg::solve_lower(chol_, ws.k_star, ws.v);
@@ -221,10 +280,8 @@ void GaussianProcess::predict_with_gradient(std::span<const double> x,
   const std::size_t n = train_x_.size();
   const std::size_t dims = x.size();
 
-  ws.k_star.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    ws.k_star[i] = (*kernel_)(train_x_[i], x);
-  }
+  ws.k_star.assign(n, 0.0);
+  kernel_->accumulate_covariance_row(train_x_, x, ws.k_star);
   const double mean_std = linalg::dot(ws.k_star, alpha_);
   ws.v.resize(n);
   linalg::solve_lower(chol_, ws.k_star, ws.v);
@@ -275,9 +332,8 @@ std::vector<Prediction> GaussianProcess::predict_batch(
     require(points[j].size() == train_x_.front().size(),
             "GaussianProcess::predict_batch: dimension mismatch");
     const auto row = k_star.row(j);
-    for (std::size_t i = 0; i < n; ++i) {
-      row[i] = (*kernel_)(train_x_[i], points[j]);
-    }
+    std::fill(row.begin(), row.end(), 0.0);
+    kernel_->accumulate_covariance_row(train_x_, points[j], row);
   }
   linalg::Matrix& v = scratch_.v_rows;
   linalg::solve_lower_rows(chol_, k_star, v);
@@ -291,14 +347,6 @@ std::vector<Prediction> GaussianProcess::predict_batch(
     out[j].mean = mean_std * y_scale_ + y_mean_;
     out[j].variance = var_std * y_scale_ * y_scale_;
   }
-  return out;
-}
-
-std::vector<double> GaussianProcess::predict_mean(
-    const std::vector<std::vector<double>>& points) const {
-  std::vector<double> out;
-  out.reserve(points.size());
-  for (const auto& p : predict_batch(points)) out.push_back(p.mean);
   return out;
 }
 

@@ -13,51 +13,10 @@
 
 #include "common/rng.h"
 #include "gp/kernel.h"
+#include "gp/surrogate.h"
 #include "linalg/matrix.h"
 
 namespace robotune::gp {
-
-struct Prediction {
-  double mean = 0.0;
-  double variance = 0.0;
-  double stddev() const;
-};
-
-/// Posterior mean/variance plus their gradients with respect to the query
-/// point, everything in original (unstandardized) units.
-struct PredictGradient {
-  double mean = 0.0;
-  double variance = 0.0;
-  std::vector<double> dmean;      ///< ∂mean/∂x
-  std::vector<double> dvariance;  ///< ∂variance/∂x
-  double stddev() const;
-};
-
-/// Reusable scratch for the prediction hot path.  The GP owns one for the
-/// convenience predict(x) overload; concurrent callers (the parallel
-/// multi-start acquisition optimizer) pass a private instance per task —
-/// the GP itself is only read.  Buffers grow on first use and are then
-/// reused allocation-free while the training-set size is stable.
-class GpWorkspace {
- public:
-  void clear() {
-    k_star.clear();
-    v.clear();
-    w.clear();
-    kgrad.clear();
-    k_rows = {};
-    v_rows = {};
-  }
-
- private:
-  friend class GaussianProcess;
-  std::vector<double> k_star;  ///< cross-covariances k(X, x)
-  std::vector<double> v;       ///< L⁻¹ k*
-  std::vector<double> w;       ///< L⁻ᵀ v = K⁻¹ k*
-  std::vector<double> kgrad;   ///< per-training-point kernel gradient
-  linalg::Matrix k_rows;       ///< batched cross-kernel matrix (row/query)
-  linalg::Matrix v_rows;       ///< batched forward solves
-};
 
 struct GpOptions {
   /// Refit kernel hyperparameters by LML maximization on every fit().
@@ -67,9 +26,16 @@ struct GpOptions {
   /// Box half-width (in log space, around the current values) searched
   /// during hyperparameter optimization.
   double log_search_radius = 4.0;
+  /// When > 0 and the training set reaches this many points, the LML
+  /// optimization drops to a single L-BFGS descent warm-started from the
+  /// current kernel parameters (the previous round's optimum) instead of
+  /// `hyperparameter_restarts` multi-starts — past the sparse switchover
+  /// the incumbent is a good prior and the extra starts are pure O(n³)
+  /// factorization cost.  0 keeps the full multi-start everywhere.
+  int shrink_restarts_at = 0;
 };
 
-class GaussianProcess {
+class GaussianProcess : public Surrogate {
  public:
   explicit GaussianProcess(std::unique_ptr<Kernel> kernel = default_kernel(),
                            GpOptions options = {}, std::uint64_t seed = 11);
@@ -86,25 +52,33 @@ class GaussianProcess {
 
   /// Incrementally adds one observation without refitting kernel
   /// hyperparameters: the Cholesky factor is extended by one row in
-  /// O(n²) instead of refactorized in O(n³).  Target standardization is
-  /// recomputed, so predictions are identical (to rounding) to a batch
-  /// fit with the same kernel.  Requires a prior fit().
+  /// O(n²) instead of refactorized in O(n³), growing inside geometrically
+  /// reserved storage so long online sessions do not reallocate-and-copy
+  /// the factor per observation.  Target standardization is recomputed,
+  /// so predictions are identical (to rounding) to a batch fit with the
+  /// same kernel.  Requires a prior fit().
   ///
   /// Strong exception guarantee: the degenerate path (near-duplicate
   /// point) falls back to a full refactorization, which can throw
   /// NumericalError — on throw the model is rolled back to its state
   /// before the call and remains usable for prediction.
-  void add_point(const std::vector<double>& x, double y);
+  void add_point(const std::vector<double>& x, double y) override;
 
-  /// Posterior at one point, using the GP-owned scratch workspace (no
-  /// per-call heap allocations once warmed up).  Not safe to call
-  /// concurrently on one GP instance — concurrent readers use the
-  /// workspace overload with private scratch.
-  Prediction predict(std::span<const double> x) const;
+  /// Incrementally removes training point `index`.  Removing the *last*
+  /// point (the constant-liar purge's LIFO case) truncates the factor in
+  /// O(1) and bit-identically restores the pre-add_point factor; an
+  /// interior index shifts the trailing rows and repairs the trailing
+  /// block with one rank-1 Cholesky update — O((n − index)²), never
+  /// O(n³).  Strong exception guarantee: the only throw (a chaos-injected
+  /// downdate failure) happens before any mutation.
+  void remove_point(std::size_t index) override;
+
+  using Surrogate::predict;
 
   /// Posterior at one point with caller-supplied scratch; thread-safe for
   /// concurrent calls with distinct workspaces (the GP is only read).
-  Prediction predict(std::span<const double> x, GpWorkspace& ws) const;
+  Prediction predict(std::span<const double> x,
+                     GpWorkspace& ws) const override;
 
   /// Posterior mean/variance *and* their gradients in one O(n²) pass:
   /// one forward and one backward triangular solve against the cached
@@ -113,7 +87,7 @@ class GaussianProcess {
   /// gradient costs.  Exact (Rasmussen & Williams Eq. 2.25/2.26
   /// differentiated), not an approximation.
   void predict_with_gradient(std::span<const double> x, GpWorkspace& ws,
-                             PredictGradient& out) const;
+                             PredictGradient& out) const override;
 
   /// Posterior over a batch of points: the cross-kernel matrix is built
   /// once and run through a single multi-RHS triangular solve, reusing the
@@ -121,24 +95,23 @@ class GaussianProcess {
   /// convenience predict(x)).  Each returned Prediction is bit-identical
   /// to predict() on the same point.
   std::vector<Prediction> predict_batch(
-      std::span<const std::vector<double>> points) const;
-
-  /// Posterior means over a list of points (used for response surfaces).
-  std::vector<double> predict_mean(
-      const std::vector<std::vector<double>>& points) const;
+      std::span<const std::vector<double>> points) const override;
 
   /// Log marginal likelihood of the current fit (standardized targets).
   double log_marginal_likelihood() const;
 
-  bool trained() const noexcept { return !train_x_.empty(); }
-  std::size_t num_points() const noexcept { return train_x_.size(); }
+  bool trained() const noexcept override { return !train_x_.empty(); }
+  std::size_t num_points() const noexcept override { return train_x_.size(); }
   const Kernel& kernel() const { return *kernel_; }
 
   /// Best (lowest, in original units) observed target so far.
-  double best_observed() const;
+  double best_observed() const override;
+
+  const char* tier() const noexcept override { return "exact"; }
 
  private:
   void factorize();
+  void restandardize();
 
   std::unique_ptr<Kernel> kernel_;
   GpOptions options_;
@@ -150,13 +123,9 @@ class GaussianProcess {
   double y_mean_ = 0.0;
   double y_scale_ = 1.0;
 
-  linalg::Matrix chol_;          // L with K = L L^T
+  linalg::Matrix chol_;          // L with K = L L^T (may carry capacity)
   std::vector<double> alpha_;    // K^{-1} y (standardized)
   double log_marginal_ = 0.0;
-
-  // Scratch for the convenience predict(x) overload; invalidated on
-  // fit()/add_point().  Deliberately not copied with the model.
-  mutable GpWorkspace scratch_;
 };
 
 }  // namespace robotune::gp

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "linalg/simd.h"
 
 namespace robotune::gp {
 
@@ -15,6 +16,16 @@ double squared_distance(std::span<const double> a, std::span<const double> b) {
     ss += d * d;
   }
   return ss;
+}
+
+constexpr double kSqrt5Const = 2.2360679774997896964091737;
+
+/// Finishes a Matérn 5/2 evaluation from the scaled squared distance —
+/// the scalar tail shared by operator() and each SIMD lane (z derivation
+/// order matters for bit-identity: kSqrt5 * sqrt(ss) first, then the
+/// caller applies any length-scale division before passing ss here).
+double matern52_from_z(double z, double signal_variance) {
+  return signal_variance * (1.0 + z + z * z / 3.0) * std::exp(-z);
 }
 
 }  // namespace
@@ -47,6 +58,42 @@ void Matern52::accumulate_gradient(std::span<const double> a,
                       std::exp(-z) / (length_scale_ * length_scale_);
   for (std::size_t i = 0; i < a.size(); ++i) {
     grad[i] += coef * (a[i] - b[i]);
+  }
+}
+
+void Matern52::accumulate_covariance_row(
+    std::span<const std::vector<double>> points, std::span<const double> x,
+    std::span<double> out) const {
+  const std::size_t n = points.size();
+  const std::size_t dims = x.size();
+  std::size_t i = 0;
+#if ROBOTUNE_SIMD_ENABLED
+  namespace simd = linalg::simd;
+  // Four *independent* points per block: each lane runs the scalar
+  // recurrence (ascending-dimension distance sum, then scalar libm
+  // sqrt/exp), so every entry is bit-identical to operator().
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    const double* p0 = points[i].data();
+    const double* p1 = points[i + 1].data();
+    const double* p2 = points[i + 2].data();
+    const double* p3 = points[i + 3].data();
+    simd::v4d ss = simd::broadcast(0.0);
+    for (std::size_t d = 0; d < dims; ++d) {
+      const simd::v4d t = simd::gather(p0, p1, p2, p3, d) -
+                          simd::broadcast(x[d]);
+      ss += t * t;
+    }
+    for (std::size_t lane = 0; lane < simd::kLanes; ++lane) {
+      const double z = kSqrt5Const * std::sqrt(ss[lane]) / length_scale_;
+      out[i + lane] += matern52_from_z(z, signal_variance_);
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    const double z =
+        kSqrt5Const * std::sqrt(squared_distance(points[i], x)) /
+        length_scale_;
+    out[i] += matern52_from_z(z, signal_variance_);
   }
 }
 
@@ -106,6 +153,43 @@ void Matern52Ard::accumulate_gradient(std::span<const double> a,
       -(5.0 / 3.0) * signal_variance_ * (1.0 + z) * std::exp(-z);
   for (std::size_t i = 0; i < scales_.size(); ++i) {
     grad[i] += coef * (a[i] - b[i]) / (scales_[i] * scales_[i]);
+  }
+}
+
+void Matern52Ard::accumulate_covariance_row(
+    std::span<const std::vector<double>> points, std::span<const double> x,
+    std::span<double> out) const {
+  const std::size_t n = points.size();
+  const std::size_t dims = scales_.size();
+  std::size_t i = 0;
+#if ROBOTUNE_SIMD_ENABLED
+  namespace simd = linalg::simd;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    const double* p0 = points[i].data();
+    const double* p1 = points[i + 1].data();
+    const double* p2 = points[i + 2].data();
+    const double* p3 = points[i + 3].data();
+    simd::v4d ss = simd::broadcast(0.0);
+    for (std::size_t d = 0; d < dims; ++d) {
+      const simd::v4d t =
+          (simd::gather(p0, p1, p2, p3, d) - simd::broadcast(x[d])) /
+          simd::broadcast(scales_[d]);
+      ss += t * t;
+    }
+    for (std::size_t lane = 0; lane < simd::kLanes; ++lane) {
+      const double z = kSqrt5Const * std::sqrt(ss[lane]);
+      out[i + lane] += matern52_from_z(z, signal_variance_);
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    double ss = 0.0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double t = (points[i][d] - x[d]) / scales_[d];
+      ss += t * t;
+    }
+    const double z = kSqrt5Const * std::sqrt(ss);
+    out[i] += matern52_from_z(z, signal_variance_);
   }
 }
 
@@ -187,6 +271,17 @@ void SumKernel::accumulate_gradient(std::span<const double> x,
   b_->accumulate_gradient(x, y, grad);
 }
 
+void SumKernel::accumulate_covariance_row(
+    std::span<const std::vector<double>> points, std::span<const double> x,
+    std::span<double> out) const {
+  // Per-entry this is a_(p,x) added before b_(p,x) — the same order the
+  // scalar operator() sums them, so entries are bit-identical as long as
+  // callers zero `out` first (our default kernels pair a Matérn with
+  // white noise, whose contribution is exactly zero anyway).
+  a_->accumulate_covariance_row(points, x, out);
+  b_->accumulate_covariance_row(points, x, out);
+}
+
 double SumKernel::diagonal_noise() const {
   return a_->diagonal_noise() + b_->diagonal_noise();
 }
@@ -230,6 +325,52 @@ std::unique_ptr<Kernel> ard_kernel(std::size_t dims, double length_scale,
   return std::make_unique<SumKernel>(
       std::make_unique<Matern52Ard>(dims, length_scale, signal_variance),
       std::make_unique<WhiteNoise>(noise_variance));
+}
+
+namespace {
+
+/// Fills the Matérn part of `out` (scales + signal variance) if `kernel`
+/// is one of the two Matérn shapes.  Iso scales broadcast to all dims.
+bool fill_matern_part(const Kernel& kernel, std::size_t dims,
+                      MaternHyperparams& out) {
+  if (const auto* ard = dynamic_cast<const Matern52Ard*>(&kernel)) {
+    const auto scales = ard->length_scales();
+    if (scales.size() != dims) return false;
+    out.length_scales.assign(scales.begin(), scales.end());
+    out.signal_variance = ard->signal_variance();
+    return true;
+  }
+  if (const auto* iso = dynamic_cast<const Matern52*>(&kernel)) {
+    out.length_scales.assign(dims, iso->length_scale());
+    out.signal_variance = iso->signal_variance();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<MaternHyperparams> extract_matern_hyperparams(
+    const Kernel& kernel, std::size_t dims) {
+  if (dims == 0) return std::nullopt;
+  MaternHyperparams out;
+  if (const auto* sum = dynamic_cast<const SumKernel*>(&kernel)) {
+    const Kernel* matern = &sum->left();
+    const Kernel* noise = &sum->right();
+    if (dynamic_cast<const WhiteNoise*>(matern) != nullptr) {
+      std::swap(matern, noise);
+    }
+    const auto* white = dynamic_cast<const WhiteNoise*>(noise);
+    if (white == nullptr) return std::nullopt;
+    if (!fill_matern_part(*matern, dims, out)) return std::nullopt;
+    out.noise_variance = white->noise_variance();
+    return out;
+  }
+  if (fill_matern_part(kernel, dims, out)) {
+    out.noise_variance = 0.0;
+    return out;
+  }
+  return std::nullopt;
 }
 
 }  // namespace robotune::gp

@@ -1,0 +1,267 @@
+#include "gp/rff_gp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/chaos.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "obs/metrics.h"
+
+namespace robotune::gp {
+
+RffGp::RffGp(RffOptions options) : options_(options) {
+  require(options_.num_features > 0, "RffGp: need at least one feature");
+}
+
+void RffGp::draw_features(std::size_t dims) {
+  const std::size_t m = options_.num_features;
+  if (omega_raw_.rows() == m && omega_raw_.cols() == dims) return;
+
+  // Matérn 5/2 spectral density = multivariate t with 5 degrees of
+  // freedom: ω = z·√(5/u), z ~ N(0, I_d), u ~ χ²₅.  Fixed draw order
+  // (5 normals, d normals, 1 uniform per feature) keeps the map a pure
+  // function of (seed, m, dims).
+  Rng rng(options_.seed);
+  omega_raw_.resize(m, dims);
+  bias_.resize(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    double u = 0.0;
+    for (int k = 0; k < 5; ++k) {
+      const double g = rng.normal();
+      u += g * g;
+    }
+    const double scale = std::sqrt(5.0 / std::max(u, 1e-12));
+    for (std::size_t d = 0; d < dims; ++d) {
+      omega_raw_(j, d) = rng.normal() * scale;
+    }
+    bias_[j] = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+}
+
+void RffGp::apply_hypers(const MaternHyperparams& hypers) {
+  const std::size_t m = options_.num_features;
+  const std::size_t dims = omega_raw_.cols();
+  require(hypers.length_scales.size() == dims,
+          "RffGp: length-scale dimension mismatch");
+  omega_.resize(m, dims);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      omega_(j, d) = omega_raw_(j, d) / hypers.length_scales[d];
+    }
+  }
+  feature_scale_ =
+      std::sqrt(2.0 * hypers.signal_variance / static_cast<double>(m));
+  noise_ = std::max(hypers.noise_variance, 1e-8);
+}
+
+std::vector<double> RffGp::features(std::span<const double> x) const {
+  const std::size_t m = options_.num_features;
+  std::vector<double> phi(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const double t = linalg::dot(omega_.row(j), x) + bias_[j];
+    phi[j] = feature_scale_ * std::cos(t);
+  }
+  return phi;
+}
+
+void RffGp::fit(const std::vector<std::vector<double>>& x,
+                std::span<const double> y,
+                const MaternHyperparams& hypers) {
+  require(!x.empty(), "RffGp::fit: no training points");
+  require(x.size() == y.size(), "RffGp::fit: X/y size mismatch");
+  const std::size_t n = x.size();
+  const std::size_t m = options_.num_features;
+
+  fitted_ = false;  // left untrained if the factorization below throws
+  draw_features(x.front().size());
+  apply_hypers(hypers);
+
+  // Feature matrix Z (n×m), Gram A = ZᵀZ + σₙ²I, and its factor — the
+  // only O(n·m²)/O(m³) work; everything incremental afterwards is O(m²).
+  linalg::Matrix z(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = z.row(i);
+    for (std::size_t j = 0; j < m; ++j) {
+      const double t = linalg::dot(omega_.row(j), x[i]) + bias_[j];
+      row[j] = feature_scale_ * std::cos(t);
+    }
+  }
+  const linalg::Matrix zt = z.transposed();
+  linalg::Matrix a = zt.multiply_transposed(zt);  // ZᵀZ, m×m
+  a.add_diagonal(noise_);
+  achol_ = linalg::cholesky(a);  // may throw (incl. chaos injection)
+
+  zty_raw_ = z.matvec_transposed(y);
+  const std::vector<double> ones(n, 1.0);
+  zt1_ = z.matvec_transposed(ones);
+  train_x_ = x;
+  train_y_raw_.assign(y.begin(), y.end());
+  fitted_ = true;
+  refresh_targets();
+  obs::count("rff.fit.calls");
+}
+
+void RffGp::refresh_targets() {
+  y_mean_ = stats::mean(train_y_raw_);
+  y_scale_ = stats::stddev(train_y_raw_);
+  if (!(y_scale_ > 1e-12)) y_scale_ = 1.0;
+  // b = Zᵀỹ with ỹ standardized, reconstructed from the raw accumulators
+  // in O(m) — no pass over the n training targets.
+  const std::size_t m = options_.num_features;
+  std::vector<double> b(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    b[j] = (zty_raw_[j] - y_mean_ * zt1_[j]) / y_scale_;
+  }
+  w_ = linalg::cholesky_solve(achol_, b);
+  scratch_.clear();
+}
+
+void RffGp::add_point(const std::vector<double>& x, double y) {
+  require(fitted_, "RffGp::add_point: fit() first");
+  require(x.size() == omega_.cols(), "RffGp::add_point: dimension mismatch");
+  const std::vector<double> phi = features(x);
+
+  // A += φφᵀ is a rank-1 *update* — positive definite by construction,
+  // cannot fail (the factor consumes a copy of φ as workspace).
+  std::vector<double> work = phi;
+  linalg::cholesky_update_rank1(achol_, 0, work);
+  for (std::size_t j = 0; j < phi.size(); ++j) {
+    zty_raw_[j] += y * phi[j];
+    zt1_[j] += phi[j];
+  }
+  train_x_.push_back(x);
+  train_y_raw_.push_back(y);
+  refresh_targets();
+  obs::count("rff.add_point.calls");
+}
+
+void RffGp::remove_point(std::size_t index) {
+  require(fitted_, "RffGp::remove_point: fit() first");
+  const std::size_t n = train_y_raw_.size();
+  require(index < n, "RffGp::remove_point: index out of range");
+  require(n >= 2, "RffGp::remove_point: cannot drop the last point");
+  if (chaos::fail(chaos::Site::kCholesky)) {
+    throw NumericalError("RffGp::remove_point: downdate failed (chaos)");
+  }
+
+  // Downdate a copy and commit on success: a failed downdate (the
+  // removed point was load-bearing for positive definiteness) leaves the
+  // model untouched for the caller's fallback refit.
+  const std::vector<double> phi = features(train_x_[index]);
+  linalg::Matrix updated = achol_;
+  std::vector<double> work = phi;
+  linalg::cholesky_downdate_rank1(updated, work);  // may throw
+
+  achol_ = std::move(updated);
+  const double y = train_y_raw_[index];
+  for (std::size_t j = 0; j < phi.size(); ++j) {
+    zty_raw_[j] -= y * phi[j];
+    zt1_[j] -= phi[j];
+  }
+  train_x_.erase(train_x_.begin() + static_cast<std::ptrdiff_t>(index));
+  train_y_raw_.erase(train_y_raw_.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+  refresh_targets();
+  obs::count("rff.remove_point.calls");
+}
+
+Prediction RffGp::predict(std::span<const double> x, GpWorkspace& ws) const {
+  require(fitted_, "RffGp::predict: not fitted");
+  const std::size_t m = options_.num_features;
+  ws.k_star.resize(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const double t = linalg::dot(omega_.row(j), x) + bias_[j];
+    ws.k_star[j] = feature_scale_ * std::cos(t);
+  }
+  const double mean_std = linalg::dot(ws.k_star, w_);
+  ws.v.resize(m);
+  linalg::solve_lower(achol_, ws.k_star, ws.v);
+  const double var_std =
+      std::max(0.0, noise_ * linalg::dot(ws.v, ws.v));
+
+  Prediction p;
+  p.mean = mean_std * y_scale_ + y_mean_;
+  p.variance = var_std * y_scale_ * y_scale_;
+  return p;
+}
+
+void RffGp::predict_with_gradient(std::span<const double> x, GpWorkspace& ws,
+                                  PredictGradient& out) const {
+  require(fitted_, "RffGp::predict_with_gradient: not fitted");
+  const std::size_t m = options_.num_features;
+  const std::size_t dims = x.size();
+
+  // φ and its sine companion in one pass: ∂φ_j/∂x = −s_j·ωⱼ with
+  // s_j = √(2s²/m)·sin(ωⱼᵀx + bⱼ).
+  ws.k_star.resize(m);
+  ws.kgrad.resize(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const double t = linalg::dot(omega_.row(j), x) + bias_[j];
+    ws.k_star[j] = feature_scale_ * std::cos(t);
+    ws.kgrad[j] = feature_scale_ * std::sin(t);
+  }
+  const double mean_std = linalg::dot(ws.k_star, w_);
+  ws.v.resize(m);
+  linalg::solve_lower(achol_, ws.k_star, ws.v);
+  const double var_raw = noise_ * linalg::dot(ws.v, ws.v);
+  ws.w.resize(m);
+  linalg::solve_lower_transposed(achol_, ws.v, ws.w);  // A⁻¹φ
+
+  // ∂μ/∂x = Σ_j w_j ∂φ_j and ∂σ²/∂x = 2σₙ² Σ_j (A⁻¹φ)_j ∂φ_j.
+  out.dmean.assign(dims, 0.0);
+  out.dvariance.assign(dims, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    const double s = ws.kgrad[j];
+    linalg::axpy(-w_[j] * s, omega_.row(j), out.dmean);
+    linalg::axpy(-2.0 * noise_ * ws.w[j] * s, omega_.row(j), out.dvariance);
+  }
+
+  out.mean = mean_std * y_scale_ + y_mean_;
+  out.variance = std::max(0.0, var_raw) * y_scale_ * y_scale_;
+  const double var_scale = y_scale_ * y_scale_;
+  for (std::size_t d = 0; d < dims; ++d) {
+    out.dmean[d] *= y_scale_;
+    out.dvariance[d] = var_raw > 0.0 ? out.dvariance[d] * var_scale : 0.0;
+  }
+}
+
+std::vector<Prediction> RffGp::predict_batch(
+    std::span<const std::vector<double>> points) const {
+  require(fitted_, "RffGp::predict_batch: not fitted");
+  const std::size_t m = options_.num_features;
+  const std::size_t npts = points.size();
+
+  linalg::Matrix& phi_rows = scratch_.k_rows;
+  phi_rows.resize(npts, m);
+  for (std::size_t i = 0; i < npts; ++i) {
+    require(points[i].size() == omega_.cols(),
+            "RffGp::predict_batch: dimension mismatch");
+    const auto row = phi_rows.row(i);
+    for (std::size_t j = 0; j < m; ++j) {
+      const double t = linalg::dot(omega_.row(j), points[i]) + bias_[j];
+      row[j] = feature_scale_ * std::cos(t);
+    }
+  }
+  linalg::Matrix& v_rows = scratch_.v_rows;
+  linalg::solve_lower_rows(achol_, phi_rows, v_rows);
+
+  std::vector<Prediction> out(npts);
+  for (std::size_t i = 0; i < npts; ++i) {
+    const double mean_std = linalg::dot(phi_rows.row(i), w_);
+    const double var_std = std::max(
+        0.0, noise_ * linalg::dot(v_rows.row(i), v_rows.row(i)));
+    out[i].mean = mean_std * y_scale_ + y_mean_;
+    out[i].variance = var_std * y_scale_ * y_scale_;
+  }
+  return out;
+}
+
+double RffGp::best_observed() const {
+  require(fitted_, "RffGp::best_observed: not fitted");
+  return *std::min_element(train_y_raw_.begin(), train_y_raw_.end());
+}
+
+}  // namespace robotune::gp

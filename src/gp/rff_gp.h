@@ -1,0 +1,109 @@
+// Random-Fourier-features surrogate — the sparse tier of the O(n³) GP
+// wall (DESIGN.md §15).
+//
+// A Matérn 5/2 GP is approximated in weight space: m random features
+// φ_j(x) = √(2s²/m)·cos(ωⱼᵀx + bⱼ) with ω drawn from the Matérn spectral
+// density (a multivariate-t: z·√(5/u) for z ~ N(0,I), u ~ χ²₅), then a
+// Bayesian linear regression over the feature weights.  Fit is O(n·m²),
+// prediction O(m²), and incremental add/remove are rank-1 updates of the
+// m×m feature Gram factor — independent of n entirely.
+//
+// The feature draw is deterministic in (seed, m, dims) and *independent
+// of the hyperparameters*: raw frequencies are drawn once for the unit
+// length-scale and rescaled per fit, so a hyperparameter refit never
+// resamples the map and the surrogate stays reproducible across
+// worker-count and scheduling differences.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gp/kernel.h"
+#include "gp/surrogate.h"
+#include "linalg/matrix.h"
+
+namespace robotune::gp {
+
+struct RffOptions {
+  /// Number of random features m.  Fit cost O(n·m²), predict O(m²).
+  std::size_t num_features = 256;
+  /// Seed for the (deterministic) spectral draw.
+  std::uint64_t seed = 0x5eedULL;
+};
+
+class RffGp : public Surrogate {
+ public:
+  explicit RffGp(RffOptions options = {});
+
+  /// Fits the feature-space posterior on (X, y) under the given Matérn
+  /// hyperparameters (learned elsewhere — typically on an exact-GP
+  /// subsample; this tier never optimizes them itself).  Can throw
+  /// NumericalError from the m×m Cholesky; the model is left untrained
+  /// in that case and the caller degrades to the exact tier.
+  void fit(const std::vector<std::vector<double>>& x,
+           std::span<const double> y, const MaternHyperparams& hypers);
+
+  /// O(m²) incremental add: rank-1 *update* of the feature Gram factor
+  /// (cannot fail for finite inputs) plus O(m) target-accumulator
+  /// maintenance.  Never throws NumericalError.
+  void add_point(const std::vector<double>& x, double y) override;
+
+  /// O(m²) incremental remove via rank-1 *downdate* of a copy of the
+  /// Gram factor, committed only on success — strong exception
+  /// guarantee.  Throws NumericalError when the downdate loses positive
+  /// definiteness (or under chaos injection).
+  void remove_point(std::size_t index) override;
+
+  using Surrogate::predict;
+
+  Prediction predict(std::span<const double> x,
+                     GpWorkspace& ws) const override;
+
+  /// Analytic gradients: ∂φ_j/∂x = −√(2s²/m)·sin(ωⱼᵀx+bⱼ)·ωⱼ, folded
+  /// through the posterior mean/variance in two O(m·d) passes — the fast
+  /// path optimize_acquisition's L-BFGS descents need, same as the exact
+  /// tier.
+  void predict_with_gradient(std::span<const double> x, GpWorkspace& ws,
+                             PredictGradient& out) const override;
+
+  std::vector<Prediction> predict_batch(
+      std::span<const std::vector<double>> points) const override;
+
+  bool trained() const noexcept override { return fitted_; }
+  std::size_t num_points() const noexcept override {
+    return train_y_raw_.size();
+  }
+  double best_observed() const override;
+  const char* tier() const noexcept override { return "rff"; }
+
+  std::size_t num_features() const noexcept { return options_.num_features; }
+
+ private:
+  void draw_features(std::size_t dims);
+  void apply_hypers(const MaternHyperparams& hypers);
+  std::vector<double> features(std::span<const double> x) const;
+  void refresh_targets();
+
+  RffOptions options_;
+
+  linalg::Matrix omega_raw_;  ///< m×d unit-scale spectral frequencies
+  std::vector<double> bias_;  ///< m phases in [0, 2π)
+  linalg::Matrix omega_;      ///< omega_raw_ row-scaled by 1/ℓ_d
+  double feature_scale_ = 1.0;  ///< √(2s²/m)
+  double noise_ = 1e-3;         ///< σₙ² (floored away from zero)
+
+  std::vector<std::vector<double>> train_x_;
+  std::vector<double> train_y_raw_;
+  double y_mean_ = 0.0;
+  double y_scale_ = 1.0;
+
+  linalg::Matrix achol_;          ///< chol(ZᵀZ + σₙ²I), m×m
+  std::vector<double> zty_raw_;   ///< Zᵀ·y_raw accumulator
+  std::vector<double> zt1_;       ///< Zᵀ·1 accumulator
+  std::vector<double> w_;         ///< posterior mean weights (standardized)
+  bool fitted_ = false;
+};
+
+}  // namespace robotune::gp

@@ -1,0 +1,131 @@
+// The surrogate-model interface the BO engine drives (DESIGN.md §15).
+//
+// Two implementations exist: the exact GaussianProcess (O(n³) fit,
+// O(n²) predict) and the RffGp random-features tier (O(n·m²) fit, O(m²)
+// predict), auto-selected past a size threshold.  Everything downstream
+// of the fit — acquisition optimization, GP-Hedge, the observer hook —
+// sees only this interface, so a tier switch never touches the proposal
+// machinery.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace robotune::gp {
+
+struct Prediction {
+  double mean = 0.0;
+  double variance = 0.0;
+  double stddev() const;
+};
+
+/// Posterior mean/variance plus their gradients with respect to the query
+/// point, everything in original (unstandardized) units.
+struct PredictGradient {
+  double mean = 0.0;
+  double variance = 0.0;
+  std::vector<double> dmean;      ///< ∂mean/∂x
+  std::vector<double> dvariance;  ///< ∂variance/∂x
+  double stddev() const;
+};
+
+/// Reusable scratch for the prediction hot path.  The surrogate owns one
+/// for the convenience predict(x) overload; concurrent callers (the
+/// parallel multi-start acquisition optimizer) pass a private instance
+/// per task — the model itself is only read.  Buffers are sized at every
+/// use, so one workspace can serve models of different sizes and tiers
+/// back to back (stale-size bugs cannot occur); the clear() hook just
+/// releases memory.
+class GpWorkspace {
+ public:
+  void clear() {
+    k_star.clear();
+    v.clear();
+    w.clear();
+    kgrad.clear();
+    k_rows = {};
+    v_rows = {};
+  }
+
+ private:
+  friend class GaussianProcess;
+  friend class RffGp;
+  std::vector<double> k_star;  ///< cross-covariances k(X, x) / features φ(x)
+  std::vector<double> v;       ///< L⁻¹ k*
+  std::vector<double> w;       ///< L⁻ᵀ v = K⁻¹ k*
+  std::vector<double> kgrad;   ///< kernel-gradient / feature-sine scratch
+  linalg::Matrix k_rows;       ///< batched cross-kernel matrix (row/query)
+  linalg::Matrix v_rows;       ///< batched forward solves
+};
+
+/// Read-side contract shared by the exact GP and the sparse tier.  The
+/// mutating half (add_point / remove_point) carries the strong exception
+/// guarantee on every implementation: on NumericalError the model rolls
+/// back and stays usable for prediction.
+class Surrogate {
+ public:
+  virtual ~Surrogate() = default;
+
+  /// Posterior at one point with caller-supplied scratch; thread-safe for
+  /// concurrent calls with distinct workspaces (the model is only read).
+  virtual Prediction predict(std::span<const double> x,
+                             GpWorkspace& ws) const = 0;
+
+  /// Posterior at one point, using the model-owned scratch workspace (no
+  /// per-call heap allocations once warmed up).  Not safe to call
+  /// concurrently on one instance.
+  Prediction predict(std::span<const double> x) const {
+    return predict(x, scratch_);
+  }
+
+  /// Posterior mean/variance *and* their analytic gradients in one pass —
+  /// the fast path optimize_acquisition's L-BFGS descents rely on.
+  virtual void predict_with_gradient(std::span<const double> x,
+                                     GpWorkspace& ws,
+                                     PredictGradient& out) const = 0;
+
+  /// Posterior over a batch of points; each returned Prediction is
+  /// bit-identical to predict() on the same point.  Uses the model-owned
+  /// scratch (same single-thread caveat as the convenience predict(x)).
+  virtual std::vector<Prediction> predict_batch(
+      std::span<const std::vector<double>> points) const = 0;
+
+  /// Posterior means over a list of points (used for response surfaces).
+  std::vector<double> predict_mean(
+      const std::vector<std::vector<double>>& points) const {
+    std::vector<double> out;
+    out.reserve(points.size());
+    for (const auto& p : predict_batch(points)) out.push_back(p.mean);
+    return out;
+  }
+
+  /// Incrementally folds one observation in without a refit.  Strong
+  /// exception guarantee (see class comment).
+  virtual void add_point(const std::vector<double>& x, double y) = 0;
+
+  /// Incrementally removes training point `index` (rank-1 downdate /
+  /// truncation).  Strong exception guarantee.  Requires >= 2 points.
+  virtual void remove_point(std::size_t index) = 0;
+
+  virtual bool trained() const noexcept = 0;
+  virtual std::size_t num_points() const noexcept = 0;
+
+  /// Best (lowest, in original units) observed target so far.
+  virtual double best_observed() const = 0;
+
+  /// Tier name for logs/metrics: "exact" or "rff".
+  virtual const char* tier() const noexcept = 0;
+
+ protected:
+  Surrogate() = default;
+  // The owned scratch is transient per-instance state; copies start cold.
+  Surrogate(const Surrogate&) noexcept {}
+  Surrogate& operator=(const Surrogate&) noexcept { return *this; }
+
+  mutable GpWorkspace scratch_;
+};
+
+}  // namespace robotune::gp

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/chaos.h"
+#include "linalg/simd.h"
 
 namespace robotune::linalg {
 
@@ -21,7 +22,7 @@ std::vector<double> Matrix::matvec(std::span<const double> x) const {
   require(x.size() == cols_, "matvec: dimension mismatch");
   std::vector<double> y(rows_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
-    const double* row_ptr = data_.data() + r * cols_;
+    const double* row_ptr = data_.data() + r * stride_;
     double sum = 0.0;
     for (std::size_t c = 0; c < cols_; ++c) sum += row_ptr[c] * x[c];
     y[r] = sum;
@@ -33,7 +34,7 @@ std::vector<double> Matrix::matvec_transposed(std::span<const double> x) const {
   require(x.size() == rows_, "matvec_transposed: dimension mismatch");
   std::vector<double> y(cols_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
-    const double* row_ptr = data_.data() + r * cols_;
+    const double* row_ptr = data_.data() + r * stride_;
     const double xr = x[r];
     for (std::size_t c = 0; c < cols_; ++c) y[c] += row_ptr[c] * xr;
   }
@@ -48,16 +49,26 @@ Matrix Matrix::operator*(const Matrix& rhs) const {
   // across all rows of the output.  Only the j loop is tiled — k remains
   // the innermost accumulation, ascending, so every out(i, j) sums its
   // terms in the same order as the unblocked loop (bit-identical result).
+  // The j loop vectorizes 4 output columns per step: lanes are
+  // independent outputs, each still accumulating over k in scalar order.
   constexpr std::size_t kColTile = 64;
   for (std::size_t jb = 0; jb < rhs.cols_; jb += kColTile) {
     const std::size_t je = std::min(rhs.cols_, jb + kColTile);
     for (std::size_t i = 0; i < rows_; ++i) {
-      double* out_row = out.data_.data() + i * out.cols_;
+      double* out_row = out.data_.data() + i * out.stride_;
       for (std::size_t k = 0; k < cols_; ++k) {
         const double aik = (*this)(i, k);
         if (aik == 0.0) continue;
-        const double* rhs_row = rhs.data_.data() + k * rhs.cols_;
-        for (std::size_t j = jb; j < je; ++j) {
+        const double* rhs_row = rhs.data_.data() + k * rhs.stride_;
+        std::size_t j = jb;
+#if ROBOTUNE_SIMD_ENABLED
+        const simd::v4d va = simd::broadcast(aik);
+        for (; j + simd::kLanes <= je; j += simd::kLanes) {
+          simd::store(out_row + j,
+                      simd::load(out_row + j) + va * simd::load(rhs_row + j));
+        }
+#endif
+        for (; j < je; ++j) {
           out_row[j] += aik * rhs_row[j];
         }
       }
@@ -66,13 +77,66 @@ Matrix Matrix::operator*(const Matrix& rhs) const {
   return out;
 }
 
+void Matrix::reserve_square(std::size_t cap) {
+  require(rows_ == cols_, "reserve_square: matrix must be square");
+  if (cap <= square_capacity()) return;
+  std::vector<double> grown(cap * cap, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::copy_n(data_.data() + r * stride_, cols_, grown.data() + r * cap);
+  }
+  data_ = std::move(grown);
+  stride_ = cap;
+}
+
+bool Matrix::grow_square() {
+  require(rows_ == cols_, "grow_square: matrix must be square");
+  if (rows_ + 1 > square_capacity()) return false;
+  ++rows_;
+  ++cols_;
+  return true;
+}
+
+void Matrix::shrink_square(std::size_t n) {
+  require(rows_ == cols_, "shrink_square: matrix must be square");
+  require(n <= rows_, "shrink_square: cannot grow");
+  rows_ = n;
+  cols_ = n;
+}
+
 Matrix Matrix::multiply_transposed(const Matrix& rhs) const {
   require(cols_ == rhs.cols_, "multiply_transposed: dimension mismatch");
+  // Gram fast path (A Aᵀ with rhs == this): only the lower triangle is
+  // computed; out(i,j) and out(j,i) are the same ascending-order dot, so
+  // mirroring is bit-identical to computing both.
+  const bool gram = this == &rhs;
   Matrix out(rows_, rhs.rows_);
+  const std::size_t depth = cols_;
   for (std::size_t i = 0; i < rows_; ++i) {
     const std::span<const double> a = row(i);
-    for (std::size_t j = 0; j < rhs.rows_; ++j) {
-      out(i, j) = dot(a, rhs.row(j));
+    const std::size_t j_end = gram ? i + 1 : rhs.rows_;
+    std::size_t j = 0;
+#if ROBOTUNE_SIMD_ENABLED
+    // Four output columns per sweep: each lane is an independent output
+    // whose reduction over k stays in ascending scalar order, so the
+    // result is bit-identical to the naive dot() loop (including the
+    // unblocked scalar tail below).
+    for (; j + simd::kLanes <= j_end; j += simd::kLanes) {
+      const double* b0 = rhs.data_.data() + j * rhs.stride_;
+      const double* b1 = rhs.data_.data() + (j + 1) * rhs.stride_;
+      const double* b2 = rhs.data_.data() + (j + 2) * rhs.stride_;
+      const double* b3 = rhs.data_.data() + (j + 3) * rhs.stride_;
+      simd::v4d acc = simd::broadcast(0.0);
+      for (std::size_t k = 0; k < depth; ++k) {
+        acc = acc + simd::broadcast(a[k]) * simd::gather(b0, b1, b2, b3, k);
+      }
+      simd::store(&out(i, j), acc);
+    }
+#endif
+    for (; j < j_end; ++j) out(i, j) = dot(a, rhs.row(j));
+  }
+  if (gram) {
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t j = i + 1; j < rows_; ++j) out(i, j) = out(j, i);
     }
   }
   return out;
@@ -183,10 +247,81 @@ Matrix solve_lower_rows(const Matrix& l, const Matrix& rhs_rows) {
   return out;
 }
 
+#if ROBOTUNE_SIMD_ENABLED
+
+namespace {
+
+// Solves four independent triangular systems at once.  The systems are
+// interleaved into an n×4 panel so the inner k loop reads one contiguous
+// 4-vector per step; lane r runs exactly solve_lower's scalar recurrence
+// (ascending k, sum-then-divide), so each solution row is bit-identical
+// to the single-RHS solve.
+void solve_lower_panel4(const Matrix& l,
+                        std::span<const double> b0, std::span<const double> b1,
+                        std::span<const double> b2, std::span<const double> b3,
+                        std::span<double> y0, std::span<double> y1,
+                        std::span<double> y2, std::span<double> y3,
+                        std::vector<double>& panel) {
+  const std::size_t n = l.rows();
+  panel.resize(n * simd::kLanes);
+  for (std::size_t i = 0; i < n; ++i) {
+    simd::v4d sum = simd::v4d{b0[i], b1[i], b2[i], b3[i]};
+    for (std::size_t k = 0; k < i; ++k) {
+      sum -= simd::broadcast(l(i, k)) * simd::load(&panel[k * simd::kLanes]);
+    }
+    sum /= simd::broadcast(l(i, i));
+    simd::store(&panel[i * simd::kLanes], sum);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    y0[i] = panel[i * simd::kLanes + 0];
+    y1[i] = panel[i * simd::kLanes + 1];
+    y2[i] = panel[i * simd::kLanes + 2];
+    y3[i] = panel[i * simd::kLanes + 3];
+  }
+}
+
+// Backward-substitution twin of solve_lower_panel4 (lane r runs
+// solve_lower_transposed's recurrence: descending ii, ascending k).
+void solve_lower_transposed_panel4(
+    const Matrix& l, std::span<const double> b0, std::span<const double> b1,
+    std::span<const double> b2, std::span<const double> b3,
+    std::span<double> y0, std::span<double> y1, std::span<double> y2,
+    std::span<double> y3, std::vector<double>& panel) {
+  const std::size_t n = l.rows();
+  panel.resize(n * simd::kLanes);
+  for (std::size_t ii = n; ii-- > 0;) {
+    simd::v4d sum = simd::v4d{b0[ii], b1[ii], b2[ii], b3[ii]};
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      sum -= simd::broadcast(l(k, ii)) * simd::load(&panel[k * simd::kLanes]);
+    }
+    sum /= simd::broadcast(l(ii, ii));
+    simd::store(&panel[ii * simd::kLanes], sum);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    y0[i] = panel[i * simd::kLanes + 0];
+    y1[i] = panel[i * simd::kLanes + 1];
+    y2[i] = panel[i * simd::kLanes + 2];
+    y3[i] = panel[i * simd::kLanes + 3];
+  }
+}
+
+}  // namespace
+
+#endif  // ROBOTUNE_SIMD_ENABLED
+
 void solve_lower_rows(const Matrix& l, const Matrix& rhs_rows, Matrix& out) {
   require(rhs_rows.cols() == l.rows(), "solve_lower_rows: dimension mismatch");
   out.resize(rhs_rows.rows(), rhs_rows.cols());
-  for (std::size_t j = 0; j < rhs_rows.rows(); ++j) {
+  std::size_t j = 0;
+#if ROBOTUNE_SIMD_ENABLED
+  std::vector<double> panel;
+  for (; j + simd::kLanes <= rhs_rows.rows(); j += simd::kLanes) {
+    solve_lower_panel4(l, rhs_rows.row(j), rhs_rows.row(j + 1),
+                       rhs_rows.row(j + 2), rhs_rows.row(j + 3), out.row(j),
+                       out.row(j + 1), out.row(j + 2), out.row(j + 3), panel);
+  }
+#endif
+  for (; j < rhs_rows.rows(); ++j) {
     solve_lower(l, rhs_rows.row(j), out.row(j));
   }
 }
@@ -195,10 +330,65 @@ Matrix solve_lower_transposed_rows(const Matrix& l, const Matrix& rhs_rows) {
   require(rhs_rows.cols() == l.rows(),
           "solve_lower_transposed_rows: dimension mismatch");
   Matrix out(rhs_rows.rows(), rhs_rows.cols());
-  for (std::size_t j = 0; j < rhs_rows.rows(); ++j) {
+  std::size_t j = 0;
+#if ROBOTUNE_SIMD_ENABLED
+  std::vector<double> panel;
+  for (; j + simd::kLanes <= rhs_rows.rows(); j += simd::kLanes) {
+    solve_lower_transposed_panel4(
+        l, rhs_rows.row(j), rhs_rows.row(j + 1), rhs_rows.row(j + 2),
+        rhs_rows.row(j + 3), out.row(j), out.row(j + 1), out.row(j + 2),
+        out.row(j + 3), panel);
+  }
+#endif
+  for (; j < rhs_rows.rows(); ++j) {
     solve_lower_transposed(l, rhs_rows.row(j), out.row(j));
   }
   return out;
+}
+
+void cholesky_update_rank1(Matrix& l, std::size_t begin, std::span<double> v) {
+  const std::size_t n = l.rows();
+  require(l.rows() == l.cols(), "cholesky_update_rank1: factor must be square");
+  require(begin <= n && v.size() == n - begin,
+          "cholesky_update_rank1: workspace size mismatch");
+  // Givens-style sweep (LINPACK dchud): rotate v into the factor one
+  // column at a time.  Every pivot sqrt(l² + v²) is positive, so a
+  // positive update cannot fail on finite input.
+  for (std::size_t k = begin; k < n; ++k) {
+    const double lkk = l(k, k);
+    const double vk = v[k - begin];
+    const double r = std::sqrt(lkk * lkk + vk * vk);
+    const double c = r / lkk;
+    const double s = vk / lkk;
+    l(k, k) = r;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      l(i, k) = (l(i, k) + s * v[i - begin]) / c;
+      v[i - begin] = c * v[i - begin] - s * l(i, k);
+    }
+  }
+}
+
+void cholesky_downdate_rank1(Matrix& l, std::span<double> v) {
+  const std::size_t n = l.rows();
+  require(l.rows() == l.cols(),
+          "cholesky_downdate_rank1: factor must be square");
+  require(v.size() == n, "cholesky_downdate_rank1: workspace size mismatch");
+  for (std::size_t k = 0; k < n; ++k) {
+    const double lkk = l(k, k);
+    const double d2 = lkk * lkk - v[k] * v[k];
+    if (!(d2 > 0.0) || !std::isfinite(d2)) {
+      throw NumericalError(
+          "cholesky_downdate_rank1: downdated matrix not positive definite");
+    }
+    const double r = std::sqrt(d2);
+    const double c = r / lkk;
+    const double s = v[k] / lkk;
+    l(k, k) = r;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      l(i, k) = (l(i, k) - s * v[i]) / c;
+      v[i] = c * v[i] - s * l(i, k);
+    }
+  }
 }
 
 std::vector<double> cholesky_solve(const Matrix& l,

@@ -4,6 +4,7 @@
 // by src/gp and src/opt.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -17,7 +18,7 @@ class Matrix {
   Matrix() = default;
 
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), stride_(cols), data_(rows * cols, fill) {}
 
   static Matrix identity(std::size_t n) {
     Matrix m(n, n);
@@ -33,28 +34,63 @@ class Matrix {
   /// enough.  Element values are unspecified afterwards — for workspace
   /// matrices whose every element the caller overwrites (a fresh
   /// Matrix(rows, cols) would pay a full zero-fill pass per call).
+  /// Resets the stride: any reserved square capacity is forgotten.
   void resize(std::size_t rows, std::size_t cols) {
     rows_ = rows;
     cols_ = cols;
+    stride_ = cols;
     data_.resize(rows * cols);
   }
 
   double& operator()(std::size_t r, std::size_t c) noexcept {
-    return data_[r * cols_ + c];
+    return data_[r * stride_ + c];
   }
   double operator()(std::size_t r, std::size_t c) const noexcept {
-    return data_[r * cols_ + c];
+    return data_[r * stride_ + c];
   }
 
   std::span<double> row(std::size_t r) noexcept {
-    return {data_.data() + r * cols_, cols_};
+    return {data_.data() + r * stride_, cols_};
   }
   std::span<const double> row(std::size_t r) const noexcept {
-    return {data_.data() + r * cols_, cols_};
+    return {data_.data() + r * stride_, cols_};
   }
 
+  /// Raw backing storage.  Rows are contiguous only while stride() ==
+  /// cols() — true for every matrix that has not taken reserve_square().
   std::span<double> data() noexcept { return data_; }
   std::span<const double> data() const noexcept { return data_; }
+
+  /// Leading dimension of the row-major layout (>= cols()).
+  std::size_t stride() const noexcept { return stride_; }
+
+  // ---- square-factor capacity (incremental Cholesky growth) ------------
+  //
+  // A square matrix can reserve storage so its logical order grows one
+  // row/column at a time *in place* — the GP's factor grows per
+  // observation without the O(n²) reallocate-and-copy a fresh (n+1)²
+  // matrix would cost every add.  The layout keeps stride() fixed at the
+  // reserved capacity, so existing elements never move.
+
+  /// Rows/cols the matrix can reach through grow_square() without
+  /// reallocating.
+  std::size_t square_capacity() const noexcept {
+    return stride_ == 0 ? 0 : std::min(stride_, data_.size() / stride_);
+  }
+
+  /// Reserves square capacity `cap` (no-op when already reserved).  The
+  /// matrix must be square; one reallocate-and-copy re-lays rows out on
+  /// the new stride.
+  void reserve_square(std::size_t cap);
+
+  /// Grows a square matrix to (n+1)×(n+1) inside reserved capacity.
+  /// Returns false (and leaves the matrix unchanged) when capacity is
+  /// exhausted.  The new row and column contents are unspecified.
+  bool grow_square();
+
+  /// Shrinks a square matrix's logical order to `n` (<= rows()), keeping
+  /// the storage and the leading n×n block bit-for-bit intact.
+  void shrink_square(std::size_t n);
 
   Matrix transposed() const;
 
@@ -82,6 +118,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
+  std::size_t stride_ = 0;  ///< leading dimension, >= cols_
   std::vector<double> data_;
 };
 
@@ -127,6 +164,21 @@ void solve_lower_rows(const Matrix& l, const Matrix& rhs_rows, Matrix& out);
 
 /// Multi-RHS backward solve: row j solves L^T x = rhs_rows.row(j).
 Matrix solve_lower_transposed_rows(const Matrix& l, const Matrix& rhs_rows);
+
+/// In-place rank-1 *update* of a lower Cholesky factor: the trailing
+/// block of `l` starting at row/column `begin` is replaced by the factor
+/// of L33·L33ᵀ + v·vᵀ (the classic c/s-rotation sweep).  `v` has
+/// l.rows() − begin entries and is consumed as rotation workspace.
+/// Cannot fail for a valid factor and finite v: the updated matrix is
+/// positive definite by construction.  O((n − begin)²).
+void cholesky_update_rank1(Matrix& l, std::size_t begin, std::span<double> v);
+
+/// In-place rank-1 *downdate*: `l` becomes the factor of L·Lᵀ − v·vᵀ.
+/// Throws NumericalError when the downdated matrix is not positive
+/// definite — `l` is left partially rotated, so callers needing the
+/// strong guarantee downdate a copy and commit on success.  `v` (size
+/// l.rows()) is consumed as workspace.  O(n²).
+void cholesky_downdate_rank1(Matrix& l, std::span<double> v);
 
 /// Solve (L L^T) x = b given the Cholesky factor L.
 std::vector<double> cholesky_solve(const Matrix& l, std::span<const double> b);

@@ -333,5 +333,188 @@ TEST_P(CholeskySizeTest, SolveResidualSmall) {
 INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizeTest,
                          ::testing::Values(1, 2, 3, 5, 10, 20, 50, 100));
 
+TEST(CholeskyRank1Test, UpdateMatchesDirectFactorization) {
+  Rng rng(41);
+  const std::size_t n = 12;
+  const Matrix a = random_spd(n, rng);
+  std::vector<double> v(n);
+  for (auto& e : v) e = rng.uniform(-1, 1);
+
+  Matrix l = cholesky(a);
+  std::vector<double> work = v;
+  cholesky_update_rank1(l, 0, work);
+
+  Matrix updated = a;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) updated(i, j) += v[i] * v[j];
+  }
+  const Matrix direct = cholesky(updated);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      EXPECT_NEAR(l(i, j), direct(i, j), 1e-8) << i << "," << j;
+    }
+  }
+}
+
+TEST(CholeskyRank1Test, TrailingBlockUpdateLeavesLeadingRowsIntact) {
+  Rng rng(42);
+  const std::size_t n = 10;
+  const std::size_t begin = 4;
+  const Matrix a = random_spd(n, rng);
+  Matrix l = cholesky(a);
+  const Matrix before = l;
+  std::vector<double> v(n - begin);
+  for (auto& e : v) e = rng.uniform(-1, 1);
+  std::vector<double> work = v;
+  cholesky_update_rank1(l, begin, work);
+
+  // Rows above `begin` (and the sub-diagonal columns left of it) are not
+  // part of the trailing block and must not move.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (i < begin || j < begin) {
+        EXPECT_EQ(l(i, j), before(i, j));
+      }
+    }
+  }
+  // The trailing block factors L33 L33ᵀ + v vᵀ.
+  Matrix expected(n - begin, n - begin);
+  for (std::size_t i = begin; i < n; ++i) {
+    for (std::size_t j = begin; j <= i; ++j) {
+      double sum = v[i - begin] * v[j - begin];
+      for (std::size_t k = begin; k <= j; ++k) {
+        sum += before(i, k) * before(j, k);
+      }
+      expected(i - begin, j - begin) = sum;
+      expected(j - begin, i - begin) = sum;
+    }
+  }
+  const Matrix direct = cholesky(expected, 0.0, 1);
+  for (std::size_t i = begin; i < n; ++i) {
+    for (std::size_t j = begin; j <= i; ++j) {
+      EXPECT_NEAR(l(i, j), direct(i - begin, j - begin), 1e-8);
+    }
+  }
+}
+
+TEST(CholeskyRank1Test, DowndateInvertsUpdate) {
+  Rng rng(43);
+  const std::size_t n = 9;
+  const Matrix a = random_spd(n, rng);
+  std::vector<double> v(n);
+  for (auto& e : v) e = rng.uniform(-1, 1);
+
+  // Factor of A + vvᵀ, then downdate by v: must recover chol(A).
+  Matrix plus = a;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) plus(i, j) += v[i] * v[j];
+  }
+  Matrix l = cholesky(plus, 0.0, 1);
+  std::vector<double> work = v;
+  cholesky_downdate_rank1(l, work);
+  const Matrix direct = cholesky(a, 0.0, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      EXPECT_NEAR(l(i, j), direct(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(CholeskyRank1Test, DowndateToIndefiniteThrows) {
+  // Removing a vector larger than the matrix supports loses positive
+  // definiteness mid-sweep.
+  Matrix l = cholesky(Matrix::identity(4), 0.0, 1);
+  std::vector<double> v(4, 10.0);
+  EXPECT_THROW(cholesky_downdate_rank1(l, v), NumericalError);
+}
+
+TEST(MultiplyTransposedTest, BitIdenticalToNaiveDotLoop) {
+  Rng rng(46);
+  // Off-lane sizes exercise the scalar tail; the self-product takes the
+  // mirrored Gram fast path.
+  for (const auto [m, n, k] : {std::array<std::size_t, 3>{7, 5, 13},
+                               {8, 8, 16},
+                               {9, 9, 30}}) {
+    Matrix a(m, k), b(n, k);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < k; ++j) a(i, j) = rng.uniform(-1, 1);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < k; ++j) b(i, j) = rng.uniform(-1, 1);
+    }
+    const Matrix ab = a.multiply_transposed(b);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_EQ(ab(i, j), dot(a.row(i), b.row(j))) << i << "," << j;
+      }
+    }
+    const Matrix aa = a.multiply_transposed(a);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        EXPECT_EQ(aa(i, j), dot(a.row(i), a.row(j))) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(MatrixCapacityTest, ReserveGrowShrinkKeepElementsBitIdentical) {
+  Rng rng(44);
+  Matrix m(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) m(i, j) = rng.uniform(-1, 1);
+  }
+  const Matrix original = m;
+
+  m.reserve_square(8);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.square_capacity(), 8u);
+  EXPECT_EQ(m.stride(), 8u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), original(i, j));
+  }
+
+  // Grow to capacity without reallocation; new cells are writable.
+  for (std::size_t n = 3; n < 8; ++n) {
+    ASSERT_TRUE(m.grow_square());
+    EXPECT_EQ(m.rows(), n + 1);
+    for (std::size_t j = 0; j <= n; ++j) {
+      m(n, j) = static_cast<double>(n * 100 + j);
+      m(j, n) = 0.0;
+    }
+  }
+  EXPECT_FALSE(m.grow_square());  // capacity exhausted
+  EXPECT_EQ(m.rows(), 8u);
+
+  m.shrink_square(3);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), original(i, j));
+  }
+  // Capacity survives the shrink: growth is possible again immediately.
+  EXPECT_EQ(m.square_capacity(), 8u);
+  EXPECT_TRUE(m.grow_square());
+}
+
+TEST(MatrixCapacityTest, StridedMatrixOpsStayCorrect) {
+  // matvec / solve paths read through stride(); a reserved matrix must
+  // behave exactly like its compact copy.
+  Rng rng(45);
+  const std::size_t n = 6;
+  const Matrix a = random_spd(n, rng);
+  Matrix l = cholesky(a);
+  Matrix reserved = l;
+  reserved.reserve_square(16);
+  std::vector<double> b(n);
+  for (auto& e : b) e = rng.uniform(-1, 1);
+
+  const auto x_compact = solve_lower(l, b);
+  const auto x_strided = solve_lower(reserved, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x_compact[i], x_strided[i]);
+  const auto y_compact = l.matvec(b);
+  const auto y_strided = reserved.matvec(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(y_compact[i], y_strided[i]);
+}
+
 }  // namespace
 }  // namespace robotune::linalg

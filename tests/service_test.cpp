@@ -238,6 +238,9 @@ TEST(ServiceSpecTest, SpecBodyRoundTripsAllTuningFields) {
   spec.batch = 2;
   spec.racing = "median";
   spec.eval_deadline = 120.5;
+  spec.surrogate = "rff";
+  spec.rff_features = 128;
+  spec.refit = "doubling";
 
   core::SessionSpec back;
   std::string error;
@@ -249,6 +252,9 @@ TEST(ServiceSpecTest, SpecBodyRoundTripsAllTuningFields) {
   EXPECT_EQ(back.budget, spec.budget);
   EXPECT_EQ(back.racing, spec.racing);
   EXPECT_DOUBLE_EQ(back.eval_deadline, spec.eval_deadline);
+  EXPECT_EQ(back.surrogate, spec.surrogate);
+  EXPECT_EQ(back.rff_features, spec.rff_features);
+  EXPECT_EQ(back.refit, spec.refit);
 
   // The spec is the determinism contract: unknown keys are corruption,
   // not extensibility.
@@ -295,7 +301,10 @@ TEST(ServiceSpecTest, SpecBodyRejectsMalformedNumericValues) {
            {"dataset", ""},
            {"preempt", "0..5"},
            {"preempt", "nan"},
-           {"deadline", "soon"}}) {
+           {"deadline", "soon"},
+           {"surrogate", "bogus"},
+           {"refit", "sometimes"},
+           {"rff", "-1"}}) {
     core::SessionSpec spec;
     EXPECT_FALSE(
         core::decode_spec_body(swap_field(key, value), spec, &error))
