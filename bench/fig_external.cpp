@@ -1,0 +1,275 @@
+// Ask/tell control-plane study (DESIGN.md §16): a fleet of external
+// sessions driven through the full wire codec (LocalClient round-trips
+// every request through encode → decode → dispatch → encode → decode,
+// exactly what the socket daemon executes) by a single synchronous
+// executor, plus the lease reaper's sweep cost in isolation.
+//
+// Measures:
+//   - suggest→observe round-trip latency (p50/p99): the control-plane
+//     overhead an external executor pays per evaluation on top of the
+//     measurement itself — one suggest call that granted work plus the
+//     observe call that delivered its result,
+//   - observe (tell) latency alone, which includes the ledger append
+//     and the journal flush,
+//   - reclaim sweep latency: how long one reaper tick takes to expire a
+//     round's worth of abandoned leases and journal the expiries.
+//
+// Emits a table to stdout and machine-readable JSON to
+// bench_results/fig_external.json (run from the repo root).
+//
+// Environment knobs:
+//   ROBOTUNE_BENCH_EXT_SESSIONS  fleet size               [default 8]
+//   ROBOTUNE_BENCH_EXT_BUDGET    evaluations per session  [default 6]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/persistence.h"
+#include "core/session.h"
+#include "service/client.h"
+#include "service/session_manager.h"
+
+using namespace robotune;
+namespace fs = std::filesystem;
+
+namespace {
+
+core::SessionSpec external_spec(std::uint64_t seed, int budget) {
+  core::SessionSpec spec;
+  spec.workload = "PR";
+  spec.dataset = 1;
+  spec.tuner = "robotune";
+  spec.mode = "external";
+  spec.budget = budget;
+  spec.seed = seed;
+  spec.init = std::min(4, budget);
+  spec.batch = 4;
+  spec.selection_samples = 20;
+  return spec;
+}
+
+// The executor stand-in: a pure function of (unit, index), so the run
+// is deterministic end-to-end.
+void fake_measurement(const std::vector<double>& unit, std::uint64_t index,
+                      double& value_s, double& cost_s) {
+  double v = 0.0;
+  for (std::size_t i = 0; i < unit.size(); ++i) {
+    v += unit[i] * static_cast<double>(i + 1);
+  }
+  value_s = 60.0 +
+            10.0 * v / static_cast<double>(unit.size() ? unit.size() : 1) +
+            static_cast<double>(index % 3);
+  cost_s = value_s + 2.5;
+}
+
+bool terminal(service::SessionState state) {
+  return state == service::SessionState::kDone ||
+         state == service::SessionState::kCancelled ||
+         state == service::SessionState::kFailed;
+}
+
+double percentile(const std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+}  // namespace
+
+int main() {
+  const int sessions = bench::env_int("ROBOTUNE_BENCH_EXT_SESSIONS", 8);
+  const int budget = bench::env_int("ROBOTUNE_BENCH_EXT_BUDGET", 6);
+
+  service::ServiceOptions options;
+  options.root = (fs::temp_directory_path() / "robotune-fig-external").string();
+  options.max_live = static_cast<std::size_t>(sessions);
+  options.max_pending = static_cast<std::size_t>(sessions);
+  options.slots = 1;
+  options.seed = 2024;
+  // Long leases: the driver below never abandons one, and the reaper is
+  // measured separately against a short-lease manager.
+  options.lease_timeout_ticks = 600;
+  fs::remove_all(options.root);
+
+  std::printf(
+      "=== External ask/tell: %d sessions, budget=%d, batch=4 ===\n",
+      sessions, budget);
+
+  service::SessionManager manager(options);
+  service::LocalClient client(manager);
+
+  for (int i = 1; i <= sessions; ++i) {
+    service::Request start;
+    start.verb = "start";
+    start.spec_body = core::encode_spec_body(
+        external_spec(static_cast<std::uint64_t>(100 + i), budget));
+    const auto response = client.call(start);
+    if (!response.ok) {
+      std::fprintf(stderr, "start failed: %s\n", response.error.c_str());
+      return 1;
+    }
+  }
+
+  // Single synchronous executor, round-robin over the fleet: every
+  // granted suggestion is measured and told straight back, so each
+  // (suggest that granted, observe) pair is one control-plane round
+  // trip as an external executor experiences it.
+  std::vector<double> round_trip_us, observe_us;
+  std::size_t accepted = 0, other_verdicts = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    int done = 0;
+    bool granted = false;
+    for (int id = 1; id <= sessions; ++id) {
+      const auto status = manager.status(static_cast<std::uint64_t>(id));
+      if (status && terminal(status->state)) {
+        ++done;
+        continue;
+      }
+      service::Request suggest;
+      suggest.verb = "suggest";
+      suggest.session = static_cast<std::uint64_t>(id);
+      suggest.limit = 16;
+      const auto s0 = std::chrono::steady_clock::now();
+      const auto batch = client.call(suggest);
+      const auto s1 = std::chrono::steady_clock::now();
+      if (!batch.ok) continue;
+      const double suggest_us =
+          std::chrono::duration<double, std::micro>(s1 - s0).count();
+      for (const auto& record : batch.records) {
+        std::istringstream in(record);
+        std::uint64_t index = 0, lease = 0, deadline = 0;
+        if (!(in >> index >> lease >> deadline)) continue;
+        std::vector<double> unit;
+        double coord = 0.0;
+        while (in >> coord) unit.push_back(coord);
+        service::Request tell;
+        tell.verb = "observe";
+        tell.session = static_cast<std::uint64_t>(id);
+        tell.has_observation = true;
+        tell.eval = index;
+        tell.status = "ok";
+        fake_measurement(unit, index, tell.value_s, tell.cost_s);
+        const auto o0 = std::chrono::steady_clock::now();
+        const auto ack = client.call(tell);
+        const auto o1 = std::chrono::steady_clock::now();
+        const double tell_us =
+            std::chrono::duration<double, std::micro>(o1 - o0).count();
+        observe_us.push_back(tell_us);
+        round_trip_us.push_back(suggest_us + tell_us);
+        if (ack.ok && ack.fields.count("verdict") &&
+            ack.fields.at("verdict") == "accepted") {
+          ++accepted;
+        } else {
+          ++other_verdicts;
+        }
+        granted = true;
+      }
+    }
+    if (done == sessions) break;
+    if (!granted) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  manager.drain();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Reaper in isolation: a one-tick lease against a dedicated manager.
+  // Each cycle leases the whole pending round, abandons it, and times
+  // the sweep that expires + journals + re-pools every lease.  The
+  // pending set is never resolved, so the same round reclaims forever.
+  std::vector<double> reclaim_us;
+  {
+    service::ServiceOptions reap_options = options;
+    reap_options.root = options.root + "-reaper";
+    reap_options.lease_timeout_ticks = 1;
+    fs::remove_all(reap_options.root);
+    service::SessionManager reaper(reap_options);
+    const auto started = reaper.start(external_spec(7, budget));
+    if (!started.admitted) {
+      std::fprintf(stderr, "reaper start failed: %s\n",
+                   started.error.c_str());
+      return 1;
+    }
+    for (int cycle = 0; cycle < 32;) {
+      const auto ask = reaper.ask(started.id, 16);
+      if (!ask.ok) break;
+      if (ask.grants.empty()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      const auto r0 = std::chrono::steady_clock::now();
+      const auto reclaimed = reaper.tick();
+      const auto r1 = std::chrono::steady_clock::now();
+      if (reclaimed != ask.grants.size()) {
+        std::fprintf(stderr, "reclaimed %zu of %zu leases\n",
+                     static_cast<std::size_t>(reclaimed), ask.grants.size());
+        return 1;
+      }
+      reclaim_us.push_back(
+          std::chrono::duration<double, std::micro>(r1 - r0).count());
+      ++cycle;
+    }
+    reaper.cancel(started.id);
+    reaper.drain();
+    fs::remove_all(reap_options.root);
+  }
+
+  std::sort(round_trip_us.begin(), round_trip_us.end());
+  std::sort(observe_us.begin(), observe_us.end());
+  std::sort(reclaim_us.begin(), reclaim_us.end());
+  const double rt_p50 = percentile(round_trip_us, 0.50);
+  const double rt_p99 = percentile(round_trip_us, 0.99);
+  const double ob_p50 = percentile(observe_us, 0.50);
+  const double ob_p99 = percentile(observe_us, 0.99);
+  const double rc_p50 = percentile(reclaim_us, 0.50);
+  const double rc_p99 = percentile(reclaim_us, 0.99);
+
+  const auto expected =
+      static_cast<std::size_t>(sessions) * static_cast<std::size_t>(budget);
+  std::printf("fleet drained in %.2f s\n", wall_s);
+  std::printf("%-28s %zu/%zu (%zu other verdicts)\n", "accepted acks",
+              accepted, expected, other_verdicts);
+  std::printf("%-28s %10.1f us\n", "round-trip p50", rt_p50);
+  std::printf("%-28s %10.1f us\n", "round-trip p99", rt_p99);
+  std::printf("%-28s %10.1f us\n", "observe p50", ob_p50);
+  std::printf("%-28s %10.1f us\n", "observe p99", ob_p99);
+  std::printf("%-28s %10.1f us\n", "reclaim sweep p50", rc_p50);
+  std::printf("%-28s %10.1f us\n", "reclaim sweep p99", rc_p99);
+
+  fs::create_directories("bench_results");
+  std::FILE* out = std::fopen("bench_results/fig_external.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"sessions\": %d,\n"
+                 "  \"budget\": %d,\n"
+                 "  \"wall_s\": %.3f,\n"
+                 "  \"accepted\": %zu,\n"
+                 "  \"expected\": %zu,\n"
+                 "  \"other_verdicts\": %zu,\n"
+                 "  \"round_trip_p50_us\": %.1f,\n"
+                 "  \"round_trip_p99_us\": %.1f,\n"
+                 "  \"observe_p50_us\": %.1f,\n"
+                 "  \"observe_p99_us\": %.1f,\n"
+                 "  \"reclaim_sweep_p50_us\": %.1f,\n"
+                 "  \"reclaim_sweep_p99_us\": %.1f,\n"
+                 "  \"reclaim_samples\": %zu\n"
+                 "}\n",
+                 sessions, budget, wall_s, accepted, expected, other_verdicts,
+                 rt_p50, rt_p99, ob_p50, ob_p99, rc_p50, rc_p99,
+                 reclaim_us.size());
+    std::fclose(out);
+    std::printf("wrote bench_results/fig_external.json\n");
+  }
+  fs::remove_all(options.root);
+  return accepted == expected ? 0 : 1;
+}

@@ -17,12 +17,16 @@
 //         --remote start --workload PR --budget 24 --init 8
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/chaos.h"
 #include "common/error.h"
@@ -100,13 +104,27 @@ struct CliOptions {
   std::string trace_path;
   obs::TraceFormat trace_format = obs::TraceFormat::kJsonl;
   std::string metrics_path;
+  /// Session mode for --remote start: "internal" evaluates daemon-side,
+  /// "external" leases suggestions to ask/tell clients (DESIGN.md §16).
+  std::string mode = "internal";
   /// Client mode: socket of a robotune_serve daemon.
   std::string connect_path;
   /// Client verb: start|status|suggest|observe|checkpoint|cancel|
-  /// metrics|shutdown.
+  /// metrics|shutdown|drive.
   std::string remote = "status";
   std::uint64_t session_id = 0;
   std::uint64_t from = 0;
+  /// observe: record-window cap; suggest (external): max leases per ask.
+  /// 0 = verb default (observe: all records; ask: 1).
+  std::uint64_t limit = 0;
+  /// observe as *tell* (external sessions): --eval switches the verb
+  /// from reading the journal window to delivering the observation
+  /// below for that evaluation index.
+  bool tell_set = false;
+  std::uint64_t eval_index = 0;
+  double tell_value = 0.0;
+  double tell_cost = 0.0;
+  std::string tell_status = "ok";
   /// metrics verb: "prom" asks the daemon for the Prometheus text
   /// exposition, printed raw (pipe it into a scrape file).
   std::string format;
@@ -173,15 +191,34 @@ void usage(const char* argv0) {
       "client mode (talk to a robotune_serve daemon instead of tuning):\n"
       "  --connect SOCKET            daemon socket path\n"
       "  --remote VERB               start|status|suggest|observe|\n"
-      "                              checkpoint|cancel|metrics|shutdown\n"
+      "                              checkpoint|cancel|metrics|shutdown|\n"
+      "                              drive\n"
       "                              (default status; start builds the\n"
       "                              session spec from the options above,\n"
       "                              deriving the seed daemon-side unless\n"
       "                              --seed was given)\n"
       "  --session ID                target session for the verb\n"
+      "  --mode internal|external    start: external sessions evaluate\n"
+      "                              nothing daemon-side — suggestions\n"
+      "                              are leased to ask/tell clients\n"
+      "                              (default internal)\n"
       "  --from N                    observe: first evaluation index\n"
+      "  --limit N                   observe: max records per page;\n"
+      "                              suggest/drive (external sessions):\n"
+      "                              max leases per ask (0 = default)\n"
+      "  --eval N                    observe as *tell*: deliver --value/\n"
+      "                              --cost/--status for eval index N to\n"
+      "                              an external (ask/tell) session\n"
+      "  --value S                   tell: observed objective seconds\n"
+      "  --cost S                    tell: observed cost seconds\n"
+      "  --status L                  tell: run status label (default ok)\n"
       "  --format prom               metrics: print the daemon's\n"
-      "                              Prometheus text exposition raw\n",
+      "                              Prometheus text exposition raw\n"
+      "drive: run the external-evaluator loop against an ask/tell session\n"
+      "  (started with --remote start ... plus mode=external daemon-side):\n"
+      "  lease suggestions, evaluate them on the local simulator built\n"
+      "  from --workload/--dataset/--metric/--seed, and tell the results\n"
+      "  back until the session reaches a terminal state.\n",
       argv0);
 }
 
@@ -318,10 +355,35 @@ bool parse(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (!v) return false;
       options.session_id = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (!v) return false;
+      options.mode = v;
     } else if (arg == "--from") {
       const char* v = next();
       if (!v) return false;
       options.from = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--limit") {
+      const char* v = next();
+      if (!v) return false;
+      options.limit = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--eval") {
+      const char* v = next();
+      if (!v) return false;
+      options.eval_index = static_cast<std::uint64_t>(std::atoll(v));
+      options.tell_set = true;
+    } else if (arg == "--value") {
+      const char* v = next();
+      if (!v) return false;
+      options.tell_value = std::atof(v);
+    } else if (arg == "--cost") {
+      const char* v = next();
+      if (!v) return false;
+      options.tell_cost = std::atof(v);
+    } else if (arg == "--status") {
+      const char* v = next();
+      if (!v) return false;
+      options.tell_status = v;
     } else if (arg == "--format") {
       const char* v = next();
       if (!v) return false;
@@ -354,12 +416,172 @@ core::SessionSpec spec_from(const CliOptions& options) {
   spec.surrogate = options.surrogate;
   spec.rff_features = options.rff_features;
   spec.refit = options.refit_schedule;
+  spec.mode = options.mode;
   spec.checkpoint_path = options.checkpoint_path;
   spec.resume = options.resume;
   spec.recover = options.recover;
   spec.sync = options.fsync ? core::SyncPolicy::kFsync
                             : core::SyncPolicy::kNone;
   return spec;
+}
+
+/// Parses one external suggest record: `<index> <lease> <deadline>
+/// <unit...>` (the wire format dispatch emits for ask grants).
+bool parse_grant(const std::string& record, std::uint64_t& index,
+                 std::vector<double>& unit) {
+  std::istringstream in(record);
+  std::uint64_t lease = 0;
+  std::uint64_t deadline = 0;
+  if (!(in >> index >> lease >> deadline)) return false;
+  unit.clear();
+  double v = 0.0;
+  while (in >> v) unit.push_back(v);
+  return !unit.empty();
+}
+
+/// The external-evaluator loop (DESIGN.md §16): lease pending
+/// suggestions from an ask/tell session, evaluate each on a locally
+/// built simulator, and tell the observed (value, cost, status) tuple
+/// back — retrying tells the daemon drops (chaos or transport) and
+/// treating a duplicate ack as success, so the loop is safe to restart
+/// at any point.
+int run_drive(service::SocketClient& client, const CliOptions& options) {
+  if (options.session_id == 0) {
+    std::fprintf(stderr, "drive needs --session ID\n");
+    return 2;
+  }
+  sparksim::WorkloadKind kind = sparksim::WorkloadKind::kPageRank;
+  bool known = false;
+  for (auto k : sparksim::all_workloads()) {
+    if (sparksim::short_name(k) == options.workload) {
+      kind = k;
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    std::fprintf(stderr, "unknown workload '%s'\n",
+                 options.workload.c_str());
+    return 2;
+  }
+  // Same evaluator construction as an internal session (core/session.cpp)
+  // so a driven session observes the tuples an internal run of the same
+  // spec would journal.
+  sparksim::SparkObjective objective(
+      sparksim::ClusterSpec::paper_testbed(),
+      sparksim::make_workload(kind, options.dataset),
+      sparksim::spark24_config_space(), options.seed * 7919, 480.0, 0.04,
+      options.metric == "coreseconds"
+          ? sparksim::ObjectiveMetric::kCoreSeconds
+          : sparksim::ObjectiveMetric::kExecutionTime);
+  sparksim::FaultProfile faults;
+  if (!sparksim::FaultProfile::from_preset(options.fault_profile, faults)) {
+    std::fprintf(stderr,
+                 "drive supports preset fault profiles only "
+                 "(none|mild|moderate|severe), not '%s'\n",
+                 options.fault_profile.c_str());
+    return 2;
+  }
+  objective.set_fault_profile(faults);
+  if (faults.active()) {
+    sparksim::RetryPolicy retry;
+    retry.max_retries = std::max(0, options.retries);
+    objective.set_retry_policy(retry);
+  }
+
+  std::string error;
+  std::size_t told = 0;
+  std::size_t duplicates = 0;
+  std::string state = "unknown";
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    service::Request ask;
+    ask.verb = "suggest";
+    ask.session = options.session_id;
+    ask.limit = options.limit;
+    service::Response batch;
+    if (!client.call(ask, batch, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    if (!batch.ok) {
+      std::fprintf(stderr, "error: %s\n", batch.error.c_str());
+      return 1;
+    }
+    if (batch.fields["mode"] != "external") {
+      std::fprintf(stderr,
+                   "session %llu is not external — drive only applies "
+                   "to ask/tell sessions\n",
+                   static_cast<unsigned long long>(options.session_id));
+      return 1;
+    }
+    state = batch.fields["state"];
+    if (state == "done" || state == "cancelled" || state == "failed") break;
+    if (batch.records.empty()) {
+      // The engine is between rounds (fitting the surrogate on the
+      // observations just told) — poll again shortly.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    for (const auto& record : batch.records) {
+      std::uint64_t index = 0;
+      std::vector<double> unit;
+      if (!parse_grant(record, index, unit)) {
+        std::fprintf(stderr, "bad suggest record '%s'\n", record.c_str());
+        return 1;
+      }
+      const auto outcome = objective.evaluate(unit);
+      service::Request tell;
+      tell.verb = "observe";
+      tell.session = options.session_id;
+      tell.has_observation = true;
+      tell.eval = index;
+      tell.value_s = outcome.value_s;
+      tell.cost_s = outcome.cost_s;
+      tell.status = sparksim::to_string(outcome.status);
+      bool delivered = false;
+      for (int attempt = 0; attempt < 8 && !delivered; ++attempt) {
+        service::Response ack;
+        if (!client.call(tell, ack, &error)) {
+          std::fprintf(stderr, "%s\n", error.c_str());
+          return 1;
+        }
+        const std::string verdict = ack.fields["verdict"];
+        if (ack.ok) {
+          delivered = true;
+          if (verdict == "duplicate") ++duplicates;
+          ++told;
+        } else if (verdict == "conflict") {
+          std::fprintf(stderr,
+                       "eval %llu conflicts with the recorded tuple "
+                       "(value=%s cost=%s status=%s) — aborting\n",
+                       static_cast<unsigned long long>(index),
+                       ack.fields["value"].c_str(),
+                       ack.fields["cost"].c_str(),
+                       ack.fields["status"].c_str());
+          return 1;
+        } else if (ack.error.find("retry") != std::string::npos) {
+          // Chaos / transient delivery drop: idempotent, so resend.
+          continue;
+        } else {
+          std::fprintf(stderr, "error: %s\n", ack.error.c_str());
+          return 1;
+        }
+      }
+      if (!delivered) {
+        std::fprintf(stderr,
+                     "eval %llu: delivery kept failing — giving up\n",
+                     static_cast<unsigned long long>(index));
+        return 1;
+      }
+    }
+  }
+  if (!options.quiet) {
+    std::printf("drove session %llu to state %s: %zu observation(s) told"
+                " (%zu duplicate ack(s))\n",
+                static_cast<unsigned long long>(options.session_id),
+                state.c_str(), told, duplicates);
+  }
+  return 0;
 }
 
 /// Client mode: one request against a robotune_serve daemon.
@@ -370,11 +592,20 @@ int run_client(const CliOptions& options) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
+  if (options.remote == "drive") return run_drive(client, options);
   service::Request request;
   request.verb = options.remote;
   request.session = options.session_id;
   request.from = options.from;
+  request.limit = options.limit;
   request.format = options.format;
+  if (request.verb == "observe" && options.tell_set) {
+    request.has_observation = true;
+    request.eval = options.eval_index;
+    request.value_s = options.tell_value;
+    request.cost_s = options.tell_cost;
+    request.status = options.tell_status;
+  }
   if (request.verb == "start") {
     core::SessionSpec spec = spec_from(options);
     spec.checkpoint_path.clear();  // the daemon owns durability wiring
@@ -409,8 +640,28 @@ int run_client(const CliOptions& options) {
     std::printf("%s=%s\n", key.c_str(), value.c_str());
   }
   for (const auto& record : response.records) {
-    std::printf("%s %s\n", request.verb == "metrics" ? "session" : "eval",
-                record.c_str());
+    const char* prefix = request.verb == "metrics"    ? "session"
+                         : request.verb == "suggest" ? "grant"
+                                                     : "eval";
+    std::printf("%s %s\n", prefix, record.c_str());
+  }
+  // Truncation detection: the daemon reports the journal's total record
+  // count alongside any observe window, so a short page is visible
+  // instead of silently passing for the whole history.
+  if (request.verb == "observe" && !request.has_observation) {
+    if (const auto it = response.fields.find("total");
+        it != response.fields.end()) {
+      const std::uint64_t total = std::strtoull(it->second.c_str(),
+                                                nullptr, 10);
+      const std::uint64_t shown = response.records.size();
+      if (options.from + shown < total) {
+        std::printf("note: truncated — %llu of %llu record(s) shown; "
+                    "next page: --from %llu\n",
+                    static_cast<unsigned long long>(shown),
+                    static_cast<unsigned long long>(total),
+                    static_cast<unsigned long long>(options.from + shown));
+      }
+    }
   }
   return 0;
 }

@@ -17,6 +17,7 @@
 // boundary with resumable journals, so the next start continues the
 // fleet where it left off.
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -57,6 +58,13 @@ void usage(const char* argv0) {
       "                    (default 0; 1 = strict round-robin)\n"
       "  --seed N          service seed for derived session seeds\n"
       "                    (default 2024)\n"
+      "  --lease-timeout N ask/tell lease lifetime in ticks (~seconds);\n"
+      "                    leased suggestions unobserved for this long\n"
+      "                    return to the pending pool  (default 60)\n"
+      "  --terminal-ttl N  evict done/cancelled sessions from memory\n"
+      "                    after N ticks; 0 = keep resident (default 0)\n"
+      "  --idle-timeout N  drop clients that never complete a request\n"
+      "                    frame after N seconds       (default 30)\n"
       "  --fsync           fsync every journal flush\n"
       "  --pool-threads N  size the process-global thread pool before\n"
       "                    first use (0 = hardware concurrency)\n"
@@ -108,6 +116,7 @@ int main(int argc, char** argv) {
   std::string metrics_file;
   std::string trace_dir;
   long pool_threads = -1;
+  int idle_timeout_s = 30;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -137,6 +146,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]), 2;
       options.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--lease-timeout") {
+      const char* v = next();
+      if (!v || std::atoll(v) < 1) return usage(argv[0]), 2;
+      options.lease_timeout_ticks = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--terminal-ttl") {
+      const char* v = next();
+      if (!v || std::atoll(v) < 0) return usage(argv[0]), 2;
+      options.terminal_ttl_ticks = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--idle-timeout") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 1) return usage(argv[0]), 2;
+      idle_timeout_s = std::atoi(v);
     } else if (arg == "--fsync") {
       options.sync = core::SyncPolicy::kFsync;
     } else if (arg == "--pool-threads") {
@@ -228,13 +249,16 @@ int main(int argc, char** argv) {
                  error.c_str());
     return 1;
   }
-  if (!metrics_file.empty()) {
-    // Rewritten roughly once a second on the serve loop (atomic
-    // temp+rename, so a scraper never reads a torn file).
-    server.set_tick([&manager, metrics_file] {
+  server.set_idle_timeout(std::chrono::seconds(idle_timeout_s));
+  // The serve-loop tick (roughly once a second) drives the manager's
+  // virtual clock — lease reaping and terminal-TTL eviction — and,
+  // when configured, the Prometheus metrics dump.
+  server.set_tick([&manager, metrics_file] {
+    manager.tick();
+    if (!metrics_file.empty()) {
       obs::write_prometheus_file(obs::metrics().snapshot(), metrics_file);
-    });
-  }
+    }
+  });
   std::printf("serving on %s (max-live %zu, queue %zu, slots %zu)\n",
               socket_path.c_str(), options.max_live, options.max_pending,
               options.slots == 0 ? options.max_live : options.slots);

@@ -18,10 +18,12 @@ constexpr std::array<std::uint64_t, kSiteCount> kSiteSalt = {
     0x4a4f55524e414cULL,  // "JOURNAL"
     0x504f4f4cULL,        // "POOL"
     0x43414e43454cULL,    // "CANCEL"
+    0x4f42534552564555ULL,  // "OBSERVEU"
 };
 
 const char* kSiteNames[kSiteCount] = {"cholesky", "acq_opt", "journal_write",
-                                      "pool_task", "cancel_delivery"};
+                                      "pool_task", "cancel_delivery",
+                                      "observe_delivery"};
 
 }  // namespace
 
@@ -41,6 +43,8 @@ double ChaosProfile::rate(Site site) const noexcept {
       return pool_task_failure;
     case Site::kCancelDelivery:
       return cancel_delivery_failure;
+    case Site::kObserveDelivery:
+      return observe_delivery_failure;
   }
   return 0.0;
 }
@@ -105,6 +109,8 @@ bool ChaosProfile::parse(const std::string& text, ChaosProfile& out) {
       parsed.pool_task_failure = rate;
     } else if (key == "cancel") {
       parsed.cancel_delivery_failure = rate;
+    } else if (key == "observe") {
+      parsed.observe_delivery_failure = rate;
     } else {
       return false;
     }

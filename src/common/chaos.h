@@ -31,7 +31,15 @@
 //  * kCancelDelivery sparksim's stage boundary ignores a pending kill
 //                   request (a delayed/dropped cancellation signal — the
 //                   run keeps executing until a later boundary's delivery
-//                   succeeds or the run finishes on its own).
+//                   succeeds or the run finishes on its own);
+//  * kObserveDelivery the service's ask/tell observe path drops or
+//                   duplicates a client observation (a per-delivery
+//                   counter decision, so a blind client retry draws a
+//                   fresh verdict and eventually lands; the drop
+//                   pattern is scheduling-dependent but invisible to
+//                   results — accepted tuples are exactly what the
+//                   client sent, whichever attempt delivers them —
+//                   proving the lease ledger's idempotency end-to-end).
 //
 // Counter-based sites (kCholesky, kAcqOpt, kJournalWrite) are only ever
 // armed for call sites on the canonical session thread, or whose effect
@@ -63,8 +71,9 @@ enum class Site : int {
   kJournalWrite,
   kPoolTask,
   kCancelDelivery,
+  kObserveDelivery,
 };
-inline constexpr int kSiteCount = 5;
+inline constexpr int kSiteCount = 6;
 
 const char* to_string(Site site) noexcept;
 
@@ -84,11 +93,12 @@ struct ChaosProfile {
   double journal_write_failure = 0.0;
   double pool_task_failure = 0.0;
   double cancel_delivery_failure = 0.0;
+  double observe_delivery_failure = 0.0;
 
   bool active() const noexcept {
     return cholesky_failure > 0.0 || acq_opt_failure > 0.0 ||
            journal_write_failure > 0.0 || pool_task_failure > 0.0 ||
-           cancel_delivery_failure > 0.0;
+           cancel_delivery_failure > 0.0 || observe_delivery_failure > 0.0;
   }
 
   double rate(Site site) const noexcept;
@@ -104,7 +114,7 @@ struct ChaosProfile {
   static bool from_preset(const std::string& name, ChaosProfile& out);
 
   /// Parses a preset name or a
-  /// "cholesky=F,acq=F,journal=F,pool=F,cancel=F" list.
+  /// "cholesky=F,acq=F,journal=F,pool=F,cancel=F,observe=F" list.
   static bool parse(const std::string& text, ChaosProfile& out);
 };
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "core/external.h"
 #include "gp/kernel.h"
 #include "gp/rff_gp.h"
 #include "obs/metrics.h"
@@ -91,12 +92,23 @@ std::vector<double> BoEngine::expand(const std::vector<double>& sub) const {
 BoResult BoEngine::run(sparksim::SparkObjective& objective,
                        const std::vector<MemoizedConfig>& memoized,
                        const BoObserver& observer, SessionLog* session,
-                       exec::EvalScheduler* scheduler) {
+                       exec::EvalScheduler* scheduler,
+                       ExternalBridge* external) {
   BoResult result;
   result.tuning.tuner = "ROBOTune";
+  require(!(scheduler != nullptr && external != nullptr),
+          "BoEngine: scheduler and external bridge are mutually exclusive");
   Rng rng(options_.seed);
   const std::size_t dims = selected_.size();
-  const bool indexed = scheduler != nullptr;
+  // Ask/tell mode is entered by attaching a bridge — or by replaying a
+  // checkpoint an external session journaled (standalone replay needs
+  // no bridge; continuing live does, enforced at the first live round).
+  const bool external_mode =
+      external != nullptr ||
+      (session != nullptr && session->state.external);
+  // External evaluations consume no objective seed draws, so ask/tell
+  // sessions always journal (and replay) under indexed seeding.
+  const bool indexed = scheduler != nullptr || external_mode;
   obs::set_gauge("bo.selected_dims", static_cast<double>(dims));
 
   tuners::GuardPolicy guard(options_.static_threshold_s,
@@ -125,8 +137,16 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
     session->state.degrade_events.clear();
     journaled = session->state.evaluations.size();
     const std::string racing_sig =
-        indexed ? exec::racing_signature(scheduler->racing())
-                : std::string("off");
+        scheduler != nullptr ? exec::racing_signature(scheduler->racing())
+                             : std::string("off");
+    if (journaled > 0 || !session->state.suggests.empty()) {
+      // Mode is pinned the moment anything was journaled: an internal
+      // checkpoint must not resume in ask/tell mode (its evaluations
+      // consumed the sequential seed stream) and vice versa.
+      require(!(external != nullptr && !session->state.external),
+              "BoEngine: checkpoint was journaled by an internal-mode "
+              "session; it cannot resume in ask/tell (external) mode");
+    }
     if (journaled > 0) {
       require(session->state.indexed_seeding == indexed,
               "BoEngine: checkpoint was journaled under a different "
@@ -146,7 +166,13 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
       session->state.indexed_seeding = indexed;
       session->state.racing_mode = racing_sig == "off" ? "" : racing_sig;
     }
+    // Never cleared once set: a restored external flag survives even
+    // when the crash predated the first completed evaluation.
+    if (external != nullptr) session->state.external = true;
   }
+  // Restore the bridge's ledger (idempotency acks, lease-id high-water
+  // mark) from whatever a previous process journaled.
+  if (external != nullptr) external->bind(session);
 
   // Cooperative cancellation (graceful SIGINT/SIGTERM): checked at round
   // boundaries only, so every completed evaluation is journaled and the
@@ -183,10 +209,58 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
     return rec;
   };
 
+  // Maps an externally reported (value, cost, status) tuple onto the
+  // evaluation the simulator path would have produced under the round's
+  // guard threshold: successes at or above the threshold are censored
+  // like a guard stop, failures carry the same penalty/censoring split
+  // as sparksim's objective, and non-finite values fall through to
+  // append_evaluation's quarantine.  External executors report one
+  // measurement per suggestion, so attempts is always 1 (no seed draws
+  // to fast-forward on resume).
+  const auto funnel_external = [](const std::vector<double>& unit,
+                                  const ExternalObservation& o,
+                                  double threshold) {
+    tuners::Evaluation e;
+    e.unit = unit;
+    e.value_s = o.value_s;
+    e.cost_s = o.cost_s;
+    e.status = o.status;
+    e.attempts = 1;
+    switch (o.status) {
+      case sparksim::RunStatus::kOk:
+        if (std::isfinite(e.value_s) && threshold > 0.0 &&
+            e.value_s >= threshold) {
+          e.value_s = threshold;
+          e.stopped_early = true;
+        }
+        break;
+      case sparksim::RunStatus::kTimeLimit:
+        if (threshold > 0.0) e.value_s = threshold;
+        e.stopped_early = true;
+        break;
+      case sparksim::RunStatus::kOom:
+      case sparksim::RunStatus::kInfeasible:
+        e.value_s = (threshold > 0.0 ? threshold : 600.0) * 1.05;
+        break;
+      case sparksim::RunStatus::kExecutorLost:
+      case sparksim::RunStatus::kFetchFailure:
+      case sparksim::RunStatus::kPreempted:
+      case sparksim::RunStatus::kKilled:
+        if (threshold > 0.0) e.value_s = threshold;
+        e.transient = true;
+        break;
+    }
+    return e;
+  };
+
   // Evaluates one round of full-space points under the current guard:
   // the journaled prefix is replayed, the live remainder runs as one
   // scheduler batch (or inline, detached).  Bookkeeping happens in
   // canonical order; the returned evaluations are in point order.
+  // Ask/tell mode publishes the remainder through the bridge instead
+  // and blocks for the external observations; a cancel mid-round
+  // returns the partial replay prefix with result.interrupted set —
+  // callers must break before touching the round's evaluations.
   const auto evaluate_points =
       [&](const std::vector<std::vector<double>>& points)
       -> std::vector<tuners::Evaluation> {
@@ -229,6 +303,60 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
     }
     const std::size_t live_begin = evals.size();
     if (live_begin == points.size()) return evals;
+
+    if (external_mode) {
+      require(external != nullptr,
+              "BoEngine: external-mode checkpoint has unreplayed budget; "
+              "attach an ask/tell bridge (host it in the daemon) to "
+              "continue — standalone runs can only replay it");
+      const std::uint64_t first_index = result.tuning.history.size();
+      const std::vector<std::vector<double>> live(
+          points.begin() + static_cast<std::ptrdiff_t>(live_begin),
+          points.end());
+      std::vector<ExternalObservation> reported;
+      if (!external->exchange(live, first_index, reported)) {
+        // Cancelled mid-round.  The journal keeps the round's pending
+        // suggestions (and any acks already accepted), so a resume
+        // re-enters this exact exchange.
+        result.interrupted = true;
+        return evals;
+      }
+      for (std::size_t i = live_begin; i < points.size(); ++i) {
+        tuners::Evaluation e =
+            funnel_external(points[i], reported[i - live_begin], threshold);
+        tuners::append_evaluation(e, guard, result.tuning);
+        if (session != nullptr) {
+          // Journal post-funnel (quarantine included), like the
+          // detached path: replay feeds the record straight back
+          // through append_evaluation and lands identical state.
+          session->state.evaluations.push_back(
+              record_of(result.tuning.history.back(),
+                        result.tuning.history.size() - 1));
+        }
+        evals.push_back(std::move(e));
+      }
+      if (session != nullptr) {
+        // One flush resolves the round atomically: the eval records
+        // land and their suggest entries leave the pending set.  The
+        // observations themselves are already durable (acks journaled
+        // at tell time), so a crash right here replays into the same
+        // evaluations.
+        const std::uint64_t resolved_end = first_index + live.size();
+        auto& suggests = session->state.suggests;
+        suggests.erase(
+            std::remove_if(suggests.begin(), suggests.end(),
+                           [resolved_end](const SuggestRecord& s) {
+                             return s.index < resolved_end;
+                           }),
+            suggests.end());
+        if (session->flush) {
+          obs::Span span("journal", "bo");
+          span.arg("eval_index", resolved_end - 1);
+          session->flush(session->state);
+        }
+      }
+      return evals;
+    }
 
     if (scheduler != nullptr) {
       const std::uint64_t first_index = result.tuning.history.size();
@@ -342,6 +470,7 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
         points.push_back(expand(init_subs[i]));
       }
       const auto evals = evaluate_points(points);
+      if (result.interrupted) break;  // cancelled mid-round (ask/tell)
       for (std::size_t i = begin; i < end; ++i) {
         const auto& e = evals[i - begin];
         // A racer kill certifies value >= threshold — the same censored
@@ -648,6 +777,7 @@ BoResult BoEngine::run(sparksim::SparkObjective& objective,
     points.reserve(static_cast<std::size_t>(q));
     for (const auto& choice : choices) points.push_back(expand(choice.point));
     const auto evals = evaluate_points(points);
+    if (result.interrupted) break;  // cancelled mid-round (ask/tell)
 
     // (4) Fold the real observations into the model and update Hedge's
     // cumulative gains under the refreshed posterior.  Transient failures

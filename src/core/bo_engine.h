@@ -25,6 +25,8 @@
 
 namespace robotune::core {
 
+class ExternalBridge;
+
 /// Which surrogate tier models the observations (DESIGN.md §15).
 enum class SurrogateTier {
   kExact,  ///< always the exact GP (O(n³) fits)
@@ -178,11 +180,21 @@ class BoEngine {
   /// index-derived seed streams: results are then bit-identical for any
   /// scheduler parallelism (but differ from detached-mode runs, whose
   /// evaluations consume the objective's sequential stream).
+  ///
+  /// `external`, when given, turns the engine into ask/tell mode
+  /// (DESIGN.md §16): each round's batch is published through the
+  /// bridge instead of evaluated, and the engine blocks until an
+  /// external executor reports every observation back.  Mutually
+  /// exclusive with `scheduler`.  External evaluations consume no
+  /// objective seed draws, so external sessions always journal indexed
+  /// seeding; an external-mode checkpoint replays standalone (no
+  /// bridge) but refuses to run live evaluations without one.
   BoResult run(sparksim::SparkObjective& objective,
                const std::vector<MemoizedConfig>& memoized = {},
                const BoObserver& observer = nullptr,
                SessionLog* session = nullptr,
-               exec::EvalScheduler* scheduler = nullptr);
+               exec::EvalScheduler* scheduler = nullptr,
+               ExternalBridge* external = nullptr);
 
   /// Projects a full-space unit vector onto the selected subspace.
   std::vector<double> project(const std::vector<double>& full) const;

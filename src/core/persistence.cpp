@@ -196,6 +196,42 @@ void parse_session_record(RecordParser& p, bool v1,
     event.reason = *reason;
     p.done("kill");
     session.kill_events.push_back(event);
+  } else if (kind == "mode") {
+    const std::string_view mode = p.token("session mode");
+    if (mode != "external") {
+      p.fail("malformed session mode: '" + std::string(mode) + "'");
+    }
+    session.external = true;
+    p.done("mode");
+  } else if (kind == "suggest") {
+    SuggestRecord s;
+    s.index = p.u64("suggest index");
+    s.lease = p.u64("suggest lease");
+    const std::uint64_t dims = p.u64("suggest dims");
+    s.unit.resize(dims);
+    for (auto& u : s.unit) u = p.d("suggest unit coordinate");
+    p.done("suggest");
+    session.suggests.push_back(std::move(s));
+  } else if (kind == "observe_ack") {
+    ObserveAck ack;
+    ack.index = p.u64("observe_ack index");
+    const std::string_view status_label = p.token("observe_ack status");
+    const auto status =
+        sparksim::run_status_from_string(std::string(status_label));
+    if (!status.has_value()) {
+      p.fail("unknown run status: '" + std::string(status_label) + "'");
+    }
+    ack.status = *status;
+    ack.value_s = p.d("observe_ack value");
+    ack.cost_s = p.d("observe_ack cost");
+    p.done("observe_ack");
+    session.observe_acks.push_back(ack);
+  } else if (kind == "lease_expired") {
+    LeaseExpiry expiry;
+    expiry.index = p.u64("lease_expired index");
+    expiry.lease = p.u64("lease_expired lease");
+    p.done("lease_expired");
+    session.lease_expiries.push_back(expiry);
   } else {
     p.fail("unknown record kind: '" + std::string(kind) + "'");
   }
@@ -283,6 +319,22 @@ std::size_t canonicalize_journal(SessionCheckpoint& session) {
                                return k.index >= keep;
                              }),
               kills.end());
+  // A suggestion is resolved the moment its eval record lands; a crash
+  // between the two flushes can leave both in the journal.  Prune the
+  // resolved ones so the restored pending set is exactly the
+  // suggestions the replayable prefix has NOT consumed.  (observe_acks
+  // are deliberately untouched: the idempotency ledger outlives the
+  // evaluations it acked.)
+  auto& suggests = session.suggests;
+  std::stable_sort(suggests.begin(), suggests.end(),
+                   [](const SuggestRecord& a, const SuggestRecord& b) {
+                     return a.index < b.index;
+                   });
+  suggests.erase(std::remove_if(suggests.begin(), suggests.end(),
+                                [keep](const SuggestRecord& s) {
+                                  return s.index < keep;
+                                }),
+                 suggests.end());
   return loaded - keep;
 }
 
@@ -430,6 +482,30 @@ std::size_t save_session(const SessionCheckpoint& session,
     emit(payload([&](std::ostream& p) {
       p << "degrade " << event.iter << " " << event.rung;
     }));
+  }
+  // External-only records come last and only for external sessions, so
+  // internal-mode journals stay byte-identical to pre-external releases
+  // (same contract as the `racing` record above).
+  if (session.external) {
+    emit(payload([&](std::ostream& p) { p << "mode external"; }));
+    for (const auto& s : session.suggests) {
+      emit(payload([&](std::ostream& p) {
+        p << "suggest " << s.index << " " << s.lease << " " << s.unit.size();
+        for (double u : s.unit) p << " " << u;
+      }));
+    }
+    for (const auto& ack : session.observe_acks) {
+      emit(payload([&](std::ostream& p) {
+        p << "observe_ack " << ack.index << " "
+          << sparksim::to_string(ack.status) << " " << ack.value_s << " "
+          << ack.cost_s;
+      }));
+    }
+    for (const auto& expiry : session.lease_expiries) {
+      emit(payload([&](std::ostream& p) {
+        p << "lease_expired " << expiry.index << " " << expiry.lease;
+      }));
+    }
   }
   return session.evaluations.size();
 }

@@ -36,12 +36,27 @@
 //   degrade <iter> <rung>
 //   racing <signature>
 //   kill <index> <reason>
+//   mode external
+//   suggest <index> <lease> <dim> <unit...>
+//   observe_ack <index> <status> <value_s> <cost_s>
+//   lease_expired <index> <lease>
 //
 // `racing` (emitted only when a racing policy was active — racing-off
 // journals stay byte-identical to pre-racing releases) pins the racing
 // signature so resume can refuse a cross-mode restart; `kill` records a
 // mid-flight racing/deadline kill of evaluation <index> with its reason
 // ("deadline", "median-rule", "halving-rung").
+//
+// The last four kinds exist only for ask/tell sessions (DESIGN.md §16)
+// and are emitted only when `mode=external` — internal-mode journals
+// stay byte-identical to pre-external releases.  `mode external` pins
+// the session mode so resume refuses a cross-mode restart; `suggest`
+// journals a proposed-but-unresolved configuration (with the
+// last-issued lease id, 0 if never leased — lease deadlines are
+// daemon-tick-relative and deliberately NOT persisted: a restart voids
+// every outstanding lease); `observe_ack` records an accepted external
+// observation so a re-delivered observe after a crash acks
+// idempotently; `lease_expired` is the reaper's audit trail.
 //
 // The framing makes a torn write (power loss mid-checkpoint) or a bit
 // flip detectable at load time: in LoadMode::kRecover the loader
@@ -105,6 +120,42 @@ struct KillEvent {
   sparksim::KillReason reason = sparksim::KillReason::kNone;
 };
 
+/// One proposed-but-unresolved configuration of an ask/tell session
+/// (DESIGN.md §16).  Journaled when the engine publishes a batch so a
+/// kill -9 mid-lease restarts into exactly the same pending set; pruned
+/// (by the engine at flush, and by canonicalize_journal after a torn
+/// write) once the matching eval record lands.
+struct SuggestRecord {
+  std::uint64_t index = 0;  ///< canonical eval index of the suggestion
+  /// Last lease id ever issued for this suggestion (0 = never leased).
+  /// Persisted only so lease ids stay monotonic across restarts; the
+  /// runtime lease/deadline state itself is voided by a restart.
+  std::uint64_t lease = 0;
+  std::vector<double> unit;  ///< full-space unit vector proposed
+};
+
+/// One accepted external observation, journaled at tell time (before
+/// the round's eval record exists) so `observe` stays idempotent across
+/// daemon restarts: a re-delivered observe finds the ack and returns
+/// it instead of being treated as new.  The tuple is stored exactly as
+/// the client sent it (pre-funnel); a restart replays it through the
+/// engine's deterministic quarantine/censoring funnel and lands on the
+/// same eval record bytes.  Never pruned.
+struct ObserveAck {
+  std::uint64_t index = 0;
+  sparksim::RunStatus status = sparksim::RunStatus::kOk;
+  double value_s = 0.0;
+  double cost_s = 0.0;
+};
+
+/// Reaper audit record: lease <lease> of suggestion <index> expired and
+/// the suggestion returned to the pending pool.  Kept for the life of
+/// the session (and consulted for lease-id monotonicity on restart).
+struct LeaseExpiry {
+  std::uint64_t index = 0;
+  std::uint64_t lease = 0;
+};
+
 /// Everything needed to resume a killed tuning session with an identical
 /// continuation.  The journal grows by one record per completed
 /// evaluation; all other fields are fixed at session start.
@@ -132,7 +183,22 @@ struct SessionCheckpoint {
   /// non-empty and not "off", so racing-off journals are byte-identical
   /// to releases without the racing layer.
   std::string racing_mode;
+  /// True for ask/tell (`mode=external`) sessions: evaluations arrive
+  /// from an external executor via suggest/observe instead of the
+  /// simulator.  External sessions always use indexed seeding (external
+  /// evaluations consume no objective seed draws).  A checkpoint only
+  /// resumes under the same mode.
+  bool external = false;
   std::vector<EvalRecord> evaluations;  ///< completed-evaluation journal
+  /// Pending (proposed, not yet resolved) suggestions of an external
+  /// session, in index order.  Empty for internal sessions and for any
+  /// external session idle between batches.
+  std::vector<SuggestRecord> suggests;
+  /// Accepted external observations, in acceptance order.  Never pruned:
+  /// the idempotency ledger must survive both flush cycles and restarts.
+  std::vector<ObserveAck> observe_acks;
+  /// Reaper audit trail, in expiry order.
+  std::vector<LeaseExpiry> lease_expiries;
   /// Degradation-ladder rungs taken so far, in canonical (iteration)
   /// order.  Cleared and regenerated by the engine on resume.
   std::vector<DegradeEvent> degrade_events;

@@ -24,7 +24,8 @@ RoboTuneReport RoboTune::tune_report(sparksim::SparkObjective& objective,
                                      int budget, std::uint64_t seed,
                                      const BoObserver& observer,
                                      SessionLog* session,
-                                     exec::EvalScheduler* scheduler) {
+                                     exec::EvalScheduler* scheduler,
+                                     ExternalBridge* external) {
   RoboTuneReport report;
   const std::string workload_key =
       sparksim::to_string(objective.workload().kind);
@@ -109,8 +110,11 @@ RoboTuneReport RoboTune::tune_report(sparksim::SparkObjective& objective,
     session->state.memoized = memoized;
     // Record the seeding mode with the very first flush, so resuming an
     // early checkpoint under the wrong --parallel mode is refused rather
-    // than silently diverging.
-    session->state.indexed_seeding = scheduler != nullptr;
+    // than silently diverging.  Ask/tell sessions are always indexed
+    // (external evaluations consume no objective seed draws) and pin
+    // their mode the same way.
+    session->state.indexed_seeding = scheduler != nullptr || external != nullptr;
+    session->state.external = external != nullptr;
     if (session->flush) session->flush(session->state);
   }
 
@@ -123,7 +127,8 @@ RoboTuneReport RoboTune::tune_report(sparksim::SparkObjective& objective,
   if (bo.cancel == nullptr) bo.cancel = pacing_cancel();
   if (!bo.yield) bo.yield = pacing_yield();
   BoEngine engine(report.selected, objective.space().default_unit(), bo);
-  report.bo = engine.run(objective, memoized, observer, session, scheduler);
+  report.bo =
+      engine.run(objective, memoized, observer, session, scheduler, external);
   report.tuning = report.bo.tuning;
   report.tuning.tuner = name();
 

@@ -72,11 +72,19 @@ class RoboTune : public tuners::Tuner {
   /// with index-derived seed streams (see BoEngine::run); parameter
   /// selection itself stays sequential.  A checkpoint resumes only under
   /// the seeding mode (scheduler vs detached) that produced it.
+  ///
+  /// `external`, when given, runs the BO search in ask/tell mode: the
+  /// engine publishes each batch through the bridge and blocks for
+  /// externally reported observations (see BoEngine::run).  Parameter
+  /// selection still runs against the simulator objective — selection
+  /// needs its 100 generic LHS probes, which an external executor does
+  /// not serve.  Mutually exclusive with `scheduler`.
   RoboTuneReport tune_report(sparksim::SparkObjective& objective, int budget,
                              std::uint64_t seed,
                              const BoObserver& observer = nullptr,
                              SessionLog* session = nullptr,
-                             exec::EvalScheduler* scheduler = nullptr);
+                             exec::EvalScheduler* scheduler = nullptr,
+                             ExternalBridge* external = nullptr);
 
   ParameterSelectionCache& selection_cache() { return selection_cache_; }
   ConfigMemoizationBuffer& memo_buffer() { return memo_buffer_; }

@@ -141,11 +141,11 @@ std::string SessionSpec::validate() const {
   }
   if (parallel < 0) return "parallel must be >= 0";
   if (batch < 1) return "batch must be >= 1";
-  exec::RacingMode mode;
-  if (!exec::racing_mode_from_string(racing, mode)) {
+  exec::RacingMode racing_mode;
+  if (!exec::racing_mode_from_string(racing, racing_mode)) {
     return "bad racing mode '" + racing + "' (off|median|halving)";
   }
-  if ((mode != exec::RacingMode::kOff || eval_deadline > 0.0) &&
+  if ((racing_mode != exec::RacingMode::kOff || eval_deadline > 0.0) &&
       parallel < 1) {
     return "racing/eval-deadline need the batch scheduler (parallel >= 1)";
   }
@@ -167,6 +167,23 @@ std::string SessionSpec::validate() const {
   if (!parse_refit_schedule(refit)) {
     return "bad refit schedule '" + refit + "' (fixed|doubling|auto)";
   }
+  if (mode != "internal" && mode != "external") {
+    return "bad session mode '" + mode + "' (internal|external)";
+  }
+  if (mode == "external") {
+    // Ask/tell constraints: only the BO engine speaks the protocol, and
+    // the batch scheduler / racing layer drive simulator runs an
+    // external executor replaces outright.
+    if (tuner != "robotune") return "external mode requires tuner=robotune";
+    if (parallel != 0) {
+      return "external mode is incompatible with parallel workers "
+             "(evaluations run outside the daemon)";
+    }
+    if (racing != "off" || eval_deadline > 0.0) {
+      return "external mode is incompatible with racing/eval-deadline "
+             "(lease timeouts bound external evaluations instead)";
+    }
+  }
   return {};
 }
 
@@ -184,6 +201,10 @@ std::string encode_spec_body(const SessionSpec& spec) {
           << " selsamples=" << spec.selection_samples
           << " surrogate=" << spec.surrogate
           << " rff=" << spec.rff_features << " refit=" << spec.refit;
+  // Emitted only when external, so internal spec files stay
+  // byte-identical to pre-external releases (and pre-external daemons
+  // reject external specs via the unknown-key hard error).
+  if (spec.mode == "external") payload << " mode=" << spec.mode;
   return payload.str();
 }
 
@@ -238,6 +259,8 @@ bool decode_spec_body(const std::string& body, SessionSpec& spec,
       numeric_ok = parse_spec_int(value, parsed.rff_features);
     } else if (key == "refit") {
       parsed.refit = value;
+    } else if (key == "mode") {
+      parsed.mode = value;
     } else {
       // Unknown keys from a newer writer are a hard error: the spec is
       // the determinism contract, so silently dropping a knob could
@@ -459,7 +482,9 @@ SessionOutcome Session::run(
     RoboTuneReport report;
     try {
       report = robotune_->tune_report(objective, spec_.budget, spec_.seed,
-                                      nullptr, session_ptr, scheduler.get());
+                                      nullptr, session_ptr, scheduler.get(),
+                                      spec_.mode == "external" ? external_
+                                                               : nullptr);
     } catch (const std::exception& e) {
       outcome.error = e.what();
       return outcome;

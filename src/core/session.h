@@ -38,6 +38,8 @@ namespace robotune::core {
 /// the durability fields (checkpoint_path, resume, recover, sync) are
 /// host wiring — the daemon derives them from its service root — and are
 /// not serialized.
+class ExternalBridge;
+
 struct SessionSpec {
   std::string workload = "PR";  ///< PR|KM|CC|LR|TS (sparksim short name)
   int dataset = 1;              ///< Table-1 dataset, 1..3
@@ -70,6 +72,14 @@ struct SessionSpec {
   int rff_features = 0;
   /// Hyperparameter-refit schedule: fixed|doubling|auto.
   std::string refit = "auto";
+  /// Session mode: "internal" runs evaluations against the sparksim
+  /// objective (everything before DESIGN.md §16); "external" is
+  /// ask/tell — the session proposes configurations and blocks until an
+  /// external executor observes them back (robotune only, detached
+  /// scheduler, no racing).  Serialized only when external, so internal
+  /// spec files stay byte-identical and pre-external daemons reject
+  /// external specs cleanly via the unknown-key rule.
+  std::string mode = "internal";
 
   // ---- host durability wiring (not serialized) --------------------------
   std::string checkpoint_path;  ///< empty = no journal
@@ -134,6 +144,15 @@ class Session {
   bool load_state(const std::string& path);
   bool save_state(const std::string& path);
 
+  /// Attaches the ask/tell bridge an external-mode session publishes
+  /// its batches through.  Must be called before run(); required when
+  /// spec().mode == "external" unless the journal already holds the
+  /// whole budget (standalone replay).  The caller keeps ownership and
+  /// must outlive run().
+  void attach_external(ExternalBridge* bridge) noexcept {
+    external_ = bridge;
+  }
+
   /// Runs the session to completion (or to cancellation).  `cancel`
   /// (nullable) is polled at round boundaries; `yield` (nullable) is the
   /// fair-scheduling hook invoked at the same boundaries; `progress`
@@ -160,6 +179,7 @@ class Session {
   exec::RacingMode racing_mode_ = exec::RacingMode::kOff;
   std::unique_ptr<tuners::Tuner> tuner_;
   RoboTune* robotune_ = nullptr;  ///< non-null when tuner is robotune
+  ExternalBridge* external_ = nullptr;  ///< non-null for hosted ask/tell
   bool ran_ = false;
 };
 

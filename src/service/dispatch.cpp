@@ -57,6 +57,27 @@ Response dispatch_inner(SessionManager& manager, const Request& request,
   }
 
   if (request.verb == "suggest") {
+    // Ask/tell sessions lease pending suggestions; internal sessions
+    // report the incumbent.  One verb, mode-dependent meaning — the
+    // response's `mode` field tells the client which it got.
+    const auto status = manager.status(request.session);
+    if (!status) return error_response(request.rid, "no such session");
+    if (status->external) {
+      const auto result = manager.ask(request.session, request.limit);
+      if (!result.ok) return error_response(request.rid, result.error);
+      response.ok = true;
+      response.fields["mode"] = "external";
+      response.fields["pending"] = std::to_string(result.pending);
+      response.fields["leased"] = std::to_string(result.leased);
+      response.fields["state"] = to_string(status->state);
+      for (const auto& grant : result.grants) {
+        std::ostringstream rec;
+        rec << grant.index << ' ' << grant.lease << ' ' << grant.deadline
+            << ' ' << format_unit(grant.unit);
+        response.records.push_back(rec.str());
+      }
+      return response;
+    }
     const auto result = manager.suggest(request.session);
     if (!result.ok) return error_response(request.rid, result.error);
     response.ok = true;
@@ -67,6 +88,36 @@ Response dispatch_inner(SessionManager& manager, const Request& request,
   }
 
   if (request.verb == "observe") {
+    if (request.has_observation) {
+      // Tell: deliver an external observation into the lease ledger.
+      const auto status = sparksim::run_status_from_string(request.status);
+      if (!status) {
+        return error_response(request.rid,
+                              "bad status '" + request.status + "'");
+      }
+      core::ExternalObservation observation;
+      observation.value_s = request.value_s;
+      observation.cost_s = request.cost_s;
+      observation.status = *status;
+      const auto result =
+          manager.tell(request.session, request.eval, observation);
+      response.fields["verdict"] = core::to_string(result.verdict);
+      if (result.verdict == core::TellVerdict::kDuplicate ||
+          result.verdict == core::TellVerdict::kConflict) {
+        // Show the ledger's tuple so a conflicted client can see what
+        // the daemon actually recorded.
+        response.fields["value"] = format_double(result.recorded.value_s);
+        response.fields["cost"] = format_double(result.recorded.cost_s);
+        response.fields["status"] =
+            sparksim::to_string(result.recorded.status);
+      }
+      if (!result.ok) {
+        response.error = result.error;
+        return response;
+      }
+      response.ok = true;
+      return response;
+    }
     const auto result =
         manager.observe(request.session, request.from, request.limit);
     if (!result.ok) return error_response(request.rid, result.error);
@@ -112,6 +163,12 @@ Response dispatch_inner(SessionManager& manager, const Request& request,
       response.fields["resumed"] = status->resumed ? "1" : "0";
       response.fields["replayed"] = std::to_string(status->replayed);
       response.fields["recovered"] = status->journal_recovered ? "1" : "0";
+      response.fields["mode"] = status->external ? "external" : "internal";
+      if (status->external) {
+        response.fields["pending"] = std::to_string(status->pending);
+        response.fields["leased"] = std::to_string(status->leased);
+        response.fields["reclaimed"] = std::to_string(status->reclaimed);
+      }
       if (!status->error.empty()) {
         response.fields["failure"] = status->error;
       }
@@ -128,6 +185,8 @@ Response dispatch_inner(SessionManager& manager, const Request& request,
     response.fields["max_live"] = std::to_string(s.max_live);
     response.fields["max_pending"] = std::to_string(s.max_pending);
     response.fields["slots"] = std::to_string(s.slots);
+    response.fields["reclaimed"] = std::to_string(s.reclaimed);
+    response.fields["evicted"] = std::to_string(s.evicted);
     return response;
   }
 

@@ -35,6 +35,15 @@ std::uint64_t parse_u64(const std::string& value) {
       std::strtoull(value.c_str(), nullptr, 10));
 }
 
+/// %.17g round-trips every double losslessly — the same convention the
+/// journal and the dispatch layer use, so a tell's tuple survives the
+/// wire bit-exact (which is what makes duplicate detection exact).
+std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
 /// Splits a payload into its leading type token and key=value pairs
 /// (values unescaped).  Returns false on a malformed token.
 bool tokenize(const std::string& payload, std::string& type,
@@ -190,6 +199,12 @@ std::string encode_request(const Request& request) {
   }
   if (request.derive_seed) out << " derive_seed=1";
   if (!request.format.empty()) out << " format=" << escape(request.format);
+  if (request.has_observation) {
+    out << " eval=" << request.eval
+        << " value=" << escape(format_double(request.value_s))
+        << " cost=" << escape(format_double(request.cost_s))
+        << " status=" << escape(request.status);
+  }
   return out.str();
 }
 
@@ -220,6 +235,18 @@ bool decode_request(const std::string& payload, Request& request,
       request.derive_seed = value == "1";
     } else if (key == "format") {
       request.format = value;
+    } else if (key == "eval") {
+      request.eval = parse_u64(value);
+      request.has_observation = true;
+    } else if (key == "value") {
+      request.value_s = std::strtod(value.c_str(), nullptr);
+      request.has_observation = true;
+    } else if (key == "cost") {
+      request.cost_s = std::strtod(value.c_str(), nullptr);
+      request.has_observation = true;
+    } else if (key == "status") {
+      request.status = value;
+      request.has_observation = true;
     } else {
       error = "unknown request key '" + key + "'";
       return false;

@@ -54,6 +54,10 @@ class FrameReader {
   /// Extracts the next complete payload.  After kCorrupt the reader is
   /// poisoned: the connection should be dropped.
   Result next(std::string& payload, std::string& error);
+  /// True when no partial frame is buffered (the stream is between
+  /// frames) — the server's idle sweep uses this to tell a quiet client
+  /// from one stalled mid-frame.
+  bool idle() const { return buffer_.empty(); }
 
  private:
   std::string buffer_;
@@ -77,6 +81,18 @@ struct Request {
   /// start: let the daemon derive the session seed from its service seed
   /// and the assigned session id, ignoring spec_body's seed field.
   bool derive_seed = false;
+  // ---- ask/tell (external sessions, DESIGN.md §16) ----------------------
+  /// observe: when true this is a *tell* — deliver the observation below
+  /// for eval index `eval` instead of reading the journal window.  The
+  /// tell keys are only emitted when set, so requests that never use
+  /// ask/tell stay byte-identical (and pre-external daemons reject only
+  /// the requests that actually need the feature, via the unknown-key
+  /// rule).
+  bool has_observation = false;
+  std::uint64_t eval = 0;    ///< tell: canonical eval index
+  double value_s = 0.0;      ///< tell: observed objective seconds
+  double cost_s = 0.0;       ///< tell: observed cost seconds
+  std::string status = "ok";  ///< tell: sparksim RunStatus label
 };
 
 struct Response {

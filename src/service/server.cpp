@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -100,6 +101,27 @@ std::size_t Server::serve(std::atomic<bool>& stop) {
         tick_();
       }
     }
+    {
+      // Idle sweep: a client that connected but never completed a frame
+      // (or stalled mid-frame) holds a connection slot forever — poll
+      // never fires for a silent peer, so SO_RCVTIMEO alone cannot save
+      // us.  Clients with at least one completed frame and no partial
+      // bytes are healthy-idle and stay.
+      const auto now = std::chrono::steady_clock::now();
+      for (auto it = connections_.begin(); it != connections_.end();) {
+        const Connection& conn = it->second;
+        const bool suspect = !conn.ever_framed || conn.mid_frame;
+        if (suspect && now - conn.last_progress >= idle_timeout_) {
+          const int fd = it->first;
+          it = connections_.erase(it);
+          ::close(fd);
+          obs::count("service.clients.idle_dropped");
+          manager_.events().emit(0, "client.idle_drop");
+        } else {
+          ++it;
+        }
+      }
+    }
     std::vector<pollfd> fds;
     fds.push_back({listen_fd_, POLLIN, 0});
     for (const auto& [fd, conn] : connections_) {
@@ -119,7 +141,17 @@ std::size_t Server::serve(std::atomic<bool>& stop) {
         deadline.tv_sec = kSendTimeoutSec;
         ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &deadline,
                      sizeof(deadline));
-        connections_.emplace(client, Connection{});
+        // Bound any blocking read path the same way sends are bounded;
+        // the poll loop itself never block-reads, so the idle sweep
+        // above is what actually drops silent clients.
+        timeval recv_deadline = {};
+        recv_deadline.tv_sec = static_cast<time_t>(
+            std::max<std::int64_t>(1, idle_timeout_.count() / 1000));
+        ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &recv_deadline,
+                     sizeof(recv_deadline));
+        Connection conn;
+        conn.last_progress = std::chrono::steady_clock::now();
+        connections_.emplace(client, std::move(conn));
         obs::count("service.clients.connected");
         manager_.events().emit(0, "client.connect");
       }
@@ -142,6 +174,10 @@ std::size_t Server::serve(std::atomic<bool>& stop) {
         std::string why;
         const auto result = it->second.reader.next(payload, why);
         if (result == FrameReader::Result::kNeedMore) break;
+        if (result == FrameReader::Result::kReady) {
+          it->second.ever_framed = true;
+          it->second.last_progress = std::chrono::steady_clock::now();
+        }
         if (result == FrameReader::Result::kCorrupt) {
           // Tell the client what happened, then cut the connection: a
           // corrupt stream cannot be re-synchronized.
@@ -170,6 +206,7 @@ std::size_t Server::serve(std::atomic<bool>& stop) {
           break;
         }
       }
+      if (!drop) it->second.mid_frame = !it->second.reader.idle();
       if (drop) disconnect(fd);
     }
   }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -38,11 +39,26 @@ class Server {
   /// concurrently with dispatch.
   void set_tick(std::function<void()> tick) { tick_ = std::move(tick); }
 
+  /// How long a client may sit on an accepted connection without ever
+  /// completing a frame (or stalled mid-frame) before the serve loop
+  /// drops it.  Clients that have completed at least one frame and are
+  /// merely quiet between requests are never dropped.  Also applied as
+  /// SO_RCVTIMEO on accepted sockets so any blocking read path is
+  /// bounded too.  Default 30 s; tests dial it down.
+  void set_idle_timeout(std::chrono::milliseconds timeout) {
+    idle_timeout_ = timeout;
+  }
+
   const std::string& socket_path() const noexcept { return socket_path_; }
 
  private:
   struct Connection {
     FrameReader reader;
+    /// Connect time, advanced at every completed frame — the reference
+    /// point the idle sweep measures silence from.
+    std::chrono::steady_clock::time_point last_progress;
+    bool ever_framed = false;  ///< completed at least one frame
+    bool mid_frame = false;    ///< bytes buffered, frame incomplete
   };
 
   void close_all();
@@ -52,6 +68,7 @@ class Server {
   int listen_fd_ = -1;
   std::map<int, Connection> connections_;
   std::function<void()> tick_;
+  std::chrono::milliseconds idle_timeout_{30'000};
 };
 
 }  // namespace robotune::service

@@ -11,6 +11,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/chaos.h"
 #include "obs/metrics.h"
 #include "service/telemetry.h"
 
@@ -216,15 +217,23 @@ SessionManager::StartResult SessionManager::admit(core::SessionSpec spec,
   auto entry = std::make_shared<Entry>();
   entry->id = id;
   entry->spec = spec;
+  if (spec.mode == "external") {
+    entry->bridge = std::make_shared<core::ExternalBridge>();
+  }
   entry->progress.best_value_s = std::numeric_limits<double>::infinity();
   entry->enqueued_at = std::chrono::steady_clock::now();
+  bool cancel_now = false;
   {
     std::scoped_lock lock(mutex_);
     sessions_[id] = entry;
     // A cancelling shutdown may have swept sessions_ while the spec was
     // being written; catch this late-inserted entry up with the sweep.
-    if (cancel_all_) entry->cancel.store(true, std::memory_order_relaxed);
+    if (cancel_all_) {
+      entry->cancel.store(true, std::memory_order_relaxed);
+      cancel_now = true;
+    }
   }
+  if (cancel_now && entry->bridge) entry->bridge->request_cancel();
   result.admitted = true;
   result.id = id;
   obs::count("service.admission.accepted");
@@ -232,7 +241,18 @@ SessionManager::StartResult SessionManager::admit(core::SessionSpec spec,
   // always opens accept → enter before the worker's queue.leave.
   events_.emit(id, "admission.accept", fixed_id != 0 ? "readmission" : "");
   events_.emit(id, "queue.enter");
-  pool_.submit([this, entry] { run_entry(entry); });
+  if (entry->bridge) {
+    // Ask/tell sessions get a dedicated thread, never a pool worker or a
+    // turnstile slice: they spend their life parked in exchange() waiting
+    // on remote executors, so a pool slot would cap concurrent external
+    // sessions at max_live and let idle leases starve compute-bound
+    // internal sessions.
+    std::thread runner([this, entry] { run_entry(entry); });
+    std::scoped_lock lock(mutex_);
+    external_threads_.push_back(std::move(runner));
+  } else {
+    pool_.submit([this, entry] { run_entry(entry); });
+  }
   return result;
 }
 
@@ -252,6 +272,7 @@ void SessionManager::run_entry(const std::shared_ptr<Entry>& entry) {
     --queued_;
     ++cancelled_;
     entry->state = SessionState::kCancelled;
+    entry->terminal_tick = now_tick_.load(std::memory_order_relaxed);
     entry->queue_wait_ms = wait_ms;
     sample_gauges_locked();
     terminal_cv_.notify_all();
@@ -275,15 +296,23 @@ void SessionManager::run_entry(const std::shared_ptr<Entry>& entry) {
   obs::ScopedSession scope(entry->id);
   obs::count("service.sessions.started");
   const std::uint64_t id = entry->id;
-  turnstile_.enter(id);
+  const bool external = entry->bridge != nullptr;
+  // External sessions skip the turnstile entirely (see admit): no slice
+  // to enter, no yield hook — their round boundaries are client-paced.
+  if (!external) turnstile_.enter(id);
 
   core::SessionOutcome outcome;
   try {
     std::string create_error;
     if (auto session = core::SessionFactory::create(entry->spec,
                                                     &create_error)) {
+      if (external) session->attach_external(entry->bridge.get());
       outcome = session->run(
-          &entry->cancel, [this, id] { turnstile_.yield(id); },
+          &entry->cancel,
+          external ? std::function<void()>{}
+                   : std::function<void()>([this, id] {
+                       turnstile_.yield(id);
+                     }),
           [this, entry](const core::SessionProgress& p) {
             std::scoped_lock lock(mutex_);
             entry->progress = p;
@@ -296,7 +325,10 @@ void SessionManager::run_entry(const std::shared_ptr<Entry>& entry) {
     // keep the worker (and the turnstile slice accounting) healthy.
     outcome.error = e.what();
   }
-  turnstile_.leave();
+  if (!external) turnstile_.leave();
+  // Terminal: stop granting leases.  tell() keeps answering late
+  // duplicate observes from the bridge's recorded-ack ledger.
+  if (external) entry->bridge->close();
 
   const SessionState state = !outcome.ok() ? SessionState::kFailed
                              : outcome.interrupted
@@ -329,6 +361,7 @@ void SessionManager::run_entry(const std::shared_ptr<Entry>& entry) {
         break;
     }
     entry->state = state;
+    entry->terminal_tick = now_tick_.load(std::memory_order_relaxed);
     entry->error = outcome.error;
     entry->resumed = outcome.resumed;
     entry->replayed = outcome.replayed;
@@ -342,22 +375,29 @@ void SessionManager::run_entry(const std::shared_ptr<Entry>& entry) {
 }
 
 bool SessionManager::cancel(std::uint64_t id, std::string* error) {
+  std::string why;
+  const auto entry = find_or_rehydrate(id, &why);
+  if (entry == nullptr) {
+    if (error != nullptr) *error = why;
+    return false;
+  }
+  std::shared_ptr<core::ExternalBridge> bridge;
   {
     std::scoped_lock lock(mutex_);
-    const auto it = sessions_.find(id);
-    if (it == sessions_.end()) {
-      if (error != nullptr) *error = "no such session";
-      return false;
-    }
-    if (terminal(it->second->state)) {
+    if (terminal(entry->state)) {
       if (error != nullptr) {
-        *error = std::string("session already ") +
-                 to_string(it->second->state);
+        *error = std::string("session already ") + to_string(entry->state);
       }
       return false;
     }
-    it->second->cancel.store(true, std::memory_order_relaxed);
+    entry->cancel.store(true, std::memory_order_relaxed);
+    bridge = entry->bridge;
   }
+  // Wake an engine parked in an ask/tell exchange: the cancel flag is
+  // only polled at round boundaries, which an external session may never
+  // reach on its own.  Outside mutex_ — bridge calls take the bridge
+  // lock, whose journal flush re-enters the manager.
+  if (bridge != nullptr) bridge->request_cancel();
   // Tombstone the explicit cancel so a daemon restart keeps the session
   // cancelled instead of resuming it (graceful shutdown, by contrast,
   // leaves no tombstone — its sessions resume).  Written outside the
@@ -382,14 +422,33 @@ SessionStatus SessionManager::status_of(const Entry& e) {
   s.journal_recovered = e.journal_recovered;
   s.error = e.error;
   s.queue_wait_ms = e.queue_wait_ms;
+  s.external = e.spec.mode == "external";
+  s.reclaimed = e.reclaimed;
   return s;
 }
 
-std::optional<SessionStatus> SessionManager::status(std::uint64_t id) const {
-  std::scoped_lock lock(mutex_);
-  const auto it = sessions_.find(id);
-  if (it == sessions_.end()) return std::nullopt;
-  return status_of(*it->second);
+void SessionManager::fill_bridge_status(
+    SessionStatus& status,
+    const std::shared_ptr<core::ExternalBridge>& bridge) const {
+  if (bridge == nullptr) return;
+  const std::uint64_t now = now_tick_.load(std::memory_order_relaxed);
+  status.pending = bridge->pending();
+  status.leased = bridge->leased(now);
+}
+
+std::optional<SessionStatus> SessionManager::status(std::uint64_t id) {
+  std::string ignored;
+  const auto entry = find_or_rehydrate(id, &ignored);
+  if (entry == nullptr) return std::nullopt;
+  SessionStatus s;
+  std::shared_ptr<core::ExternalBridge> bridge;
+  {
+    std::scoped_lock lock(mutex_);
+    s = status_of(*entry);
+    bridge = entry->bridge;
+  }
+  fill_bridge_status(s, bridge);
+  return s;
 }
 
 ServiceStatus SessionManager::service_status() const {
@@ -404,6 +463,8 @@ ServiceStatus SessionManager::service_status() const {
   s.max_live = options_.max_live;
   s.max_pending = options_.max_pending;
   s.slots = options_.slots == 0 ? options_.max_live : options_.slots;
+  s.reclaimed = reclaimed_;
+  s.evicted = evicted_done_ + evicted_cancelled_;
   return s;
 }
 
@@ -429,20 +490,103 @@ ServiceStatus SessionManager::recount_status() const {
         break;
     }
   }
+  // The incremental counters are lifetime counts; evicted terminal
+  // sessions left the map without decrementing them, so the scan twin
+  // adds the eviction ledger back before comparing.
+  s.done += evicted_done_;
+  s.cancelled += evicted_cancelled_;
   s.accepting = accepting_;
   s.max_live = options_.max_live;
   s.max_pending = options_.max_pending;
   s.slots = options_.slots == 0 ? options_.max_live : options_.slots;
+  s.reclaimed = reclaimed_;
+  s.evicted = evicted_done_ + evicted_cancelled_;
   return s;
 }
 
 std::vector<SessionStatus> SessionManager::list_sessions() const {
-  std::scoped_lock lock(mutex_);
   std::vector<SessionStatus> out;
-  out.reserve(sessions_.size());
-  // std::map iteration: ascending id order by construction.
-  for (const auto& [id, entry] : sessions_) out.push_back(status_of(*entry));
+  std::vector<std::shared_ptr<core::ExternalBridge>> bridges;
+  {
+    std::scoped_lock lock(mutex_);
+    out.reserve(sessions_.size());
+    bridges.reserve(sessions_.size());
+    // std::map iteration: ascending id order by construction.
+    for (const auto& [id, entry] : sessions_) {
+      out.push_back(status_of(*entry));
+      bridges.push_back(entry->bridge);
+    }
+  }
+  // Bridge gauges read outside mutex_ (lock order: bridge → manager).
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    fill_bridge_status(out[i], bridges[i]);
+  }
   return out;
+}
+
+std::size_t SessionManager::resident_sessions() const {
+  std::scoped_lock lock(mutex_);
+  return sessions_.size();
+}
+
+std::shared_ptr<SessionManager::Entry> SessionManager::find_or_rehydrate(
+    std::uint64_t id, std::string* error) {
+  SessionState evicted_state = SessionState::kDone;
+  {
+    std::scoped_lock lock(mutex_);
+    const auto it = sessions_.find(id);
+    if (it != sessions_.end()) return it->second;
+    const auto ev = evicted_.find(id);
+    if (ev == evicted_.end()) {
+      if (error != nullptr) *error = "no such session";
+      return nullptr;
+    }
+    evicted_state = ev->second;
+  }
+  // Disk I/O outside the lock: reload the spec and replay the journal to
+  // rebuild the progress snapshot the evicted Entry carried.
+  core::SessionSpec spec;
+  std::string why;
+  if (!load_spec_file(spec_path(id), spec, &why)) {
+    if (error != nullptr) *error = "spec unreadable: " + why;
+    return nullptr;
+  }
+  core::SessionCheckpoint state;
+  try {
+    if (load_session_file(journal_path(id), state,
+                          core::LoadMode::kRecover)) {
+      core::canonicalize_journal(state);
+    }
+  } catch (const std::exception& e) {
+    if (error != nullptr) {
+      *error = std::string("journal unreadable: ") + e.what();
+    }
+    return nullptr;
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->id = id;
+  entry->spec = spec;
+  entry->spec.checkpoint_path = journal_path(id);
+  entry->spec.sync = options_.sync;
+  entry->state = evicted_state;
+  entry->progress = progress_from_journal(state);
+  entry->terminal_tick = now_tick_.load(std::memory_order_relaxed);
+  {
+    std::scoped_lock lock(mutex_);
+    const auto it = sessions_.find(id);
+    if (it != sessions_.end()) return it->second;  // raced another verb
+    // Back in the map: reverse the eviction bookkeeping.  The lifetime
+    // counters were never decremented, so nothing to re-add.
+    evicted_.erase(id);
+    if (evicted_state == SessionState::kDone) {
+      --evicted_done_;
+    } else {
+      --evicted_cancelled_;
+    }
+    sessions_[id] = entry;
+  }
+  obs::count("service.sessions.rehydrated");
+  return entry;
 }
 
 void SessionManager::sample_gauges_locked() {
@@ -461,16 +605,12 @@ void SessionManager::sample_gauges_locked() {
                  static_cast<double>(pool_.size() - pool_.idle_workers()));
 }
 
-SessionManager::SuggestResult SessionManager::suggest(
-    std::uint64_t id) const {
+SessionManager::SuggestResult SessionManager::suggest(std::uint64_t id) {
   SuggestResult result;
+  const auto entry = find_or_rehydrate(id, &result.error);
+  if (entry == nullptr) return result;
   std::scoped_lock lock(mutex_);
-  const auto it = sessions_.find(id);
-  if (it == sessions_.end()) {
-    result.error = "no such session";
-    return result;
-  }
-  const Entry& e = *it->second;
+  const Entry& e = *entry;
   if (e.progress.best_unit.empty()) {
     result.error = "no successful evaluation yet";
     return result;
@@ -483,17 +623,14 @@ SessionManager::SuggestResult SessionManager::suggest(
 }
 
 SessionManager::CheckpointResult SessionManager::checkpoint(
-    std::uint64_t id) const {
+    std::uint64_t id) {
   CheckpointResult result;
   std::size_t evaluations = 0;
   {
+    const auto entry = find_or_rehydrate(id, &result.error);
+    if (entry == nullptr) return result;
     std::scoped_lock lock(mutex_);
-    const auto it = sessions_.find(id);
-    if (it == sessions_.end()) {
-      result.error = "no such session";
-      return result;
-    }
-    evaluations = it->second->progress.evaluations;
+    evaluations = entry->progress.evaluations;
   }
   // The journal is already flushed after every evaluation; the verb adds
   // the durability barrier (fsync file + directory) that the default
@@ -509,15 +646,9 @@ SessionManager::CheckpointResult SessionManager::checkpoint(
 }
 
 SessionManager::ObserveResult SessionManager::observe(
-    std::uint64_t id, std::uint64_t from, std::uint64_t limit) const {
+    std::uint64_t id, std::uint64_t from, std::uint64_t limit) {
   ObserveResult result;
-  {
-    std::scoped_lock lock(mutex_);
-    if (sessions_.find(id) == sessions_.end()) {
-      result.error = "no such session";
-      return result;
-    }
-  }
+  if (find_or_rehydrate(id, &result.error) == nullptr) return result;
   core::SessionCheckpoint state;
   try {
     if (load_session_file(journal_path(id), state,
@@ -537,6 +668,189 @@ SessionManager::ObserveResult SessionManager::observe(
     result.records.push_back(record);
   }
   return result;
+}
+
+namespace {
+
+/// Same exactness as the bridge's idempotency check: %.17g round-trips
+/// doubles losslessly over the wire, so exact equality is well-defined.
+bool same_tuple(const core::ExternalObservation& a,
+                const core::ExternalObservation& b) {
+  return a.value_s == b.value_s && a.cost_s == b.cost_s &&
+         a.status == b.status;
+}
+
+}  // namespace
+
+SessionManager::AskResult SessionManager::ask(std::uint64_t id,
+                                              std::size_t max_count) {
+  AskResult result;
+  const auto entry = find_or_rehydrate(id, &result.error);
+  if (entry == nullptr) return result;
+  if (entry->spec.mode != "external") {
+    result.error = "session is not in ask/tell (external) mode";
+    return result;
+  }
+  // The bridge pointer is written once before the entry is published and
+  // never reassigned, so it is safe to read without mutex_.
+  const auto bridge = entry->bridge;
+  if (bridge == nullptr) {
+    // Rehydrated terminal session: nothing will ever be pending again.
+    result.ok = true;
+    return result;
+  }
+  const std::uint64_t now = now_tick_.load(std::memory_order_relaxed);
+  result.grants = bridge->lease(std::max<std::size_t>(1, max_count), now,
+                                options_.lease_timeout_ticks);
+  result.pending = bridge->pending();
+  result.leased = bridge->leased(now);
+  result.ok = true;
+  for (std::size_t i = 0; i < result.grants.size(); ++i) {
+    obs::count("service.leases.granted");
+  }
+  return result;
+}
+
+SessionManager::TellResult SessionManager::tell(
+    std::uint64_t id, std::uint64_t index,
+    const core::ExternalObservation& observation) {
+  TellResult result;
+  const auto entry = find_or_rehydrate(id, &result.error);
+  if (entry == nullptr) return result;
+  if (entry->spec.mode != "external") {
+    result.error = "session is not in ask/tell (external) mode";
+    return result;
+  }
+  // Chaos site kObserveDelivery: a per-delivery counter decision either
+  // drops the delivery before it reaches the ledger (the client
+  // retries; idempotency makes the blind retry safe, and a later
+  // attempt draws a fresh decision) or re-delivers an accepted
+  // observation internally (the ledger must ack the duplicate without
+  // effect).  The drop pattern is scheduling-dependent, but the journal
+  // bytes are not: accepted tuples are exactly what the client sent,
+  // whichever delivery attempt lands them.
+  if (chaos::fail(chaos::Site::kObserveDelivery)) {
+    result.error = "chaos: observe delivery dropped; retry";
+    obs::count("service.observe.chaos_dropped");
+    return result;
+  }
+  const auto bridge = entry->bridge;
+  core::ExternalBridge::TellResult verdict;
+  if (bridge != nullptr) {
+    verdict = bridge->tell(index, observation);
+    if (verdict.verdict == core::TellVerdict::kAccepted &&
+        chaos::fail(chaos::Site::kObserveDelivery)) {
+      obs::count("service.observe.chaos_duplicated");
+      bridge->tell(index, observation);
+    }
+  } else {
+    // Evicted-then-rehydrated terminal session: the bridge is gone, but
+    // the journaled ack ledger still answers late executor retries
+    // truthfully.
+    core::SessionCheckpoint state;
+    try {
+      load_session_file(journal_path(id), state, core::LoadMode::kRecover);
+      core::canonicalize_journal(state);
+    } catch (const std::exception& e) {
+      result.error = std::string("journal unreadable: ") + e.what();
+      return result;
+    }
+    verdict.verdict = core::TellVerdict::kUnknown;
+    for (const auto& ack : state.observe_acks) {
+      if (ack.index != index) continue;
+      verdict.recorded = {ack.value_s, ack.cost_s, ack.status};
+      verdict.verdict = same_tuple(verdict.recorded, observation)
+                            ? core::TellVerdict::kDuplicate
+                            : core::TellVerdict::kConflict;
+      break;
+    }
+  }
+  result.verdict = verdict.verdict;
+  result.recorded = verdict.recorded;
+  switch (verdict.verdict) {
+    case core::TellVerdict::kAccepted:
+      result.ok = true;
+      obs::count("service.observe.accepted");
+      break;
+    case core::TellVerdict::kDuplicate:
+      result.ok = true;
+      obs::count("service.observe.duplicate");
+      break;
+    case core::TellVerdict::kConflict:
+      result.error = "observation conflicts with the recorded tuple for "
+                     "eval " +
+                     std::to_string(index);
+      obs::count("service.observe.conflict");
+      break;
+    case core::TellVerdict::kUnknown:
+      result.error =
+          "no pending suggestion with index " + std::to_string(index);
+      break;
+  }
+  return result;
+}
+
+std::size_t SessionManager::tick() {
+  const std::uint64_t now =
+      now_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Reaper sweep: collect the live ask/tell bridges under the lock, reap
+  // outside it — reap() journals the expiries, and the journal flush
+  // re-enters the manager through the progress callback.
+  std::vector<std::pair<std::shared_ptr<Entry>,
+                        std::shared_ptr<core::ExternalBridge>>>
+      live;
+  {
+    std::scoped_lock lock(mutex_);
+    for (const auto& [id, entry] : sessions_) {
+      if (entry->bridge != nullptr && !terminal(entry->state)) {
+        live.emplace_back(entry, entry->bridge);
+      }
+    }
+  }
+  std::size_t reclaimed = 0;
+  for (const auto& [entry, bridge] : live) {
+    const auto expiries = bridge->reap(now);
+    if (expiries.empty()) continue;
+    reclaimed += expiries.size();
+    for (const auto& expiry : expiries) {
+      obs::count("service.evals.reclaimed");
+      events_.emit(entry->id, "lease.expired",
+                   "eval " + std::to_string(expiry.index) + " lease " +
+                       std::to_string(expiry.lease));
+    }
+    std::scoped_lock lock(mutex_);
+    entry->reclaimed += expiries.size();
+  }
+  if (reclaimed != 0) {
+    std::scoped_lock lock(mutex_);
+    reclaimed_ += reclaimed;
+  }
+  // Terminal-TTL eviction: done/cancelled entries past the TTL leave the
+  // map; their terminal state moves to the eviction ledger so later
+  // verbs can re-hydrate them from disk.  Failed sessions stay — their
+  // error string exists only here.
+  if (options_.terminal_ttl_ticks != 0) {
+    std::scoped_lock lock(mutex_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      const Entry& e = *it->second;
+      const bool evictable = e.state == SessionState::kDone ||
+                             e.state == SessionState::kCancelled;
+      if (!evictable ||
+          now < e.terminal_tick + options_.terminal_ttl_ticks) {
+        ++it;
+        continue;
+      }
+      evicted_[it->first] = e.state;
+      if (e.state == SessionState::kDone) {
+        ++evicted_done_;
+      } else {
+        ++evicted_cancelled_;
+      }
+      obs::count("service.sessions.evicted");
+      it = sessions_.erase(it);
+    }
+  }
+  return reclaimed;
 }
 
 FleetRecovery SessionManager::recover_fleet() {
@@ -600,6 +914,7 @@ FleetRecovery SessionManager::recover_fleet() {
       entry->spec.sync = options_.sync;
       entry->state =
           tombstoned ? SessionState::kCancelled : SessionState::kDone;
+      entry->terminal_tick = now_tick_.load(std::memory_order_relaxed);
       entry->progress = progress_from_journal(state);
       {
         std::scoped_lock lock(mutex_);
@@ -683,6 +998,7 @@ void SessionManager::drain() {
 }
 
 void SessionManager::shutdown(bool cancel_live) {
+  std::vector<std::shared_ptr<core::ExternalBridge>> to_wake;
   {
     std::scoped_lock lock(mutex_);
     accepting_ = false;
@@ -691,11 +1007,28 @@ void SessionManager::shutdown(bool cancel_live) {
       for (const auto& [id, entry] : sessions_) {
         if (!terminal(entry->state)) {
           entry->cancel.store(true, std::memory_order_relaxed);
+          if (entry->bridge != nullptr) to_wake.push_back(entry->bridge);
         }
       }
     }
   }
+  // Outside mutex_ (lock order: bridge → manager).  Engines parked in an
+  // ask/tell exchange never reach a round boundary on their own, so the
+  // cancel sweep must wake them explicitly.
+  for (const auto& bridge : to_wake) bridge->request_cancel();
   drain();
+  // Runner threads decrement the terminal counters just before they
+  // unwind, so drain() can return a beat ahead of thread exit — join
+  // picks up the tail.  Safe to run twice (destructor after an explicit
+  // shutdown): the vector was swapped out the first time.
+  std::vector<std::thread> runners;
+  {
+    std::scoped_lock lock(mutex_);
+    runners.swap(external_threads_);
+  }
+  for (std::thread& runner : runners) {
+    if (runner.joinable()) runner.join();
+  }
 }
 
 }  // namespace robotune::service

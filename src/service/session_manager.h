@@ -30,10 +30,28 @@
 // files are corrupt beyond recovery is quarantined into
 // `<root>/quarantine/` — one bad session never takes the daemon down.
 // Recovery re-admission bypasses the max_pending bound (backpressure
-// gates external start requests; the pre-crash fleet was already
+// gates client start requests; the pre-crash fleet was already
 // admitted), and quarantine is strictly a corruption verdict: a healthy
 // session whose re-admission fails operationally keeps its files and is
 // reported in FleetRecovery::errors instead.
+//
+// Ask/tell sessions (spec mode=external, DESIGN.md §16): the manager
+// wraps the session's ExternalBridge in a lease ledger — `ask` hands
+// out suggestions under lease ids with tick deadlines, `tell` accepts
+// observations idempotently, and the `tick()` hook (driven by the
+// daemon's Server::set_tick, virtual-clock injectable in tests) reaps
+// abandoned leases back to the pending pool.  External sessions run on
+// dedicated threads, never on pool workers or the turnstile: they spend
+// their life parked waiting on remote executors, and parking them in a
+// pool slot would let an idle lease starve compute-bound internal
+// sessions (and cap concurrent external sessions at max_live).
+//
+// Terminal-TTL eviction (ROADMAP 5): with terminal_ttl_ticks set,
+// done/cancelled sessions leave the in-memory map after the TTL — spec
+// and journal stay on disk, and any later verb re-hydrates the entry on
+// demand — so a long-lived daemon's resident state tracks its *live*
+// fleet, not its lifetime history.  Failed sessions are never evicted:
+// their error string exists only in memory.
 #pragma once
 
 #include <atomic>
@@ -46,9 +64,11 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/external.h"
 #include "core/persistence.h"
 #include "core/session.h"
 #include "service/events.h"
@@ -80,6 +100,16 @@ struct ServiceOptions {
   /// Event journal rotation: size threshold and rotated files kept.
   std::size_t events_max_bytes = 256 * 1024;
   std::size_t events_keep = 3;
+  /// Ask/tell lease lifetime in virtual-clock ticks: a leased suggestion
+  /// not observed within this many tick() calls is reclaimed back to the
+  /// pending pool.  The daemon drives tick() once per second, so the
+  /// default is roughly one minute of executor silence.
+  std::uint64_t lease_timeout_ticks = 60;
+  /// Ticks a done/cancelled session stays resident after reaching its
+  /// terminal state before tick() evicts it from the in-memory map
+  /// (spec and journal stay on disk; verbs re-hydrate on demand).
+  /// 0 = never evict.
+  std::uint64_t terminal_ttl_ticks = 0;
 };
 
 enum class SessionState { kQueued, kRunning, kDone, kCancelled, kFailed };
@@ -101,6 +131,11 @@ struct SessionStatus {
   /// Wall-clock milliseconds the session spent admitted-but-queued
   /// before its first run (0 while still queued; scheduling-dependent).
   double queue_wait_ms = 0.0;
+  // ---- ask/tell sessions only -------------------------------------------
+  bool external = false;      ///< spec mode=external
+  std::size_t pending = 0;    ///< undelivered suggestions this round
+  std::size_t leased = 0;     ///< of those, out on a live lease
+  std::uint64_t reclaimed = 0;  ///< leases the reaper expired (lifetime)
 };
 
 /// Fleet-wide counters.
@@ -114,6 +149,12 @@ struct ServiceStatus {
   std::size_t max_live = 0;
   std::size_t max_pending = 0;
   std::size_t slots = 0;
+  /// Leases the reaper expired back to the pending pool, fleet-wide.
+  std::uint64_t reclaimed = 0;
+  /// Terminal sessions currently evicted from the in-memory map.  The
+  /// state counters above are lifetime counts and include them; the
+  /// recount twin scans resident entries and adds this back.
+  std::size_t evicted = 0;
 };
 
 /// What recover_fleet() found on disk.
@@ -175,7 +216,7 @@ class SessionManager {
   /// round boundary with a resumable journal.  False: no such session.
   bool cancel(std::uint64_t id, std::string* error = nullptr);
 
-  std::optional<SessionStatus> status(std::uint64_t id) const;
+  std::optional<SessionStatus> status(std::uint64_t id);
   /// O(1): served from incrementally maintained state counters — never
   /// a scan over the registered sessions (ROADMAP 5).
   ServiceStatus service_status() const;
@@ -195,7 +236,7 @@ class SessionManager {
     std::vector<double> best_unit;
   };
   /// Current incumbent: the best successfully evaluated configuration.
-  SuggestResult suggest(std::uint64_t id) const;
+  SuggestResult suggest(std::uint64_t id);
 
   struct CheckpointResult {
     bool ok = false;
@@ -205,7 +246,7 @@ class SessionManager {
   };
   /// Durability barrier: fsyncs the session's journal (and the service
   /// root) so everything journaled so far survives power loss.
-  CheckpointResult checkpoint(std::uint64_t id) const;
+  CheckpointResult checkpoint(std::uint64_t id);
 
   struct ObserveResult {
     bool ok = false;
@@ -215,7 +256,51 @@ class SessionManager {
   };
   /// Reads the session's journaled evaluations [from, from+limit).
   ObserveResult observe(std::uint64_t id, std::uint64_t from,
-                        std::uint64_t limit = 0) const;
+                        std::uint64_t limit = 0);
+
+  struct AskResult {
+    bool ok = false;
+    std::string error;
+    std::vector<core::LeaseGrant> grants;
+    std::size_t pending = 0;  ///< undelivered suggestions after granting
+    std::size_t leased = 0;   ///< of those, out on a live lease
+  };
+  /// Ask/tell sessions only: leases up to max(1, max_count) pending
+  /// suggestions to the caller.  Between rounds (or once the session is
+  /// terminal) the grant list is empty with ok=true — poll status to
+  /// distinguish "thinking" from "done".
+  AskResult ask(std::uint64_t id, std::size_t max_count);
+
+  struct TellResult {
+    bool ok = false;
+    std::string error;
+    core::TellVerdict verdict = core::TellVerdict::kUnknown;
+    core::ExternalObservation recorded;  ///< accepted/duplicate/conflict
+  };
+  /// Ask/tell sessions only: delivers an externally observed
+  /// (value, cost, status) tuple for eval `index`.  Idempotent — an
+  /// exact re-delivery acks with kDuplicate and the recorded tuple, a
+  /// conflicting one is rejected with kConflict (ok=false).  Works
+  /// against the journaled ack ledger even after the session finished
+  /// and was evicted, so late executor retries always get a truthful
+  /// answer.
+  TellResult tell(std::uint64_t id, std::uint64_t index,
+                  const core::ExternalObservation& obs);
+
+  /// Advances the virtual clock one tick and runs the periodic sweeps:
+  /// the lease reaper (expired leases return to the pending pool with a
+  /// journaled lease_expired record) and terminal-TTL eviction.  The
+  /// daemon wires this into Server::set_tick; tests call it directly —
+  /// the clock only moves when someone drives it, which is what makes
+  /// deadline tests deterministic.  Returns the leases reclaimed.
+  std::size_t tick();
+  std::uint64_t now_tick() const noexcept {
+    return now_tick_.load(std::memory_order_relaxed);
+  }
+
+  /// Sessions currently resident in the in-memory map (the eviction
+  /// regression's measure; list_sessions() reports exactly these).
+  std::size_t resident_sessions() const;
 
   /// Rebuilds the fleet from the service root after a restart.  Must be
   /// called before serving requests (not thread-safe against start()).
@@ -251,12 +336,32 @@ class SessionManager {
     std::string error;
     std::chrono::steady_clock::time_point enqueued_at;
     double queue_wait_ms = 0.0;
+    /// Non-null for ask/tell sessions; created at admission, shared with
+    /// the dedicated runner thread, and kept after the session turns
+    /// terminal so late duplicate observes still ack idempotently.
+    std::shared_ptr<core::ExternalBridge> bridge;
+    /// tick() value when the session turned terminal (eviction clock).
+    std::uint64_t terminal_tick = 0;
+    std::uint64_t reclaimed = 0;  ///< leases the reaper expired
   };
 
   StartResult admit(core::SessionSpec spec, bool derive_seed,
                     std::uint64_t fixed_id);
   void run_entry(const std::shared_ptr<Entry>& entry);
+  /// Looks the id up in the resident map, re-hydrating an evicted
+  /// terminal session from its on-disk spec/journal if necessary.  Null
+  /// (with `error` set) for ids that were never admitted or whose files
+  /// turned unreadable.
+  std::shared_ptr<Entry> find_or_rehydrate(std::uint64_t id,
+                                           std::string* error);
   static SessionStatus status_of(const Entry& entry);
+  /// Fills SessionStatus::pending/leased from the bridge.  Takes the
+  /// bridge mutex, so it must be called WITHOUT mutex_ held (the
+  /// bridge's journal flush re-enters the manager via the progress
+  /// callback — lock order is bridge → manager, never the reverse).
+  void fill_bridge_status(SessionStatus& status,
+                          const std::shared_ptr<core::ExternalBridge>& bridge)
+      const;
   /// Re-samples the fleet gauges (queue depth, live/terminal counts,
   /// pool occupancy) — called at every state transition, under mutex_.
   void sample_gauges_locked();
@@ -284,6 +389,19 @@ class SessionManager {
   /// Set by a cancelling shutdown so an admit() that reserved its slot
   /// before the sweep still sees the cancel when it inserts its entry.
   bool cancel_all_ = false;
+  /// Dedicated runner threads for ask/tell sessions (joined at
+  /// shutdown, after drain() has seen them reach a terminal state).
+  std::vector<std::thread> external_threads_;
+  /// Virtual clock: advanced only by tick(), never by wall time.
+  std::atomic<std::uint64_t> now_tick_{0};
+  std::uint64_t reclaimed_ = 0;  ///< fleet-wide reaper expiries
+  /// Eviction ledger: terminal state of every session tick() evicted
+  /// from sessions_, so find_or_rehydrate() re-admits exactly the ids
+  /// the manager once owned (a few bytes per evicted session, vs. the
+  /// full Entry with its spec strings and incumbent vector).
+  std::map<std::uint64_t, SessionState> evicted_;
+  std::size_t evicted_done_ = 0;
+  std::size_t evicted_cancelled_ = 0;
 };
 
 /// Shared request dispatcher: the in-process LocalClient and the socket

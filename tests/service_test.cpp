@@ -30,6 +30,7 @@
 #include "core/session.h"
 #include "service/client.h"
 #include "service/protocol.h"
+#include "service/server.h"
 #include "service/session_manager.h"
 
 namespace robotune {
@@ -860,6 +861,148 @@ TEST(ServiceSocketClientTest, FailsDistinctlyOnServerStreamError) {
   EXPECT_NE(error.find("server stream error"), std::string::npos) << error;
   EXPECT_NE(error.find("checksum"), std::string::npos) << error;
   EXPECT_FALSE(client.connected());
+}
+
+TEST(ServiceServerTest, DropsClientsThatNeverCompleteAFrame) {
+  // A client that connects and then stalls — never sending a frame, or
+  // stopping mid-frame — must not hold a connection slot forever.  The
+  // serve loop's idle sweep drops it, while a healthy client that
+  // completed a frame and merely sits quiet between requests stays.
+  TempDir dir("idle-drop");
+  service::ServiceOptions options;
+  options.root = dir.path();
+  options.max_live = 1;
+  service::SessionManager manager(options);
+  service::Server server(manager, dir.file("rt.sock"));
+  std::string error;
+  ASSERT_TRUE(server.listen(&error)) << error;
+  server.set_idle_timeout(std::chrono::milliseconds(200));
+  std::atomic<bool> stop{false};
+  std::thread serve_thread([&] { server.serve(stop); });
+
+  const auto raw_connect = [&] {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                  dir.file("rt.sock").c_str());
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    return fd;
+  };
+  // Dropped connections surface as EOF on the peer's next read.
+  const auto wait_for_eof = [](int fd) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    char byte = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      const ssize_t n = ::recv(fd, &byte, 1, MSG_DONTWAIT);
+      if (n == 0) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  };
+
+  // A healthy client completes one request up front.
+  service::SocketClient healthy;
+  ASSERT_TRUE(healthy.connect(dir.file("rt.sock"), &error)) << error;
+  service::Request status;
+  status.verb = "status";
+  service::Response response;
+  ASSERT_TRUE(healthy.call(status, response, &error)) << error;
+  ASSERT_TRUE(response.ok);
+
+  const int silent = raw_connect();       // never sends a byte
+  const int stalled = raw_connect();      // stops mid-frame
+  const std::string frame = service::frame_message(
+      service::encode_request([] {
+        service::Request r;
+        r.verb = "status";
+        r.rid = 1;
+        return r;
+      }()));
+  ASSERT_GT(::send(stalled, frame.data(), frame.size() / 2, MSG_NOSIGNAL),
+            0);
+
+  EXPECT_TRUE(wait_for_eof(silent)) << "silent client was never dropped";
+  EXPECT_TRUE(wait_for_eof(stalled)) << "mid-frame client was never dropped";
+  ::close(silent);
+  ::close(stalled);
+
+  // The healthy-idle client survived both sweeps and still works.
+  ASSERT_TRUE(healthy.call(status, response, &error)) << error;
+  EXPECT_TRUE(response.ok);
+
+  healthy.close();
+  stop.store(true);
+  serve_thread.join();
+}
+
+TEST(ServiceEvictionTest, ThousandTerminalSessionsEvictToDiskAndRehydrate) {
+  // Residency regression for long-lived daemons (ROADMAP 5): terminal
+  // sessions leave the in-memory map after the TTL, their disk files
+  // stay, and any verb re-hydrates them on demand.  One real session
+  // provides the journal; cloning its files 999× makes a 1000-session
+  // terminal fleet cheap enough for tier 1.
+  TempDir dir("evict-1k");
+  {
+    service::ServiceOptions options;
+    options.root = dir.path();
+    options.max_live = 1;
+    service::SessionManager manager(options);
+    const auto started = manager.start(small_spec(41, 6));
+    ASSERT_TRUE(started.admitted) << started.error;
+    manager.drain();
+  }
+  for (int id = 2; id <= 1000; ++id) {
+    fs::copy_file(dir.file("session-1.spec"),
+                  dir.file("session-" + std::to_string(id) + ".spec"));
+    fs::copy_file(dir.file("session-1.journal"),
+                  dir.file("session-" + std::to_string(id) + ".journal"));
+  }
+
+  service::ServiceOptions options;
+  options.root = dir.path();
+  options.max_live = 1;
+  options.terminal_ttl_ticks = 3;
+  service::SessionManager manager(options);
+  const auto recovery = manager.recover_fleet();
+  EXPECT_EQ(recovery.completed, 1000u);
+  EXPECT_EQ(manager.resident_sessions(), 1000u);
+
+  // All re-registrations happened at tick 0, so the whole fleet crosses
+  // the TTL on tick 3.
+  manager.tick();
+  manager.tick();
+  EXPECT_EQ(manager.resident_sessions(), 1000u);
+  manager.tick();
+  EXPECT_EQ(manager.resident_sessions(), 0u);
+  {
+    const auto fleet = manager.service_status();
+    EXPECT_EQ(fleet.done, 1000u);
+    EXPECT_EQ(fleet.evicted, 1000u);
+  }
+
+  // Verbs against an evicted id re-hydrate from the intact disk files.
+  const auto status = manager.status(707);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, service::SessionState::kDone);
+  EXPECT_EQ(status->evaluations, 6u);
+  EXPECT_EQ(manager.resident_sessions(), 1u);
+  const auto observed = manager.observe(999, 0, 0);
+  ASSERT_TRUE(observed.ok) << observed.error;
+  EXPECT_EQ(observed.total, 6u);
+  EXPECT_EQ(manager.resident_sessions(), 2u);
+
+  // The O(1) counters and the O(n) recount agree with the eviction
+  // ledger folded in — nothing was lost or double-counted.
+  const auto recount = manager.recount_status();
+  EXPECT_EQ(recount.done, 1000u);
+  EXPECT_EQ(recount.evicted, 998u);
+  const auto incremental = manager.service_status();
+  EXPECT_EQ(incremental.done, recount.done);
+  EXPECT_EQ(incremental.evicted, recount.evicted);
 }
 
 TEST(ServiceTurnstileTest, YieldRotatesFifoWithoutSelfDeadlock) {
